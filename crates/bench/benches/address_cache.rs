@@ -1,0 +1,55 @@
+//! §4.2 ablation: dladdr-style address-string construction, cached vs not.
+//!
+//! Paper: "The conversion is quite expensive, which prompted us to add a
+//! hash map to cache dladdr results, giving a **5× improvement** in the
+//! production of address strings."
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etalumis_ppx::address::{CachedResolver, SymbolResolver};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("address_cache");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    // A Sherpa-scale symbol table and a trace worth of call stacks: deep
+    // stacks, heavily repeated frames (the realistic pattern — the same
+    // sampling call sites fire thousands of times per run).
+    let table = SymbolResolver::synthetic(20_000, 64);
+    let stacks: Vec<Vec<u64>> = (0..600)
+        .map(|i| {
+            let hot = (i % 25) as u64;
+            vec![
+                1_000 * 64,
+                (2_000 + hot * 3) * 64,
+                (5_000 + hot) * 64 + 7,
+                (9_000 + (i % 5) as u64) * 64,
+                (15_000 + hot * 2) * 64 + 13,
+            ]
+        })
+        .collect();
+    group.bench_function("resolve_uncached", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for s in &stacks {
+                total += table.resolve_stack_uncached(black_box(s)).len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("resolve_cached", |b| {
+        b.iter(|| {
+            // The cache persists across a run, as in the paper's front end.
+            let mut cached = CachedResolver::new(&table);
+            let mut total = 0usize;
+            for s in &stacks {
+                total += cached.resolve_stack(black_box(s)).len();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Figure 2: hyperparameter search — loss curves for NN architectures.
+//!
+//! The paper sweeps LSTM units {128, 256, 512} × stacks {1..4} × proposal
+//! mixture components {5, 10, 25, 50} and plots loss vs traces seen. We run
+//! the same sweep shape at reduced scale (units {32, 64}, stacks {1, 2},
+//! components {3, 5, 10}) on the τ dataset and print each loss series.
+//! Expected shape: larger LSTMs reach lower loss per trace; mixture count
+//! matters less than capacity (as in the paper, where curves cluster).
+//!
+//! Run: `cargo run -p etalumis-bench --release --bin fig2_hyperparams`
+
+use etalumis_bench::{rule, tau_records, BENCH_OBS_DIMS};
+use etalumis_nn::{Adam, Cnn3dConfig, LrSchedule};
+use etalumis_train::{IcConfig, IcNetwork, Trainer};
+
+fn run_config(units: usize, stacks: usize, mix: usize, records: &[etalumis_data::TraceRecord]) -> Vec<(usize, f64)> {
+    let cfg = IcConfig {
+        cnn: Cnn3dConfig::small(BENCH_OBS_DIMS, 32),
+        lstm_hidden: units,
+        lstm_stacks: stacks,
+        address_embed_dim: 16,
+        sample_embed_dim: 4,
+        proposal_hidden: 32,
+        mixture_components: mix,
+        seed: 11,
+    };
+    let mut net = IcNetwork::new(cfg);
+    net.pregenerate(records.iter());
+    let mut trainer = Trainer::new(net, Adam::new(LrSchedule::Constant(1e-3)));
+    trainer.grad_clip = Some(10.0);
+    let bsz = 32;
+    let steps = 60;
+    let mut series = Vec::new();
+    for step in 0..steps {
+        let lo = (step * bsz) % records.len();
+        let hi = (lo + bsz).min(records.len());
+        let res = trainer.step(&records[lo..hi]);
+        if step % 5 == 0 || step == steps - 1 {
+            series.push((step * bsz, res.loss));
+        }
+    }
+    series
+}
+
+fn main() {
+    rule("Figure 2: hyperparameter search loss curves (scaled down)");
+    let records = tau_records(512, 2000);
+    println!("dataset: {} tau traces\n", records.len());
+    let mut finals = Vec::new();
+    // Units × stacks sweep at fixed mixture (paper's left sweep).
+    for &units in &[32usize, 64] {
+        for &stacks in &[1usize, 2] {
+            let series = run_config(units, stacks, 5, &records);
+            println!("LSTM Units={units} Stacks={stacks} PropMix=5");
+            for (traces, loss) in &series {
+                println!("  traces {traces:>6}  loss {loss:.4}");
+            }
+            finals.push((format!("u{units}/s{stacks}/m5"), series.last().unwrap().1));
+        }
+    }
+    // Mixture sweep at the largest capacity (paper's right sweep).
+    for &mix in &[3usize, 10] {
+        let series = run_config(64, 1, mix, &records);
+        println!("LSTM Units=64 Stacks=1 PropMix={mix}");
+        for (traces, loss) in &series {
+            println!("  traces {traces:>6}  loss {loss:.4}");
+        }
+        finals.push((format!("u64/s1/m{mix}"), series.last().unwrap().1));
+    }
+    rule("final losses");
+    finals.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    for (name, loss) in &finals {
+        println!("  {name:<14} {loss:.4}");
+    }
+    let best = &finals[0];
+    println!("\nbest configuration: {} (paper settles on its largest LSTM, 1 stack)", best.0);
+}

@@ -1,0 +1,58 @@
+//! Figure 6: weak scaling on Cori and Edison to 1,024 nodes.
+//!
+//! Part 1 measures real 1-rank → 2-rank scaling of the distributed trainer
+//! on this machine. Part 2 uses the calibrated performance model
+//! (DESIGN.md substitution table) to regenerate the paper's two curves:
+//! average and peak traces/s vs node count with the ideal line, hitting the
+//! paper's ≈0.5 (Cori) and ≈0.79 (Edison) average efficiencies at 1,024
+//! nodes (28k / 22k traces/s average).
+//!
+//! Run: `cargo run -p etalumis-bench --release --bin fig6_weak_scaling`
+
+use etalumis_bench::{bench_ic_config, rule, tau_dataset};
+use etalumis_nn::LrSchedule;
+use etalumis_train::{train_distributed, AllReduceStrategy, DistConfig, ScalingModel};
+
+fn main() {
+    rule("measured: this machine, 1 -> 2 ranks (weak scaling)");
+    let (ds, dir) = tau_dataset(256, 256, "fig6");
+    let mut rates = Vec::new();
+    for ranks in [1usize, 2] {
+        let dist = DistConfig {
+            ranks,
+            minibatch_per_rank: 16,
+            epochs: 1,
+            max_iterations: Some(8),
+            strategy: AllReduceStrategy::SparseConcat,
+            lr: LrSchedule::Constant(1e-3),
+            larc_trust: None,
+            buckets: 1,
+            seed: 5,
+        };
+        let (_, report) = train_distributed(&ds, bench_ic_config(6), &dist);
+        println!("  {ranks} rank(s): {:>8.1} traces/s", report.traces_per_sec());
+        rates.push(report.traces_per_sec());
+    }
+    println!("  2-rank efficiency vs ideal: {:.2}", rates[1] / (2.0 * rates[0]));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for model in [ScalingModel::cori(), ScalingModel::edison()] {
+        rule(&format!("modeled: weak scaling on {}", model.system));
+        println!(
+            "{:>7} {:>12} {:>12} {:>12} {:>11}",
+            "nodes", "avg tr/s", "peak tr/s", "ideal tr/s", "efficiency"
+        );
+        for &nodes in &[1usize, 64, 128, 256, 512, 1024] {
+            let iters = if nodes >= 512 { 100 } else { 200 };
+            let p = model.simulate(nodes, iters);
+            println!(
+                "{:>7} {:>12.0} {:>12.0} {:>12.0} {:>11.2}",
+                p.nodes, p.avg_traces_per_sec, p.peak_traces_per_sec, p.ideal,
+                p.efficiency()
+            );
+        }
+    }
+    println!("\npaper reference at 1,024 nodes: Cori avg 28,000 / peak 42,000 tr/s");
+    println!("(efficiency ~0.5); Edison avg 22,000 / peak 28,000 tr/s (~0.79).");
+    println!("Max sustained: 450 Tflop/s (Cori), 325 Tflop/s (Edison).");
+}

@@ -1,0 +1,192 @@
+//! Figure 8 + the 230× claim: RMH vs IC posteriors on a τ observation.
+//!
+//! The paper's headline science result: for a test τ decay observation, the
+//! IC posterior (trained network + importance sampling) closely matches the
+//! RMH baseline posterior across the physics latents — x/y/z momentum
+//! components, the decay channel, the two leading final-state-particle
+//! energies, and the missing transverse energy — while reaching a given
+//! effective sample size orders of magnitude faster (230× in the paper).
+//!
+//! Run: `cargo run -p etalumis-bench --release --bin fig8_posteriors`
+//! (several minutes).
+
+use etalumis_bench::{bench_ic_config, bench_tau_model, rule, tau_records};
+use etalumis_core::{Executor, ObserveMap, Trace};
+use etalumis_inference::{ic_importance_sampling, rmh_with_callback, Histogram, RmhConfig};
+use etalumis_inference::total_variation;
+use etalumis_nn::{Adam, LrSchedule};
+use etalumis_simulators::TauDecayModel;
+use etalumis_train::{IcNetwork, Trainer};
+use std::time::Instant;
+
+const RMH_ITERS: usize = 16_000;
+const IC_SAMPLES: usize = 1_500;
+const TRAIN_TRACES: usize = 1_024;
+const TRAIN_STEPS: usize = 300;
+
+struct Panel {
+    name: &'static str,
+    extract: fn(&Trace) -> f64,
+    lo: f64,
+    hi: f64,
+    bins: usize,
+}
+
+fn panels() -> Vec<Panel> {
+    vec![
+        Panel { name: "tau px [GeV/c]", extract: |t| t.value_by_base("tau/px[Uniform]").unwrap().as_f64(), lo: -2.5, hi: 2.5, bins: 20 },
+        Panel { name: "tau py [GeV/c]", extract: |t| t.value_by_base("tau/py[Uniform]").unwrap().as_f64(), lo: -2.5, hi: 2.5, bins: 20 },
+        Panel { name: "tau pz [GeV/c]", extract: |t| t.value_by_base("tau/pz[Uniform]").unwrap().as_f64(), lo: 42.5, hi: 47.5, bins: 20 },
+        Panel { name: "decay channel", extract: |t| t.value_by_base("tau/channel[Categorical]").unwrap().as_f64(), lo: 0.0, hi: 38.0, bins: 38 },
+        Panel { name: "FSP energy 1 [GeV]", extract: |t| t.value_by_name("fsp_energy1").unwrap().as_f64(), lo: 0.0, hi: 48.0, bins: 20 },
+        Panel { name: "FSP energy 2 [GeV]", extract: |t| t.value_by_name("fsp_energy2").unwrap().as_f64(), lo: 0.0, hi: 48.0, bins: 20 },
+        Panel { name: "missing ET", extract: |t| t.value_by_name("met").unwrap().as_f64(), lo: 0.0, hi: 3.0, bins: 20 },
+    ]
+}
+
+fn main() {
+    rule("Figure 8: ground-truth event");
+    let mut model = bench_tau_model();
+    let truth = Executor::sample_prior(&mut model, 20190621);
+    let obs = truth.first_observed().unwrap().clone();
+    let mut observes = ObserveMap::new();
+    observes.insert(TauDecayModel::OBSERVE_NAME.into(), obs);
+    let ps = panels();
+    let gt: Vec<f64> = ps.iter().map(|p| (p.extract)(&truth)).collect();
+    for (p, g) in ps.iter().zip(gt.iter()) {
+        println!("  {:<22} {g:.3}", p.name);
+    }
+    println!("  channel name: {}", truth.value_by_name("channel_name").unwrap());
+
+    // --- RMH baseline (two chains for Gelman-Rubin) ---
+    rule(&format!("RMH baseline ({RMH_ITERS} iterations x 2 chains)"));
+    let mut rmh_hists: Vec<Histogram> =
+        ps.iter().map(|p| Histogram::new(p.lo, p.hi, p.bins)).collect();
+    let mut chain_means: Vec<Vec<f64>> = vec![Vec::new(); 2];
+    let mut rmh_calls = 0usize;
+    let t0 = Instant::now();
+    for chain in 0..2 {
+        let cfg = RmhConfig {
+            iterations: RMH_ITERS,
+            burn_in: RMH_ITERS / 4,
+            thin: 1,
+            seed: 100 + chain as u64,
+            rw_scale: 0.06,
+            prior_kernel: false,
+        };
+        let mut px_series = Vec::new();
+        let stats = rmh_with_callback(&mut model, &observes, &cfg, |_, t| {
+            for (p, h) in ps.iter().zip(rmh_hists.iter_mut()) {
+                h.add((p.extract)(t), 1.0);
+            }
+            px_series.push((ps[0].extract)(t));
+        });
+        rmh_calls += stats.simulator_calls;
+        chain_means[chain] = px_series;
+        println!("  chain {chain}: acceptance {:.2}", stats.acceptance_rate());
+    }
+    let rmh_secs = t0.elapsed().as_secs_f64();
+    let n = chain_means[0].len().min(chain_means[1].len());
+    let rhat = etalumis_inference::diagnostics::gelman_rubin(&[
+        chain_means[0][..n].to_vec(),
+        chain_means[1][..n].to_vec(),
+    ]);
+    let tau_int =
+        etalumis_inference::diagnostics::integrated_autocorr_time(&chain_means[0]);
+    let rmh_ess = 2.0 * n as f64 / tau_int;
+    println!("  wall {rmh_secs:.1}s, {rmh_calls} simulator calls");
+    println!("  Gelman-Rubin R-hat (px): {rhat:.3}  (paper: two chains certify convergence)");
+    println!("  autocorrelation time {tau_int:.0} iters -> chain ESS ~{rmh_ess:.0}");
+
+    // --- IC: train then infer ---
+    rule(&format!("IC: train on {TRAIN_TRACES} prior traces, {TRAIN_STEPS} steps"));
+    let records = tau_records(TRAIN_TRACES, 40_000);
+    let mut net = IcNetwork::new(bench_ic_config(8));
+    net.pregenerate(records.iter());
+    let mut trainer = Trainer::new(
+        net,
+        Adam::new(LrSchedule::Polynomial {
+            initial: 1e-3,
+            final_lr: 1e-4,
+            order: 2,
+            total_iters: TRAIN_STEPS,
+        }),
+    );
+    trainer.grad_clip = Some(10.0);
+    let t0 = Instant::now();
+    let bsz = 32;
+    for step in 0..TRAIN_STEPS {
+        let lo = (step * bsz) % records.len();
+        let hi = (lo + bsz).min(records.len());
+        let res = trainer.step(&records[lo..hi]);
+        if step % 50 == 0 {
+            println!("  step {step:>4}: loss {:.3}", res.loss);
+        }
+    }
+    println!("  training wall {:.1}s (amortized: done once per model)", t0.elapsed().as_secs_f64());
+
+    let t0 = Instant::now();
+    let post_ic = ic_importance_sampling(
+        &mut model,
+        &observes,
+        TauDecayModel::OBSERVE_NAME,
+        &mut trainer.net,
+        IC_SAMPLES,
+        77,
+    );
+    let ic_secs = t0.elapsed().as_secs_f64();
+    let ic_ess = post_ic.effective_sample_size();
+    println!("  IC inference: {IC_SAMPLES} guided simulator calls in {ic_secs:.1}s, ESS {ic_ess:.0}");
+
+    // --- panels ---
+    rule("posterior comparison (normalized histograms)");
+    let mut tvs = Vec::new();
+    for (pi, p) in ps.iter().enumerate() {
+        let ic_hist = post_ic.histogram(p.extract, p.lo, p.hi, p.bins);
+        let r = rmh_hists[pi].normalized();
+        let i = ic_hist.normalized();
+        let tv = total_variation(&r, &i);
+        tvs.push(tv);
+        println!("\n--- {} (ground truth {:.3}, TV(RMH,IC) = {tv:.3}) ---", p.name, gt[pi]);
+        let centers = r.centers();
+        let max = r
+            .counts
+            .iter()
+            .chain(i.counts.iter())
+            .cloned()
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        for b in 0..p.bins {
+            if r.counts[b] < 1e-4 && i.counts[b] < 1e-4 {
+                continue;
+            }
+            let rbar = "R".repeat((r.counts[b] / max * 30.0).round() as usize);
+            let ibar = "I".repeat((i.counts[b] / max * 30.0).round() as usize);
+            println!("  {:>8.2} | {rbar:<31}| {ibar}", centers[b]);
+        }
+    }
+
+    rule("speedup accounting (the paper's 230x)");
+    let rmh_cost_per_ess = rmh_secs / rmh_ess.max(1.0);
+    let ic_cost_per_ess = ic_secs / ic_ess.max(1.0);
+    println!("  RMH: {rmh_secs:.1}s / ESS {rmh_ess:.0} = {rmh_cost_per_ess:.4} s per effective sample");
+    println!("  IC:  {ic_secs:.1}s / ESS {ic_ess:.0} = {ic_cost_per_ess:.4} s per effective sample");
+    println!(
+        "  wall-clock speedup to equal ESS on this host: {:.1}x",
+        rmh_cost_per_ess / ic_cost_per_ess
+    );
+    // The paper's 230x is dominated by *simulator* cost (Sherpa is ~10^6x
+    // more expensive per call than our mini simulator, so there NN overhead
+    // vanishes). The scale-free comparison is simulator calls per effective
+    // sample:
+    let rmh_calls_per_ess = rmh_calls as f64 / rmh_ess.max(1.0);
+    let ic_calls_per_ess = IC_SAMPLES as f64 / ic_ess.max(1.0);
+    println!(
+        "  simulator calls per effective sample: RMH {rmh_calls_per_ess:.0} vs IC {ic_calls_per_ess:.0} -> {:.0}x fewer",
+        rmh_calls_per_ess / ic_calls_per_ess
+    );
+    println!("  (with an expensive simulator like Sherpa this ratio IS the wall-clock");
+    println!("  speedup; IC is additionally embarrassingly parallel and amortized)");
+    let mean_tv = tvs.iter().sum::<f64>() / tvs.len() as f64;
+    println!("  mean total-variation distance RMH vs IC over panels: {mean_tv:.3}");
+}

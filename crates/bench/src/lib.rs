@@ -1,0 +1,106 @@
+//! # etalumis-bench
+//!
+//! Benchmark harnesses regenerating every table and figure of the paper's
+//! evaluation (see DESIGN.md §4 for the full index):
+//!
+//! * Criterion benches (`cargo bench -p etalumis-bench`) reproduce the
+//!   point optimizations: blocked Conv3D (8×), scalar 3D MVN PDF (13× /
+//!   1.5× pipeline), dladdr-style address caching (5×), sparse+concat
+//!   allreduce (4×), sorted/grouped trace I/O (10×), and sorted
+//!   sub-minibatching (up to 50× at paper scale).
+//! * Binaries (`cargo run -p etalumis-bench --release --bin <name>`)
+//!   regenerate Table 2 and Figures 2, 4, 5, 6, 7 and 8.
+//!
+//! This library holds the shared workload builders.
+
+use etalumis_core::Executor;
+use etalumis_data::{generate_dataset, sort_dataset, TraceDataset, TraceRecord};
+use etalumis_simulators::{DetectorConfig, TauDecayConfig, TauDecayModel};
+use etalumis_train::IcConfig;
+use std::path::PathBuf;
+
+/// Reduced-detector τ model used across benches (structure preserved,
+/// volume reduced so laptop runs finish). The per-voxel noise is widened
+/// relative to the library default so the laptop-scale posterior is broad
+/// enough for finite-budget RMH chains and small IC networks — the paper
+/// operates at 15M training traces and ~10⁶ RMH proposals, where a peaked
+/// likelihood is affordable.
+pub fn bench_tau_model() -> TauDecayModel {
+    let config = TauDecayConfig {
+        detector: DetectorConfig { depth: 8, height: 13, width: 13, ..Default::default() },
+        obs_noise_std: 0.8,
+        ..Default::default()
+    };
+    TauDecayModel::new(config)
+}
+
+/// Observation dims of [`bench_tau_model`].
+pub const BENCH_OBS_DIMS: [usize; 3] = [8, 13, 13];
+
+/// IC config matched to the bench τ model.
+pub fn bench_ic_config(seed: u64) -> IcConfig {
+    IcConfig::small(BENCH_OBS_DIMS, seed)
+}
+
+/// In-memory prior trace records from the bench τ model.
+pub fn tau_records(n: usize, seed0: u64) -> Vec<TraceRecord> {
+    let mut m = bench_tau_model();
+    (0..n)
+        .map(|s| TraceRecord::from_trace(&Executor::sample_prior(&mut m, seed0 + s as u64), true))
+        .collect()
+}
+
+/// A scratch directory unique to this process.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("etalumis_bench_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("scratch dir");
+    d
+}
+
+/// Generate + sort an on-disk τ dataset for training benches. Returns
+/// (sorted dataset, scratch dir to delete afterwards).
+pub fn tau_dataset(n: usize, per_shard: usize, tag: &str) -> (TraceDataset, PathBuf) {
+    let dir = scratch_dir(tag);
+    let mut m = bench_tau_model();
+    let ds = generate_dataset(&mut m, n, per_shard, &dir, 17, true).expect("generate");
+    let sorted = sort_dataset(&ds, &dir.join("sorted"), per_shard).expect("sort");
+    (sorted, dir)
+}
+
+/// Pretty horizontal rule for harness output.
+pub fn rule(title: &str) {
+    println!("\n================ {title} ================");
+}
+
+/// Format a speedup comparison line.
+pub fn speedup_line(what: &str, baseline: f64, optimized: f64, paper: &str) {
+    println!(
+        "{what:<44} baseline {:>10.4}s  optimized {:>10.4}s  speedup {:>6.2}x  (paper: {paper})",
+        baseline,
+        optimized,
+        baseline / optimized
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_model_produces_expected_observation_shape() {
+        let mut m = bench_tau_model();
+        let t = Executor::sample_prior(&mut m, 1);
+        assert_eq!(
+            t.first_observed().unwrap().as_tensor().shape,
+            BENCH_OBS_DIMS.to_vec()
+        );
+    }
+
+    #[test]
+    fn tau_records_builder_works() {
+        let recs = tau_records(5, 100);
+        assert_eq!(recs.len(), 5);
+        assert!(recs.iter().all(|r| r.num_controlled() >= 4));
+    }
+}

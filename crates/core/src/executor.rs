@@ -1,0 +1,385 @@
+//! The executor: runs a probabilistic program under the control of a
+//! [`Proposer`], recording a [`Trace`].
+//!
+//! This is the controller half of Figure 1 in the paper: the simulator keeps
+//! requesting random numbers; the executor answers each request (from the
+//! prior, from a proposal distribution, or by replaying a stored value),
+//! scores everything, and accumulates the trace.
+
+use crate::address::{Address, AddressBuilder};
+use crate::program::{ProbProgram, SimCtx};
+use crate::trace::{EntryKind, Trace, TraceEntry};
+use etalumis_distributions::{Distribution, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Observed data registered before an inference run: maps observe-statement
+/// names to their observed values.
+pub type ObserveMap = HashMap<String, Value>;
+
+/// A single sample request presented to a [`Proposer`].
+pub struct SampleRequest<'a> {
+    /// Address of the statement (fully qualified, instance included).
+    pub address: &'a Address,
+    /// Prior distribution at this site.
+    pub dist: &'a Distribution,
+    /// Statement name.
+    pub name: &'a str,
+    /// Index of this request among controlled samples in the current trace.
+    pub time_step: usize,
+}
+
+/// What a proposer decides for one sample statement.
+pub enum ProposalDecision {
+    /// Draw from the prior distribution.
+    Prior,
+    /// Use this exact value (replay); its log_q is scored under the prior.
+    Replay(Value),
+    /// Use this exact value with an explicit proposal log-density
+    /// (e.g. an MCMC transition kernel).
+    ReplayWithLogQ(Value, f64),
+    /// Draw from this proposal distribution and score log_q under it.
+    Proposal(Distribution),
+}
+
+/// Decides values for sample statements during one execution.
+///
+/// Implementations include the prior proposer (trace generation / forward
+/// simulation), single-site MH proposers, and the IC neural proposer.
+pub trait Proposer {
+    /// Called once before the program runs, with the registered observation
+    /// map (the IC proposer embeds the observation here).
+    fn begin_trace(&mut self, observes: &ObserveMap) {
+        let _ = observes;
+    }
+
+    /// Decide how to realize one controlled sample statement.
+    fn propose(&mut self, req: &SampleRequest) -> ProposalDecision;
+
+    /// Informed of the value actually realized for `req` (fed back into
+    /// sequential proposers such as the IC LSTM).
+    fn notify(&mut self, req: &SampleRequest, value: &Value) {
+        let _ = (req, value);
+    }
+}
+
+/// Propose everything from the prior (forward simulation).
+#[derive(Default, Clone, Copy, Debug)]
+pub struct PriorProposer;
+
+impl Proposer for PriorProposer {
+    fn propose(&mut self, _req: &SampleRequest) -> ProposalDecision {
+        ProposalDecision::Prior
+    }
+}
+
+/// Runs programs and records traces. Implements [`SimCtx`].
+pub struct Executor<'a> {
+    rng: &'a mut StdRng,
+    proposer: &'a mut dyn Proposer,
+    observes: &'a ObserveMap,
+    builder: AddressBuilder,
+    trace: Trace,
+    controlled_steps: usize,
+    /// When false, observe statements *draw* synthetic observations from the
+    /// likelihood instead of scoring registered data (prior/training mode
+    /// falls back to drawing whenever no observation is registered).
+    scoring: bool,
+}
+
+impl<'a> Executor<'a> {
+    /// Run `program` once under `proposer`, conditioning on `observes`.
+    pub fn execute(
+        program: &mut dyn ProbProgram,
+        proposer: &mut dyn Proposer,
+        observes: &ObserveMap,
+        rng: &mut StdRng,
+    ) -> Trace {
+        proposer.begin_trace(observes);
+        let mut ex = Executor {
+            rng,
+            proposer,
+            observes,
+            builder: AddressBuilder::new(),
+            trace: Trace::default(),
+            controlled_steps: 0,
+            scoring: true,
+        };
+        let result = program.run(&mut ex);
+        ex.trace.result = result;
+        ex.trace
+    }
+
+    /// Convenience: run once from the prior with a fresh seeded RNG.
+    pub fn sample_prior(program: &mut dyn ProbProgram, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prior = PriorProposer;
+        let observes = ObserveMap::new();
+        Self::execute(program, &mut prior, &observes, &mut rng)
+    }
+
+    fn record_sample(
+        &mut self,
+        address: Address,
+        dist: &Distribution,
+        name: &str,
+        control: bool,
+        replace: bool,
+    ) -> Value {
+        let kind = if replace {
+            EntryKind::SampleReplaced
+        } else {
+            EntryKind::Sample
+        };
+        let controlled = control && !replace;
+        let (value, log_q) = if controlled {
+            let req = SampleRequest {
+                address: &address,
+                dist,
+                name,
+                time_step: self.controlled_steps,
+            };
+            let decision = self.proposer.propose(&req);
+            let (v, lq) = match decision {
+                ProposalDecision::Prior => {
+                    let v = dist.sample(self.rng);
+                    let lp = dist.log_prob(&v);
+                    (v, lp)
+                }
+                ProposalDecision::Replay(v) => {
+                    let lp = dist.log_prob(&v);
+                    (v, lp)
+                }
+                ProposalDecision::ReplayWithLogQ(v, lq) => (v, lq),
+                ProposalDecision::Proposal(q) => {
+                    let v = q.sample(self.rng);
+                    let lq = q.log_prob(&v);
+                    (v, lq)
+                }
+            };
+            self.proposer.notify(&req, &v);
+            self.controlled_steps += 1;
+            (v, lq)
+        } else {
+            // Replaced or uncontrolled: always from the prior.
+            let v = dist.sample(self.rng);
+            let lp = dist.log_prob(&v);
+            (v, lp)
+        };
+        let log_prob = dist.log_prob(&value);
+        self.trace.log_prior += log_prob;
+        self.trace.log_q += log_q;
+        self.trace.entries.push(TraceEntry {
+            address,
+            distribution: dist.clone(),
+            value: value.clone(),
+            log_prob,
+            log_q,
+            kind,
+            name: name.to_string(),
+        });
+        value
+    }
+
+    fn record_observe(&mut self, address: Address, dist: &Distribution, name: &str) -> Value {
+        let value = if self.scoring {
+            match self.observes.get(name) {
+                Some(v) => v.clone(),
+                // No registered observation: draw a synthetic one (prior /
+                // training-data generation mode).
+                None => dist.sample(self.rng),
+            }
+        } else {
+            dist.sample(self.rng)
+        };
+        let log_prob = dist.log_prob(&value);
+        self.trace.log_likelihood += log_prob;
+        self.trace.entries.push(TraceEntry {
+            address,
+            distribution: dist.clone(),
+            value: value.clone(),
+            log_prob,
+            log_q: log_prob,
+            kind: EntryKind::Observe,
+            name: name.to_string(),
+        });
+        value
+    }
+}
+
+impl SimCtx for Executor<'_> {
+    fn sample_ext(
+        &mut self,
+        dist: &Distribution,
+        name: &str,
+        control: bool,
+        replace: bool,
+    ) -> Value {
+        let address = self.builder.next(name, dist.kind(), replace);
+        self.record_sample(address, dist, name, control, replace)
+    }
+
+    fn observe(&mut self, dist: &Distribution, name: &str) -> Value {
+        let address = self.builder.next(name, dist.kind(), false);
+        self.record_observe(address, dist, name)
+    }
+
+    fn tag(&mut self, name: &str, value: Value) {
+        self.trace.tags.push((name.to_string(), value));
+    }
+
+    fn push_scope(&mut self, scope: &str) {
+        self.builder.push_scope(scope);
+    }
+
+    fn pop_scope(&mut self) {
+        self.builder.pop_scope();
+    }
+
+    fn sample_with_address(
+        &mut self,
+        address_base: &str,
+        dist: &Distribution,
+        name: &str,
+        control: bool,
+        replace: bool,
+    ) -> Value {
+        // The remote side owns base construction; we still manage instance
+        // counting locally so re-executions stay consistent.
+        let address = if replace {
+            Address::new(address_base, 0)
+        } else {
+            self.builder.next_with_base(address_base)
+        };
+        self.record_sample(address, dist, name, control, replace)
+    }
+
+    fn observe_with_address(
+        &mut self,
+        address_base: &str,
+        dist: &Distribution,
+        name: &str,
+    ) -> Value {
+        let address = self.builder.next_with_base(address_base);
+        self.record_observe(address, dist, name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{FnProgram, SimCtxExt};
+
+    fn gaussian_model() -> FnProgram<impl FnMut(&mut dyn SimCtx) -> Value> {
+        FnProgram::new("gauss", |ctx: &mut dyn SimCtx| {
+            let mu = ctx.sample_f64(&Distribution::Normal { mean: 0.0, std: 1.0 }, "mu");
+            ctx.observe(&Distribution::Normal { mean: mu, std: 0.5 }, "y");
+            Value::Real(mu)
+        })
+    }
+
+    #[test]
+    fn prior_execution_records_trace() {
+        let mut m = gaussian_model();
+        let t = Executor::sample_prior(&mut m, 42);
+        assert_eq!(t.entries.len(), 2);
+        assert_eq!(t.num_controlled(), 1);
+        assert!(t.log_prior.is_finite());
+        assert!(t.log_likelihood.is_finite());
+        // Prior proposals: log_q of samples equals log_prior contribution.
+        assert!((t.log_q - t.log_prior).abs() < 1e-12);
+        assert!((t.log_weight() - t.log_likelihood).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_scores_registered_data() {
+        let mut m = gaussian_model();
+        let mut observes = ObserveMap::new();
+        observes.insert("y".to_string(), Value::Real(2.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut prior = PriorProposer;
+        let t = Executor::execute(&mut m, &mut prior, &observes, &mut rng);
+        let y = t.entries.iter().find(|e| e.name == "y").unwrap();
+        assert_eq!(y.value, Value::Real(2.0));
+        assert_eq!(y.kind, EntryKind::Observe);
+        let mu = t.value_by_name("mu").unwrap().as_f64();
+        let expect =
+            Distribution::Normal { mean: mu, std: 0.5 }.log_prob(&Value::Real(2.0));
+        assert!((t.log_likelihood - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_proposer_reproduces_values() {
+        struct Fixed(f64);
+        impl Proposer for Fixed {
+            fn propose(&mut self, _req: &SampleRequest) -> ProposalDecision {
+                ProposalDecision::Replay(Value::Real(self.0))
+            }
+        }
+        let mut m = gaussian_model();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = Fixed(1.25);
+        let observes = ObserveMap::new();
+        let t = Executor::execute(&mut m, &mut p, &observes, &mut rng);
+        assert_eq!(t.value_by_name("mu"), Some(&Value::Real(1.25)));
+    }
+
+    #[test]
+    fn replaced_samples_not_proposed() {
+        struct CountingProposer(usize);
+        impl Proposer for CountingProposer {
+            fn propose(&mut self, _req: &SampleRequest) -> ProposalDecision {
+                self.0 += 1;
+                ProposalDecision::Prior
+            }
+        }
+        let mut m = FnProgram::new("rej", |ctx: &mut dyn SimCtx| {
+            // rejection loop: accept u > 0.3
+            let mut u;
+            loop {
+                u = ctx
+                    .sample_replaced(&Distribution::Uniform { low: 0.0, high: 1.0 }, "u");
+                if u.as_f64() > 0.3 {
+                    break;
+                }
+            }
+            let _x = ctx.sample(&Distribution::Normal { mean: 0.0, std: 1.0 }, "x");
+            u
+        });
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut p = CountingProposer(0);
+        let observes = ObserveMap::new();
+        let t = Executor::execute(&mut m, &mut p, &observes, &mut rng);
+        // Only "x" goes through the proposer.
+        assert_eq!(p.0, 1);
+        assert!(t.entries.iter().any(|e| e.kind == EntryKind::SampleReplaced));
+        // All replaced entries share one address.
+        let replaced: Vec<_> = t
+            .entries
+            .iter()
+            .filter(|e| e.kind == EntryKind::SampleReplaced)
+            .collect();
+        assert!(replaced.windows(2).all(|w| w[0].address == w[1].address));
+    }
+
+    #[test]
+    fn proposal_distribution_scores_log_q() {
+        struct Shifted;
+        impl Proposer for Shifted {
+            fn propose(&mut self, req: &SampleRequest) -> ProposalDecision {
+                assert_eq!(req.time_step, 0);
+                ProposalDecision::Proposal(Distribution::Normal { mean: 5.0, std: 0.1 })
+            }
+        }
+        let mut m = gaussian_model();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = Shifted;
+        let observes = ObserveMap::new();
+        let t = Executor::execute(&mut m, &mut p, &observes, &mut rng);
+        let mu = t.value_by_name("mu").unwrap().as_f64();
+        assert!(mu > 4.0, "proposal should dominate: {mu}");
+        // log_q differs from log_prior because proposal != prior.
+        assert!((t.log_q - t.log_prior).abs() > 1.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Probabilistic programs and the simulator-side context interface.
+//!
+//! Anything implementing [`ProbProgram`] is a probabilistic program: a piece
+//! of code that, given a [`SimCtx`], performs `sample`/`observe`/`tag`
+//! statements and returns a value. This is the paper's central abstraction —
+//! an *existing simulator* becomes a probabilistic program once its random
+//! number draws are routed through a context (§4.1). Local Rust models call
+//! the context directly; `etalumis-ppx` bridges the same interface across
+//! process boundaries.
+
+use etalumis_distributions::{Distribution, Value};
+
+/// The interface a running simulation uses to interact with the PPL.
+///
+/// Implementations decide what value each sample statement receives (prior
+/// draw, proposal draw, replayed value, ...) and how observe statements are
+/// scored. See `Executor` in this crate for the standard implementation.
+pub trait SimCtx {
+    /// Draw (or be assigned) a value for a latent random variable.
+    ///
+    /// * `name` — statement identifier; combined with the current scope
+    ///   stack and the distribution kind, it forms the address base.
+    /// * `control` — whether inference engines may propose values here.
+    /// * `replace` — rejection-sampling re-draw (pyprob `replace=True`):
+    ///   shares one address across loop iterations and is always drawn from
+    ///   the prior during inference.
+    fn sample_ext(&mut self, dist: &Distribution, name: &str, control: bool, replace: bool)
+        -> Value;
+
+    /// Condition on data: score the observed value registered for `name`
+    /// (inference), or draw a synthetic observation (prior/trace generation).
+    /// Returns the value used.
+    fn observe(&mut self, dist: &Distribution, name: &str) -> Value;
+
+    /// Record a named deterministic by-product of the simulation (not a
+    /// random variable; used for analysis, e.g. missing transverse energy).
+    fn tag(&mut self, name: &str, value: Value);
+
+    /// Enter a named scope: addresses of nested statements are prefixed,
+    /// mimicking the concatenated stack frames of the C++ front end.
+    fn push_scope(&mut self, scope: &str);
+
+    /// Leave the innermost scope.
+    fn pop_scope(&mut self);
+
+    /// Sample with a caller-provided, already-fully-qualified address base.
+    ///
+    /// Used by the PPX server bridge, where the *remote* side constructed the
+    /// address; local models normally use [`SimCtx::sample_ext`].
+    fn sample_with_address(
+        &mut self,
+        address_base: &str,
+        dist: &Distribution,
+        name: &str,
+        control: bool,
+        replace: bool,
+    ) -> Value;
+
+    /// Observe with a caller-provided address base (PPX bridge path).
+    fn observe_with_address(&mut self, address_base: &str, dist: &Distribution, name: &str)
+        -> Value;
+}
+
+/// Convenience extension methods for model code.
+pub trait SimCtxExt: SimCtx {
+    /// Sample a controlled latent (the common case).
+    fn sample(&mut self, dist: &Distribution, name: &str) -> Value {
+        self.sample_ext(dist, name, true, false)
+    }
+
+    /// Sample inside a rejection loop (`replace = true`).
+    fn sample_replaced(&mut self, dist: &Distribution, name: &str) -> Value {
+        self.sample_ext(dist, name, true, true)
+    }
+
+    /// Sample a scalar f64 latent.
+    fn sample_f64(&mut self, dist: &Distribution, name: &str) -> f64 {
+        self.sample(dist, name).as_f64()
+    }
+
+    /// Sample an integer latent (categorical index, count, ...).
+    fn sample_i64(&mut self, dist: &Distribution, name: &str) -> i64 {
+        self.sample(dist, name).as_i64()
+    }
+
+    /// Run `f` within a named scope.
+    fn scoped<T>(&mut self, scope: &str, f: impl FnOnce(&mut Self) -> T) -> T
+    where
+        Self: Sized,
+    {
+        self.push_scope(scope);
+        let out = f(self);
+        self.pop_scope();
+        out
+    }
+}
+
+impl<T: SimCtx + ?Sized> SimCtxExt for T {}
+
+/// A probabilistic program: a simulator whose randomness flows through a
+/// [`SimCtx`].
+pub trait ProbProgram {
+    /// Execute the program once, returning its result value.
+    fn run(&mut self, ctx: &mut dyn SimCtx) -> Value;
+
+    /// Human-readable model name (used in handshakes and logs).
+    fn name(&self) -> &str {
+        "model"
+    }
+}
+
+/// Wrap a plain function or closure as a [`ProbProgram`].
+pub struct FnProgram<F: FnMut(&mut dyn SimCtx) -> Value> {
+    f: F,
+    name: String,
+}
+
+impl<F: FnMut(&mut dyn SimCtx) -> Value> FnProgram<F> {
+    /// Wrap `f` under the given model name.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self { f, name: name.into() }
+    }
+}
+
+impl<F: FnMut(&mut dyn SimCtx) -> Value> ProbProgram for FnProgram<F> {
+    fn run(&mut self, ctx: &mut dyn SimCtx) -> Value {
+        (self.f)(ctx)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}

@@ -1,0 +1,234 @@
+//! Multi-shard trace datasets: generation, sorting, statistics.
+//!
+//! The offline training mode (§4.3, Algorithm 2) samples traces from the
+//! simulator and saves them "to disk as a dataset for further reuse"; §4.4.3
+//! then pre-sorts the traces by trace type so that minibatch chunks are
+//! homogeneous, which is what removes sub-minibatching and yields the up-to
+//! 50× training-speed improvement.
+
+use crate::record::TraceRecord;
+use crate::shard::{ShardReader, ShardWriter};
+use etalumis_core::{Executor, ObserveMap, PriorProposer, ProbProgram};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// A dataset of trace records stored across shard files.
+pub struct TraceDataset {
+    /// Shard paths, in order.
+    pub shards: Vec<PathBuf>,
+    /// Per-record (shard, index-within-shard), flattened in dataset order.
+    locations: Vec<(u32, u32)>,
+    /// Per-record metadata: (trace_type, controlled length).
+    meta: Vec<(u64, u32)>,
+}
+
+impl TraceDataset {
+    /// Open a dataset from shard paths (reads indexes + metadata).
+    pub fn open(shards: Vec<PathBuf>) -> std::io::Result<Self> {
+        let mut locations = Vec::new();
+        let mut meta = Vec::new();
+        for (si, p) in shards.iter().enumerate() {
+            let mut r = ShardReader::open(p)?;
+            // Metadata requires decoding; a production format would store it
+            // in the index. Sequential scan keeps this acceptable.
+            for (ri, rec) in r.read_all()?.into_iter().enumerate() {
+                locations.push((si as u32, ri as u32));
+                meta.push((rec.trace_type, rec.num_controlled() as u32));
+            }
+        }
+        Ok(Self { shards, locations, meta })
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// (trace_type, controlled length) of record `i`.
+    pub fn meta(&self, i: usize) -> (u64, u32) {
+        self.meta[i]
+    }
+
+    /// Load a single record (random access).
+    pub fn get(&self, i: usize) -> std::io::Result<TraceRecord> {
+        let (si, ri) = self.locations[i];
+        let mut r = ShardReader::open(&self.shards[si as usize])?;
+        r.get(ri as usize)
+    }
+
+    /// Load many records; `sorted_hint` enables shard-grouped sequential
+    /// access (the fast path the paper's sorting enables).
+    pub fn get_many(&self, indices: &[usize]) -> std::io::Result<Vec<TraceRecord>> {
+        // Group requests per shard to open each file once.
+        let mut by_shard: HashMap<u32, Vec<(usize, u32)>> = HashMap::new();
+        for (pos, &i) in indices.iter().enumerate() {
+            let (si, ri) = self.locations[i];
+            by_shard.entry(si).or_default().push((pos, ri));
+        }
+        let mut out: Vec<Option<TraceRecord>> = vec![None; indices.len()];
+        for (si, mut items) in by_shard {
+            let mut r = ShardReader::open(&self.shards[si as usize])?;
+            items.sort_by_key(|&(_, ri)| ri);
+            for (pos, ri) in items {
+                out[pos] = Some(r.get(ri as usize)?);
+            }
+        }
+        Ok(out.into_iter().map(|o| o.unwrap()).collect())
+    }
+
+    /// Count of distinct trace types.
+    pub fn num_trace_types(&self) -> usize {
+        let mut set: Vec<u64> = self.meta.iter().map(|&(t, _)| t).collect();
+        set.sort_unstable();
+        set.dedup();
+        set.len()
+    }
+
+    /// Histogram of trace-type frequencies (type → count), most common first.
+    pub fn trace_type_counts(&self) -> Vec<(u64, usize)> {
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for &(t, _) in &self.meta {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        let mut v: Vec<(u64, usize)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// True when records are globally sorted by (trace_type, length).
+    pub fn is_sorted(&self) -> bool {
+        self.meta.windows(2).all(|w| w[0] <= w[1])
+    }
+}
+
+/// Sample `n` prior traces from a program and write them into shards of
+/// `traces_per_shard` records under `dir`. Returns the dataset.
+pub fn generate_dataset(
+    program: &mut dyn ProbProgram,
+    n: usize,
+    traces_per_shard: usize,
+    dir: &Path,
+    seed: u64,
+    pruned: bool,
+) -> std::io::Result<TraceDataset> {
+    std::fs::create_dir_all(dir)?;
+    let observes = ObserveMap::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shards = Vec::new();
+    let mut writer: Option<ShardWriter> = None;
+    let mut shard_idx = 0;
+    for _ in 0..n {
+        let mut prior = PriorProposer;
+        let trace = Executor::execute(program, &mut prior, &observes, &mut rng);
+        let rec = TraceRecord::from_trace(&trace, pruned);
+        if writer.as_ref().map(|w| w.len() >= traces_per_shard).unwrap_or(true) {
+            if let Some(w) = writer.take() {
+                w.finish()?;
+            }
+            let p = dir.join(format!("shard_{shard_idx:05}.etlm"));
+            shards.push(p.clone());
+            writer = Some(ShardWriter::new(p, true));
+            shard_idx += 1;
+        }
+        writer.as_mut().unwrap().push(rec);
+    }
+    if let Some(w) = writer.take() {
+        w.finish()?;
+    }
+    TraceDataset::open(shards)
+}
+
+/// Offline sort of a dataset by (trace_type, length) into new shards — the
+/// paper's "parallel trace sorting" preprocessing (§4.4.3).
+pub fn sort_dataset(
+    dataset: &TraceDataset,
+    out_dir: &Path,
+    traces_per_shard: usize,
+) -> std::io::Result<TraceDataset> {
+    std::fs::create_dir_all(out_dir)?;
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    order.sort_by_key(|&i| dataset.meta(i));
+    let mut shards = Vec::new();
+    let mut shard_idx = 0;
+    let mut writer: Option<ShardWriter> = None;
+    for chunk in order.chunks(4096) {
+        for rec in dataset.get_many(chunk)? {
+            if writer.as_ref().map(|w| w.len() >= traces_per_shard).unwrap_or(true) {
+                if let Some(w) = writer.take() {
+                    w.finish()?;
+                }
+                let p = out_dir.join(format!("sorted_{shard_idx:05}.etlm"));
+                shards.push(p.clone());
+                writer = Some(ShardWriter::new(p, true));
+                shard_idx += 1;
+            }
+            writer.as_mut().unwrap().push(rec);
+        }
+    }
+    if let Some(w) = writer.take() {
+        w.finish()?;
+    }
+    TraceDataset::open(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etalumis_simulators::BranchingModel;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("etalumis_ds_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn generate_open_and_stats() {
+        let dir = tmpdir("gen");
+        let mut m = BranchingModel::standard();
+        let ds = generate_dataset(&mut m, 60, 25, &dir, 9, true).unwrap();
+        assert_eq!(ds.len(), 60);
+        assert_eq!(ds.shards.len(), 3); // 25+25+10
+        assert_eq!(ds.num_trace_types(), 3);
+        let counts = ds.trace_type_counts();
+        assert_eq!(counts.iter().map(|&(_, c)| c).sum::<usize>(), 60);
+        // Most common branch (p=0.5) should dominate.
+        assert!(counts[0].1 >= counts.last().unwrap().1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sorting_groups_trace_types() {
+        let dir = tmpdir("sort");
+        let mut m = BranchingModel::standard();
+        let ds = generate_dataset(&mut m, 80, 20, &dir, 4, true).unwrap();
+        assert!(!ds.is_sorted() || ds.num_trace_types() == 1);
+        let sorted = sort_dataset(&ds, &dir.join("sorted"), 20).unwrap();
+        assert_eq!(sorted.len(), 80);
+        assert!(sorted.is_sorted());
+        // Same multiset of trace types.
+        assert_eq!(sorted.trace_type_counts(), ds.trace_type_counts());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn get_many_matches_get() {
+        let dir = tmpdir("many");
+        let mut m = BranchingModel::standard();
+        let ds = generate_dataset(&mut m, 30, 10, &dir, 2, true).unwrap();
+        let idx = vec![17usize, 3, 28, 3, 0];
+        let many = ds.get_many(&idx).unwrap();
+        for (k, &i) in idx.iter().enumerate() {
+            assert_eq!(many[k], ds.get(i).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,27 @@
+//! # etalumis-data
+//!
+//! The trace-dataset substrate of etalumis-rs — the reproduction of §4.4.3's
+//! I/O stack (the shelve/pickle layer the paper replaced and optimized):
+//!
+//! * [`record`] — compact [`TraceRecord`]s with the paper's two size
+//!   optimizations: structure **pruning** and **address dictionaries**
+//!   (shorthand IDs for the long stack-frame address strings).
+//! * [`shard`] — an indexed binary shard format supporting both sequential
+//!   scans and per-record random access, plus small→large regrouping
+//!   (20k→100k traces per file in the paper).
+//! * [`dataset`] — multi-shard datasets, prior-trace generation, offline
+//!   **sort by trace type** (the preprocessing that removes
+//!   sub-minibatching and speeds training up to 50×).
+//! * [`sampler`] — the distributed minibatch sampler: sorted chunking,
+//!   round-robin rank assignment, multi-bucketing by length, and
+//!   token-based dynamic batching (§7.2).
+
+pub mod dataset;
+pub mod record;
+pub mod sampler;
+pub mod shard;
+
+pub use dataset::{generate_dataset, sort_dataset, TraceDataset};
+pub use record::{decode_record, encode_record, AddressDictionary, RecordEntry, TraceRecord};
+pub use sampler::{homogeneous_fraction, DistributedSampler, EpochPlan, SamplerConfig};
+pub use shard::{regroup_shards, ShardReader, ShardWriter};

@@ -1,0 +1,166 @@
+//! Multivariate normal PDFs: the generic N-dimensional implementation and
+//! the scalar 3D specialization.
+//!
+//! The paper (§4.2) reports that the detector simulator originally evaluated
+//! multivariate-normal PDFs through a generic tensor-library code path even
+//! though it was always called on 3D data; replacing it with a scalar 3D
+//! implementation gave a **13× PDF speedup** and a 1.5× end-to-end simulator
+//! speedup. We reproduce both code paths: [`MvnGeneric`] performs a fresh
+//! Cholesky factorization and triangular solve per call (as the xtensor code
+//! did), while [`mvn3_log_pdf`] is the closed-form scalar 3D version.
+
+/// Generic N-dimensional multivariate normal evaluated via Cholesky.
+///
+/// Deliberately mirrors the "general case" implementation the paper replaced:
+/// every `log_pdf` call re-factorizes the covariance and allocates
+/// workspaces, which is exactly the overhead the scalar path removes.
+#[derive(Clone, Debug)]
+pub struct MvnGeneric {
+    /// Mean vector of length n.
+    pub mean: Vec<f64>,
+    /// Row-major covariance, n×n, symmetric positive definite.
+    pub cov: Vec<f64>,
+}
+
+impl MvnGeneric {
+    /// Create a generic MVN; panics if the covariance is not square.
+    pub fn new(mean: Vec<f64>, cov: Vec<f64>) -> Self {
+        let n = mean.len();
+        assert_eq!(cov.len(), n * n, "covariance must be {n}x{n}");
+        Self { mean, cov }
+    }
+
+    /// Dense Cholesky factorization (lower triangular), allocated per call.
+    fn cholesky(&self) -> Vec<f64> {
+        let n = self.mean.len();
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self.cov[i * n + j];
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    assert!(s > 0.0, "covariance not positive definite");
+                    l[i * n + j] = s.sqrt();
+                } else {
+                    l[i * n + j] = s / l[j * n + j];
+                }
+            }
+        }
+        l
+    }
+
+    /// Log density at `x`, general-case path (factorize + solve every call).
+    pub fn log_pdf(&self, x: &[f64]) -> f64 {
+        let n = self.mean.len();
+        assert_eq!(x.len(), n);
+        let l = self.cholesky();
+        // Solve L z = (x - mean) by forward substitution.
+        let mut z = vec![0.0f64; n];
+        for i in 0..n {
+            let mut s = x[i] - self.mean[i];
+            for k in 0..i {
+                s -= l[i * n + k] * z[k];
+            }
+            z[i] = s / l[i * n + i];
+        }
+        let quad: f64 = z.iter().map(|v| v * v).sum();
+        let log_det: f64 = (0..n).map(|i| l[i * n + i].ln()).sum::<f64>() * 2.0;
+        -0.5 * (quad + log_det + n as f64 * crate::math::LN_2PI)
+    }
+}
+
+/// Scalar 3D multivariate-normal log density (closed-form inverse, no
+/// allocation, no factorization) — the optimized path from the paper.
+///
+/// `mean` and `x` are 3-vectors; `cov` is a symmetric 3×3 matrix given as
+/// `[c00, c01, c02, c11, c12, c22]` (upper triangle, row-major).
+#[inline]
+pub fn mvn3_log_pdf(x: &[f64; 3], mean: &[f64; 3], cov_ut: &[f64; 6]) -> f64 {
+    let (a, b, c, d, e, f) = (cov_ut[0], cov_ut[1], cov_ut[2], cov_ut[3], cov_ut[4], cov_ut[5]);
+    // Cofactor expansion of the symmetric 3x3 determinant and inverse.
+    let ca = d * f - e * e;
+    let cb = c * e - b * f;
+    let cc = b * e - c * d;
+    let det = a * ca + b * cb + c * cc;
+    debug_assert!(det > 0.0, "covariance not positive definite (det={det})");
+    let inv_det = 1.0 / det;
+    // Inverse matrix entries (symmetric).
+    let i00 = ca * inv_det;
+    let i01 = cb * inv_det;
+    let i02 = cc * inv_det;
+    let i11 = (a * f - c * c) * inv_det;
+    let i12 = (b * c - a * e) * inv_det;
+    let i22 = (a * d - b * b) * inv_det;
+    let dx = x[0] - mean[0];
+    let dy = x[1] - mean[1];
+    let dz = x[2] - mean[2];
+    let quad = i00 * dx * dx
+        + i11 * dy * dy
+        + i22 * dz * dz
+        + 2.0 * (i01 * dx * dy + i02 * dx * dz + i12 * dy * dz);
+    -0.5 * (quad + det.ln() + 3.0 * crate::math::LN_2PI)
+}
+
+/// Scalar 3D MVN with a *diagonal* covariance — the common case in the
+/// detector simulator (independent smearing per axis).
+#[inline]
+pub fn mvn3_diag_log_pdf(x: &[f64; 3], mean: &[f64; 3], var: &[f64; 3]) -> f64 {
+    let dx = x[0] - mean[0];
+    let dy = x[1] - mean[1];
+    let dz = x[2] - mean[2];
+    -0.5 * (dx * dx / var[0]
+        + dy * dy / var[1]
+        + dz * dz / var[2]
+        + var[0].ln()
+        + var[1].ln()
+        + var[2].ln()
+        + 3.0 * crate::math::LN_2PI)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar3d_matches_generic() {
+        let mean = [0.5, -1.0, 2.0];
+        // SPD covariance.
+        let cov_full = vec![2.0, 0.3, 0.1, 0.3, 1.5, -0.2, 0.1, -0.2, 1.0];
+        let g = MvnGeneric::new(mean.to_vec(), cov_full);
+        let cov_ut = [2.0, 0.3, 0.1, 1.5, -0.2, 1.0];
+        for x in [[0.0, 0.0, 0.0], [1.0, -2.0, 3.0], [0.5, -1.0, 2.0]] {
+            let a = g.log_pdf(&x);
+            let b = mvn3_log_pdf(&x, &mean, &cov_ut);
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn diag_matches_general() {
+        let mean = [1.0, 2.0, 3.0];
+        let var = [0.5, 1.0, 2.0];
+        let cov_ut = [0.5, 0.0, 0.0, 1.0, 0.0, 2.0];
+        let x = [1.3, 1.5, 4.0];
+        let a = mvn3_diag_log_pdf(&x, &mean, &var);
+        let b = mvn3_log_pdf(&x, &mean, &cov_ut);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generic_1d_matches_normal() {
+        let g = MvnGeneric::new(vec![2.0], vec![4.0]);
+        let lp = g.log_pdf(&[3.0]);
+        let d = crate::Distribution::Normal { mean: 2.0, std: 2.0 };
+        let expect = d.log_prob(&crate::Value::Real(3.0));
+        assert!((lp - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_spd_panics() {
+        let g = MvnGeneric::new(vec![0.0, 0.0], vec![1.0, 2.0, 2.0, 1.0]);
+        g.log_pdf(&[0.0, 0.0]);
+    }
+}

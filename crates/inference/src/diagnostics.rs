@@ -1,0 +1,145 @@
+//! MCMC convergence diagnostics.
+//!
+//! The paper (§4.2, §6.4) validates its RMH baseline with autocorrelation
+//! measurements ("the number of iterations one needs to get effectively
+//! independent samples in the same MCMC chain") and the Gelman–Rubin metric
+//! over independent chains. Both are implemented here, along with the
+//! integrated autocorrelation time and chain effective sample size.
+
+/// Normalized autocorrelation function of a scalar chain up to `max_lag`.
+///
+/// Returns `rho[0..=max_lag]` with `rho[0] == 1`.
+pub fn autocorrelation(series: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = series.len();
+    assert!(n > 1, "need at least 2 samples");
+    let max_lag = max_lag.min(n - 1);
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var = series.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    if var <= 0.0 {
+        // Constant chain: perfectly correlated at every lag.
+        return vec![1.0; max_lag + 1];
+    }
+    (0..=max_lag)
+        .map(|lag| {
+            let mut acc = 0.0;
+            for i in 0..n - lag {
+                acc += (series[i] - mean) * (series[i + lag] - mean);
+            }
+            acc / (n as f64 * var)
+        })
+        .collect()
+}
+
+/// Integrated autocorrelation time τ using Sokal's adaptive window
+/// (`window = c·τ`, c = 6). Returns at least 1.
+pub fn integrated_autocorr_time(series: &[f64]) -> f64 {
+    let n = series.len();
+    if n < 4 {
+        return 1.0;
+    }
+    let rho = autocorrelation(series, (n / 2).min(10_000));
+    let c = 6.0;
+    let mut tau = 1.0;
+    for (m, _) in rho.iter().enumerate().skip(1) {
+        tau += 2.0 * rho[m];
+        if (m as f64) >= c * tau.max(1.0) {
+            break;
+        }
+    }
+    tau.max(1.0)
+}
+
+/// Effective sample size of a correlated chain: N / τ.
+pub fn chain_ess(series: &[f64]) -> f64 {
+    series.len() as f64 / integrated_autocorr_time(series)
+}
+
+/// Gelman–Rubin potential scale reduction factor R̂ over ≥2 chains of equal
+/// length. Values close to 1 indicate convergence onto the same posterior.
+pub fn gelman_rubin(chains: &[Vec<f64>]) -> f64 {
+    let m = chains.len();
+    assert!(m >= 2, "Gelman-Rubin needs at least two chains");
+    let n = chains[0].len();
+    assert!(n >= 2, "chains too short");
+    for c in chains {
+        assert_eq!(c.len(), n, "chains must have equal length");
+    }
+    let chain_means: Vec<f64> = chains.iter().map(|c| c.iter().sum::<f64>() / n as f64).collect();
+    let grand = chain_means.iter().sum::<f64>() / m as f64;
+    // Between-chain variance B and within-chain variance W.
+    let b = n as f64 / (m as f64 - 1.0)
+        * chain_means.iter().map(|&cm| (cm - grand).powi(2)).sum::<f64>();
+    let w = chains
+        .iter()
+        .zip(chain_means.iter())
+        .map(|(c, &cm)| c.iter().map(|&x| (x - cm).powi(2)).sum::<f64>() / (n as f64 - 1.0))
+        .sum::<f64>()
+        / m as f64;
+    if w <= 0.0 {
+        return 1.0;
+    }
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
+    (var_plus / w).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ar1(n: usize, phi: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = 0.0;
+        (0..n)
+            .map(|_| {
+                let e: f64 = rng.gen::<f64>() - 0.5;
+                x = phi * x + e;
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn iid_chain_has_tau_near_one() {
+        let xs = ar1(20_000, 0.0, 1);
+        let tau = integrated_autocorr_time(&xs);
+        assert!(tau < 1.3, "tau {tau}");
+        assert!(chain_ess(&xs) > 15_000.0);
+    }
+
+    #[test]
+    fn correlated_chain_has_larger_tau() {
+        let xs = ar1(20_000, 0.9, 2);
+        let tau = integrated_autocorr_time(&xs);
+        // AR(1) with phi=0.9 has tau = (1+phi)/(1-phi) = 19.
+        assert!(tau > 8.0 && tau < 40.0, "tau {tau}");
+        let rho = autocorrelation(&xs, 5);
+        assert!((rho[0] - 1.0).abs() < 1e-12);
+        assert!((rho[1] - 0.9).abs() < 0.05, "rho1 {}", rho[1]);
+    }
+
+    #[test]
+    fn gelman_rubin_near_one_for_same_distribution() {
+        let a = ar1(5_000, 0.5, 3);
+        let b = ar1(5_000, 0.5, 4);
+        let r = gelman_rubin(&[a, b]);
+        assert!(r < 1.1, "R-hat {r}");
+    }
+
+    #[test]
+    fn gelman_rubin_detects_disagreement() {
+        let a = ar1(2_000, 0.2, 5);
+        let b: Vec<f64> = ar1(2_000, 0.2, 6).iter().map(|x| x + 10.0).collect();
+        let r = gelman_rubin(&[a, b]);
+        assert!(r > 3.0, "R-hat {r} should flag disjoint chains");
+    }
+
+    #[test]
+    fn constant_chain_is_degenerate_but_finite() {
+        let xs = vec![2.0; 100];
+        let rho = autocorrelation(&xs, 10);
+        assert!(rho.iter().all(|r| r.is_finite()));
+        assert!(integrated_autocorr_time(&xs).is_finite());
+    }
+}

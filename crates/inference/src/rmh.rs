@@ -1,0 +1,394 @@
+//! Single-site random-walk / lightweight Metropolis–Hastings in trace space.
+//!
+//! The paper's baseline engine (§4.2): "MCMC in the RMH variety, which
+//! provides a high-compute-cost sequential algorithm with statistical
+//! guarantees to closely approximate the posterior". One MCMC state is a
+//! full execution trace; a transition picks one controlled sample statement,
+//! perturbs its value (truncated-normal random walk for continuous sites,
+//! prior resampling for discrete sites — set `prior_kernel` for pure LMH),
+//! replays the rest of the trace where addresses still match, and accepts
+//! with the Wingate-style lightweight-MH ratio that accounts for entries
+//! entering and leaving the trace.
+//!
+//! Rejection-loop (`replace = true`) draws are re-sampled from the prior at
+//! every re-execution, exactly as in pyprob; their prior mass cancels
+//! between target and proposal and is excluded from the ratio.
+
+use crate::posterior::WeightedTraces;
+use etalumis_core::{
+    Address, Executor, ObserveMap, PriorProposer, ProbProgram, ProposalDecision, Proposer,
+    SampleRequest, Trace,
+};
+use etalumis_distributions::{Distribution, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// RMH configuration.
+#[derive(Clone, Debug)]
+pub struct RmhConfig {
+    /// Total MCMC iterations (including burn-in).
+    pub iterations: usize,
+    /// Iterations discarded from the front of the chain.
+    pub burn_in: usize,
+    /// Keep every `thin`-th post-burn-in state.
+    pub thin: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Random-walk kernel scale, as a fraction of the prior std / support.
+    pub rw_scale: f64,
+    /// Use prior resampling at the chosen site (lightweight MH) instead of a
+    /// random walk.
+    pub prior_kernel: bool,
+}
+
+impl Default for RmhConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 10_000,
+            burn_in: 1_000,
+            thin: 1,
+            seed: 0,
+            rw_scale: 0.25,
+            prior_kernel: false,
+        }
+    }
+}
+
+/// Summary of one RMH run.
+#[derive(Debug)]
+pub struct RmhStats {
+    /// Accepted transitions.
+    pub accepted: usize,
+    /// Proposed transitions.
+    pub proposed: usize,
+    /// Total simulator executions (= proposed + 1).
+    pub simulator_calls: usize,
+}
+
+impl RmhStats {
+    /// Fraction of proposals accepted.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.proposed == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.proposed as f64
+        }
+    }
+}
+
+/// Replays an old trace with one site changed.
+struct MhProposer {
+    old_values: HashMap<Address, Value>,
+    site: Address,
+    site_value: Value,
+    replayed: HashSet<Address>,
+}
+
+impl Proposer for MhProposer {
+    fn propose(&mut self, req: &SampleRequest) -> ProposalDecision {
+        if *req.address == self.site {
+            return ProposalDecision::Replay(self.site_value.clone());
+        }
+        if let Some(v) = self.old_values.get(req.address) {
+            if req.dist.log_prob(v) > f64::NEG_INFINITY {
+                self.replayed.insert(req.address.clone());
+                return ProposalDecision::Replay(v.clone());
+            }
+        }
+        ProposalDecision::Prior
+    }
+}
+
+/// Controlled-entry score: Σ log p over controlled samples + log-likelihood.
+/// Replaced (rejection-loop) entries are excluded — their fresh prior mass
+/// cancels between target and proposal.
+fn score(trace: &Trace) -> f64 {
+    trace.controlled().map(|e| e.log_prob).sum::<f64>() + trace.log_likelihood
+}
+
+/// Propose a new value at a site. Returns (value, log K(new|old), log K(old|new)).
+fn site_kernel(
+    dist: &Distribution,
+    current: &Value,
+    rw_scale: f64,
+    prior_kernel: bool,
+    rng: &mut StdRng,
+) -> (Value, f64, f64) {
+    if prior_kernel || dist.is_discrete() {
+        // Independent prior resampling at the site.
+        let new = dist.sample(rng);
+        let fwd = dist.log_prob(&new);
+        let bwd = dist.log_prob(current);
+        return (new, fwd, bwd);
+    }
+    match dist.support() {
+        Some((lo, hi)) => {
+            let scale = rw_scale * (hi - lo);
+            let cur = current.as_f64();
+            let k_fwd = Distribution::TruncatedNormal { mean: cur, std: scale, low: lo, high: hi };
+            let new = k_fwd.sample(rng);
+            let fwd = k_fwd.log_prob(&new);
+            let k_bwd = Distribution::TruncatedNormal {
+                mean: new.as_f64(),
+                std: scale,
+                low: lo,
+                high: hi,
+            };
+            let bwd = k_bwd.log_prob(current);
+            (new, fwd, bwd)
+        }
+        None => {
+            let scale = (rw_scale * dist.std()).max(1e-6);
+            let cur = current.as_f64();
+            let k = Distribution::Normal { mean: cur, std: scale };
+            let new = k.sample(rng);
+            let fwd = k.log_prob(&new);
+            let k_bwd = Distribution::Normal { mean: new.as_f64(), std: scale };
+            let bwd = k_bwd.log_prob(current);
+            (new, fwd, bwd)
+        }
+    }
+}
+
+/// Run RMH, invoking `visit` on every post-burn-in kept state.
+///
+/// The callback form avoids storing full traces (tau traces hold the voxel
+/// observation); use [`rmh`] to collect them when memory allows.
+pub fn rmh_with_callback(
+    program: &mut dyn ProbProgram,
+    observes: &ObserveMap,
+    config: &RmhConfig,
+    mut visit: impl FnMut(usize, &Trace),
+) -> RmhStats {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut prior = PriorProposer;
+    let mut current = Executor::execute(program, &mut prior, observes, &mut rng);
+    let mut stats = RmhStats { accepted: 0, proposed: 0, simulator_calls: 1 };
+    for it in 0..config.iterations {
+        let controlled: Vec<usize> = current
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_controlled())
+            .map(|(i, _)| i)
+            .collect();
+        let proposed_trace = if controlled.is_empty() {
+            // No controlled sites: independence move from the prior,
+            // accepted on the likelihood ratio.
+            let mut p = PriorProposer;
+            let cand = Executor::execute(program, &mut p, observes, &mut rng);
+            stats.simulator_calls += 1;
+            stats.proposed += 1;
+            let log_alpha = cand.log_likelihood - current.log_likelihood;
+            if rng.gen::<f64>().ln() < log_alpha {
+                stats.accepted += 1;
+                Some(cand)
+            } else {
+                None
+            }
+        } else {
+            let k = controlled[rng.gen_range(0..controlled.len())];
+            let entry = &current.entries[k];
+            let (new_value, fwd_lq, bwd_lq) = site_kernel(
+                &entry.distribution,
+                &entry.value,
+                config.rw_scale,
+                config.prior_kernel,
+                &mut rng,
+            );
+            let site = entry.address.clone();
+            let old_values: HashMap<Address, Value> = current
+                .controlled()
+                .map(|e| (e.address.clone(), e.value.clone()))
+                .collect();
+            let num_old = old_values.len();
+            let mut mh = MhProposer {
+                old_values,
+                site: site.clone(),
+                site_value: new_value,
+                replayed: HashSet::new(),
+            };
+            let cand = Executor::execute(program, &mut mh, observes, &mut rng);
+            stats.simulator_calls += 1;
+            stats.proposed += 1;
+            // Fresh mass: controlled entries of the candidate that were newly
+            // drawn from the prior (not replayed, not the site).
+            let mut fresh = 0.0;
+            let mut new_addrs: HashSet<&Address> = HashSet::new();
+            for e in cand.controlled() {
+                new_addrs.insert(&e.address);
+                if e.address != site && !mh.replayed.contains(&e.address) {
+                    fresh += e.log_prob;
+                }
+            }
+            // Stale mass: controlled entries of the current trace that were
+            // not carried over (address gone, or value not replayable).
+            let mut stale = 0.0;
+            for e in current.controlled() {
+                if e.address != site
+                    && (!new_addrs.contains(&e.address) || !mh.replayed.contains(&e.address))
+                {
+                    stale += e.log_prob;
+                }
+            }
+            let num_new = cand.num_controlled();
+            let log_alpha = score(&cand) - score(&current)
+                + (num_old as f64).ln()
+                - (num_new as f64).ln()
+                + bwd_lq
+                - fwd_lq
+                + stale
+                - fresh;
+            if rng.gen::<f64>().ln() < log_alpha {
+                stats.accepted += 1;
+                Some(cand)
+            } else {
+                None
+            }
+        };
+        if let Some(t) = proposed_trace {
+            current = t;
+        }
+        if it >= config.burn_in && (it - config.burn_in) % config.thin.max(1) == 0 {
+            visit(it, &current);
+        }
+    }
+    stats
+}
+
+/// Run RMH and collect kept traces into a [`WeightedTraces`] (uniform weights).
+pub fn rmh(
+    program: &mut dyn ProbProgram,
+    observes: &ObserveMap,
+    config: &RmhConfig,
+) -> (WeightedTraces, RmhStats) {
+    let mut kept = Vec::new();
+    let stats = rmh_with_callback(program, observes, config, |_, t| kept.push(t.clone()));
+    (WeightedTraces::unweighted(kept), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etalumis_simulators::{BranchingModel, GaussianUnknownMean, RejectionModel};
+
+    fn observe(name: &str, v: f64) -> ObserveMap {
+        let mut m = ObserveMap::new();
+        m.insert(name.to_string(), Value::Real(v));
+        m
+    }
+
+    #[test]
+    fn rmh_matches_conjugate_posterior() {
+        let mut model = GaussianUnknownMean::standard();
+        let mut obs = observe("y0", 1.2);
+        obs.insert("y1".to_string(), Value::Real(0.8));
+        let cfg = RmhConfig {
+            iterations: 30_000,
+            burn_in: 3_000,
+            thin: 1,
+            seed: 42,
+            rw_scale: 0.5,
+            prior_kernel: false,
+        };
+        let (post, stats) = rmh(&mut model, &obs, &cfg);
+        assert!(stats.acceptance_rate() > 0.1, "rate {}", stats.acceptance_rate());
+        let (mean, std) = post.mean_std(|t| t.value_by_name("mu").unwrap().as_f64());
+        let (am, astd) = model.posterior(&[1.2, 0.8]);
+        assert!((mean - am).abs() < 0.05, "mean {mean} vs {am}");
+        assert!((std - astd).abs() < 0.05, "std {std} vs {astd}");
+    }
+
+    #[test]
+    fn lmh_prior_kernel_also_matches() {
+        let mut model = GaussianUnknownMean::standard();
+        let mut obs = observe("y0", 0.6);
+        obs.insert("y1".to_string(), Value::Real(0.4));
+        let cfg = RmhConfig {
+            iterations: 30_000,
+            burn_in: 3_000,
+            thin: 1,
+            seed: 7,
+            rw_scale: 0.5,
+            prior_kernel: true,
+        };
+        let (post, _) = rmh(&mut model, &obs, &cfg);
+        let (mean, std) = post.mean_std(|t| t.value_by_name("mu").unwrap().as_f64());
+        let (am, astd) = model.posterior(&[0.6, 0.4]);
+        assert!((mean - am).abs() < 0.05, "mean {mean} vs {am}");
+        assert!((std - astd).abs() < 0.05, "std {std} vs {astd}");
+    }
+
+    #[test]
+    fn rmh_handles_transdimensional_branching() {
+        // Posterior over branches given y: weights ∝ p(k)·p(y|k). We verify
+        // RMH's branch frequencies against importance sampling (which is
+        // unbiased) rather than a closed form.
+        let mut model = BranchingModel::standard();
+        let obs = observe("y", 1.4);
+        let cfg = RmhConfig {
+            iterations: 60_000,
+            burn_in: 5_000,
+            thin: 1,
+            seed: 3,
+            rw_scale: 0.3,
+            prior_kernel: false,
+        };
+        let (post, stats) = rmh(&mut model, &obs, &cfg);
+        assert!(stats.acceptance_rate() > 0.05);
+        let branch_freq = |wt: &WeightedTraces, k: f64| {
+            wt.expect(|t| {
+                if (t.value_by_name("branch").unwrap().as_f64() - k).abs() < 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+        };
+        let is_post =
+            crate::is::importance_sampling(&mut model, &obs, 60_000, 19);
+        for k in 0..3 {
+            let a = branch_freq(&post, k as f64);
+            let b = branch_freq(&is_post, k as f64);
+            assert!(
+                (a - b).abs() < 0.05,
+                "branch {k}: rmh {a} vs is {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn rmh_on_pure_rejection_model_uses_independence_moves() {
+        let mut model = RejectionModel::standard();
+        let obs = observe("y", 0.15);
+        let cfg = RmhConfig {
+            iterations: 20_000,
+            burn_in: 2_000,
+            thin: 1,
+            seed: 5,
+            rw_scale: 0.3,
+            prior_kernel: false,
+        };
+        let (post, stats) = rmh(&mut model, &obs, &cfg);
+        assert!(stats.proposed > 0);
+        assert!(stats.accepted > 0);
+        // Posterior of u given y=0.15 (prior Uniform(0, 0.3), Gaussian noise
+        // 0.1) concentrates near 0.15.
+        let (mean, _) = post.mean_std(|t| t.result.as_f64());
+        assert!((mean - 0.15).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn chain_statistics_are_reproducible() {
+        let mut model = GaussianUnknownMean::standard();
+        let obs = observe("y0", 1.0);
+        let cfg = RmhConfig { iterations: 2_000, burn_in: 100, ..Default::default() };
+        let (p1, s1) = rmh(&mut model, &obs, &cfg);
+        let (p2, s2) = rmh(&mut model, &obs, &cfg);
+        assert_eq!(s1.accepted, s2.accepted);
+        let m1 = p1.expect(|t| t.result.as_f64());
+        let m2 = p2.expect(|t| t.result.as_f64());
+        assert_eq!(m1, m2);
+    }
+}

@@ -1,0 +1,355 @@
+//! The 3DCNN observation encoder.
+//!
+//! Paper §4.3: "an observation embedding of size 256, encoded with a 3D
+//! convolutional neural network acting as a feature extractor, with layer
+//! configuration Conv3D(1,64,3)–Conv3D(64,64,3)–MaxPool3D(2)–Conv3D(64,128,3)
+//! –Conv3D(128,128,3)–Conv3D(128,128,3)–MaxPool3D(2)–FC(·,256)" with ReLU
+//! nonlinearities. The stack here is configurable so tests and scaled-down
+//! experiments can use smaller channel counts while the full paper
+//! configuration remains constructible (see [`Cnn3dConfig::paper`]).
+
+use crate::linear::Linear;
+use crate::param::{kaiming_uniform, Module, Parameter};
+use etalumis_tensor::activations::{relu, relu_backward};
+use etalumis_tensor::conv::{
+    conv3d_backward_data, conv3d_backward_weights, conv3d_blocked, maxpool3d, maxpool3d_backward,
+};
+use etalumis_tensor::{Conv3dSpec, Tensor};
+use rand::Rng;
+
+/// One stage of the CNN stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CnnStageSpec {
+    /// 3×3×3 convolution (padding 1) to the given output channels, + ReLU.
+    Conv(usize),
+    /// 2× max pooling on all three spatial axes.
+    Pool,
+}
+
+/// Configuration of the observation encoder.
+#[derive(Clone, Debug)]
+pub struct Cnn3dConfig {
+    /// Input spatial dimensions (D, H, W).
+    pub input_dims: [usize; 3],
+    /// Stage sequence.
+    pub stages: Vec<CnnStageSpec>,
+    /// Output embedding dimension (the FC layer size).
+    pub embedding_dim: usize,
+}
+
+impl Cnn3dConfig {
+    /// The exact architecture from the paper (§4.3) on 20×35×35 voxels.
+    pub fn paper() -> Self {
+        use CnnStageSpec::*;
+        Self {
+            input_dims: [20, 35, 35],
+            stages: vec![Conv(64), Conv(64), Pool, Conv(128), Conv(128), Conv(128), Pool],
+            embedding_dim: 256,
+        }
+    }
+
+    /// A small configuration for tests and laptop-scale experiments.
+    pub fn small(input_dims: [usize; 3], embedding_dim: usize) -> Self {
+        use CnnStageSpec::*;
+        Self { input_dims, stages: vec![Conv(8), Pool, Conv(16), Pool], embedding_dim }
+    }
+
+    /// A minimal configuration for tiny (even scalar) observations: one
+    /// convolution, no pooling.
+    pub fn tiny(input_dims: [usize; 3], embedding_dim: usize) -> Self {
+        Self { input_dims, stages: vec![CnnStageSpec::Conv(4)], embedding_dim }
+    }
+
+    /// Spatial dims and channels after all stages.
+    pub fn output_geometry(&self) -> (usize, [usize; 3]) {
+        let mut dims = self.input_dims;
+        let mut chans = 1usize;
+        for s in &self.stages {
+            match s {
+                CnnStageSpec::Conv(c) => chans = *c,
+                CnnStageSpec::Pool => {
+                    dims = [dims[0] / 2, dims[1] / 2, dims[2] / 2];
+                }
+            }
+        }
+        (chans, dims)
+    }
+
+    /// Flattened feature size entering the FC layer.
+    pub fn flat_dim(&self) -> usize {
+        let (c, d) = self.output_geometry();
+        c * d[0] * d[1] * d[2]
+    }
+
+    /// Analytic forward flop count for a batch of `b` observations.
+    pub fn forward_flops(&self, b: usize) -> u64 {
+        let mut dims = self.input_dims;
+        let mut chans = 1usize;
+        let mut total = 0u64;
+        for s in &self.stages {
+            match s {
+                CnnStageSpec::Conv(c) => {
+                    let spec = Conv3dSpec { in_c: chans, out_c: *c, k: 3, pad: 1 };
+                    total += spec.flops(b, dims[0], dims[1], dims[2]);
+                    chans = *c;
+                }
+                CnnStageSpec::Pool => {
+                    dims = [dims[0] / 2, dims[1] / 2, dims[2] / 2];
+                }
+            }
+        }
+        total += 2 * (b * self.flat_dim() * self.embedding_dim) as u64;
+        total
+    }
+}
+
+/// A Conv3D + ReLU stage with caches for backward.
+struct ConvStage {
+    w: Parameter,
+    b: Parameter,
+    spec: Conv3dSpec,
+    in_dims: [usize; 3],
+    x_cache: Vec<Tensor>,
+    pre_cache: Vec<Tensor>,
+}
+
+/// A MaxPool stage with argmax caches.
+struct PoolStage {
+    arg_cache: Vec<(Vec<u32>, Vec<usize>)>,
+}
+
+enum Stage {
+    Conv(ConvStage),
+    Pool(PoolStage),
+}
+
+/// The observation encoder: CNN stack + FC to the embedding dimension.
+pub struct Cnn3d {
+    /// Static configuration.
+    pub config: Cnn3dConfig,
+    stages: Vec<Stage>,
+    fc: Linear,
+    fc_relu_cache: Vec<Tensor>,
+}
+
+impl Cnn3d {
+    /// Build the encoder with random init.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, config: Cnn3dConfig) -> Self {
+        let mut stages = Vec::new();
+        let mut chans = 1usize;
+        let mut dims = config.input_dims;
+        for s in &config.stages {
+            match s {
+                CnnStageSpec::Conv(c) => {
+                    let spec = Conv3dSpec { in_c: chans, out_c: *c, k: 3, pad: 1 };
+                    stages.push(Stage::Conv(ConvStage {
+                        w: Parameter::new(kaiming_uniform(rng, &[*c, chans, 3, 3, 3])),
+                        b: Parameter::zeros(&[*c]),
+                        spec,
+                        in_dims: dims,
+                        x_cache: Vec::new(),
+                        pre_cache: Vec::new(),
+                    }));
+                    chans = *c;
+                }
+                CnnStageSpec::Pool => {
+                    stages.push(Stage::Pool(PoolStage { arg_cache: Vec::new() }));
+                    dims = [dims[0] / 2, dims[1] / 2, dims[2] / 2];
+                }
+            }
+        }
+        let fc = Linear::new(rng, config.flat_dim(), config.embedding_dim);
+        Self { config, stages, fc, fc_relu_cache: Vec::new() }
+    }
+
+    /// Encode a batch of observations [B, 1, D, H, W] → [B, embedding_dim].
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.forward_impl(x, true)
+    }
+
+    /// Encode without caching (inference path).
+    pub fn forward_inference(&mut self, x: &Tensor) -> Tensor {
+        self.forward_impl(x, false)
+    }
+
+    fn forward_impl(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let b = x.shape()[0];
+        let mut cur = x.clone();
+        for stage in &mut self.stages {
+            match stage {
+                Stage::Conv(cs) => {
+                    let pre = conv3d_blocked(&cur, &cs.w.value, cs.b.value.data(), &cs.spec);
+                    let y = relu(&pre);
+                    if train {
+                        cs.x_cache.push(cur);
+                        cs.pre_cache.push(pre);
+                    }
+                    cur = y;
+                }
+                Stage::Pool(ps) => {
+                    let in_shape = cur.shape().to_vec();
+                    let (y, arg) = maxpool3d(&cur, 2);
+                    if train {
+                        ps.arg_cache.push((arg, in_shape));
+                    }
+                    cur = y;
+                }
+            }
+        }
+        let flat = cur.reshape(&[b, self.config.flat_dim()]);
+        let pre = if train { self.fc.forward(&flat) } else { self.fc.forward_inference(&flat) };
+        let y = relu(&pre);
+        if train {
+            self.fc_relu_cache.push(pre);
+        }
+        y
+    }
+
+    /// Backward from an embedding gradient [B, embedding_dim]; accumulates
+    /// parameter gradients. The input gradient is not returned (observations
+    /// are leaves).
+    pub fn backward(&mut self, grad: &Tensor) {
+        let pre = self.fc_relu_cache.pop().expect("Cnn3d::backward without forward");
+        let dpre = relu_backward(&pre, grad);
+        let dflat = self.fc.backward(&dpre);
+        let (c, dims) = self.config.output_geometry();
+        let b = grad.rows();
+        let mut cur = dflat.reshape(&[b, c, dims[0], dims[1], dims[2]]);
+        for stage in self.stages.iter_mut().rev() {
+            match stage {
+                Stage::Conv(cs) => {
+                    let x = cs.x_cache.pop().expect("conv backward without forward");
+                    let pre = cs.pre_cache.pop().expect("conv cache");
+                    let dpre = relu_backward(&pre, &cur);
+                    let (gw, gb) = conv3d_backward_weights(&x, &dpre, &cs.spec);
+                    cs.w.grad.add_assign(&gw);
+                    for (g, d) in cs.b.grad.data_mut().iter_mut().zip(gb.iter()) {
+                        *g += d;
+                    }
+                    cur = conv3d_backward_data(
+                        &dpre,
+                        &cs.w.value,
+                        &cs.spec,
+                        (cs.in_dims[0], cs.in_dims[1], cs.in_dims[2]),
+                    );
+                }
+                Stage::Pool(ps) => {
+                    let (arg, in_shape) = ps.arg_cache.pop().expect("pool backward");
+                    cur = maxpool3d_backward(&cur, &arg, &in_shape);
+                }
+            }
+        }
+    }
+
+    /// Drop all cached activations.
+    pub fn clear_cache(&mut self) {
+        for s in &mut self.stages {
+            match s {
+                Stage::Conv(cs) => {
+                    cs.x_cache.clear();
+                    cs.pre_cache.clear();
+                }
+                Stage::Pool(ps) => ps.arg_cache.clear(),
+            }
+        }
+        self.fc.clear_cache();
+        self.fc_relu_cache.clear();
+    }
+}
+
+impl Module for Cnn3d {
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Parameter)) {
+        for (i, s) in self.stages.iter_mut().enumerate() {
+            if let Stage::Conv(cs) = s {
+                f(&format!("{prefix}/conv{i}/w"), &mut cs.w);
+                f(&format!("{prefix}/conv{i}/b"), &mut cs.b);
+            }
+        }
+        self.fc.visit_params(&format!("{prefix}/fc"), f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_config_geometry() {
+        let c = Cnn3dConfig::paper();
+        let (chans, dims) = c.output_geometry();
+        assert_eq!(chans, 128);
+        assert_eq!(dims, [5, 8, 8]);
+        assert_eq!(c.flat_dim(), 128 * 5 * 8 * 8);
+        assert_eq!(c.embedding_dim, 256);
+    }
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = Cnn3dConfig::small([4, 8, 8], 16);
+        let mut cnn = Cnn3d::new(&mut rng, cfg);
+        let x = Tensor::from_fn(&[2, 1, 4, 8, 8], |i| (i % 7) as f32 * 0.1);
+        let y1 = cnn.forward_inference(&x);
+        let y2 = cnn.forward_inference(&x);
+        assert_eq!(y1.shape(), &[2, 16]);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn backward_param_grads_match_fd() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = Cnn3dConfig {
+            input_dims: [4, 4, 4],
+            stages: vec![CnnStageSpec::Conv(2), CnnStageSpec::Pool],
+            embedding_dim: 3,
+        };
+        let mut cnn = Cnn3d::new(&mut rng, cfg);
+        let x = Tensor::from_fn(&[1, 1, 4, 4, 4], |i| ((i * 37) % 11) as f32 * 0.05 - 0.2);
+        let y = cnn.forward(&x);
+        let g = Tensor::full(y.shape(), 1.0);
+        cnn.backward(&g);
+        // FD on first conv weight and fc weight.
+        let eps = 5e-3f32;
+        let mut checks: Vec<(String, usize, f32)> = Vec::new();
+        cnn.visit_params("cnn", &mut |n, p| {
+            if p.value.numel() > 3 {
+                checks.push((n.to_string(), 2, p.grad.data()[2]));
+            }
+        });
+        for (name, idx, ana) in checks {
+            let mut orig = 0.0f32;
+            cnn.visit_params("cnn", &mut |n, p| {
+                if n == name {
+                    orig = p.value.data()[idx];
+                    p.value.data_mut()[idx] = orig + eps;
+                }
+            });
+            let fp = cnn.forward_inference(&x).sum();
+            cnn.visit_params("cnn", &mut |n, p| {
+                if n == name {
+                    p.value.data_mut()[idx] = orig - eps;
+                }
+            });
+            let fm = cnn.forward_inference(&x).sum();
+            cnn.visit_params("cnn", &mut |n, p| {
+                if n == name {
+                    p.value.data_mut()[idx] = orig;
+                }
+            });
+            let num = ((fp - fm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (num - ana).abs() < 5e-2 * (1.0 + num.abs()),
+                "{name}[{idx}]: fd {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn flop_count_positive_and_scales_with_batch() {
+        let cfg = Cnn3dConfig::small([4, 8, 8], 16);
+        assert_eq!(cfg.forward_flops(2), 2 * cfg.forward_flops(1));
+        assert!(cfg.forward_flops(1) > 0);
+    }
+}

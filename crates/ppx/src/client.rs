@@ -1,0 +1,157 @@
+//! The controller-side PPX binding: a remote simulator as a [`ProbProgram`].
+//!
+//! [`RemoteModel`] makes a simulator living behind a transport look exactly
+//! like a local model to every inference engine: calling `run` issues a PPX
+//! `Run` and then services the simulator's `Sample`/`Observe`/`Tag` requests
+//! by delegating to the local [`SimCtx`] (i.e. the engine's executor). This
+//! is the key property of PPX — engines are fully agnostic to where and in
+//! which language the simulator runs.
+
+use crate::message::Message;
+use crate::transport::Transport;
+use etalumis_core::{ProbProgram, SimCtx};
+use etalumis_distributions::Value;
+
+/// A probabilistic program whose body executes on the other side of a
+/// transport.
+pub struct RemoteModel<T: Transport> {
+    transport: T,
+    model_name: String,
+    /// Observation payload forwarded with each `Run` (defaults to `Unit`).
+    pub run_observation: Value,
+}
+
+impl<T: Transport> RemoteModel<T> {
+    /// Perform the PPX handshake and return the connected model.
+    pub fn connect(mut transport: T, system_name: &str) -> std::io::Result<Self> {
+        transport.send(&Message::Handshake { system_name: system_name.to_string() })?;
+        let model_name = match transport.recv()? {
+            Message::HandshakeResult { model_name, .. } => model_name,
+            other => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("expected HandshakeResult, got {}", other.name()),
+                ))
+            }
+        };
+        Ok(Self { transport, model_name, run_observation: Value::Unit })
+    }
+}
+
+impl<T: Transport> ProbProgram for RemoteModel<T> {
+    fn run(&mut self, ctx: &mut dyn SimCtx) -> Value {
+        self.transport
+            .send(&Message::Run { observation: self.run_observation.clone() })
+            .expect("PPX Run send failed");
+        loop {
+            let msg = self.transport.recv().expect("PPX recv failed during run");
+            match msg {
+                Message::Sample { address, name, distribution, control, replace } => {
+                    let value =
+                        ctx.sample_with_address(&address, &distribution, &name, control, replace);
+                    self.transport
+                        .send(&Message::SampleResult { value })
+                        .expect("PPX SampleResult send failed");
+                }
+                Message::Observe { address, name, distribution } => {
+                    let value = ctx.observe_with_address(&address, &distribution, &name);
+                    self.transport
+                        .send(&Message::ObserveResult { value })
+                        .expect("PPX ObserveResult send failed");
+                }
+                Message::Tag { name, value } => {
+                    ctx.tag(&name, value);
+                    self.transport.send(&Message::TagResult).expect("PPX TagResult send failed");
+                }
+                Message::RunResult { result } => return result,
+                other => panic!("unexpected message {} during run", other.name()),
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.model_name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SimulatorServer;
+    use crate::transport::InProcTransport;
+    use etalumis_core::{Executor, FnProgram, ObserveMap, PriorProposer, SimCtxExt};
+    use etalumis_distributions::Distribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spawn_server() -> InProcTransport {
+        let (controller_side, sim_side) = InProcTransport::pair();
+        std::thread::spawn(move || {
+            let program = FnProgram::new("remote_gauss", |ctx: &mut dyn SimCtx| {
+                let mu = ctx.sample_f64(&Distribution::Normal { mean: 0.0, std: 1.0 }, "mu");
+                // two draws at the same call site → instance disambiguation
+                let _n1 = ctx.sample_f64(&Distribution::Normal { mean: mu, std: 1.0 }, "noise");
+                let _n2 = ctx.sample_f64(&Distribution::Normal { mean: mu, std: 1.0 }, "noise");
+                ctx.observe(&Distribution::Normal { mean: mu, std: 0.5 }, "y");
+                ctx.tag("mu_tag", Value::Real(mu));
+                Value::Real(mu)
+            });
+            let mut server = SimulatorServer::new("rust-sim", program);
+            let mut t = sim_side;
+            server.serve(&mut t).unwrap();
+        });
+        controller_side
+    }
+
+    #[test]
+    fn remote_prior_execution_records_full_trace() {
+        let t = spawn_server();
+        let mut model = RemoteModel::connect(t, "etalumis-rs").unwrap();
+        assert_eq!(model.name(), "remote_gauss");
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut prior = PriorProposer;
+        let observes = ObserveMap::new();
+        let trace = Executor::execute(&mut model, &mut prior, &observes, &mut rng);
+        assert_eq!(trace.num_controlled(), 3);
+        assert_eq!(trace.entries.len(), 4);
+        assert_eq!(trace.tags.len(), 1);
+        // Instance counting happened controller-side.
+        let noises: Vec<_> =
+            trace.entries.iter().filter(|e| e.name == "noise").map(|e| &e.address).collect();
+        assert_eq!(noises.len(), 2);
+        assert_eq!(noises[0].base, noises[1].base);
+        assert_ne!(noises[0].instance, noises[1].instance);
+        // Result round-trips.
+        let mu = trace.value_by_name("mu").unwrap().as_f64();
+        assert_eq!(trace.result, Value::Real(mu));
+    }
+
+    #[test]
+    fn remote_repeated_runs_reset_instances() {
+        let t = spawn_server();
+        let mut model = RemoteModel::connect(t, "etalumis-rs").unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let observes = ObserveMap::new();
+        for _ in 0..3 {
+            let mut prior = PriorProposer;
+            let trace = Executor::execute(&mut model, &mut prior, &observes, &mut rng);
+            // Fresh executor per run → instances restart at 0.
+            let first_noise = trace.entries.iter().find(|e| e.name == "noise").unwrap();
+            assert_eq!(first_noise.address.instance, 0);
+        }
+    }
+
+    #[test]
+    fn remote_conditioning_uses_registered_observation() {
+        let t = spawn_server();
+        let mut model = RemoteModel::connect(t, "etalumis-rs").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut observes = ObserveMap::new();
+        observes.insert("y".to_string(), Value::Real(1.75));
+        let mut prior = PriorProposer;
+        let trace = Executor::execute(&mut model, &mut prior, &observes, &mut rng);
+        let y = trace.entries.iter().find(|e| e.name == "y").unwrap();
+        assert_eq!(y.value, Value::Real(1.75));
+        assert!(trace.log_likelihood.is_finite());
+    }
+}

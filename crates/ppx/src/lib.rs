@@ -1,0 +1,32 @@
+//! # etalumis-ppx
+//!
+//! The probabilistic programming execution protocol (PPX) — the paper's
+//! central systems contribution (§4.1, Figure 1): a cross-platform API that
+//! lets a PPL control the random number draws of an existing simulator
+//! without altering the simulator's structure.
+//!
+//! * [`Message`] — the protocol message set (Handshake/Run/Sample/Observe/
+//!   Tag/Reset with result pairs).
+//! * [`wire`] — a documented little-endian binary codec (the flatbuffers
+//!   substitute) with property-tested round-tripping.
+//! * [`transport`] — in-process channel and TCP transports (the ZeroMQ
+//!   substitute); both push every frame through the codec.
+//! * [`SimulatorServer`] — simulator-side binding: wraps any native
+//!   [`etalumis_core::ProbProgram`] and forwards its statements.
+//! * [`RemoteModel`] — controller-side binding: a remote simulator exposed
+//!   as a local `ProbProgram`, so inference engines are agnostic to where
+//!   the simulator runs.
+//! * [`address`] — stack-frame symbol resolution with the dladdr-style
+//!   cache (the 5× address-string optimization of §4.2).
+
+pub mod address;
+pub mod client;
+pub mod message;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::RemoteModel;
+pub use message::Message;
+pub use server::SimulatorServer;
+pub use transport::{InProcTransport, TcpTransport, Transport};

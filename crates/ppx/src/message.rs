@@ -1,0 +1,117 @@
+//! The PPX message set.
+//!
+//! Mirrors the probabilistic programming execution protocol of the paper
+//! (§4.1, Figure 1): message pairs covering program entry points (`Run` /
+//! `RunResult`), sample statements (`Sample` / `SampleResult`), observe
+//! statements (`Observe` / `ObserveResult`), plus handshake, tagging, and
+//! reset. The real PPX uses flatbuffers; we use a hand-rolled, documented
+//! little-endian binary codec (see [`crate::wire`]) with identical message
+//! semantics, which keeps the protocol language-agnostic by construction.
+
+use etalumis_distributions::{Distribution, Value};
+
+/// A PPX protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Controller → simulator: introduce yourself.
+    Handshake {
+        /// Name of the inference system initiating the session.
+        system_name: String,
+    },
+    /// Simulator → controller: handshake reply.
+    HandshakeResult {
+        /// Name of the simulator-side language front end.
+        system_name: String,
+        /// Name of the wrapped model.
+        model_name: String,
+    },
+    /// Controller → simulator: execute the program once.
+    Run {
+        /// Observation payload forwarded to the model (may be `Unit`).
+        observation: Value,
+    },
+    /// Simulator → controller: program finished with this result.
+    RunResult {
+        /// The program's return value.
+        result: Value,
+    },
+    /// Simulator → controller: a sample statement requests a value.
+    Sample {
+        /// Fully qualified address base built on the simulator side.
+        address: String,
+        /// Statement name.
+        name: String,
+        /// Prior distribution at this site.
+        distribution: Distribution,
+        /// Whether inference engines may control this draw.
+        control: bool,
+        /// Rejection-sampling re-draw (pyprob `replace=True`).
+        replace: bool,
+    },
+    /// Controller → simulator: the value to use for the pending sample.
+    SampleResult {
+        /// Realized value.
+        value: Value,
+    },
+    /// Simulator → controller: an observe statement conditions on data.
+    Observe {
+        /// Fully qualified address base.
+        address: String,
+        /// Statement name (keys into the controller's observe map).
+        name: String,
+        /// Likelihood distribution.
+        distribution: Distribution,
+    },
+    /// Controller → simulator: the observed value that was scored.
+    ObserveResult {
+        /// Value used for the observe statement.
+        value: Value,
+    },
+    /// Simulator → controller: record a deterministic by-product.
+    Tag {
+        /// Tag name.
+        name: String,
+        /// Tag value.
+        value: Value,
+    },
+    /// Controller → simulator: tag acknowledged.
+    TagResult,
+    /// Controller → simulator: abort the current execution.
+    Reset,
+}
+
+impl Message {
+    /// Wire tag byte for each variant.
+    pub fn tag_byte(&self) -> u8 {
+        match self {
+            Message::Handshake { .. } => 1,
+            Message::HandshakeResult { .. } => 2,
+            Message::Run { .. } => 3,
+            Message::RunResult { .. } => 4,
+            Message::Sample { .. } => 5,
+            Message::SampleResult { .. } => 6,
+            Message::Observe { .. } => 7,
+            Message::ObserveResult { .. } => 8,
+            Message::Tag { .. } => 9,
+            Message::TagResult => 10,
+            Message::Reset => 11,
+        }
+    }
+
+    /// Short human-readable name (logging).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::Handshake { .. } => "Handshake",
+            Message::HandshakeResult { .. } => "HandshakeResult",
+            Message::Run { .. } => "Run",
+            Message::RunResult { .. } => "RunResult",
+            Message::Sample { .. } => "Sample",
+            Message::SampleResult { .. } => "SampleResult",
+            Message::Observe { .. } => "Observe",
+            Message::ObserveResult { .. } => "ObserveResult",
+            Message::Tag { .. } => "Tag",
+            Message::TagResult => "TagResult",
+            Message::Reset => "Reset",
+        }
+    }
+}

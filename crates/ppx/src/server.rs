@@ -1,0 +1,183 @@
+//! The simulator-side PPX binding.
+//!
+//! [`SimulatorServer`] wraps any native [`ProbProgram`] and serves it over a
+//! [`Transport`]: every `sample`/`observe`/`tag` statement the program
+//! executes is forwarded to the remote controller as a PPX message, and the
+//! returned values are handed back to the running program. This is the
+//! Rust equivalent of the paper's C++ front end that reroutes Sherpa's
+//! random number draws (§4.1, §5.4).
+
+use crate::message::Message;
+use crate::transport::Transport;
+use etalumis_core::{AddressBuilder, ProbProgram, SimCtx};
+use etalumis_distributions::{Distribution, Value};
+
+/// Serves a wrapped probabilistic program over a transport.
+pub struct SimulatorServer<P: ProbProgram> {
+    program: P,
+    system_name: String,
+}
+
+/// Simulator-side context that forwards every statement over the transport.
+struct ForwardingCtx<'a> {
+    transport: &'a mut dyn Transport,
+    builder: AddressBuilder,
+}
+
+impl ForwardingCtx<'_> {
+    fn exchange(&mut self, msg: Message) -> Message {
+        self.transport.send(&msg).expect("PPX send failed mid-execution");
+        self.transport.recv().expect("PPX recv failed mid-execution")
+    }
+}
+
+impl SimCtx for ForwardingCtx<'_> {
+    fn sample_ext(
+        &mut self,
+        dist: &Distribution,
+        name: &str,
+        control: bool,
+        replace: bool,
+    ) -> Value {
+        // The simulator sends the *base* address (its stack-frame identity);
+        // the controller performs instance counting, exactly like pyprob
+        // does for the C++ front end.
+        let scope = self.builder.scope_path();
+        let base = if scope.is_empty() {
+            format!("{name}[{}]", dist.kind())
+        } else {
+            format!("{scope}/{name}[{}]", dist.kind())
+        };
+        let reply = self.exchange(Message::Sample {
+            address: base,
+            name: name.to_string(),
+            distribution: dist.clone(),
+            control,
+            replace,
+        });
+        match reply {
+            Message::SampleResult { value } => value,
+            other => panic!("expected SampleResult, got {}", other.name()),
+        }
+    }
+
+    fn observe(&mut self, dist: &Distribution, name: &str) -> Value {
+        let scope = self.builder.scope_path();
+        let base = if scope.is_empty() {
+            format!("{name}[{}]", dist.kind())
+        } else {
+            format!("{scope}/{name}[{}]", dist.kind())
+        };
+        let reply = self.exchange(Message::Observe {
+            address: base,
+            name: name.to_string(),
+            distribution: dist.clone(),
+        });
+        match reply {
+            Message::ObserveResult { value } => value,
+            other => panic!("expected ObserveResult, got {}", other.name()),
+        }
+    }
+
+    fn tag(&mut self, name: &str, value: Value) {
+        let reply = self.exchange(Message::Tag { name: name.to_string(), value });
+        match reply {
+            Message::TagResult => {}
+            other => panic!("expected TagResult, got {}", other.name()),
+        }
+    }
+
+    fn push_scope(&mut self, scope: &str) {
+        self.builder.push_scope(scope);
+    }
+
+    fn pop_scope(&mut self) {
+        self.builder.pop_scope();
+    }
+
+    fn sample_with_address(
+        &mut self,
+        address_base: &str,
+        dist: &Distribution,
+        name: &str,
+        control: bool,
+        replace: bool,
+    ) -> Value {
+        let reply = self.exchange(Message::Sample {
+            address: address_base.to_string(),
+            name: name.to_string(),
+            distribution: dist.clone(),
+            control,
+            replace,
+        });
+        match reply {
+            Message::SampleResult { value } => value,
+            other => panic!("expected SampleResult, got {}", other.name()),
+        }
+    }
+
+    fn observe_with_address(
+        &mut self,
+        address_base: &str,
+        dist: &Distribution,
+        name: &str,
+    ) -> Value {
+        let reply = self.exchange(Message::Observe {
+            address: address_base.to_string(),
+            name: name.to_string(),
+            distribution: dist.clone(),
+        });
+        match reply {
+            Message::ObserveResult { value } => value,
+            other => panic!("expected ObserveResult, got {}", other.name()),
+        }
+    }
+}
+
+impl<P: ProbProgram> SimulatorServer<P> {
+    /// Wrap a program under the given front-end system name.
+    pub fn new(system_name: impl Into<String>, program: P) -> Self {
+        Self { program, system_name: system_name.into() }
+    }
+
+    /// Serve requests until the controller disconnects.
+    ///
+    /// Handles `Handshake` and any number of `Run` requests; returns `Ok(())`
+    /// on orderly disconnect.
+    pub fn serve(&mut self, transport: &mut dyn Transport) -> std::io::Result<()> {
+        loop {
+            let msg = match transport.recv() {
+                Ok(m) => m,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => return Ok(()),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::UnexpectedEof
+                        || e.kind() == std::io::ErrorKind::ConnectionReset =>
+                {
+                    return Ok(())
+                }
+                Err(e) => return Err(e),
+            };
+            match msg {
+                Message::Handshake { .. } => {
+                    transport.send(&Message::HandshakeResult {
+                        system_name: self.system_name.clone(),
+                        model_name: self.program.name().to_string(),
+                    })?;
+                }
+                Message::Run { observation: _ } => {
+                    let mut ctx =
+                        ForwardingCtx { transport, builder: AddressBuilder::new() };
+                    let result = self.program.run(&mut ctx);
+                    transport.send(&Message::RunResult { result })?;
+                }
+                Message::Reset => { /* abandon any state; next Run starts fresh */ }
+                other => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unexpected message {} in server", other.name()),
+                    ));
+                }
+            }
+        }
+    }
+}

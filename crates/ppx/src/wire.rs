@@ -1,0 +1,461 @@
+//! Binary wire codec for PPX messages.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! frame    := u32 payload_len ++ payload
+//! payload  := u8 msg_tag ++ fields...
+//! string   := u32 len ++ utf8 bytes
+//! value    := u8 val_tag ++ body
+//!             0 = unit | 1 = bool(u8) | 2 = int(i64) | 3 = real(f64)
+//!             4 = tensor(u32 ndim, u32 dims..., f32 data...)
+//!             5 = str(string)
+//! dist     := u8 dist_tag ++ params (f64 / vec<f64> := u32 len ++ f64...)
+//! ```
+//!
+//! This replaces the flatbuffers schema of the reference implementation with
+//! an explicitly documented format; any language can implement it.
+
+use crate::message::Message;
+use bytes::{Buf, BufMut, BytesMut};
+use etalumis_distributions::{Distribution, TensorValue, Value};
+
+/// Errors raised while decoding a frame.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Payload ended prematurely.
+    Truncated,
+    /// Unknown message/value/distribution tag byte.
+    BadTag(u8),
+    /// String payload was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated PPX frame"),
+            WireError::BadTag(t) => write!(f, "unknown PPX tag byte {t}"),
+            WireError::BadUtf8 => write!(f, "invalid UTF-8 in PPX string"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_f64_vec(buf: &mut BytesMut, v: &[f64]) {
+    buf.put_u32_le(v.len() as u32);
+    for &x in v {
+        buf.put_f64_le(x);
+    }
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Unit => buf.put_u8(0),
+        Value::Bool(b) => {
+            buf.put_u8(1);
+            buf.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.put_u8(2);
+            buf.put_i64_le(*i);
+        }
+        Value::Real(x) => {
+            buf.put_u8(3);
+            buf.put_f64_le(*x);
+        }
+        Value::Tensor(t) => {
+            buf.put_u8(4);
+            buf.put_u32_le(t.shape.len() as u32);
+            for &d in &t.shape {
+                buf.put_u32_le(d as u32);
+            }
+            for &x in &t.data {
+                buf.put_f32_le(x);
+            }
+        }
+        Value::Str(s) => {
+            buf.put_u8(5);
+            put_string(buf, s);
+        }
+    }
+}
+
+fn put_dist(buf: &mut BytesMut, d: &Distribution) {
+    match d {
+        Distribution::Uniform { low, high } => {
+            buf.put_u8(0);
+            buf.put_f64_le(*low);
+            buf.put_f64_le(*high);
+        }
+        Distribution::Normal { mean, std } => {
+            buf.put_u8(1);
+            buf.put_f64_le(*mean);
+            buf.put_f64_le(*std);
+        }
+        Distribution::TruncatedNormal { mean, std, low, high } => {
+            buf.put_u8(2);
+            buf.put_f64_le(*mean);
+            buf.put_f64_le(*std);
+            buf.put_f64_le(*low);
+            buf.put_f64_le(*high);
+        }
+        Distribution::Exponential { rate } => {
+            buf.put_u8(3);
+            buf.put_f64_le(*rate);
+        }
+        Distribution::Beta { alpha, beta } => {
+            buf.put_u8(4);
+            buf.put_f64_le(*alpha);
+            buf.put_f64_le(*beta);
+        }
+        Distribution::Gamma { shape, rate } => {
+            buf.put_u8(5);
+            buf.put_f64_le(*shape);
+            buf.put_f64_le(*rate);
+        }
+        Distribution::Poisson { rate } => {
+            buf.put_u8(6);
+            buf.put_f64_le(*rate);
+        }
+        Distribution::Bernoulli { p } => {
+            buf.put_u8(7);
+            buf.put_f64_le(*p);
+        }
+        Distribution::Categorical { probs } => {
+            buf.put_u8(8);
+            put_f64_vec(buf, probs);
+        }
+        Distribution::MixtureTruncatedNormal { weights, means, stds, low, high } => {
+            buf.put_u8(9);
+            put_f64_vec(buf, weights);
+            put_f64_vec(buf, means);
+            put_f64_vec(buf, stds);
+            buf.put_f64_le(*low);
+            buf.put_f64_le(*high);
+        }
+        Distribution::IndependentNormal { mean, std } => {
+            buf.put_u8(10);
+            put_value(buf, &Value::Tensor(mean.clone()));
+            buf.put_f64_le(*std);
+        }
+    }
+}
+
+/// Encode a message into a length-prefixed frame.
+pub fn encode(msg: &Message) -> BytesMut {
+    let mut body = BytesMut::with_capacity(64);
+    body.put_u8(msg.tag_byte());
+    match msg {
+        Message::Handshake { system_name } => put_string(&mut body, system_name),
+        Message::HandshakeResult { system_name, model_name } => {
+            put_string(&mut body, system_name);
+            put_string(&mut body, model_name);
+        }
+        Message::Run { observation } => put_value(&mut body, observation),
+        Message::RunResult { result } => put_value(&mut body, result),
+        Message::Sample { address, name, distribution, control, replace } => {
+            put_string(&mut body, address);
+            put_string(&mut body, name);
+            put_dist(&mut body, distribution);
+            body.put_u8(*control as u8);
+            body.put_u8(*replace as u8);
+        }
+        Message::SampleResult { value } => put_value(&mut body, value),
+        Message::Observe { address, name, distribution } => {
+            put_string(&mut body, address);
+            put_string(&mut body, name);
+            put_dist(&mut body, distribution);
+        }
+        Message::ObserveResult { value } => put_value(&mut body, value),
+        Message::Tag { name, value } => {
+            put_string(&mut body, name);
+            put_value(&mut body, value);
+        }
+        Message::TagResult | Message::Reset => {}
+    }
+    let mut frame = BytesMut::with_capacity(4 + body.len());
+    frame.put_u32_le(body.len() as u32);
+    frame.extend_from_slice(&body);
+    frame
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn need(&self, n: usize) -> Result<(), WireError> {
+        if self.buf.remaining() < n {
+            Err(WireError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        self.need(8)?;
+        Ok(self.buf.get_i64_le())
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        self.need(4)?;
+        Ok(self.buf.get_f32_le())
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        self.need(n)?;
+        let s = std::str::from_utf8(&self.buf[..n]).map_err(|_| WireError::BadUtf8)?.to_string();
+        self.buf.advance(n);
+        Ok(s)
+    }
+
+    fn f64_vec(&mut self) -> Result<Vec<f64>, WireError> {
+        let n = self.u32()? as usize;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.f64()?);
+        }
+        Ok(v)
+    }
+
+    fn value(&mut self) -> Result<Value, WireError> {
+        match self.u8()? {
+            0 => Ok(Value::Unit),
+            1 => Ok(Value::Bool(self.u8()? != 0)),
+            2 => Ok(Value::Int(self.i64()?)),
+            3 => Ok(Value::Real(self.f64()?)),
+            4 => {
+                let ndim = self.u32()? as usize;
+                let mut shape = Vec::with_capacity(ndim);
+                for _ in 0..ndim {
+                    shape.push(self.u32()? as usize);
+                }
+                let n: usize = shape.iter().product();
+                let mut data = Vec::with_capacity(n);
+                for _ in 0..n {
+                    data.push(self.f32()?);
+                }
+                Ok(Value::Tensor(TensorValue::new(shape, data)))
+            }
+            5 => Ok(Value::Str(self.string()?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    fn dist(&mut self) -> Result<Distribution, WireError> {
+        match self.u8()? {
+            0 => Ok(Distribution::Uniform { low: self.f64()?, high: self.f64()? }),
+            1 => Ok(Distribution::Normal { mean: self.f64()?, std: self.f64()? }),
+            2 => Ok(Distribution::TruncatedNormal {
+                mean: self.f64()?,
+                std: self.f64()?,
+                low: self.f64()?,
+                high: self.f64()?,
+            }),
+            3 => Ok(Distribution::Exponential { rate: self.f64()? }),
+            4 => Ok(Distribution::Beta { alpha: self.f64()?, beta: self.f64()? }),
+            5 => Ok(Distribution::Gamma { shape: self.f64()?, rate: self.f64()? }),
+            6 => Ok(Distribution::Poisson { rate: self.f64()? }),
+            7 => Ok(Distribution::Bernoulli { p: self.f64()? }),
+            8 => Ok(Distribution::Categorical { probs: self.f64_vec()? }),
+            9 => Ok(Distribution::MixtureTruncatedNormal {
+                weights: self.f64_vec()?,
+                means: self.f64_vec()?,
+                stds: self.f64_vec()?,
+                low: self.f64()?,
+                high: self.f64()?,
+            }),
+            10 => {
+                let v = self.value()?;
+                let mean = match v {
+                    Value::Tensor(t) => t,
+                    _ => return Err(WireError::BadTag(10)),
+                };
+                Ok(Distribution::IndependentNormal { mean, std: self.f64()? })
+            }
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// Decode one message from a frame payload (without the length prefix).
+pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
+    let mut c = Cursor { buf: payload };
+    let tag = c.u8()?;
+    let msg = match tag {
+        1 => Message::Handshake { system_name: c.string()? },
+        2 => Message::HandshakeResult { system_name: c.string()?, model_name: c.string()? },
+        3 => Message::Run { observation: c.value()? },
+        4 => Message::RunResult { result: c.value()? },
+        5 => Message::Sample {
+            address: c.string()?,
+            name: c.string()?,
+            distribution: c.dist()?,
+            control: c.u8()? != 0,
+            replace: c.u8()? != 0,
+        },
+        6 => Message::SampleResult { value: c.value()? },
+        7 => Message::Observe {
+            address: c.string()?,
+            name: c.string()?,
+            distribution: c.dist()?,
+        },
+        8 => Message::ObserveResult { value: c.value()? },
+        9 => Message::Tag { name: c.string()?, value: c.value()? },
+        10 => Message::TagResult,
+        11 => Message::Reset,
+        t => return Err(WireError::BadTag(t)),
+    };
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(msg: &Message) {
+        let frame = encode(msg);
+        let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        let decoded = decode(&frame[4..]).unwrap();
+        assert_eq!(&decoded, msg);
+    }
+
+    #[test]
+    fn all_message_kinds_roundtrip() {
+        let msgs = vec![
+            Message::Handshake { system_name: "etalumis-rs".into() },
+            Message::HandshakeResult {
+                system_name: "rust-frontend".into(),
+                model_name: "tau_decay".into(),
+            },
+            Message::Run { observation: Value::Tensor(TensorValue::zeros(vec![2, 3])) },
+            Message::RunResult { result: Value::Real(1.5) },
+            Message::Sample {
+                address: "decay/px[Uniform]".into(),
+                name: "px".into(),
+                distribution: Distribution::Uniform { low: -3.0, high: 3.0 },
+                control: true,
+                replace: false,
+            },
+            Message::SampleResult { value: Value::Real(0.25) },
+            Message::Observe {
+                address: "calo[IndependentNormal]".into(),
+                name: "calo".into(),
+                distribution: Distribution::IndependentNormal {
+                    mean: TensorValue::new(vec![2], vec![0.5, -0.5]),
+                    std: 0.1,
+                },
+            },
+            Message::ObserveResult { value: Value::Unit },
+            Message::Tag { name: "met".into(), value: Value::Real(2.5) },
+            Message::TagResult,
+            Message::Reset,
+        ];
+        for m in &msgs {
+            roundtrip(m);
+        }
+    }
+
+    #[test]
+    fn distributions_roundtrip() {
+        let dists = vec![
+            Distribution::Normal { mean: 1.0, std: 2.0 },
+            Distribution::TruncatedNormal { mean: 0.0, std: 1.0, low: -1.0, high: 1.0 },
+            Distribution::Exponential { rate: 0.5 },
+            Distribution::Beta { alpha: 2.0, beta: 3.0 },
+            Distribution::Gamma { shape: 2.0, rate: 1.0 },
+            Distribution::Poisson { rate: 4.5 },
+            Distribution::Bernoulli { p: 0.3 },
+            Distribution::Categorical { probs: vec![0.2, 0.3, 0.5] },
+            Distribution::MixtureTruncatedNormal {
+                weights: vec![0.5, 0.5],
+                means: vec![0.0, 1.0],
+                stds: vec![0.1, 0.2],
+                low: -2.0,
+                high: 2.0,
+            },
+        ];
+        for d in dists {
+            roundtrip(&Message::Sample {
+                address: "a".into(),
+                name: "n".into(),
+                distribution: d,
+                control: true,
+                replace: true,
+            });
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let frame = encode(&Message::Handshake { system_name: "abc".into() });
+        for cut in 1..frame.len() - 4 {
+            let r = decode(&frame[4..4 + cut]);
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        assert_eq!(decode(&[99]), Err(WireError::BadTag(99)));
+        assert_eq!(decode(&[]), Err(WireError::Truncated));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sample_roundtrip(
+            addr in "[a-z/\\[\\]]{0,40}",
+            name in "[a-z]{0,10}",
+            low in -100.0f64..100.0,
+            span in 0.001f64..100.0,
+            control: bool,
+            replace: bool,
+        ) {
+            let msg = Message::Sample {
+                address: addr,
+                name,
+                distribution: Distribution::Uniform { low, high: low + span },
+                control,
+                replace,
+            };
+            let frame = encode(&msg);
+            let decoded = decode(&frame[4..]).unwrap();
+            prop_assert_eq!(decoded, msg);
+        }
+
+        #[test]
+        fn prop_tensor_roundtrip(data in proptest::collection::vec(-1e6f32..1e6, 0..64)) {
+            let n = data.len();
+            let msg = Message::RunResult {
+                result: Value::Tensor(TensorValue::new(vec![n], data)),
+            };
+            let frame = encode(&msg);
+            prop_assert_eq!(decode(&frame[4..]).unwrap(), msg);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! τ-lepton decay channel table.
+//!
+//! A PDG-like table of τ⁻ decay channels with approximate branching
+//! fractions. The paper's Sherpa setup exposes the decay-channel choice as a
+//! categorical latent (Figure 8 shows its posterior, with τ → π ν_τ as the
+//! posterior mode); every channel produces a different final-state particle
+//! list and therefore a different *trace type*, which is what stresses the
+//! dynamic-NN machinery.
+
+/// Final-state particle species relevant to the detector response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ParticleKind {
+    /// Electron (EM shower).
+    Electron,
+    /// Muon (minimum-ionizing track).
+    Muon,
+    /// Charged pion (hadronic shower).
+    PiCharged,
+    /// Neutral pion (decays to photons: EM shower).
+    Pi0,
+    /// Charged kaon (hadronic shower).
+    KCharged,
+    /// Neutral kaon (hadronic shower, reduced response).
+    K0,
+    /// Photon (EM shower).
+    Gamma,
+    /// Neutrino (invisible; contributes to missing energy).
+    Neutrino,
+}
+
+impl ParticleKind {
+    /// Rest mass in GeV/c².
+    pub fn mass(&self) -> f64 {
+        match self {
+            ParticleKind::Electron => 0.000511,
+            ParticleKind::Muon => 0.1057,
+            ParticleKind::PiCharged => 0.1396,
+            ParticleKind::Pi0 => 0.1350,
+            ParticleKind::KCharged => 0.4937,
+            ParticleKind::K0 => 0.4976,
+            ParticleKind::Gamma => 0.0,
+            ParticleKind::Neutrino => 0.0,
+        }
+    }
+
+    /// True for particles invisible to the calorimeter.
+    pub fn is_invisible(&self) -> bool {
+        matches!(self, ParticleKind::Neutrino)
+    }
+
+    /// Short label for printing.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ParticleKind::Electron => "e",
+            ParticleKind::Muon => "mu",
+            ParticleKind::PiCharged => "pi",
+            ParticleKind::Pi0 => "pi0",
+            ParticleKind::KCharged => "K",
+            ParticleKind::K0 => "K0",
+            ParticleKind::Gamma => "gamma",
+            ParticleKind::Neutrino => "nu",
+        }
+    }
+}
+
+/// One decay channel: name, branching ratio, final-state content.
+#[derive(Clone, Debug)]
+pub struct DecayChannel {
+    /// Human-readable channel name.
+    pub name: &'static str,
+    /// Approximate branching fraction (not exactly normalized; the model
+    /// normalizes when building the categorical prior).
+    pub branching_ratio: f64,
+    /// Final-state particles (the ν_τ is always present).
+    pub products: Vec<ParticleKind>,
+}
+
+/// The full channel table (38 channels, mirroring the scale of the paper's
+/// categorical decay-channel latent in Figure 8).
+pub fn tau_decay_channels() -> Vec<DecayChannel> {
+    use ParticleKind::*;
+    let ch = |name, br, products: Vec<ParticleKind>| DecayChannel {
+        name,
+        branching_ratio: br,
+        products,
+    };
+    vec![
+        // Leptonic modes.
+        ch("tau->e nu nu", 0.1782, vec![Electron, Neutrino, Neutrino]),
+        ch("tau->mu nu nu", 0.1739, vec![Muon, Neutrino, Neutrino]),
+        // One-prong hadronic.
+        ch("tau->pi nu", 0.1082, vec![PiCharged, Neutrino]),
+        ch("tau->pi pi0 nu", 0.2549, vec![PiCharged, Pi0, Neutrino]),
+        ch("tau->pi 2pi0 nu", 0.0926, vec![PiCharged, Pi0, Pi0, Neutrino]),
+        ch("tau->pi 3pi0 nu", 0.0104, vec![PiCharged, Pi0, Pi0, Pi0, Neutrino]),
+        ch("tau->pi 4pi0 nu", 0.0008, vec![PiCharged, Pi0, Pi0, Pi0, Pi0, Neutrino]),
+        ch("tau->K nu", 0.0070, vec![KCharged, Neutrino]),
+        ch("tau->K pi0 nu", 0.0043, vec![KCharged, Pi0, Neutrino]),
+        ch("tau->K 2pi0 nu", 0.0006, vec![KCharged, Pi0, Pi0, Neutrino]),
+        ch("tau->K K0 nu", 0.0015, vec![KCharged, K0, Neutrino]),
+        ch("tau->K K0 pi0 nu", 0.0016, vec![KCharged, K0, Pi0, Neutrino]),
+        ch("tau->pi K0 nu", 0.0084, vec![PiCharged, K0, Neutrino]),
+        ch("tau->pi K0 pi0 nu", 0.0040, vec![PiCharged, K0, Pi0, Neutrino]),
+        // Three-prong.
+        ch("tau->3pi nu", 0.0899, vec![PiCharged, PiCharged, PiCharged, Neutrino]),
+        ch("tau->3pi pi0 nu", 0.0274, vec![PiCharged, PiCharged, PiCharged, Pi0, Neutrino]),
+        ch(
+            "tau->3pi 2pi0 nu",
+            0.0050,
+            vec![PiCharged, PiCharged, PiCharged, Pi0, Pi0, Neutrino],
+        ),
+        ch(
+            "tau->3pi 3pi0 nu",
+            0.0004,
+            vec![PiCharged, PiCharged, PiCharged, Pi0, Pi0, Pi0, Neutrino],
+        ),
+        ch("tau->K 2pi nu", 0.0034, vec![KCharged, PiCharged, PiCharged, Neutrino]),
+        ch(
+            "tau->K 2pi pi0 nu",
+            0.0008,
+            vec![KCharged, PiCharged, PiCharged, Pi0, Neutrino],
+        ),
+        ch("tau->2K pi nu", 0.0014, vec![KCharged, KCharged, PiCharged, Neutrino]),
+        ch(
+            "tau->2K pi pi0 nu",
+            0.0001,
+            vec![KCharged, KCharged, PiCharged, Pi0, Neutrino],
+        ),
+        // Five-prong.
+        ch(
+            "tau->5pi nu",
+            0.0008,
+            vec![PiCharged, PiCharged, PiCharged, PiCharged, PiCharged, Neutrino],
+        ),
+        ch(
+            "tau->5pi pi0 nu",
+            0.0002,
+            vec![PiCharged, PiCharged, PiCharged, PiCharged, PiCharged, Pi0, Neutrino],
+        ),
+        // Radiative / rare modes to fill the categorical space.
+        ch("tau->pi gamma nu", 0.0005, vec![PiCharged, Gamma, Neutrino]),
+        ch("tau->pi pi0 gamma nu", 0.0010, vec![PiCharged, Pi0, Gamma, Neutrino]),
+        ch("tau->e gamma nu nu", 0.0018, vec![Electron, Gamma, Neutrino, Neutrino]),
+        ch("tau->mu gamma nu nu", 0.0004, vec![Muon, Gamma, Neutrino, Neutrino]),
+        ch("tau->K0 pi nu gamma", 0.0002, vec![K0, PiCharged, Gamma, Neutrino]),
+        ch("tau->2K0 pi nu", 0.0002, vec![K0, K0, PiCharged, Neutrino]),
+        ch("tau->K K0 2pi0 nu", 0.0001, vec![KCharged, K0, Pi0, Pi0, Neutrino]),
+        ch("tau->K 3pi0 nu", 0.0001, vec![KCharged, Pi0, Pi0, Pi0, Neutrino]),
+        ch(
+            "tau->pi K0 2pi0 nu",
+            0.0001,
+            vec![PiCharged, K0, Pi0, Pi0, Neutrino],
+        ),
+        ch(
+            "tau->2pi K pi0 nu",
+            0.0002,
+            vec![PiCharged, PiCharged, KCharged, Pi0, Neutrino],
+        ),
+        ch("tau->eta pi nu", 0.0014, vec![Gamma, Gamma, PiCharged, Neutrino]),
+        ch("tau->eta pi pi0 nu", 0.0009, vec![Gamma, Gamma, PiCharged, Pi0, Neutrino]),
+        ch("tau->omega pi nu", 0.0020, vec![PiCharged, PiCharged, Pi0, Neutrino]),
+        ch("tau->omega pi pi0 nu", 0.0004, vec![PiCharged, PiCharged, Pi0, Pi0, Neutrino]),
+    ]
+}
+
+/// Normalized branching-ratio vector aligned with [`tau_decay_channels`].
+pub fn branching_ratios() -> Vec<f64> {
+    let chans = tau_decay_channels();
+    let total: f64 = chans.iter().map(|c| c.branching_ratio).sum();
+    chans.iter().map(|c| c.branching_ratio / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_38_channels() {
+        assert_eq!(tau_decay_channels().len(), 38);
+    }
+
+    #[test]
+    fn ratios_normalize() {
+        let r = branching_ratios();
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(r.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn every_channel_has_a_neutrino_and_a_visible_particle() {
+        for c in tau_decay_channels() {
+            assert!(
+                c.products.iter().any(|p| p.is_invisible()),
+                "{} lacks a neutrino",
+                c.name
+            );
+            assert!(
+                c.products.iter().any(|p| !p.is_invisible()),
+                "{} lacks visible products",
+                c.name
+            );
+            assert!(c.products.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn dominant_mode_is_pi_pi0() {
+        let chans = tau_decay_channels();
+        let r = branching_ratios();
+        let best = r.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(chans[best].name, "tau->pi pi0 nu");
+    }
+}

@@ -1,0 +1,177 @@
+//! Elementwise activations and row-wise softmax with their derivatives.
+
+use crate::tensor::Tensor;
+
+/// ReLU forward.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// ReLU backward: grad * 1[x > 0] (uses the forward *input*).
+pub fn relu_backward(x: &Tensor, grad: &Tensor) -> Tensor {
+    x.zip_map(grad, |xv, g| if xv > 0.0 { g } else { 0.0 })
+}
+
+/// Logistic sigmoid forward.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Sigmoid derivative expressed in terms of the forward *output* y: y(1-y).
+pub fn sigmoid_backward_from_output(y: &Tensor, grad: &Tensor) -> Tensor {
+    y.zip_map(grad, |yv, g| g * yv * (1.0 - yv))
+}
+
+/// tanh forward.
+pub fn tanh(x: &Tensor) -> Tensor {
+    x.map(|v| v.tanh())
+}
+
+/// tanh derivative in terms of the output: 1 - y².
+pub fn tanh_backward_from_output(y: &Tensor, grad: &Tensor) -> Tensor {
+    y.zip_map(grad, |yv, g| g * (1.0 - yv * yv))
+}
+
+/// Numerically stable row-wise softmax of a 2D tensor.
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    let (m, n) = (x.rows(), x.cols());
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        let row = x.row(i);
+        let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let orow = out.row_mut(i);
+        let mut total = 0.0f32;
+        for (o, &v) in orow.iter_mut().zip(row.iter()) {
+            let e = (v - mx).exp();
+            *o = e;
+            total += e;
+        }
+        let inv = 1.0 / total;
+        for o in orow.iter_mut() {
+            *o *= inv;
+        }
+    }
+    out
+}
+
+/// Numerically stable row-wise log-softmax.
+pub fn log_softmax_rows(x: &Tensor) -> Tensor {
+    let (m, n) = (x.rows(), x.cols());
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        let row = x.row(i);
+        let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = row.iter().map(|&v| (v - mx).exp()).sum::<f32>().ln() + mx;
+        for (o, &v) in out.row_mut(i).iter_mut().zip(row.iter()) {
+            *o = v - lse;
+        }
+    }
+    out
+}
+
+/// Backward of softmax given the forward output `y` and upstream grad:
+/// dL/dx_i = y_i (g_i − Σ_j g_j y_j), row-wise.
+pub fn softmax_backward_from_output(y: &Tensor, grad: &Tensor) -> Tensor {
+    let (m, n) = (y.rows(), y.cols());
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        let yr = y.row(i);
+        let gr = grad.row(i);
+        let dot: f32 = yr.iter().zip(gr.iter()).map(|(&a, &b)| a * b).sum();
+        for ((o, &yv), &gv) in out.row_mut(i).iter_mut().zip(yr.iter()).zip(gr.iter()) {
+            *o = yv * (gv - dot);
+        }
+    }
+    out
+}
+
+/// Softplus log(1 + e^x), numerically stable.
+pub fn softplus(x: &Tensor) -> Tensor {
+    x.map(|v| {
+        if v > 20.0 {
+            v
+        } else if v < -20.0 {
+            v.exp()
+        } else {
+            (1.0 + v.exp()).ln()
+        }
+    })
+}
+
+/// Softplus derivative: sigmoid(x).
+pub fn softplus_backward(x: &Tensor, grad: &Tensor) -> Tensor {
+    x.zip_map(grad, |xv, g| g / (1.0 + (-xv).exp()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_check(
+        f: impl Fn(&Tensor) -> Tensor,
+        bwd: impl Fn(&Tensor, &Tensor) -> Tensor,
+        x: &Tensor,
+    ) {
+        // Loss = sum(f(x)); analytic grad vs central differences.
+        let ones = Tensor::full(&[x.rows(), x.cols()], 1.0);
+        let g = bwd(x, &ones);
+        let eps = 1e-3f32;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = ((f(&xp).sum() - f(&xm).sum()) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (num - g.data()[i]).abs() < 5e-3 * (1.0 + num.abs()),
+                "i={i}: {num} vs {}",
+                g.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn activation_gradients_match_fd() {
+        let x = Tensor::from_vec(&[2, 3], vec![-1.5, -0.2, 0.3, 1.0, 2.0, -3.0]);
+        fd_check(relu, relu_backward, &x);
+        fd_check(sigmoid, |x, g| sigmoid_backward_from_output(&sigmoid(x), g), &x);
+        fd_check(tanh, |x, g| tanh_backward_from_output(&tanh(x), g), &x);
+        fd_check(softplus, softplus_backward, &x);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 100.0]);
+        let y = softmax_rows(&x);
+        for i in 0..2 {
+            let s: f32 = y.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Huge logits stay finite.
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        let ls = log_softmax_rows(&x);
+        for i in 0..y.numel() {
+            assert!((ls.data()[i].exp() - y.data()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_fd() {
+        let x = Tensor::from_vec(&[1, 4], vec![0.5, -0.3, 0.8, 0.1]);
+        // Loss = sum(softmax(x) * w) for fixed weights w.
+        let w = Tensor::from_vec(&[1, 4], vec![1.0, -2.0, 0.5, 3.0]);
+        let y = softmax_rows(&x);
+        let g = softmax_backward_from_output(&y, &w);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = softmax_rows(&xp).mul(&w).sum();
+            let fm = softmax_rows(&xm).mul(&w).sum();
+            let num = ((fp - fm) / (2.0 * eps as f64)) as f32;
+            assert!((num - g.data()[i]).abs() < 1e-3, "{num} vs {}", g.data()[i]);
+        }
+    }
+}

@@ -1,0 +1,596 @@
+//! 3D convolution and pooling kernels.
+//!
+//! Two forward implementations are provided, reproducing the paper's §4.4.2
+//! optimization story:
+//!
+//! * [`conv3d_naive`] — direct convolution over the plain NCDHW layout, the
+//!   "default framework" baseline.
+//! * [`conv3d_blocked`] — direct convolution over a channel-blocked
+//!   NCDHW8c layout with an 8×8 micro-kernel, mirroring MKL-DNN's layout
+//!   (`{N, C, D, H, W, 8c}`) that "is more amenable for SIMD vectorization";
+//!   the paper measured **8×** on this kernel.
+//!
+//! Both compute identical results (tested); the training stack uses the
+//! blocked path. Backward kernels (data + weight gradients) are shared.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Channel block size of the packed layout (matches AVX2 8×f32 vectors).
+pub const CBLK: usize = 8;
+
+/// Static description of a 3D convolution (cubic kernel, stride 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv3dSpec {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Cubic kernel size.
+    pub k: usize,
+    /// Symmetric zero padding on every spatial side.
+    pub pad: usize,
+}
+
+impl Conv3dSpec {
+    /// Output spatial size for an input spatial size.
+    pub fn out_dim(&self, d: usize) -> usize {
+        d + 2 * self.pad + 1 - self.k
+    }
+
+    /// Multiply–add flop count of one forward pass over a batch.
+    pub fn flops(&self, batch: usize, d: usize, h: usize, w: usize) -> u64 {
+        let (od, oh, ow) = (self.out_dim(d), self.out_dim(h), self.out_dim(w));
+        2 * batch as u64
+            * self.out_c as u64
+            * self.in_c as u64
+            * (od * oh * ow) as u64
+            * (self.k * self.k * self.k) as u64
+    }
+}
+
+fn pad_input(x: &Tensor, pad: usize) -> Tensor {
+    if pad == 0 {
+        return x.clone();
+    }
+    let s = x.shape();
+    let (n, c, d, h, w) = (s[0], s[1], s[2], s[3], s[4]);
+    let (pd, ph, pw) = (d + 2 * pad, h + 2 * pad, w + 2 * pad);
+    let mut out = Tensor::zeros(&[n, c, pd, ph, pw]);
+    let xs = x.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            for di in 0..d {
+                for hi in 0..h {
+                    let src = ((((ni * c) + ci) * d + di) * h + hi) * w;
+                    let dst = ((((ni * c) + ci) * pd + di + pad) * ph + hi + pad) * pw + pad;
+                    od[dst..dst + w].copy_from_slice(&xs[src..src + w]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Direct 3D convolution over NCDHW (baseline path).
+///
+/// `x`: [N, C, D, H, W]; `weight`: [O, C, k, k, k]; `bias`: length O.
+/// Returns [N, O, OD, OH, OW].
+pub fn conv3d_naive(x: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv3dSpec) -> Tensor {
+    let s = x.shape().to_vec();
+    let (n, c, d, h, w) = (s[0], s[1], s[2], s[3], s[4]);
+    assert_eq!(c, spec.in_c);
+    assert_eq!(weight.shape(), &[spec.out_c, c, spec.k, spec.k, spec.k]);
+    assert_eq!(bias.len(), spec.out_c);
+    let xp = pad_input(x, spec.pad);
+    let (pd, ph, pw) = (d + 2 * spec.pad, h + 2 * spec.pad, w + 2 * spec.pad);
+    let (od, oh, ow) = (spec.out_dim(d), spec.out_dim(h), spec.out_dim(w));
+    let k = spec.k;
+    let mut out = Tensor::zeros(&[n, spec.out_c, od, oh, ow]);
+    let xd = xp.data();
+    let wd = weight.data();
+    let o_spatial = od * oh * ow;
+    out.data_mut()
+        .par_chunks_mut(o_spatial)
+        .enumerate()
+        .for_each(|(chunk_idx, ochunk)| {
+            let ni = chunk_idx / spec.out_c;
+            let oc = chunk_idx % spec.out_c;
+            for zo in 0..od {
+                for yo in 0..oh {
+                    for xo in 0..ow {
+                        let mut acc = bias[oc];
+                        for ci in 0..c {
+                            for kz in 0..k {
+                                for ky in 0..k {
+                                    for kx in 0..k {
+                                        let xi = ((((ni * c) + ci) * pd + zo + kz) * ph
+                                            + yo
+                                            + ky)
+                                            * pw
+                                            + xo
+                                            + kx;
+                                        let wi = ((((oc * c) + ci) * k + kz) * k + ky) * k + kx;
+                                        acc += xd[xi] * wd[wi];
+                                    }
+                                }
+                            }
+                        }
+                        ochunk[(zo * oh + yo) * ow + xo] = acc;
+                    }
+                }
+            }
+        });
+    out
+}
+
+/// Pack NCDHW → NCDHW8c: [N, ceil(C/8), D, H, W, 8], zero-padding channels.
+pub fn pack_ncdhw8c(x: &Tensor) -> (Tensor, usize) {
+    let s = x.shape().to_vec();
+    let (n, c, d, h, w) = (s[0], s[1], s[2], s[3], s[4]);
+    let cb = c.div_ceil(CBLK);
+    let mut out = Tensor::zeros(&[n, cb, d, h, w, CBLK]);
+    let xd = x.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let (b, r) = (ci / CBLK, ci % CBLK);
+            for di in 0..d {
+                for hi in 0..h {
+                    let src = ((((ni * c) + ci) * d + di) * h + hi) * w;
+                    let dst_base = (((((ni * cb) + b) * d + di) * h + hi) * w) * CBLK + r;
+                    for wi in 0..w {
+                        od[dst_base + wi * CBLK] = xd[src + wi];
+                    }
+                }
+            }
+        }
+    }
+    (out, cb)
+}
+
+/// Unpack NCDHW8c back to NCDHW with `c` true channels.
+pub fn unpack_ncdhw8c(xp: &Tensor, c: usize) -> Tensor {
+    let s = xp.shape().to_vec();
+    let (n, cb, d, h, w) = (s[0], s[1], s[2], s[3], s[4]);
+    assert_eq!(s[5], CBLK);
+    let mut out = Tensor::zeros(&[n, c, d, h, w]);
+    let xd = xp.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let (b, r) = (ci / CBLK, ci % CBLK);
+            for di in 0..d {
+                for hi in 0..h {
+                    let dst = ((((ni * c) + ci) * d + di) * h + hi) * w;
+                    let src_base = (((((ni * cb) + b) * d + di) * h + hi) * w) * CBLK + r;
+                    for wi in 0..w {
+                        od[dst + wi] = xd[src_base + wi * CBLK];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Pack weights [O, C, k, k, k] → [Ob, Cb, k, k, k, 8i, 8o] for the blocked
+/// kernel: at each kernel position an 8×8 (in×out) tile is contiguous.
+fn pack_weights(weight: &Tensor, spec: &Conv3dSpec) -> Tensor {
+    let (o, c, k) = (spec.out_c, spec.in_c, spec.k);
+    let ob = o.div_ceil(CBLK);
+    let cb = c.div_ceil(CBLK);
+    let mut out = Tensor::zeros(&[ob, cb, k, k, k, CBLK, CBLK]);
+    let wd = weight.data();
+    let od = out.data_mut();
+    for oc in 0..o {
+        let (obi, obr) = (oc / CBLK, oc % CBLK);
+        for ci in 0..c {
+            let (cbi, cbr) = (ci / CBLK, ci % CBLK);
+            for kz in 0..k {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let src = ((((oc * c) + ci) * k + kz) * k + ky) * k + kx;
+                        let dst = (((((obi * cb + cbi) * k + kz) * k + ky) * k + kx) * CBLK
+                            + cbr)
+                            * CBLK
+                            + obr;
+                        od[dst] = wd[src];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Blocked/vectorizable 3D convolution (NCDHW8c layout, 8×8 micro-kernel).
+///
+/// Semantically identical to [`conv3d_naive`]; the inner loop multiplies a
+/// contiguous 8-lane input vector with a contiguous 8×8 weight tile,
+/// accumulating 8 output channels at once — the MKL-DNN strategy from the
+/// paper.
+pub fn conv3d_blocked(x: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv3dSpec) -> Tensor {
+    let s = x.shape().to_vec();
+    let (n, c, d, h, w) = (s[0], s[1], s[2], s[3], s[4]);
+    assert_eq!(c, spec.in_c);
+    let xp = pad_input(x, spec.pad);
+    let (xb, cb) = pack_ncdhw8c(&xp);
+    let wp = pack_weights(weight, spec);
+    let (pd, ph, pw) = (d + 2 * spec.pad, h + 2 * spec.pad, w + 2 * spec.pad);
+    let (od, oh, ow) = (spec.out_dim(d), spec.out_dim(h), spec.out_dim(w));
+    let k = spec.k;
+    let ob = spec.out_c.div_ceil(CBLK);
+    let mut out_b = Tensor::zeros(&[n, ob, od, oh, ow, CBLK]);
+    let xd = xb.data();
+    let wd = wp.data();
+    let block_spatial = od * oh * ow * CBLK;
+    out_b
+        .data_mut()
+        .par_chunks_mut(block_spatial)
+        .enumerate()
+        .for_each(|(chunk_idx, ochunk)| {
+            let ni = chunk_idx / ob;
+            let obi = chunk_idx % ob;
+            // Initialize with bias.
+            for v in ochunk.chunks_mut(CBLK) {
+                for (r, vv) in v.iter_mut().enumerate() {
+                    let oc = obi * CBLK + r;
+                    *vv = if oc < spec.out_c { bias[oc] } else { 0.0 };
+                }
+            }
+            for cbi in 0..cb {
+                for kz in 0..k {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let wbase =
+                                ((((obi * cb + cbi) * k + kz) * k + ky) * k + kx) * CBLK * CBLK;
+                            let wtile = &wd[wbase..wbase + CBLK * CBLK];
+                            for zo in 0..od {
+                                let zrow = ((ni * cb + cbi) * pd + zo + kz) * ph;
+                                for yo in 0..oh {
+                                    let xrow = ((zrow + yo + ky) * pw + kx) * CBLK;
+                                    let orow = (zo * oh + yo) * ow * CBLK;
+                                    for xo in 0..ow {
+                                        let iv = &xd[xrow + xo * CBLK..xrow + (xo + 1) * CBLK];
+                                        let ov =
+                                            &mut ochunk[orow + xo * CBLK..orow + (xo + 1) * CBLK];
+                                        // 8x8 micro-kernel: ov[o] += iv[i] * wtile[i*8+o]
+                                        for (i, &ivv) in iv.iter().enumerate() {
+                                            if ivv != 0.0 {
+                                                let wrow = &wtile[i * CBLK..(i + 1) * CBLK];
+                                                for (o, &wv) in wrow.iter().enumerate() {
+                                                    ov[o] += ivv * wv;
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    // Unpack [N, Ob, OD, OH, OW, 8] → [N, O, OD, OH, OW].
+    let packed = out_b.reshape(&[n, ob, od, oh, ow, CBLK]);
+    unpack_ncdhw8c(&packed, spec.out_c)
+}
+
+/// Gradient of the convolution w.r.t. its input.
+///
+/// `grad_out`: [N, O, OD, OH, OW] → returns [N, C, D, H, W].
+pub fn conv3d_backward_data(
+    grad_out: &Tensor,
+    weight: &Tensor,
+    spec: &Conv3dSpec,
+    in_dims: (usize, usize, usize),
+) -> Tensor {
+    let (d, h, w) = in_dims;
+    let s = grad_out.shape().to_vec();
+    let (n, o, od, oh, ow) = (s[0], s[1], s[2], s[3], s[4]);
+    assert_eq!(o, spec.out_c);
+    let k = spec.k;
+    let (pd, ph, pw) = (d + 2 * spec.pad, h + 2 * spec.pad, w + 2 * spec.pad);
+    let c = spec.in_c;
+    let gd = grad_out.data();
+    let wd = weight.data();
+    // Accumulate into a padded gradient, then crop.
+    let mut gpad = Tensor::zeros(&[n, c, pd, ph, pw]);
+    let per_image = c * pd * ph * pw;
+    gpad.data_mut()
+        .par_chunks_mut(per_image)
+        .enumerate()
+        .for_each(|(ni, gimg)| {
+            for oc in 0..o {
+                for zo in 0..od {
+                    for yo in 0..oh {
+                        let grow = (((ni * o + oc) * od + zo) * oh + yo) * ow;
+                        for xo in 0..ow {
+                            let g = gd[grow + xo];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for ci in 0..c {
+                                for kz in 0..k {
+                                    for ky in 0..k {
+                                        let wbase = ((((oc * c) + ci) * k + kz) * k + ky) * k;
+                                        let xbase =
+                                            (((ci * pd) + zo + kz) * ph + yo + ky) * pw + xo;
+                                        for kx in 0..k {
+                                            gimg[xbase + kx] += g * wd[wbase + kx];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    // Crop padding.
+    if spec.pad == 0 {
+        return gpad.reshape(&[n, c, d, h, w]);
+    }
+    let mut out = Tensor::zeros(&[n, c, d, h, w]);
+    let gp = gpad.data();
+    let odp = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            for di in 0..d {
+                for hi in 0..h {
+                    let dst = ((((ni * c) + ci) * d + di) * h + hi) * w;
+                    let src = ((((ni * c) + ci) * pd + di + spec.pad) * ph + hi + spec.pad) * pw
+                        + spec.pad;
+                    odp[dst..dst + w].copy_from_slice(&gp[src..src + w]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradients of the convolution w.r.t. weights and bias.
+///
+/// Returns (`grad_weight` [O, C, k, k, k], `grad_bias` [O]).
+pub fn conv3d_backward_weights(
+    x: &Tensor,
+    grad_out: &Tensor,
+    spec: &Conv3dSpec,
+) -> (Tensor, Vec<f32>) {
+    let s = x.shape().to_vec();
+    let (n, c, d, h, w) = (s[0], s[1], s[2], s[3], s[4]);
+    let so = grad_out.shape().to_vec();
+    let (_, o, od, oh, ow) = (so[0], so[1], so[2], so[3], so[4]);
+    let k = spec.k;
+    let xp = pad_input(x, spec.pad);
+    let (pd, ph, pw) = (d + 2 * spec.pad, h + 2 * spec.pad, w + 2 * spec.pad);
+    let xd = xp.data();
+    let gd = grad_out.data();
+    // Parallelize over output channels: each owns an independent weight slab.
+    let wlen = c * k * k * k;
+    let mut gw = Tensor::zeros(&[o, c, k, k, k]);
+    let mut gb = vec![0.0f32; o];
+    let gb_chunks: Vec<f32> = (0..o)
+        .into_par_iter()
+        .map(|oc| {
+            let mut acc = 0.0f32;
+            for ni in 0..n {
+                let base = (((ni * o + oc) * od) * oh) * ow;
+                for idx in 0..od * oh * ow {
+                    acc += gd[base + idx];
+                }
+            }
+            acc
+        })
+        .collect();
+    gb.copy_from_slice(&gb_chunks);
+    gw.data_mut()
+        .par_chunks_mut(wlen)
+        .enumerate()
+        .for_each(|(oc, wslab)| {
+            for ni in 0..n {
+                for zo in 0..od {
+                    for yo in 0..oh {
+                        let grow = (((ni * o + oc) * od + zo) * oh + yo) * ow;
+                        for xo in 0..ow {
+                            let g = gd[grow + xo];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for ci in 0..c {
+                                for kz in 0..k {
+                                    for ky in 0..k {
+                                        let wbase = (((ci * k) + kz) * k + ky) * k;
+                                        let xbase = ((((ni * c) + ci) * pd + zo + kz) * ph
+                                            + yo
+                                            + ky)
+                                            * pw
+                                            + xo;
+                                        for kx in 0..k {
+                                            wslab[wbase + kx] += g * xd[xbase + kx];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    (gw, gb)
+}
+
+/// 3D max pooling with cubic window/stride `k`. Returns the pooled tensor and
+/// the flat argmax indices (into the input) used by the backward pass.
+pub fn maxpool3d(x: &Tensor, k: usize) -> (Tensor, Vec<u32>) {
+    let s = x.shape().to_vec();
+    let (n, c, d, h, w) = (s[0], s[1], s[2], s[3], s[4]);
+    let (od, oh, ow) = (d / k, h / k, w / k);
+    assert!(od > 0 && oh > 0 && ow > 0, "pool window larger than input");
+    let mut out = Tensor::zeros(&[n, c, od, oh, ow]);
+    let mut arg = vec![0u32; out.numel()];
+    let xd = x.data();
+    let odat = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            for zo in 0..od {
+                for yo in 0..oh {
+                    for xo in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for kz in 0..k {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let idx = ((((ni * c) + ci) * d + zo * k + kz) * h
+                                        + yo * k
+                                        + ky)
+                                        * w
+                                        + xo * k
+                                        + kx;
+                                    if xd[idx] > best {
+                                        best = xd[idx];
+                                        best_idx = idx;
+                                    }
+                                }
+                            }
+                        }
+                        let oidx = ((((ni * c) + ci) * od + zo) * oh + yo) * ow + xo;
+                        odat[oidx] = best;
+                        arg[oidx] = best_idx as u32;
+                    }
+                }
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// Backward of [`maxpool3d`]: scatter output gradients to argmax positions.
+pub fn maxpool3d_backward(grad_out: &Tensor, arg: &[u32], in_shape: &[usize]) -> Tensor {
+    let mut gx = Tensor::zeros(in_shape);
+    let gd = grad_out.data();
+    let gxd = gx.data_mut();
+    for (i, &a) in arg.iter().enumerate() {
+        gxd[a as usize] += gd[i];
+    }
+    gx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+        let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+        Tensor::from_fn(shape, |_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 11) as f64 / (1u64 << 53) as f64) as f32 - 0.5
+        })
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for &c in &[1usize, 3, 8, 11, 16] {
+            let x = rand_tensor(&[2, c, 3, 4, 5], c as u64);
+            let (p, cb) = pack_ncdhw8c(&x);
+            assert_eq!(cb, c.div_ceil(8));
+            let u = unpack_ncdhw8c(&p, c);
+            assert_close(&u, &x, 0.0);
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        for &(c, o, pad) in &[(1usize, 8usize, 1usize), (3, 5, 0), (8, 16, 1), (10, 12, 1)] {
+            let spec = Conv3dSpec { in_c: c, out_c: o, k: 3, pad };
+            let x = rand_tensor(&[2, c, 5, 6, 7], 7 + c as u64);
+            let wt = rand_tensor(&[o, c, 3, 3, 3], 11 + o as u64);
+            let bias: Vec<f32> = (0..o).map(|i| i as f32 * 0.1).collect();
+            let a = conv3d_naive(&x, &wt, &bias, &spec);
+            let b = conv3d_blocked(&x, &wt, &bias, &spec);
+            assert_close(&a, &b, 1e-4);
+        }
+    }
+
+    #[test]
+    fn conv_backward_data_matches_finite_difference() {
+        let spec = Conv3dSpec { in_c: 2, out_c: 3, k: 3, pad: 1 };
+        let x = rand_tensor(&[1, 2, 4, 4, 4], 21);
+        let wt = rand_tensor(&[3, 2, 3, 3, 3], 22);
+        let bias = vec![0.0; 3];
+        // Loss = sum(conv(x)); dL/dx via backward with grad_out = ones.
+        let y = conv3d_naive(&x, &wt, &bias, &spec);
+        let ones = Tensor::full(y.shape(), 1.0);
+        let gx = conv3d_backward_data(&ones, &wt, &spec, (4, 4, 4));
+        let eps = 1e-2f32;
+        for &flat in &[0usize, 17, 63, 100] {
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let fp = conv3d_naive(&xp, &wt, &bias, &spec).sum();
+            let fm = conv3d_naive(&xm, &wt, &bias, &spec).sum();
+            let num = ((fp - fm) / (2.0 * eps as f64)) as f32;
+            let ana = gx.data()[flat];
+            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "{num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn conv_backward_weights_matches_finite_difference() {
+        let spec = Conv3dSpec { in_c: 2, out_c: 2, k: 3, pad: 1 };
+        let x = rand_tensor(&[2, 2, 4, 4, 4], 31);
+        let wt = rand_tensor(&[2, 2, 3, 3, 3], 32);
+        let bias = vec![0.1, -0.2];
+        let y = conv3d_naive(&x, &wt, &bias, &spec);
+        let ones = Tensor::full(y.shape(), 1.0);
+        let (gw, gb) = conv3d_backward_weights(&x, &ones, &spec);
+        let eps = 1e-2f32;
+        for &flat in &[0usize, 13, 53, 100] {
+            let mut wp = wt.clone();
+            wp.data_mut()[flat] += eps;
+            let mut wm = wt.clone();
+            wm.data_mut()[flat] -= eps;
+            let fp = conv3d_naive(&x, &wp, &bias, &spec).sum();
+            let fm = conv3d_naive(&x, &wm, &bias, &spec).sum();
+            let num = ((fp - fm) / (2.0 * eps as f64)) as f32;
+            let ana = gw.data()[flat];
+            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "{num} vs {ana}");
+        }
+        // Bias gradient = number of output voxels per channel (grad_out = 1).
+        let per_chan = (y.numel() / 2) as f32;
+        assert!((gb[0] - per_chan).abs() < 1e-3);
+    }
+
+    #[test]
+    fn maxpool_forward_backward() {
+        let x = Tensor::from_fn(&[1, 1, 2, 2, 2], |i| i as f32);
+        let (y, arg) = maxpool3d(&x, 2);
+        assert_eq!(y.shape(), &[1, 1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 7.0);
+        let g = Tensor::full(&[1, 1, 1, 1, 1], 2.0);
+        let gx = maxpool3d_backward(&g, &arg, &[1, 1, 2, 2, 2]);
+        assert_eq!(gx.data()[7], 2.0);
+        assert_eq!(gx.sum(), 2.0);
+    }
+
+    #[test]
+    fn flop_count() {
+        let spec = Conv3dSpec { in_c: 1, out_c: 64, k: 3, pad: 1 };
+        // out dims = in dims with pad=1, k=3.
+        assert_eq!(spec.out_dim(20), 20);
+        let f = spec.flops(1, 20, 35, 35);
+        assert_eq!(f, 2 * 64 * (20 * 35 * 35) as u64 * 27);
+    }
+}

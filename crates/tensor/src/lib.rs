@@ -1,0 +1,26 @@
+//! # etalumis-tensor
+//!
+//! The dense f32 tensor substrate underneath the etalumis-rs neural network
+//! stack — the from-scratch stand-in for the PyTorch + MKL-DNN layer the
+//! paper optimizes in §4.4.2.
+//!
+//! * [`Tensor`] — row-major dense tensors with elementwise ops.
+//! * [`gemm`] — blocked, rayon-parallel matrix products (forward, `A·Bᵀ`,
+//!   `Aᵀ·B`) powering the LSTM and dense layers.
+//! * [`conv`] — direct 3D convolution in two flavours: plain NCDHW
+//!   ([`conv::conv3d_naive`]) and the channel-blocked NCDHW8c layout with an
+//!   8×8 micro-kernel ([`conv::conv3d_blocked`]) that reproduces the
+//!   MKL-DNN vectorization strategy (the paper's 8× Conv3D kernel win),
+//!   plus max pooling and all backward kernels.
+//! * [`activations`] — ReLU/sigmoid/tanh/softmax/softplus with derivatives.
+//! * [`flops`] — analytic flop accounting used to report Gflop/s in the
+//!   Table 2 reproduction.
+
+pub mod activations;
+pub mod conv;
+pub mod flops;
+pub mod gemm;
+pub mod tensor;
+
+pub use conv::Conv3dSpec;
+pub use tensor::Tensor;

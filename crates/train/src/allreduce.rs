@@ -1,0 +1,307 @@
+//! Synchronous allreduce over rank threads, with the paper's optimizations.
+//!
+//! Paper §4.4.4: "the set of non-null gradient tensors differs for each rank
+//! and is a small fraction of the total set of tensors. Therefore we first
+//! perform an allreduce to obtain a map of all the tensors that are present
+//! on all ranks; then ... we reduce all of the gradient tensors in the list"
+//! — with small tensors concatenated into one buffer so the communication is
+//! a single bandwidth-bound operation instead of thousands of latency-bound
+//! calls. Reducing only non-null gradients gave 4×; concatenation removed
+//! the remaining per-tensor latency.
+//!
+//! Ranks are threads sharing an [`AllReduceCtx`]; every reduction "round"
+//! costs two barrier crossings (mirroring an `MPI_Allreduce` call), so the
+//! per-tensor strategy pays the latency the paper measured and the
+//! concatenated strategy amortizes it.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// Reduction strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllReduceStrategy {
+    /// One reduction round per tensor, all tensors (pre-optimization).
+    DensePerTensor,
+    /// Presence-map round, then one round per non-null tensor (4× step).
+    SparsePerTensor,
+    /// Presence-map round, then a single concatenated round (full
+    /// optimization).
+    SparseConcat,
+}
+
+/// Shared state for `n` rank threads.
+pub struct AllReduceCtx {
+    n: usize,
+    barrier: Barrier,
+    buffer: Mutex<Vec<f32>>,
+    flags: Mutex<Vec<bool>>,
+    /// Reduction rounds performed (for instrumentation).
+    rounds: AtomicUsize,
+}
+
+impl AllReduceCtx {
+    /// New context for `n` ranks.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            barrier: Barrier::new(n),
+            buffer: Mutex::new(Vec::new()),
+            flags: Mutex::new(Vec::new()),
+            rounds: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of participating ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.n
+    }
+
+    /// Total reduction rounds so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// One synchronous sum-reduction round over a flat buffer; on return
+    /// every rank's `data` holds the element-wise sum across ranks.
+    pub fn reduce_sum(&self, data: &mut [f32]) {
+        // Round 1: first rank to arrive sizes the buffer; all add.
+        self.barrier.wait();
+        {
+            let mut buf = self.buffer.lock();
+            if buf.len() != data.len() {
+                buf.clear();
+                buf.resize(data.len(), 0.0);
+            }
+            for (b, &d) in buf.iter_mut().zip(data.iter()) {
+                *b += d;
+            }
+        }
+        self.barrier.wait();
+        {
+            let buf = self.buffer.lock();
+            data.copy_from_slice(&buf);
+        }
+        self.barrier.wait();
+        // One rank clears for the next round (rank-agnostic: the first one
+        // through the lock after the last barrier).
+        {
+            let mut buf = self.buffer.lock();
+            if !buf.is_empty() {
+                buf.clear();
+            }
+        }
+        self.barrier.wait();
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Synchronous logical-OR reduction of a presence bitmap.
+    pub fn reduce_or(&self, bits: &mut [bool]) {
+        self.barrier.wait();
+        {
+            let mut fl = self.flags.lock();
+            if fl.len() != bits.len() {
+                fl.clear();
+                fl.resize(bits.len(), false);
+            }
+            for (f, &b) in fl.iter_mut().zip(bits.iter()) {
+                *f |= b;
+            }
+        }
+        self.barrier.wait();
+        {
+            let fl = self.flags.lock();
+            bits.copy_from_slice(&fl);
+        }
+        self.barrier.wait();
+        {
+            let mut fl = self.flags.lock();
+            if !fl.is_empty() {
+                fl.clear();
+            }
+        }
+        self.barrier.wait();
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Allreduce-average a list of named gradient tensors under a strategy.
+    ///
+    /// Every rank must call this with the same tensor list (same names,
+    /// same order, same shapes) — exactly the contract of the paper's
+    /// globally shared pre-generated network. Returns the number of scalar
+    /// elements communicated by this rank.
+    pub fn allreduce_gradients(
+        &self,
+        grads: &mut [(&str, &mut [f32])],
+        strategy: AllReduceStrategy,
+    ) -> usize {
+        let inv_n = 1.0 / self.n as f32;
+        match strategy {
+            AllReduceStrategy::DensePerTensor => {
+                let mut elems = 0;
+                for (_, g) in grads.iter_mut() {
+                    self.reduce_sum(g);
+                    for v in g.iter_mut() {
+                        *v *= inv_n;
+                    }
+                    elems += g.len();
+                }
+                elems
+            }
+            AllReduceStrategy::SparsePerTensor | AllReduceStrategy::SparseConcat => {
+                // Presence map: which tensors have any non-zero gradient on
+                // any rank.
+                let mut present: Vec<bool> =
+                    grads.iter().map(|(_, g)| g.iter().any(|&x| x != 0.0)).collect();
+                self.reduce_or(&mut present);
+                if strategy == AllReduceStrategy::SparsePerTensor {
+                    let mut elems = present.len();
+                    for (i, (_, g)) in grads.iter_mut().enumerate() {
+                        if present[i] {
+                            self.reduce_sum(g);
+                            for v in g.iter_mut() {
+                                *v *= inv_n;
+                            }
+                            elems += g.len();
+                        }
+                    }
+                    elems
+                } else {
+                    // Concatenate all present tensors into one buffer.
+                    let total: usize = grads
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| present[*i])
+                        .map(|(_, (_, g))| g.len())
+                        .sum();
+                    let mut buf = Vec::with_capacity(total);
+                    for (i, (_, g)) in grads.iter().enumerate() {
+                        if present[i] {
+                            buf.extend_from_slice(g);
+                        }
+                    }
+                    self.reduce_sum(&mut buf);
+                    let mut off = 0;
+                    for (i, (_, g)) in grads.iter_mut().enumerate() {
+                        if present[i] {
+                            let len = g.len();
+                            for (dst, src) in g.iter_mut().zip(buf[off..off + len].iter()) {
+                                *dst = src * inv_n;
+                            }
+                            off += len;
+                        }
+                    }
+                    present.len() + total
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn run_ranks<F: Fn(usize) + Sync>(n: usize, f: F) {
+        std::thread::scope(|s| {
+            for r in 0..n {
+                let f = &f;
+                s.spawn(move || f(r));
+            }
+        });
+    }
+
+    #[test]
+    fn reduce_sum_sums_across_ranks() {
+        let ctx = Arc::new(AllReduceCtx::new(3));
+        let out = Mutex::new(vec![Vec::new(); 3]);
+        run_ranks(3, |r| {
+            let mut data = vec![r as f32 + 1.0; 4];
+            ctx.reduce_sum(&mut data);
+            out.lock()[r] = data;
+        });
+        let res = out.lock();
+        for r in 0..3 {
+            assert_eq!(res[r], vec![6.0; 4], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn repeated_rounds_do_not_leak_state() {
+        let ctx = Arc::new(AllReduceCtx::new(2));
+        run_ranks(2, |r| {
+            for round in 0..5 {
+                let mut data = vec![(r + round) as f32; 3];
+                ctx.reduce_sum(&mut data);
+                let expect = (0 + round) as f32 + (1 + round) as f32;
+                assert_eq!(data, vec![expect; 3], "round {round}");
+            }
+        });
+        assert_eq!(ctx.rounds(), 10); // 5 rounds × both ranks counted once each...
+    }
+
+    #[test]
+    fn strategies_agree_on_the_averaged_result() {
+        for strategy in [
+            AllReduceStrategy::DensePerTensor,
+            AllReduceStrategy::SparsePerTensor,
+            AllReduceStrategy::SparseConcat,
+        ] {
+            let ctx = Arc::new(AllReduceCtx::new(2));
+            let results = Mutex::new(vec![Vec::<Vec<f32>>::new(); 2]);
+            run_ranks(2, |r| {
+                // Rank 0 has grads in tensor A only; rank 1 in tensor B only;
+                // tensor C is null on both (skipped by sparse strategies).
+                let mut a = if r == 0 { vec![2.0, 4.0] } else { vec![0.0, 0.0] };
+                let mut b = if r == 1 { vec![6.0] } else { vec![0.0] };
+                let mut c = vec![0.0, 0.0, 0.0];
+                {
+                    let mut list: Vec<(&str, &mut [f32])> =
+                        vec![("a", &mut a), ("b", &mut b), ("c", &mut c)];
+                    ctx.allreduce_gradients(&mut list, strategy);
+                }
+                results.lock()[r] = vec![a, b, c];
+            });
+            let res = results.lock();
+            for r in 0..2 {
+                assert_eq!(res[r][0], vec![1.0, 2.0], "{strategy:?} rank {r} tensor a");
+                assert_eq!(res[r][1], vec![3.0], "{strategy:?} rank {r} tensor b");
+                assert_eq!(res[r][2], vec![0.0, 0.0, 0.0], "{strategy:?} tensor c");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_strategies_move_fewer_elements() {
+        let ctx_dense = Arc::new(AllReduceCtx::new(2));
+        let ctx_sparse = Arc::new(AllReduceCtx::new(2));
+        let dense_elems = Mutex::new(0usize);
+        let sparse_elems = Mutex::new(0usize);
+        run_ranks(2, |r| {
+            let mut tensors: Vec<Vec<f32>> =
+                (0..10).map(|i| if i == r { vec![1.0; 100] } else { vec![0.0; 100] }).collect();
+            {
+                let mut list: Vec<(&str, &mut [f32])> =
+                    tensors.iter_mut().map(|t| ("t", t.as_mut_slice())).collect();
+                let e = ctx_dense.allreduce_gradients(&mut list, AllReduceStrategy::DensePerTensor);
+                if r == 0 {
+                    *dense_elems.lock() = e;
+                }
+            }
+            let mut tensors2: Vec<Vec<f32>> =
+                (0..10).map(|i| if i == r { vec![1.0; 100] } else { vec![0.0; 100] }).collect();
+            {
+                let mut list: Vec<(&str, &mut [f32])> =
+                    tensors2.iter_mut().map(|t| ("t", t.as_mut_slice())).collect();
+                let e = ctx_sparse.allreduce_gradients(&mut list, AllReduceStrategy::SparseConcat);
+                if r == 0 {
+                    *sparse_elems.lock() = e;
+                }
+            }
+        });
+        assert_eq!(*dense_elems.lock(), 1000);
+        // Sparse: presence map (10) + 2 non-null tensors (200).
+        assert_eq!(*sparse_elems.lock(), 210);
+    }
+}

@@ -1,0 +1,423 @@
+//! Distributed synchronous data-parallel training (Algorithm 2).
+//!
+//! Ranks are OS threads, each holding an identical replica of the
+//! pre-generated IC network (offline mode, §4.4) and its own optimizer
+//! state; every iteration they read their minibatch from the shared sorted
+//! dataset via the distributed sampler, compute gradients, average them with
+//! a synchronous allreduce, and apply the same update — so all replicas stay
+//! bit-identical, exactly like MPI synchronous SGD.
+//!
+//! Per-rank, per-iteration phase timings (minibatch read / forward /
+//! backward / optimizer / sync) are recorded — the measurements behind the
+//! paper's Figure 4 load-imbalance analysis.
+
+use crate::allreduce::{AllReduceCtx, AllReduceStrategy};
+use crate::network::{IcConfig, IcNetwork};
+use crate::trainer::{accumulate_minibatch, PhaseTimings};
+use etalumis_data::{DistributedSampler, SamplerConfig, TraceDataset};
+use etalumis_nn::{Adam, LrSchedule, Module, Optimizer};
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Distributed-training configuration.
+#[derive(Clone, Debug)]
+pub struct DistConfig {
+    /// Number of rank threads.
+    pub ranks: usize,
+    /// Local minibatch size per rank (paper: 64).
+    pub minibatch_per_rank: usize,
+    /// Training epochs over the dataset.
+    pub epochs: usize,
+    /// Cap on total iterations (None = full epochs).
+    pub max_iterations: Option<usize>,
+    /// Gradient-reduction strategy.
+    pub strategy: AllReduceStrategy,
+    /// Learning-rate schedule for Adam.
+    pub lr: LrSchedule,
+    /// Optional LARC trust coefficient (Adam-LARC when set).
+    pub larc_trust: Option<f64>,
+    /// Number of length buckets in the sampler (1 = none).
+    pub buckets: usize,
+    /// Sampler shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        Self {
+            ranks: 2,
+            minibatch_per_rank: 16,
+            epochs: 1,
+            max_iterations: None,
+            strategy: AllReduceStrategy::SparseConcat,
+            lr: LrSchedule::Constant(1e-3),
+            larc_trust: None,
+            buckets: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a distributed run.
+#[derive(Debug, Default)]
+pub struct DistReport {
+    /// Global mean loss per iteration (allreduced).
+    pub losses: Vec<f64>,
+    /// Phase timings: `[rank][iteration]`.
+    pub per_rank_timings: Vec<Vec<PhaseTimings>>,
+    /// Total traces consumed across ranks.
+    pub traces_total: usize,
+    /// Wall-clock seconds of the parallel section.
+    pub wall_secs: f64,
+    /// Scalar elements communicated per rank per iteration (mean).
+    pub comm_elems_per_iter: f64,
+}
+
+impl DistReport {
+    /// Aggregate throughput in traces/s.
+    pub fn traces_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.traces_total as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Figure 4 decomposition: per-phase (actual, best) times, where
+    /// *actual* sums the per-iteration maxima over ranks (what the job
+    /// really took) and *best* sums the per-iteration means (the
+    /// no-imbalance bound).
+    pub fn actual_vs_best(&self) -> (PhaseTimings, PhaseTimings) {
+        let iters = self.per_rank_timings.iter().map(|r| r.len()).min().unwrap_or(0);
+        let ranks = self.per_rank_timings.len();
+        let mut actual = PhaseTimings::default();
+        let mut best = PhaseTimings::default();
+        for it in 0..iters {
+            // Max total work across ranks (the rank everyone waits for).
+            let mut max_total = 0.0;
+            let mut max_rank = 0;
+            let mut mean = PhaseTimings::default();
+            for r in 0..ranks {
+                let t = &self.per_rank_timings[r][it];
+                let work = t.batch_read + t.forward + t.backward + t.optimizer;
+                if work > max_total {
+                    max_total = work;
+                    max_rank = r;
+                }
+                mean.add(t);
+            }
+            actual.add(&self.per_rank_timings[max_rank][it]);
+            best.add(&mean.scale(1.0 / ranks as f64));
+        }
+        (actual, best)
+    }
+}
+
+fn allreduce_network(ctx: &AllReduceCtx, net: &mut IcNetwork, strategy: AllReduceStrategy) -> usize {
+    let n = ctx.num_ranks() as f32;
+    match strategy {
+        AllReduceStrategy::DensePerTensor => {
+            let mut elems = 0usize;
+            net.visit_params("", &mut |_, p| {
+                ctx.reduce_sum(p.grad.data_mut());
+                p.grad.scale(1.0 / n);
+                elems += p.grad.numel();
+            });
+            elems
+        }
+        AllReduceStrategy::SparsePerTensor => {
+            let mut present = Vec::new();
+            net.visit_params("", &mut |_, p| {
+                present.push(p.grad.data().iter().any(|&x| x != 0.0));
+            });
+            ctx.reduce_or(&mut present);
+            let mut elems = present.len();
+            let mut i = 0usize;
+            net.visit_params("", &mut |_, p| {
+                if present[i] {
+                    ctx.reduce_sum(p.grad.data_mut());
+                    p.grad.scale(1.0 / n);
+                    elems += p.grad.numel();
+                }
+                i += 1;
+            });
+            elems
+        }
+        AllReduceStrategy::SparseConcat => {
+            let mut present = Vec::new();
+            net.visit_params("", &mut |_, p| {
+                present.push(p.grad.data().iter().any(|&x| x != 0.0));
+            });
+            ctx.reduce_or(&mut present);
+            // Gather present grads into one buffer.
+            let mut buf: Vec<f32> = Vec::new();
+            let mut i = 0usize;
+            net.visit_params("", &mut |_, p| {
+                if present[i] {
+                    buf.extend_from_slice(p.grad.data());
+                }
+                i += 1;
+            });
+            ctx.reduce_sum(&mut buf);
+            let mut off = 0usize;
+            let mut i = 0usize;
+            let elems = present.len() + buf.len();
+            net.visit_params("", &mut |_, p| {
+                if present[i] {
+                    let len = p.grad.numel();
+                    for (dst, src) in
+                        p.grad.data_mut().iter_mut().zip(buf[off..off + len].iter())
+                    {
+                        *dst = src / n;
+                    }
+                    off += len;
+                }
+                i += 1;
+            });
+            elems
+        }
+    }
+}
+
+/// Run Algorithm 2: returns the rank-0 network (all replicas are identical)
+/// and the run report.
+pub fn train_distributed(
+    dataset: &TraceDataset,
+    net_config: IcConfig,
+    dist: &DistConfig,
+) -> (IcNetwork, DistReport) {
+    let ranks = dist.ranks;
+    let meta: Vec<(u64, u32)> = (0..dataset.len()).map(|i| dataset.meta(i)).collect();
+    let sampler = DistributedSampler::new(
+        meta,
+        SamplerConfig {
+            minibatch: dist.minibatch_per_rank,
+            num_ranks: ranks,
+            buckets: dist.buckets,
+            seed: dist.seed,
+        },
+    );
+    // Every rank pre-generates the same network from the same dataset.
+    let all_indices: Vec<usize> = (0..dataset.len()).collect();
+    let pregen_records = dataset.get_many(&all_indices).expect("dataset read");
+    let ctx = AllReduceCtx::new(ranks);
+    let losses: Mutex<Vec<Vec<f64>>> = Mutex::new(vec![Vec::new(); ranks]);
+    let timings: Mutex<Vec<Vec<PhaseTimings>>> = Mutex::new(vec![Vec::new(); ranks]);
+    let traces_total = std::sync::atomic::AtomicUsize::new(0);
+    let comm_elems = std::sync::atomic::AtomicUsize::new(0);
+    let nets: Mutex<Vec<Option<IcNetwork>>> = Mutex::new((0..ranks).map(|_| None).collect());
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for rank in 0..ranks {
+            let ctx = &ctx;
+            let sampler = &sampler;
+            let pregen_records = &pregen_records;
+            let losses = &losses;
+            let timings = &timings;
+            let traces_total = &traces_total;
+            let comm_elems = &comm_elems;
+            let nets = &nets;
+            let net_config = net_config.clone();
+            s.spawn(move || {
+                let mut net = IcNetwork::new(net_config);
+                net.pregenerate(pregen_records.iter());
+                let mut opt = match dist.larc_trust {
+                    Some(t) => Adam::with_larc(dist.lr.clone(), t),
+                    None => Adam::new(dist.lr.clone()),
+                };
+                let mut iter_count = 0usize;
+                'outer: for epoch in 0..dist.epochs {
+                    let plan = sampler.epoch(epoch);
+                    let iters = plan.iterations();
+                    for it in 0..iters {
+                        if let Some(cap) = dist.max_iterations {
+                            if iter_count >= cap {
+                                break 'outer;
+                            }
+                        }
+                        let mut t = PhaseTimings::default();
+                        let t0 = Instant::now();
+                        let records = dataset
+                            .get_many(&plan.per_rank[rank][it])
+                            .expect("minibatch read");
+                        t.batch_read = t0.elapsed().as_secs_f64();
+                        let res = accumulate_minibatch(&mut net, &records);
+                        t.forward = res.timings.forward;
+                        t.backward = res.timings.backward;
+                        // Gradient + loss allreduce (the sync phase).
+                        let ts = Instant::now();
+                        let elems = allreduce_network(ctx, &mut net, dist.strategy);
+                        let mut stats = [res.loss * res.used as f64, res.used as f64];
+                        {
+                            let mut f32buf =
+                                [stats[0] as f32, stats[1] as f32];
+                            ctx.reduce_sum(&mut f32buf);
+                            stats = [f32buf[0] as f64, f32buf[1] as f64];
+                        }
+                        t.sync = ts.elapsed().as_secs_f64();
+                        let topt = Instant::now();
+                        opt.begin_step();
+                        net.visit_params("", &mut |n, p| opt.update(n, p));
+                        t.optimizer = topt.elapsed().as_secs_f64();
+                        let global_loss = if stats[1] > 0.0 { stats[0] / stats[1] } else { f64::NAN };
+                        losses.lock()[rank].push(global_loss);
+                        timings.lock()[rank].push(t);
+                        traces_total.fetch_add(res.used, std::sync::atomic::Ordering::Relaxed);
+                        comm_elems.fetch_add(elems, std::sync::atomic::Ordering::Relaxed);
+                        iter_count += 1;
+                    }
+                }
+                nets.lock()[rank] = Some(net);
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let losses = losses.into_inner();
+    let timings = timings.into_inner();
+    let iters_done = losses[0].len();
+    let report = DistReport {
+        losses: losses[0].clone(),
+        per_rank_timings: timings,
+        traces_total: traces_total.into_inner(),
+        wall_secs: wall,
+        comm_elems_per_iter: if iters_done > 0 {
+            comm_elems.into_inner() as f64 / (iters_done * ranks) as f64
+        } else {
+            0.0
+        },
+    };
+    let net = nets.into_inner().remove(0).expect("rank 0 network");
+    (net, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etalumis_data::{generate_dataset, sort_dataset};
+    use etalumis_simulators::BranchingModel;
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("etalumis_dist_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn small_ic() -> IcConfig {
+        IcConfig::small([1, 1, 1], 5)
+    }
+
+    #[test]
+    fn distributed_losses_decrease_and_replicas_agree() {
+        let dir = tmp("train");
+        let mut m = BranchingModel::standard();
+        let ds = generate_dataset(&mut m, 128, 64, &dir, 1, true).unwrap();
+        let ds = sort_dataset(&ds, &dir.join("sorted"), 64).unwrap();
+        let dist = DistConfig {
+            ranks: 2,
+            minibatch_per_rank: 8,
+            epochs: 6,
+            lr: LrSchedule::Constant(2e-3),
+            ..Default::default()
+        };
+        let (_net, report) = train_distributed(&ds, small_ic(), &dist);
+        assert!(!report.losses.is_empty());
+        let n = report.losses.len();
+        let head: f64 = report.losses[..3].iter().sum::<f64>() / 3.0;
+        let tail: f64 = report.losses[n - 3..].iter().sum::<f64>() / 3.0;
+        assert!(tail < head, "distributed loss should fall: {head} -> {tail}");
+        assert!(report.traces_per_sec() > 0.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn two_ranks_match_single_rank_big_batch() {
+        // One distributed iteration with 2 ranks × B equals one serial
+        // iteration with 2B traces (up to f32 reduction order).
+        let dir = tmp("equiv");
+        let mut m = BranchingModel::standard();
+        let ds = generate_dataset(&mut m, 32, 32, &dir, 3, true).unwrap();
+        let ds = sort_dataset(&ds, &dir.join("sorted"), 32).unwrap();
+        let dist = DistConfig {
+            ranks: 2,
+            minibatch_per_rank: 8,
+            epochs: 1,
+            max_iterations: Some(1),
+            lr: LrSchedule::Constant(1e-3),
+            seed: 4,
+            ..Default::default()
+        };
+        let (dnet, report) = train_distributed(&ds, small_ic(), &dist);
+        // Reconstruct the union of both ranks' first minibatches.
+        let meta: Vec<(u64, u32)> = (0..ds.len()).map(|i| ds.meta(i)).collect();
+        let sampler = DistributedSampler::new(
+            meta,
+            SamplerConfig { minibatch: 8, num_ranks: 2, buckets: 1, seed: 4 },
+        );
+        let plan = sampler.epoch(0);
+        let mut union: Vec<usize> = plan.per_rank[0][0].clone();
+        union.extend(&plan.per_rank[1][0]);
+        let records = ds.get_many(&union).unwrap();
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let pregen = ds.get_many(&all).unwrap();
+        let mut net = IcNetwork::new(small_ic());
+        net.pregenerate(pregen.iter());
+        let mut trainer =
+            crate::trainer::Trainer::new(net, Adam::new(LrSchedule::Constant(1e-3)));
+        let res = trainer.step(&records);
+        assert_eq!(res.used, 16);
+        // Compare parameters.
+        let mut pa = Vec::new();
+        let mut dnet = dnet;
+        dnet.visit_params("", &mut |n, p| pa.push((n.to_string(), p.value.clone())));
+        let mut pb = Vec::new();
+        trainer.net.visit_params("", &mut |n, p| pb.push((n.to_string(), p.value.clone())));
+        assert_eq!(pa.len(), pb.len());
+        let mut max_diff = 0.0f32;
+        for ((na, va), (_nb, vb)) in pa.iter().zip(pb.iter()) {
+            for (a, b) in va.data().iter().zip(vb.data().iter()) {
+                let d = (a - b).abs();
+                if d > max_diff {
+                    max_diff = d;
+                }
+            }
+            let _ = na;
+        }
+        assert!(
+            max_diff < 2e-4,
+            "2-rank and big-batch serial updates should match: max diff {max_diff}"
+        );
+        assert!(report.comm_elems_per_iter > 0.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn all_strategies_produce_identical_training() {
+        let dir = tmp("strat");
+        let mut m = BranchingModel::standard();
+        let ds = generate_dataset(&mut m, 64, 64, &dir, 6, true).unwrap();
+        let ds = sort_dataset(&ds, &dir.join("sorted"), 64).unwrap();
+        let mut final_losses = Vec::new();
+        for strategy in [
+            AllReduceStrategy::DensePerTensor,
+            AllReduceStrategy::SparsePerTensor,
+            AllReduceStrategy::SparseConcat,
+        ] {
+            let dist = DistConfig {
+                ranks: 2,
+                minibatch_per_rank: 8,
+                epochs: 2,
+                strategy,
+                lr: LrSchedule::Constant(1e-3),
+                seed: 9,
+                ..Default::default()
+            };
+            let (_, report) = train_distributed(&ds, small_ic(), &dist);
+            final_losses.push(report.losses.clone());
+        }
+        assert_eq!(final_losses[0], final_losses[1], "dense vs sparse");
+        assert_eq!(final_losses[0], final_losses[2], "dense vs concat");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,271 @@
+//! Single-process IC training (the per-rank inner loop of Algorithm 2).
+//!
+//! A minibatch is split into sub-minibatches by trace type (Algorithm 1),
+//! each processed in one batched forward/backward pass; gradients are scaled
+//! by 1/B, optionally clipped, and applied with the configured optimizer.
+
+use crate::network::IcNetwork;
+use etalumis_data::{DistributedSampler, SamplerConfig, TraceDataset, TraceRecord};
+use etalumis_nn::{clip_grad_norm, Module, Optimizer};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Per-iteration wall-time breakdown (the phases of Figure 4).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Minibatch read from the dataset (seconds).
+    pub batch_read: f64,
+    /// NN forward (CNN + LSTM).
+    pub forward: f64,
+    /// NN backward (heads + BPTT + CNN backward).
+    pub backward: f64,
+    /// Optimizer update.
+    pub optimizer: f64,
+    /// Gradient/loss synchronization (distributed only).
+    pub sync: f64,
+}
+
+impl PhaseTimings {
+    /// Total time across all phases.
+    pub fn total(&self) -> f64 {
+        self.batch_read + self.forward + self.backward + self.optimizer + self.sync
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, other: &PhaseTimings) {
+        self.batch_read += other.batch_read;
+        self.forward += other.forward;
+        self.backward += other.backward;
+        self.optimizer += other.optimizer;
+        self.sync += other.sync;
+    }
+
+    /// Elementwise scale.
+    pub fn scale(&self, s: f64) -> PhaseTimings {
+        PhaseTimings {
+            batch_read: self.batch_read * s,
+            forward: self.forward * s,
+            backward: self.backward * s,
+            optimizer: self.optimizer * s,
+            sync: self.sync * s,
+        }
+    }
+}
+
+/// Split records into sub-minibatches sharing one trace type (Algorithm 1).
+pub fn sub_minibatches(records: &[TraceRecord]) -> Vec<Vec<&TraceRecord>> {
+    let mut by_type: HashMap<u64, Vec<&TraceRecord>> = HashMap::new();
+    for r in records {
+        by_type.entry(r.trace_type).or_default().push(r);
+    }
+    let mut subs: Vec<Vec<&TraceRecord>> = by_type.into_values().collect();
+    // Deterministic order (largest first helps batching efficiency).
+    subs.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].trace_type.cmp(&b[0].trace_type)));
+    subs
+}
+
+/// Result of one training minibatch.
+#[derive(Clone, Copy, Debug)]
+pub struct StepResult {
+    /// Mean −log q loss over the traces actually used.
+    pub loss: f64,
+    /// Traces used (unknown-address traces are dropped when frozen).
+    pub used: usize,
+    /// Traces dropped.
+    pub dropped: usize,
+    /// Number of sub-minibatches (1 = perfectly homogeneous batch).
+    pub sub_minibatches: usize,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+}
+
+/// Compute gradients for one minibatch (no optimizer step): the shared part
+/// of serial and distributed training. Gradients are left scaled by 1/used.
+pub fn accumulate_minibatch(net: &mut IcNetwork, records: &[TraceRecord]) -> StepResult {
+    net.zero_grad();
+    let subs = sub_minibatches(records);
+    let n_subs = subs.len();
+    let mut loss_sum = 0.0;
+    let mut used = 0usize;
+    let mut dropped = 0usize;
+    let mut timings = PhaseTimings::default();
+    for sub in subs {
+        match net.loss_sub_minibatch(&sub) {
+            Some(l) => {
+                loss_sum += l;
+                used += sub.len();
+                let (f, b) = net.last_phase_secs;
+                timings.forward += f;
+                timings.backward += b;
+            }
+            None => dropped += sub.len(),
+        }
+    }
+    if used > 0 {
+        let scale = 1.0 / used as f32;
+        net.visit_params("", &mut |_, p| p.grad.scale(scale));
+    }
+    StepResult {
+        loss: if used > 0 { loss_sum / used as f64 } else { f64::NAN },
+        used,
+        dropped,
+        sub_minibatches: n_subs,
+        timings,
+    }
+}
+
+/// Training-progress record.
+#[derive(Clone, Debug, Default)]
+pub struct TrainLog {
+    /// (iteration, mean loss) pairs.
+    pub losses: Vec<(usize, f64)>,
+    /// Total traces consumed.
+    pub traces_seen: usize,
+    /// Wall time of the training loop in seconds.
+    pub wall_secs: f64,
+}
+
+impl TrainLog {
+    /// Throughput in traces/s.
+    pub fn traces_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.traces_seen as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Single-process trainer.
+pub struct Trainer<O: Optimizer> {
+    /// The network being trained.
+    pub net: IcNetwork,
+    /// Optimizer.
+    pub opt: O,
+    /// Optional global-norm gradient clip.
+    pub grad_clip: Option<f64>,
+}
+
+impl<O: Optimizer> Trainer<O> {
+    /// New trainer.
+    pub fn new(net: IcNetwork, opt: O) -> Self {
+        Self { net, opt, grad_clip: None }
+    }
+
+    /// One synchronous step on a minibatch; returns the step result.
+    pub fn step(&mut self, records: &[TraceRecord]) -> StepResult {
+        let mut res = accumulate_minibatch(&mut self.net, records);
+        if let Some(c) = self.grad_clip {
+            clip_grad_norm(&mut self.net, c);
+        }
+        let t = Instant::now();
+        self.opt.begin_step();
+        let opt = &mut self.opt;
+        self.net.visit_params("", &mut |n, p| opt.update(n, p));
+        res.timings.optimizer = t.elapsed().as_secs_f64();
+        res
+    }
+
+    /// Evaluate mean loss on records without touching the weights.
+    pub fn evaluate(&mut self, records: &[TraceRecord]) -> f64 {
+        let res = accumulate_minibatch(&mut self.net, records);
+        self.net.zero_grad();
+        res.loss
+    }
+
+    /// Train for `epochs` epochs over a dataset with the given sampler
+    /// parameters (single rank).
+    pub fn train_epochs(
+        &mut self,
+        dataset: &TraceDataset,
+        minibatch: usize,
+        epochs: usize,
+        seed: u64,
+    ) -> TrainLog {
+        let meta: Vec<(u64, u32)> = (0..dataset.len()).map(|i| dataset.meta(i)).collect();
+        let sampler = DistributedSampler::new(
+            meta,
+            SamplerConfig { minibatch, num_ranks: 1, buckets: 1, seed },
+        );
+        let mut log = TrainLog::default();
+        let start = Instant::now();
+        let mut iter = 0usize;
+        for e in 0..epochs {
+            let plan = sampler.epoch(e);
+            for mb in &plan.per_rank[0] {
+                let records = dataset.get_many(mb).expect("dataset read");
+                let res = self.step(&records);
+                log.losses.push((iter, res.loss));
+                log.traces_seen += res.used;
+                iter += 1;
+            }
+        }
+        log.wall_secs = start.elapsed().as_secs_f64();
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::IcConfig;
+    use etalumis_core::Executor;
+    use etalumis_nn::{Adam, LrSchedule};
+    use etalumis_simulators::BranchingModel;
+
+    fn records(n: usize) -> Vec<TraceRecord> {
+        let mut m = BranchingModel::standard();
+        (0..n)
+            .map(|s| TraceRecord::from_trace(&Executor::sample_prior(&mut m, s as u64), true))
+            .collect()
+    }
+
+    #[test]
+    fn sub_minibatch_split_is_exhaustive_and_homogeneous() {
+        let recs = records(40);
+        let subs = sub_minibatches(&recs);
+        let total: usize = subs.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 40);
+        for sub in &subs {
+            let t = sub[0].trace_type;
+            assert!(sub.iter().all(|r| r.trace_type == t));
+        }
+    }
+
+    #[test]
+    fn trainer_reduces_loss_over_steps() {
+        let recs = records(48);
+        let mut net = IcNetwork::new(IcConfig::small([1, 1, 1], 1));
+        net.pregenerate(recs.iter());
+        let mut trainer = Trainer::new(net, Adam::new(LrSchedule::Constant(2e-3)));
+        trainer.grad_clip = Some(10.0);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for it in 0..50 {
+            let res = trainer.step(&recs);
+            assert_eq!(res.used, 48);
+            assert_eq!(res.dropped, 0);
+            if it == 0 {
+                first = res.loss;
+            }
+            last = res.loss;
+        }
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn evaluate_does_not_change_weights() {
+        let recs = records(16);
+        let mut net = IcNetwork::new(IcConfig::small([1, 1, 1], 2));
+        net.pregenerate(recs.iter());
+        let mut trainer = Trainer::new(net, Adam::new(LrSchedule::Constant(1e-3)));
+        let mut before = Vec::new();
+        trainer.net.visit_params("", &mut |_, p| before.push(p.value.clone()));
+        let l1 = trainer.evaluate(&recs);
+        let l2 = trainer.evaluate(&recs);
+        assert_eq!(l1, l2);
+        let mut after = Vec::new();
+        trainer.net.visit_params("", &mut |_, p| after.push(p.value.clone()));
+        assert_eq!(before, after);
+    }
+}

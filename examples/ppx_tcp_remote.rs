@@ -1,0 +1,66 @@
+//! PPX over TCP: control a simulator running in another thread (stand-in
+//! for another process/language) through the execution protocol.
+//!
+//! The simulator side only knows `SimCtx`; the controller side only knows
+//! `ProbProgram` — neither knows it is talking over a socket. Swap the
+//! thread for a C++ process speaking the same wire format and nothing else
+//! changes; that is Figure 1 of the paper.
+//!
+//! Run with: `cargo run --release --example ppx_tcp_remote`
+
+use etalumis::prelude::*;
+use etalumis_ppx::{RemoteModel, SimulatorServer, TcpTransport};
+use etalumis_simulators::BranchingModel;
+use std::net::TcpListener;
+
+fn main() -> std::io::Result<()> {
+    // --- simulator side (imagine this is a C++ process) ---
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let server_thread = std::thread::spawn(move || {
+        let (stream, peer) = listener.accept().expect("accept");
+        println!("[simulator] controller connected from {peer}");
+        let mut transport = TcpTransport::new(stream).expect("transport");
+        let mut server = SimulatorServer::new("rust-tcp-frontend", BranchingModel::standard());
+        server.serve(&mut transport).expect("serve");
+        println!("[simulator] controller disconnected, shutting down");
+    });
+
+    // --- controller side (the PPL) ---
+    let transport = TcpTransport::connect(&addr.to_string())?;
+    let mut model = RemoteModel::connect(transport, "etalumis-rs")?;
+    println!("[controller] handshake ok, remote model: {:?}", model.name());
+
+    // Record a few prior traces through the wire.
+    for seed in 0..3 {
+        let trace = Executor::sample_prior(&mut model, seed);
+        println!(
+            "[controller] prior trace {seed}: {} latents, branch = {}, result = {}",
+            trace.num_controlled(),
+            trace.value_by_name("branch").unwrap(),
+            trace.result,
+        );
+    }
+
+    // Condition on an observation and run importance sampling — every
+    // simulator execution happens remotely.
+    let mut observes = ObserveMap::new();
+    observes.insert("y".into(), Value::Real(1.4));
+    let post = importance_sampling(&mut model, &observes, 3_000, 11);
+    println!(
+        "[controller] IS over TCP: {} traces, ESS {:.0}, log evidence {:.3}",
+        post.len(),
+        post.effective_sample_size(),
+        post.log_evidence()
+    );
+    for k in 0..3 {
+        let p = post.expect(|t| {
+            (t.value_by_name("branch").unwrap().as_i64() == k) as u8 as f64
+        });
+        println!("[controller]   p(branch = {k} | y) = {p:.3}");
+    }
+
+    drop(model); // closes the socket; the server loop exits
+    server_thread.join().unwrap();
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Quickstart: turn a tiny stochastic simulator into a probabilistic
+//! program, then infer its latent from an observation with two engines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use etalumis::prelude::*;
+use etalumis_distributions::Distribution;
+
+fn main() {
+    // 1. A "simulator": mu ~ N(0,1); two noisy measurements of mu.
+    //    Any code that routes its randomness through `SimCtx` is a
+    //    probabilistic program — the core idea of the paper.
+    let mut model = GaussianUnknownMean::standard();
+
+    // 2. Forward simulation (prior): run the simulator, record a trace.
+    let trace = Executor::sample_prior(&mut model, 1);
+    println!("prior trace: {} latents, log p(x) = {:.3}", trace.num_controlled(), trace.log_prior);
+    for e in trace.entries.iter() {
+        println!("  {:<24} {:>10}  ({})", e.address.to_string(), e.value.to_string(), e.distribution.kind());
+    }
+
+    // 3. Condition on data: register observed values for the observe
+    //    statements, then ask engines for p(mu | y).
+    let ys = [1.2, 0.8];
+    let mut observes = ObserveMap::new();
+    for (i, &y) in ys.iter().enumerate() {
+        observes.insert(format!("y{i}"), Value::Real(y));
+    }
+    let (analytic_mean, analytic_std) = model.posterior(&ys);
+    println!("\nanalytic posterior:      mean {analytic_mean:.4}  std {analytic_std:.4}");
+
+    // Importance sampling (likelihood weighting).
+    let post_is = importance_sampling(&mut model, &observes, 20_000, 7);
+    let (m, s) = post_is.mean_std(|t| t.value_by_name("mu").unwrap().as_f64());
+    println!(
+        "importance sampling:     mean {m:.4}  std {s:.4}  (ESS {:.0} of {})",
+        post_is.effective_sample_size(),
+        post_is.len()
+    );
+
+    // Random-walk Metropolis–Hastings in trace space.
+    let cfg = RmhConfig { iterations: 20_000, burn_in: 2_000, seed: 3, ..Default::default() };
+    let (post_rmh, stats) = rmh(&mut model, &observes, &cfg);
+    let (m, s) = post_rmh.mean_std(|t| t.value_by_name("mu").unwrap().as_f64());
+    println!(
+        "RMH:                     mean {m:.4}  std {s:.4}  (acceptance {:.2})",
+        stats.acceptance_rate()
+    );
+
+    // 4. Posterior histogram.
+    let hist = post_rmh.histogram(
+        |t| t.value_by_name("mu").unwrap().as_f64(),
+        analytic_mean - 3.0 * analytic_std,
+        analytic_mean + 3.0 * analytic_std,
+        15,
+    );
+    println!("\np(mu | y) from RMH:");
+    print!("{}", hist.ascii(40));
+
+    // 5. The same model can also use any distribution in the vocabulary.
+    let d = Distribution::MixtureTruncatedNormal {
+        weights: vec![0.5, 0.5],
+        means: vec![-1.0, 1.0],
+        stds: vec![0.3, 0.3],
+        low: -2.0,
+        high: 2.0,
+    };
+    println!("\n(mixture proposal family used by IC: mean {:.3}, std {:.3})", d.mean(), d.std());
+}

@@ -1,0 +1,44 @@
+//! # etalumis
+//!
+//! A Rust reproduction of *Etalumis: Bringing Probabilistic Programming to
+//! Scientific Simulators at Scale* (Baydin et al., SC 2019).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `etalumis-core` | traces, addresses, programs, the executor |
+//! | [`distributions`] | `etalumis-distributions` | distribution/value vocabulary |
+//! | [`ppx`] | `etalumis-ppx` | the PPX protocol (wire codec, transports, bindings) |
+//! | [`tensor`] | `etalumis-tensor` | f32 tensors, GEMM, Conv3D kernels |
+//! | [`nn`] | `etalumis-nn` | LSTM/CNN layers, proposal heads, optimizers |
+//! | [`simulators`] | `etalumis-simulators` | mini-Sherpa τ decay + 3D detector |
+//! | [`inference`] | `etalumis-inference` | IS, RMH, IC engines + diagnostics |
+//! | [`data`] | `etalumis-data` | trace datasets, shards, samplers |
+//! | [`train`] | `etalumis-train` | dynamic IC networks, distributed training |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the paper-reproduction map.
+
+pub use etalumis_core as core;
+pub use etalumis_data as data;
+pub use etalumis_distributions as distributions;
+pub use etalumis_inference as inference;
+pub use etalumis_nn as nn;
+pub use etalumis_ppx as ppx;
+pub use etalumis_simulators as simulators;
+pub use etalumis_tensor as tensor;
+pub use etalumis_train as train;
+
+/// Convenience prelude with the most common types.
+pub mod prelude {
+    pub use etalumis_core::{
+        Executor, FnProgram, ObserveMap, PriorProposer, ProbProgram, SimCtx, SimCtxExt, Trace,
+    };
+    pub use etalumis_distributions::{Distribution, TensorValue, Value};
+    pub use etalumis_inference::{
+        ic_importance_sampling, importance_sampling, rmh, RmhConfig, WeightedTraces,
+    };
+    pub use etalumis_simulators::{GaussianUnknownMean, TauDecayModel};
+    pub use etalumis_train::{IcConfig, IcNetwork, Trainer};
+}
