@@ -28,9 +28,8 @@ fn bench(c: &mut Criterion) {
             black_box(decode(&f[4..]).unwrap())
         })
     });
-    let tensor_msg = Message::RunResult {
-        result: Value::Tensor(TensorValue::zeros(vec![20, 35, 35])),
-    };
+    let tensor_msg =
+        Message::RunResult { result: Value::Tensor(TensorValue::zeros(vec![20, 35, 35])) };
     group.bench_function("encode_decode_voxel_tensor", |b| {
         b.iter(|| {
             let f = encode(black_box(&tensor_msg));

@@ -15,7 +15,11 @@ use std::hint::black_box;
 use std::path::PathBuf;
 use std::time::Duration;
 
-fn write_shards(records: &[etalumis_data::TraceRecord], per_shard: usize, dir: &PathBuf) -> Vec<PathBuf> {
+fn write_shards(
+    records: &[etalumis_data::TraceRecord],
+    per_shard: usize,
+    dir: &PathBuf,
+) -> Vec<PathBuf> {
     std::fs::create_dir_all(dir).unwrap();
     let mut paths = Vec::new();
     for (i, chunk) in records.chunks(per_shard).enumerate() {
@@ -39,9 +43,8 @@ fn bench(c: &mut Criterion) {
     let small = write_shards(&records, 20, &base.join("small"));
     // "After": few large shards, sequential scan.
     let large = write_shards(&records, 200, &base.join("large"));
-    let mut order: Vec<(usize, usize)> = (0..small.len())
-        .flat_map(|s| (0..20).map(move |r| (s, r)))
-        .collect();
+    let mut order: Vec<(usize, usize)> =
+        (0..small.len()).flat_map(|s| (0..20).map(move |r| (s, r))).collect();
     order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(1));
     group.bench_function("random_small_shards", |b| {
         b.iter(|| {

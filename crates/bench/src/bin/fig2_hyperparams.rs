@@ -13,7 +13,12 @@ use etalumis_bench::{rule, tau_records, BENCH_OBS_DIMS};
 use etalumis_nn::{Adam, Cnn3dConfig, LrSchedule};
 use etalumis_train::{IcConfig, IcNetwork, Trainer};
 
-fn run_config(units: usize, stacks: usize, mix: usize, records: &[etalumis_data::TraceRecord]) -> Vec<(usize, f64)> {
+fn run_config(
+    units: usize,
+    stacks: usize,
+    mix: usize,
+    records: &[etalumis_data::TraceRecord],
+) -> Vec<(usize, f64)> {
     let cfg = IcConfig {
         cnn: Cnn3dConfig::small(BENCH_OBS_DIMS, 32),
         lstm_hidden: units,

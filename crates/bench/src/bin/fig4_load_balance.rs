@@ -12,9 +12,7 @@
 
 use etalumis_bench::{bench_ic_config, rule, tau_dataset};
 use etalumis_nn::LrSchedule;
-use etalumis_train::{
-    train_distributed, AllReduceStrategy, DistConfig, PhaseModel, PhaseTimings,
-};
+use etalumis_train::{train_distributed, AllReduceStrategy, DistConfig, PhaseModel, PhaseTimings};
 
 fn print_phases(label: &str, t: &PhaseTimings, traces: f64) {
     println!(

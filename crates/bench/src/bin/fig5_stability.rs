@@ -42,8 +42,7 @@ fn main() {
     for it in (0..steps).step_by(5).chain([steps - 1]) {
         let vals: Vec<f64> = runs.iter().map(|r| r[it]).collect();
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-        let std =
-            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt();
+        let std = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt();
         let bar = "#".repeat((mean.max(0.0) * 8.0) as usize);
         println!("{it:<8} {mean:>10.4} {std:>10.4}  {bar}");
     }

@@ -47,7 +47,10 @@ fn main() {
             let p = model.simulate(nodes, iters);
             println!(
                 "{:>7} {:>12.0} {:>12.0} {:>12.0} {:>11.2}",
-                p.nodes, p.avg_traces_per_sec, p.peak_traces_per_sec, p.ideal,
+                p.nodes,
+                p.avg_traces_per_sec,
+                p.peak_traces_per_sec,
+                p.ideal,
                 p.efficiency()
             );
         }

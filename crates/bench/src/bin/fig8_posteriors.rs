@@ -12,8 +12,8 @@
 
 use etalumis_bench::{bench_ic_config, bench_tau_model, rule, tau_records};
 use etalumis_core::{Executor, ObserveMap, Trace};
-use etalumis_inference::{ic_importance_sampling, rmh_with_callback, Histogram, RmhConfig};
 use etalumis_inference::total_variation;
+use etalumis_inference::{ic_importance_sampling, rmh_with_callback, Histogram, RmhConfig};
 use etalumis_nn::{Adam, LrSchedule};
 use etalumis_simulators::TauDecayModel;
 use etalumis_train::{IcNetwork, Trainer};
@@ -34,13 +34,55 @@ struct Panel {
 
 fn panels() -> Vec<Panel> {
     vec![
-        Panel { name: "tau px [GeV/c]", extract: |t| t.value_by_base("tau/px[Uniform]").unwrap().as_f64(), lo: -2.5, hi: 2.5, bins: 20 },
-        Panel { name: "tau py [GeV/c]", extract: |t| t.value_by_base("tau/py[Uniform]").unwrap().as_f64(), lo: -2.5, hi: 2.5, bins: 20 },
-        Panel { name: "tau pz [GeV/c]", extract: |t| t.value_by_base("tau/pz[Uniform]").unwrap().as_f64(), lo: 42.5, hi: 47.5, bins: 20 },
-        Panel { name: "decay channel", extract: |t| t.value_by_base("tau/channel[Categorical]").unwrap().as_f64(), lo: 0.0, hi: 38.0, bins: 38 },
-        Panel { name: "FSP energy 1 [GeV]", extract: |t| t.value_by_name("fsp_energy1").unwrap().as_f64(), lo: 0.0, hi: 48.0, bins: 20 },
-        Panel { name: "FSP energy 2 [GeV]", extract: |t| t.value_by_name("fsp_energy2").unwrap().as_f64(), lo: 0.0, hi: 48.0, bins: 20 },
-        Panel { name: "missing ET", extract: |t| t.value_by_name("met").unwrap().as_f64(), lo: 0.0, hi: 3.0, bins: 20 },
+        Panel {
+            name: "tau px [GeV/c]",
+            extract: |t| t.value_by_base("tau/px[Uniform]").unwrap().as_f64(),
+            lo: -2.5,
+            hi: 2.5,
+            bins: 20,
+        },
+        Panel {
+            name: "tau py [GeV/c]",
+            extract: |t| t.value_by_base("tau/py[Uniform]").unwrap().as_f64(),
+            lo: -2.5,
+            hi: 2.5,
+            bins: 20,
+        },
+        Panel {
+            name: "tau pz [GeV/c]",
+            extract: |t| t.value_by_base("tau/pz[Uniform]").unwrap().as_f64(),
+            lo: 42.5,
+            hi: 47.5,
+            bins: 20,
+        },
+        Panel {
+            name: "decay channel",
+            extract: |t| t.value_by_base("tau/channel[Categorical]").unwrap().as_f64(),
+            lo: 0.0,
+            hi: 38.0,
+            bins: 38,
+        },
+        Panel {
+            name: "FSP energy 1 [GeV]",
+            extract: |t| t.value_by_name("fsp_energy1").unwrap().as_f64(),
+            lo: 0.0,
+            hi: 48.0,
+            bins: 20,
+        },
+        Panel {
+            name: "FSP energy 2 [GeV]",
+            extract: |t| t.value_by_name("fsp_energy2").unwrap().as_f64(),
+            lo: 0.0,
+            hi: 48.0,
+            bins: 20,
+        },
+        Panel {
+            name: "missing ET",
+            extract: |t| t.value_by_name("met").unwrap().as_f64(),
+            lo: 0.0,
+            hi: 3.0,
+            bins: 20,
+        },
     ]
 }
 
@@ -91,8 +133,7 @@ fn main() {
         chain_means[0][..n].to_vec(),
         chain_means[1][..n].to_vec(),
     ]);
-    let tau_int =
-        etalumis_inference::diagnostics::integrated_autocorr_time(&chain_means[0]);
+    let tau_int = etalumis_inference::diagnostics::integrated_autocorr_time(&chain_means[0]);
     let rmh_ess = 2.0 * n as f64 / tau_int;
     println!("  wall {rmh_secs:.1}s, {rmh_calls} simulator calls");
     println!("  Gelman-Rubin R-hat (px): {rhat:.3}  (paper: two chains certify convergence)");
@@ -136,7 +177,9 @@ fn main() {
     );
     let ic_secs = t0.elapsed().as_secs_f64();
     let ic_ess = post_ic.effective_sample_size();
-    println!("  IC inference: {IC_SAMPLES} guided simulator calls in {ic_secs:.1}s, ESS {ic_ess:.0}");
+    println!(
+        "  IC inference: {IC_SAMPLES} guided simulator calls in {ic_secs:.1}s, ESS {ic_ess:.0}"
+    );
 
     // --- panels ---
     rule("posterior comparison (normalized histograms)");
@@ -149,13 +192,7 @@ fn main() {
         tvs.push(tv);
         println!("\n--- {} (ground truth {:.3}, TV(RMH,IC) = {tv:.3}) ---", p.name, gt[pi]);
         let centers = r.centers();
-        let max = r
-            .counts
-            .iter()
-            .chain(i.counts.iter())
-            .cloned()
-            .fold(0.0f64, f64::max)
-            .max(1e-9);
+        let max = r.counts.iter().chain(i.counts.iter()).cloned().fold(0.0f64, f64::max).max(1e-9);
         for b in 0..p.bins {
             if r.counts[b] < 1e-4 && i.counts[b] < 1e-4 {
                 continue;
@@ -169,8 +206,12 @@ fn main() {
     rule("speedup accounting (the paper's 230x)");
     let rmh_cost_per_ess = rmh_secs / rmh_ess.max(1.0);
     let ic_cost_per_ess = ic_secs / ic_ess.max(1.0);
-    println!("  RMH: {rmh_secs:.1}s / ESS {rmh_ess:.0} = {rmh_cost_per_ess:.4} s per effective sample");
-    println!("  IC:  {ic_secs:.1}s / ESS {ic_ess:.0} = {ic_cost_per_ess:.4} s per effective sample");
+    println!(
+        "  RMH: {rmh_secs:.1}s / ESS {rmh_ess:.0} = {rmh_cost_per_ess:.4} s per effective sample"
+    );
+    println!(
+        "  IC:  {ic_secs:.1}s / ESS {ic_ess:.0} = {ic_cost_per_ess:.4} s per effective sample"
+    );
     println!(
         "  wall-clock speedup to equal ESS on this host: {:.1}x",
         rmh_cost_per_ess / ic_cost_per_ess

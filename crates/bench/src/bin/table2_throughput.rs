@@ -10,9 +10,7 @@
 use etalumis_bench::{bench_ic_config, rule, tau_dataset};
 use etalumis_nn::LrSchedule;
 use etalumis_tensor::flops::training_flops;
-use etalumis_train::{
-    platforms, train_distributed, AllReduceStrategy, DistConfig, IcConfig,
-};
+use etalumis_train::{platforms, train_distributed, AllReduceStrategy, DistConfig, IcConfig};
 
 fn measure(ranks: usize, ds: &etalumis_data::TraceDataset, cfg: IcConfig) -> (f64, f64) {
     let dist = DistConfig {

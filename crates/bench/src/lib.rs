@@ -91,10 +91,7 @@ mod tests {
     fn bench_model_produces_expected_observation_shape() {
         let mut m = bench_tau_model();
         let t = Executor::sample_prior(&mut m, 1);
-        assert_eq!(
-            t.first_observed().unwrap().as_tensor().shape,
-            BENCH_OBS_DIMS.to_vec()
-        );
+        assert_eq!(t.first_observed().unwrap().as_tensor().shape, BENCH_OBS_DIMS.to_vec());
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by the
+//! workspace (the in-process PPX transport), and `std::sync::mpsc` has the
+//! exact semantics those call sites need: unbounded buffering, blocking
+//! `recv`, and errors on peer disconnect.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_recv() {
+        let (tx, rx) = unbounded();
+        tx.send(5u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+    }
+
+    #[test]
+    fn disconnect_errors_both_ways() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        let (tx2, rx2) = unbounded::<u8>();
+        drop(tx2);
+        assert!(rx2.recv().is_err());
+    }
+}

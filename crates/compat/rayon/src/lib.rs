@@ -1,0 +1,251 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the parallel-iterator subset the workspace uses —
+//! `par_chunks_mut`, `into_par_iter` on ranges and vectors, with
+//! `map`/`enumerate`/`for_each`/`collect` — executing on scoped OS threads
+//! (contiguous block partitioning, order-preserving). No work stealing; the
+//! workloads here are uniform row/chunk loops where static partitioning is
+//! within noise of a real deal scheduler.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads: `RAYON_NUM_THREADS` if set, else the number of
+/// available cores.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Evaluate `f` over `items` on up to [`current_num_threads`] scoped threads,
+/// preserving input order in the output.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let len = items.len();
+    let chunk = len.div_ceil(threads);
+    let mut slots: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let part: Vec<T> = it.by_ref().take(chunk).collect();
+        if part.is_empty() {
+            break;
+        }
+        slots.push(part);
+    }
+    let mut out: Vec<R> = Vec::with_capacity(len);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = slots
+            .into_iter()
+            .map(|part| s.spawn(move || part.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon-compat worker panicked"));
+        }
+    });
+    out
+}
+
+/// A parallel iterator: a finite, order-preserving item sequence whose
+/// transformation is evaluated on multiple threads at the terminal operation
+/// (`for_each` / `collect`).
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Evaluate the chain, in parallel where a `map` is present.
+    fn run(self) -> Vec<Self::Item>;
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        // `run()` materializes the (cheap) item list; apply `f` in parallel.
+        let items = self.run();
+        par_map_vec(items, &|item| f(item));
+    }
+
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.run().into_iter().sum()
+    }
+
+    fn count(self) -> usize {
+        self.run().len()
+    }
+}
+
+/// Adapter produced by [`ParallelIterator::map`]; its `run` is the parallel
+/// evaluation point.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        par_map_vec(self.base.run(), &self.f)
+    }
+}
+
+/// Adapter produced by [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn run(self) -> Vec<(usize, I::Item)> {
+        self.base.run().into_iter().enumerate().collect()
+    }
+}
+
+/// Base iterator over an already-materialized item list.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Conversion into a parallel iterator (`(0..n).into_par_iter()`,
+/// `vec.into_par_iter()`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par {
+    ($t:ty) => {
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = IntoParIter<$t>;
+            fn into_par_iter(self) -> IntoParIter<$t> {
+                IntoParIter { items: self.collect() }
+            }
+        }
+    };
+}
+impl_range_into_par!(usize);
+impl_range_into_par!(u64);
+impl_range_into_par!(u32);
+impl_range_into_par!(i64);
+impl_range_into_par!(i32);
+
+/// `par_chunks_mut` / `par_chunks` over slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> IntoParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> IntoParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        IntoParIter { items: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> IntoParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> IntoParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        IntoParIter { items: self.chunks(chunk_size).collect() }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_writes_all() {
+        let mut data = vec![0u32; 1003];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x > 0));
+        assert_eq!(data[25], 3);
+        assert_eq!(data[1002], 101);
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        (0..257u64).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let s: u64 = (0..10_000u64).into_par_iter().map(|i| i * 2).sum::<u64>() / 2;
+        assert_eq!(s, (0..10_000u64).sum::<u64>());
+    }
+}

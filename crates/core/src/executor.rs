@@ -127,19 +127,11 @@ impl<'a> Executor<'a> {
         control: bool,
         replace: bool,
     ) -> Value {
-        let kind = if replace {
-            EntryKind::SampleReplaced
-        } else {
-            EntryKind::Sample
-        };
+        let kind = if replace { EntryKind::SampleReplaced } else { EntryKind::Sample };
         let controlled = control && !replace;
         let (value, log_q) = if controlled {
-            let req = SampleRequest {
-                address: &address,
-                dist,
-                name,
-                time_step: self.controlled_steps,
-            };
+            let req =
+                SampleRequest { address: &address, dist, name, time_step: self.controlled_steps };
             let decision = self.proposer.propose(&req);
             let (v, lq) = match decision {
                 ProposalDecision::Prior => {
@@ -304,8 +296,7 @@ mod tests {
         assert_eq!(y.value, Value::Real(2.0));
         assert_eq!(y.kind, EntryKind::Observe);
         let mu = t.value_by_name("mu").unwrap().as_f64();
-        let expect =
-            Distribution::Normal { mean: mu, std: 0.5 }.log_prob(&Value::Real(2.0));
+        let expect = Distribution::Normal { mean: mu, std: 0.5 }.log_prob(&Value::Real(2.0));
         assert!((t.log_likelihood - expect).abs() < 1e-12);
     }
 
@@ -338,8 +329,7 @@ mod tests {
             // rejection loop: accept u > 0.3
             let mut u;
             loop {
-                u = ctx
-                    .sample_replaced(&Distribution::Uniform { low: 0.0, high: 1.0 }, "u");
+                u = ctx.sample_replaced(&Distribution::Uniform { low: 0.0, high: 1.0 }, "u");
                 if u.as_f64() > 0.3 {
                     break;
                 }
@@ -355,11 +345,8 @@ mod tests {
         assert_eq!(p.0, 1);
         assert!(t.entries.iter().any(|e| e.kind == EntryKind::SampleReplaced));
         // All replaced entries share one address.
-        let replaced: Vec<_> = t
-            .entries
-            .iter()
-            .filter(|e| e.kind == EntryKind::SampleReplaced)
-            .collect();
+        let replaced: Vec<_> =
+            t.entries.iter().filter(|e| e.kind == EntryKind::SampleReplaced).collect();
         assert!(replaced.windows(2).all(|w| w[0].address == w[1].address));
     }
 

@@ -24,8 +24,13 @@ pub trait SimCtx {
     /// * `replace` — rejection-sampling re-draw (pyprob `replace=True`):
     ///   shares one address across loop iterations and is always drawn from
     ///   the prior during inference.
-    fn sample_ext(&mut self, dist: &Distribution, name: &str, control: bool, replace: bool)
-        -> Value;
+    fn sample_ext(
+        &mut self,
+        dist: &Distribution,
+        name: &str,
+        control: bool,
+        replace: bool,
+    ) -> Value;
 
     /// Condition on data: score the observed value registered for `name`
     /// (inference), or draw a synthetic observation (prior/trace generation).
@@ -57,8 +62,12 @@ pub trait SimCtx {
     ) -> Value;
 
     /// Observe with a caller-provided address base (PPX bridge path).
-    fn observe_with_address(&mut self, address_base: &str, dist: &Distribution, name: &str)
-        -> Value;
+    fn observe_with_address(
+        &mut self,
+        address_base: &str,
+        dist: &Distribution,
+        name: &str,
+    ) -> Value;
 }
 
 /// Convenience extension methods for model code.

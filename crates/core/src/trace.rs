@@ -79,10 +79,7 @@ impl Trace {
     /// The trace type: hash of the controlled-sample address sequence.
     pub fn trace_type(&self) -> TraceTypeId {
         TraceTypeId::from_addresses(
-            self.entries
-                .iter()
-                .filter(|e| e.is_controlled())
-                .map(|e| &e.address),
+            self.entries.iter().filter(|e| e.is_controlled()).map(|e| &e.address),
         )
     }
 
@@ -126,10 +123,7 @@ impl Trace {
 
     /// The first observed value (e.g. the detector image), if any.
     pub fn first_observed(&self) -> Option<&Value> {
-        self.entries
-            .iter()
-            .find(|e| e.kind == EntryKind::Observe)
-            .map(|e| &e.value)
+        self.entries.iter().find(|e| e.kind == EntryKind::Observe).map(|e| &e.value)
     }
 }
 

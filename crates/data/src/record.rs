@@ -431,10 +431,7 @@ mod tests {
         let mut dbuf = BytesMut::new();
         dict.encode(&mut dbuf);
         with_dict += dbuf.len();
-        assert!(
-            with_dict < plain,
-            "dictionary encoding {with_dict} should beat plain {plain}"
-        );
+        assert!(with_dict < plain, "dictionary encoding {with_dict} should beat plain {plain}");
     }
 
     #[test]

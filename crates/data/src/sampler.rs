@@ -87,10 +87,7 @@ impl DistributedSampler {
                 .collect();
             keyed.sort_by_key(|&(l, _)| l);
             let per = keyed.len().div_ceil(cfg.buckets);
-            keyed
-                .chunks(per)
-                .map(|b| b.iter().map(|(_, c)| c.clone()).collect())
-                .collect()
+            keyed.chunks(per).map(|b| b.iter().map(|(_, c)| c.clone()).collect()).collect()
         };
         // Shuffle chunks within each bucket; shuffle bucket visit order.
         for b in &mut bucketed {
@@ -117,8 +114,7 @@ impl DistributedSampler {
     /// trace count.
     pub fn dynamic_epoch(&self, epoch: usize, tokens_per_batch: u32) -> EpochPlan {
         let cfg = &self.config;
-        let mut rng =
-            StdRng::seed_from_u64(cfg.seed ^ 0xD15C0 ^ (epoch as u64).wrapping_mul(31));
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD15C0 ^ (epoch as u64).wrapping_mul(31));
         let mut order: Vec<usize> = (0..self.meta.len()).collect();
         // Keep sorted runs but rotate start so epochs differ.
         if !order.is_empty() {

@@ -5,9 +5,7 @@
 //! the protocol. This mirrors the paper's "language-agnostic definitions of
 //! common probability distributions" (§4.1).
 
-use crate::math::{
-    ln_gamma, log_normal_cdf_diff, log_sum_exp, normal_cdf, normal_log_pdf, LN_2PI,
-};
+use crate::math::{ln_gamma, log_normal_cdf_diff, log_sum_exp, normal_cdf, normal_log_pdf, LN_2PI};
 use crate::sampling;
 use crate::value::{TensorValue, Value};
 use rand::Rng;
@@ -212,7 +210,8 @@ impl Distribution {
                 let a = (low - mean) / std;
                 let b = (high - mean) / std;
                 let z = normal_cdf(b) - normal_cdf(a);
-                mean + std * (crate::math::normal_pdf(a) - crate::math::normal_pdf(b)) / z.max(1e-300)
+                mean + std * (crate::math::normal_pdf(a) - crate::math::normal_pdf(b))
+                    / z.max(1e-300)
             }
             Distribution::Exponential { rate } => 1.0 / rate,
             Distribution::Beta { alpha, beta } => alpha / (alpha + beta),
@@ -221,11 +220,7 @@ impl Distribution {
             Distribution::Bernoulli { p } => *p,
             Distribution::Categorical { probs } => {
                 let total: f64 = probs.iter().sum();
-                probs
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &p)| i as f64 * p / total)
-                    .sum()
+                probs.iter().enumerate().map(|(i, &p)| i as f64 * p / total).sum()
             }
             Distribution::MixtureTruncatedNormal { weights, means, stds, low, high } => {
                 let wsum: f64 = weights.iter().sum();
@@ -372,11 +367,7 @@ mod tests {
             }
         }
         let integral = acc * h;
-        assert!(
-            (integral - 1.0).abs() < tol,
-            "{:?} integrates to {integral}",
-            dist.kind()
-        );
+        assert!((integral - 1.0).abs() < tol, "{:?} integrates to {integral}", dist.kind());
     }
 
     #[test]
@@ -390,7 +381,12 @@ mod tests {
             1e-6,
         );
         check_density_integrates(&Distribution::Exponential { rate: 1.5 }, 0.0, 40.0, 1e-6);
-        check_density_integrates(&Distribution::Beta { alpha: 2.0, beta: 3.0 }, 1e-9, 1.0 - 1e-9, 1e-3);
+        check_density_integrates(
+            &Distribution::Beta { alpha: 2.0, beta: 3.0 },
+            1e-9,
+            1.0 - 1e-9,
+            1e-3,
+        );
         check_density_integrates(&Distribution::Gamma { shape: 3.0, rate: 2.0 }, 1e-9, 40.0, 1e-6);
         check_density_integrates(
             &Distribution::MixtureTruncatedNormal {

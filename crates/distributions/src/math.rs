@@ -151,10 +151,7 @@ pub fn normal_log_pdf(x: f64) -> f64 {
 /// approximation refined with one step of Halley's method, giving near
 /// machine-precision accuracy over (0, 1).
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(
-        p > 0.0 && p < 1.0,
-        "normal_quantile requires p in (0,1), got {p}"
-    );
+    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,

@@ -138,10 +138,7 @@ pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
 
 /// Sample a Dirichlet vector with the given concentration parameters.
 pub fn dirichlet<R: Rng + ?Sized>(rng: &mut R, alphas: &[f64]) -> Vec<f64> {
-    let gs: Vec<f64> = alphas
-        .iter()
-        .map(|&a| standard_gamma(rng, a).max(1e-300))
-        .collect();
+    let gs: Vec<f64> = alphas.iter().map(|&a| standard_gamma(rng, a).max(1e-300)).collect();
     let s: f64 = gs.iter().sum();
     gs.into_iter().map(|g| g / s).collect()
 }

@@ -82,10 +82,7 @@ impl Value {
             Value::Int(i) => *i,
             Value::Bool(b) => *b as i64,
             Value::Real(x) => {
-                assert!(
-                    x.fract() == 0.0,
-                    "Value::as_i64 on non-integral real {x}"
-                );
+                assert!(x.fract() == 0.0, "Value::as_i64 on non-integral real {x}");
                 *x as i64
             }
             other => panic!("Value::as_i64 on non-integer value {other:?}"),

@@ -119,13 +119,7 @@ mod tests {
     fn parallel_is_matches_serial_statistics() {
         let ys = [0.5, 0.9];
         let obs = observes_for(&ys);
-        let wt = parallel_importance_sampling(
-            GaussianUnknownMean::standard,
-            &obs,
-            20_000,
-            5,
-            4,
-        );
+        let wt = parallel_importance_sampling(GaussianUnknownMean::standard, &obs, 20_000, 5, 4);
         assert_eq!(wt.len(), 20_000);
         let (mean, _) = wt.mean_std(|t| t.value_by_name("mu").unwrap().as_f64());
         let (am, _) = GaussianUnknownMean::standard().posterior(&ys);

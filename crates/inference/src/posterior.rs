@@ -187,12 +187,7 @@ pub fn total_variation(a: &Histogram, b: &Histogram) -> f64 {
     assert_eq!(a.counts.len(), b.counts.len(), "histogram binning mismatch");
     let an = a.normalized();
     let bn = b.normalized();
-    0.5 * an
-        .counts
-        .iter()
-        .zip(bn.counts.iter())
-        .map(|(&p, &q)| (p - q).abs())
-        .sum::<f64>()
+    0.5 * an.counts.iter().zip(bn.counts.iter()).map(|(&p, &q)| (p - q).abs()).sum::<f64>()
 }
 
 #[cfg(test)]
@@ -261,9 +256,7 @@ mod tests {
 
     #[test]
     fn mean_std_weighted() {
-        let wt = WeightedTraces::unweighted(
-            (0..5).map(|i| trace_with_result(i as f64)).collect(),
-        );
+        let wt = WeightedTraces::unweighted((0..5).map(|i| trace_with_result(i as f64)).collect());
         let (m, s) = wt.mean_std(|t| t.result.as_f64());
         assert!((m - 2.0).abs() < 1e-12);
         assert!((s - 2.0f64.sqrt()).abs() < 1e-9);

@@ -129,12 +129,8 @@ fn site_kernel(
             let k_fwd = Distribution::TruncatedNormal { mean: cur, std: scale, low: lo, high: hi };
             let new = k_fwd.sample(rng);
             let fwd = k_fwd.log_prob(&new);
-            let k_bwd = Distribution::TruncatedNormal {
-                mean: new.as_f64(),
-                std: scale,
-                low: lo,
-                high: hi,
-            };
+            let k_bwd =
+                Distribution::TruncatedNormal { mean: new.as_f64(), std: scale, low: lo, high: hi };
             let bwd = k_bwd.log_prob(current);
             (new, fwd, bwd)
         }
@@ -198,10 +194,8 @@ pub fn rmh_with_callback(
                 &mut rng,
             );
             let site = entry.address.clone();
-            let old_values: HashMap<Address, Value> = current
-                .controlled()
-                .map(|e| (e.address.clone(), e.value.clone()))
-                .collect();
+            let old_values: HashMap<Address, Value> =
+                current.controlled().map(|e| (e.address.clone(), e.value.clone())).collect();
             let num_old = old_values.len();
             let mut mh = MhProposer {
                 old_values,
@@ -233,8 +227,7 @@ pub fn rmh_with_callback(
                 }
             }
             let num_new = cand.num_controlled();
-            let log_alpha = score(&cand) - score(&current)
-                + (num_old as f64).ln()
+            let log_alpha = score(&cand) - score(&current) + (num_old as f64).ln()
                 - (num_new as f64).ln()
                 + bwd_lq
                 - fwd_lq
@@ -346,15 +339,11 @@ mod tests {
                 }
             })
         };
-        let is_post =
-            crate::is::importance_sampling(&mut model, &obs, 60_000, 19);
+        let is_post = crate::is::importance_sampling(&mut model, &obs, 60_000, 19);
         for k in 0..3 {
             let a = branch_freq(&post, k as f64);
             let b = branch_freq(&is_post, k as f64);
-            assert!(
-                (a - b).abs() < 0.05,
-                "branch {k}: rmh {a} vs is {b}"
-            );
+            assert!((a - b).abs() < 0.05, "branch {k}: rmh {a} vs is {b}");
         }
     }
 

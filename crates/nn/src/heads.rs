@@ -54,12 +54,7 @@ impl MixtureTnHead {
     }
 
     /// Decode raw trunk outputs into mixture parameters for one row.
-    fn decode(
-        &self,
-        raw: &[f32],
-        low: f64,
-        high: f64,
-    ) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    fn decode(&self, raw: &[f32], low: f64, high: f64) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
         let k = self.components;
         let span = high - low;
         let logits: Vec<f64> = raw[0..k].iter().map(|&v| v as f64).collect();
@@ -76,9 +71,9 @@ impl MixtureTnHead {
 
     /// Proposal distribution for one feature row (inference path).
     pub fn proposal(&self, features: &Tensor, low: f64, high: f64) -> Distribution {
-        let raw = self.trunk.l2.forward_inference(
-            &etalumis_tensor::activations::relu(&self.trunk.l1.forward_inference(features)),
-        );
+        let raw = self.trunk.l2.forward_inference(&etalumis_tensor::activations::relu(
+            &self.trunk.l1.forward_inference(features),
+        ));
         let (_, weights, means, stds) = self.decode(raw.row(0), low, high);
         Distribution::MixtureTruncatedNormal { weights, means, stds, low, high }
     }
@@ -117,9 +112,8 @@ impl MixtureTnHead {
                 let a = (low - means[c]) / stds[c];
                 let bb = (high - means[c]) / stds[c];
                 let log_z = log_normal_cdf_diff(a, bb);
-                terms[c] = weights[c].max(1e-300).ln() - 0.5 * z * z - 0.5 * LN_2PI
-                    - stds[c].ln()
-                    - log_z;
+                terms[c] =
+                    weights[c].max(1e-300).ln() - 0.5 * z * z - 0.5 * LN_2PI - stds[c].ln() - log_z;
                 zs[c] = z;
                 aas[c] = a;
                 bbs[c] = bb;
@@ -137,8 +131,8 @@ impl MixtureTnHead {
                 let zfac = (normal_pdf(aas[c]) - normal_pdf(bbs[c])) * (-log_zs[c]).exp();
                 let dmu = -r * (zs[c] / stds[c] - zfac / stds[c]);
                 // d(-logq)/dσ_c
-                let zsig =
-                    (aas[c] * normal_pdf(aas[c]) - bbs[c] * normal_pdf(bbs[c])) * (-log_zs[c]).exp();
+                let zsig = (aas[c] * normal_pdf(aas[c]) - bbs[c] * normal_pdf(bbs[c]))
+                    * (-log_zs[c]).exp();
                 let dsig = -r * (zs[c] * zs[c] / stds[c] - 1.0 / stds[c] - zsig / stds[c]);
                 // Chain through the parameterizations.
                 let m_raw = rrow[k + c] as f64;
@@ -179,9 +173,9 @@ impl CategoricalHead {
 
     /// Proposal distribution for one feature row.
     pub fn proposal(&self, features: &Tensor) -> Distribution {
-        let logits = self.trunk.l2.forward_inference(
-            &etalumis_tensor::activations::relu(&self.trunk.l1.forward_inference(features)),
-        );
+        let logits = self.trunk.l2.forward_inference(&etalumis_tensor::activations::relu(
+            &self.trunk.l1.forward_inference(features),
+        ));
         let probs = etalumis_tensor::activations::softmax_rows(&logits);
         Distribution::Categorical { probs: probs.row(0).iter().map(|&p| p as f64).collect() }
     }
@@ -242,9 +236,9 @@ impl NormalHead {
 
     /// Proposal distribution for one feature row.
     pub fn proposal(&self, features: &Tensor) -> Distribution {
-        let raw = self.trunk.l2.forward_inference(
-            &etalumis_tensor::activations::relu(&self.trunk.l1.forward_inference(features)),
-        );
+        let raw = self.trunk.l2.forward_inference(&etalumis_tensor::activations::relu(
+            &self.trunk.l1.forward_inference(features),
+        ));
         let (mean, std) = self.decode(raw.row(0));
         Distribution::Normal { mean, std }
     }
@@ -324,10 +318,7 @@ mod tests {
             xm.data_mut()[idx] -= eps;
             let num = ((f(&mut head, &xp) - f(&mut head, &xm)) / (2.0 * eps as f64)) as f32;
             let ana = dx.data()[idx];
-            assert!(
-                (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
-                "idx {idx}: {num} vs {ana}"
-            );
+            assert!((num - ana).abs() < 2e-2 * (1.0 + num.abs()), "idx {idx}: {num} vs {ana}");
         }
     }
 
@@ -444,9 +435,6 @@ mod tests {
             opt.begin_step();
             head.visit_params("", &mut |n, p| opt.update(n, p));
         }
-        assert!(
-            last < first - 1.0,
-            "loss should drop substantially: {first} -> {last}"
-        );
+        assert!(last < first - 1.0, "loss should drop substantially: {first} -> {last}");
     }
 }

@@ -34,5 +34,5 @@ pub use embedding::{Embedding, SampleEmbedding};
 pub use heads::{CategoricalHead, MixtureTnHead, NormalHead};
 pub use linear::{Linear, Mlp2};
 pub use lstm::{Lstm, LstmState};
-pub use optim::{clip_grad_norm, Adam, LrSchedule, LrScaling, Optimizer, Sgd};
+pub use optim::{clip_grad_norm, Adam, LrScaling, LrSchedule, Optimizer, Sgd};
 pub use param::{Module, Parameter};

@@ -356,12 +356,8 @@ mod tests {
         let mut st2 = lstm.begin_sequence(1);
         let y_fresh = lstm.step_inference(&x0, &mut st2);
         // Same input, different state ⇒ different output.
-        let diff: f32 = y_with_history
-            .data()
-            .iter()
-            .zip(y_fresh.data())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f32 =
+            y_with_history.data().iter().zip(y_fresh.data()).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 1e-4);
     }
 }

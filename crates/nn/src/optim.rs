@@ -128,10 +128,8 @@ impl Optimizer for Sgd {
             p.value.axpy(-lr, &g);
             return;
         }
-        let v = self
-            .velocity
-            .entry(name.to_string())
-            .or_insert_with(|| Tensor::zeros(p.value.shape()));
+        let v =
+            self.velocity.entry(name.to_string()).or_insert_with(|| Tensor::zeros(p.value.shape()));
         v.scale(self.momentum as f32);
         v.add_assign(&p.grad);
         let vc = v.clone();
@@ -193,16 +191,12 @@ impl Optimizer for Adam {
         let t = self.t.entry(name.to_string()).or_insert(0);
         *t += 1;
         let tt = *t as i32;
-        let m = self
-            .m
-            .entry(name.to_string())
-            .or_insert_with(|| Tensor::zeros(p.value.shape()));
-        let v = self
-            .v
-            .entry(name.to_string())
-            .or_insert_with(|| Tensor::zeros(p.value.shape()));
+        let m = self.m.entry(name.to_string()).or_insert_with(|| Tensor::zeros(p.value.shape()));
+        let v = self.v.entry(name.to_string()).or_insert_with(|| Tensor::zeros(p.value.shape()));
         let (b1, b2) = (self.beta1 as f32, self.beta2 as f32);
-        for ((mi, vi), &gi) in m.data_mut().iter_mut().zip(v.data_mut().iter_mut()).zip(p.grad.data()) {
+        for ((mi, vi), &gi) in
+            m.data_mut().iter_mut().zip(v.data_mut().iter_mut()).zip(p.grad.data())
+        {
             *mi = b1 * *mi + (1.0 - b1) * gi;
             *vi = b2 * *vi + (1.0 - b2) * gi * gi;
         }
@@ -287,8 +281,7 @@ mod tests {
 
     fn quadratic_loss_step(opt: &mut dyn Optimizer, p: &mut Parameter) -> f64 {
         // loss = 0.5 * ||w - 3||², grad = w - 3
-        let loss: f64 =
-            p.value.data().iter().map(|&w| 0.5 * ((w - 3.0) as f64).powi(2)).sum();
+        let loss: f64 = p.value.data().iter().map(|&w| 0.5 * ((w - 3.0) as f64).powi(2)).sum();
         p.zero_grad();
         let g = p.value.map(|w| w - 3.0);
         p.grad.add_assign(&g);

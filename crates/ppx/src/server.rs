@@ -165,8 +165,7 @@ impl<P: ProbProgram> SimulatorServer<P> {
                     })?;
                 }
                 Message::Run { observation: _ } => {
-                    let mut ctx =
-                        ForwardingCtx { transport, builder: AddressBuilder::new() };
+                    let mut ctx = ForwardingCtx { transport, builder: AddressBuilder::new() };
                     let result = self.program.run(&mut ctx);
                     transport.send(&Message::RunResult { result })?;
                 }

@@ -318,11 +318,7 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
             replace: c.u8()? != 0,
         },
         6 => Message::SampleResult { value: c.value()? },
-        7 => Message::Observe {
-            address: c.string()?,
-            name: c.string()?,
-            distribution: c.dist()?,
-        },
+        7 => Message::Observe { address: c.string()?, name: c.string()?, distribution: c.dist()? },
         8 => Message::ObserveResult { value: c.value()? },
         9 => Message::Tag { name: c.string()?, value: c.value()? },
         10 => Message::TagResult,

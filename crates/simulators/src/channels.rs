@@ -104,28 +104,16 @@ pub fn tau_decay_channels() -> Vec<DecayChannel> {
         // Three-prong.
         ch("tau->3pi nu", 0.0899, vec![PiCharged, PiCharged, PiCharged, Neutrino]),
         ch("tau->3pi pi0 nu", 0.0274, vec![PiCharged, PiCharged, PiCharged, Pi0, Neutrino]),
-        ch(
-            "tau->3pi 2pi0 nu",
-            0.0050,
-            vec![PiCharged, PiCharged, PiCharged, Pi0, Pi0, Neutrino],
-        ),
+        ch("tau->3pi 2pi0 nu", 0.0050, vec![PiCharged, PiCharged, PiCharged, Pi0, Pi0, Neutrino]),
         ch(
             "tau->3pi 3pi0 nu",
             0.0004,
             vec![PiCharged, PiCharged, PiCharged, Pi0, Pi0, Pi0, Neutrino],
         ),
         ch("tau->K 2pi nu", 0.0034, vec![KCharged, PiCharged, PiCharged, Neutrino]),
-        ch(
-            "tau->K 2pi pi0 nu",
-            0.0008,
-            vec![KCharged, PiCharged, PiCharged, Pi0, Neutrino],
-        ),
+        ch("tau->K 2pi pi0 nu", 0.0008, vec![KCharged, PiCharged, PiCharged, Pi0, Neutrino]),
         ch("tau->2K pi nu", 0.0014, vec![KCharged, KCharged, PiCharged, Neutrino]),
-        ch(
-            "tau->2K pi pi0 nu",
-            0.0001,
-            vec![KCharged, KCharged, PiCharged, Pi0, Neutrino],
-        ),
+        ch("tau->2K pi pi0 nu", 0.0001, vec![KCharged, KCharged, PiCharged, Pi0, Neutrino]),
         // Five-prong.
         ch(
             "tau->5pi nu",
@@ -146,16 +134,8 @@ pub fn tau_decay_channels() -> Vec<DecayChannel> {
         ch("tau->2K0 pi nu", 0.0002, vec![K0, K0, PiCharged, Neutrino]),
         ch("tau->K K0 2pi0 nu", 0.0001, vec![KCharged, K0, Pi0, Pi0, Neutrino]),
         ch("tau->K 3pi0 nu", 0.0001, vec![KCharged, Pi0, Pi0, Pi0, Neutrino]),
-        ch(
-            "tau->pi K0 2pi0 nu",
-            0.0001,
-            vec![PiCharged, K0, Pi0, Pi0, Neutrino],
-        ),
-        ch(
-            "tau->2pi K pi0 nu",
-            0.0002,
-            vec![PiCharged, PiCharged, KCharged, Pi0, Neutrino],
-        ),
+        ch("tau->pi K0 2pi0 nu", 0.0001, vec![PiCharged, K0, Pi0, Pi0, Neutrino]),
+        ch("tau->2pi K pi0 nu", 0.0002, vec![PiCharged, PiCharged, KCharged, Pi0, Neutrino]),
         ch("tau->eta pi nu", 0.0014, vec![Gamma, Gamma, PiCharged, Neutrino]),
         ch("tau->eta pi pi0 nu", 0.0009, vec![Gamma, Gamma, PiCharged, Pi0, Neutrino]),
         ch("tau->omega pi nu", 0.0020, vec![PiCharged, PiCharged, Pi0, Neutrino]),
@@ -189,11 +169,7 @@ mod tests {
     #[test]
     fn every_channel_has_a_neutrino_and_a_visible_particle() {
         for c in tau_decay_channels() {
-            assert!(
-                c.products.iter().any(|p| p.is_invisible()),
-                "{} lacks a neutrino",
-                c.name
-            );
+            assert!(c.products.iter().any(|p| p.is_invisible()), "{} lacks a neutrino", c.name);
             assert!(
                 c.products.iter().any(|p| !p.is_invisible()),
                 "{} lacks visible products",

@@ -35,13 +35,7 @@ pub struct DetectorConfig {
 
 impl Default for DetectorConfig {
     fn default() -> Self {
-        Self {
-            depth: 20,
-            height: 35,
-            width: 35,
-            cells_per_rad: 120.0,
-            sampling_fraction: 0.9,
-        }
+        Self { depth: 20, height: 35, width: 35, cells_per_rad: 120.0, sampling_fraction: 0.9 }
     }
 }
 

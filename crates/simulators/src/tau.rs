@@ -85,12 +85,7 @@ impl TauDecayModel {
 /// Stick-breaking energy fractions with a rejection loop: sample n−1 uniform
 /// cut points (replace = true), sort them, and accept only if every product
 /// would carry at least `min_frac` of the τ energy.
-fn sample_fractions(
-    ctx: &mut dyn SimCtx,
-    n: usize,
-    min_frac: f64,
-    max_tries: usize,
-) -> Vec<f64> {
+fn sample_fractions(ctx: &mut dyn SimCtx, n: usize, min_frac: f64, max_tries: usize) -> Vec<f64> {
     if n == 1 {
         return vec![1.0];
     }
@@ -160,12 +155,7 @@ impl ProbProgram for TauDecayModel {
             let dy = ctx.sample_f64(&Distribution::Uniform { low: -a, high: a }, "dy");
             let dx = ctx.sample_f64(&Distribution::Uniform { low: -a, high: a }, "dx");
             ctx.pop_scope();
-            visibles.push(IncomingParticle {
-                kind,
-                energy,
-                dy: tau_dy + dy,
-                dx: tau_dx + dx,
-            });
+            visibles.push(IncomingParticle { kind, energy, dy: tau_dy + dy, dx: tau_dx + dx });
         }
 
         // Detector response and conditioning.

@@ -42,10 +42,7 @@ impl GaussianUnknownMean {
 
 impl ProbProgram for GaussianUnknownMean {
     fn run(&mut self, ctx: &mut dyn SimCtx) -> Value {
-        let mu = ctx.sample_f64(
-            &Distribution::Normal { mean: self.mu0, std: self.sigma0 },
-            "mu",
-        );
+        let mu = ctx.sample_f64(&Distribution::Normal { mean: self.mu0, std: self.sigma0 }, "mu");
         for i in 0..self.n_obs {
             ctx.observe(&Distribution::Normal { mean: mu, std: self.sigma }, &format!("y{i}"));
         }
@@ -75,17 +72,13 @@ impl BranchingModel {
 
 impl ProbProgram for BranchingModel {
     fn run(&mut self, ctx: &mut dyn SimCtx) -> Value {
-        let k = ctx.sample_i64(
-            &Distribution::Categorical { probs: self.probs.clone() },
-            "branch",
-        ) as usize;
+        let k = ctx.sample_i64(&Distribution::Categorical { probs: self.probs.clone() }, "branch")
+            as usize;
         let mut total = 0.0;
         ctx.push_scope("parts");
         for i in 0..=k {
-            total += ctx.sample_f64(
-                &Distribution::Uniform { low: 0.0, high: 1.0 },
-                &format!("u{i}"),
-            );
+            total +=
+                ctx.sample_f64(&Distribution::Uniform { low: 0.0, high: 1.0 }, &format!("u{i}"));
         }
         ctx.pop_scope();
         ctx.observe(&Distribution::Normal { mean: total, std: self.noise }, "y");
@@ -154,14 +147,11 @@ impl GmmModel {
 
 impl ProbProgram for GmmModel {
     fn run(&mut self, ctx: &mut dyn SimCtx) -> Value {
-        let k = ctx.sample_i64(
-            &Distribution::Categorical { probs: self.weights.clone() },
-            "component",
-        ) as usize;
-        let x = ctx.sample_f64(
-            &Distribution::Normal { mean: self.means[k], std: self.comp_std },
-            "x",
-        );
+        let k = ctx
+            .sample_i64(&Distribution::Categorical { probs: self.weights.clone() }, "component")
+            as usize;
+        let x =
+            ctx.sample_f64(&Distribution::Normal { mean: self.means[k], std: self.comp_std }, "x");
         ctx.observe(&Distribution::Normal { mean: x, std: self.obs_std }, "y");
         Value::Real(x)
     }

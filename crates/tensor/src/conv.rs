@@ -91,37 +91,31 @@ pub fn conv3d_naive(x: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv3dSpec
     let xd = xp.data();
     let wd = weight.data();
     let o_spatial = od * oh * ow;
-    out.data_mut()
-        .par_chunks_mut(o_spatial)
-        .enumerate()
-        .for_each(|(chunk_idx, ochunk)| {
-            let ni = chunk_idx / spec.out_c;
-            let oc = chunk_idx % spec.out_c;
-            for zo in 0..od {
-                for yo in 0..oh {
-                    for xo in 0..ow {
-                        let mut acc = bias[oc];
-                        for ci in 0..c {
-                            for kz in 0..k {
-                                for ky in 0..k {
-                                    for kx in 0..k {
-                                        let xi = ((((ni * c) + ci) * pd + zo + kz) * ph
-                                            + yo
-                                            + ky)
-                                            * pw
-                                            + xo
-                                            + kx;
-                                        let wi = ((((oc * c) + ci) * k + kz) * k + ky) * k + kx;
-                                        acc += xd[xi] * wd[wi];
-                                    }
+    out.data_mut().par_chunks_mut(o_spatial).enumerate().for_each(|(chunk_idx, ochunk)| {
+        let ni = chunk_idx / spec.out_c;
+        let oc = chunk_idx % spec.out_c;
+        for zo in 0..od {
+            for yo in 0..oh {
+                for xo in 0..ow {
+                    let mut acc = bias[oc];
+                    for ci in 0..c {
+                        for kz in 0..k {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let xi = ((((ni * c) + ci) * pd + zo + kz) * ph + yo + ky) * pw
+                                        + xo
+                                        + kx;
+                                    let wi = ((((oc * c) + ci) * k + kz) * k + ky) * k + kx;
+                                    acc += xd[xi] * wd[wi];
                                 }
                             }
                         }
-                        ochunk[(zo * oh + yo) * ow + xo] = acc;
                     }
+                    ochunk[(zo * oh + yo) * ow + xo] = acc;
                 }
             }
-        });
+        }
+    });
     out
 }
 
@@ -192,8 +186,7 @@ fn pack_weights(weight: &Tensor, spec: &Conv3dSpec) -> Tensor {
                 for ky in 0..k {
                     for kx in 0..k {
                         let src = ((((oc * c) + ci) * k + kz) * k + ky) * k + kx;
-                        let dst = (((((obi * cb + cbi) * k + kz) * k + ky) * k + kx) * CBLK
-                            + cbr)
+                        let dst = (((((obi * cb + cbi) * k + kz) * k + ky) * k + kx) * CBLK + cbr)
                             * CBLK
                             + obr;
                         od[dst] = wd[src];
@@ -226,43 +219,36 @@ pub fn conv3d_blocked(x: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv3dSp
     let xd = xb.data();
     let wd = wp.data();
     let block_spatial = od * oh * ow * CBLK;
-    out_b
-        .data_mut()
-        .par_chunks_mut(block_spatial)
-        .enumerate()
-        .for_each(|(chunk_idx, ochunk)| {
-            let ni = chunk_idx / ob;
-            let obi = chunk_idx % ob;
-            // Initialize with bias.
-            for v in ochunk.chunks_mut(CBLK) {
-                for (r, vv) in v.iter_mut().enumerate() {
-                    let oc = obi * CBLK + r;
-                    *vv = if oc < spec.out_c { bias[oc] } else { 0.0 };
-                }
+    out_b.data_mut().par_chunks_mut(block_spatial).enumerate().for_each(|(chunk_idx, ochunk)| {
+        let ni = chunk_idx / ob;
+        let obi = chunk_idx % ob;
+        // Initialize with bias.
+        for v in ochunk.chunks_mut(CBLK) {
+            for (r, vv) in v.iter_mut().enumerate() {
+                let oc = obi * CBLK + r;
+                *vv = if oc < spec.out_c { bias[oc] } else { 0.0 };
             }
-            for cbi in 0..cb {
-                for kz in 0..k {
-                    for ky in 0..k {
-                        for kx in 0..k {
-                            let wbase =
-                                ((((obi * cb + cbi) * k + kz) * k + ky) * k + kx) * CBLK * CBLK;
-                            let wtile = &wd[wbase..wbase + CBLK * CBLK];
-                            for zo in 0..od {
-                                let zrow = ((ni * cb + cbi) * pd + zo + kz) * ph;
-                                for yo in 0..oh {
-                                    let xrow = ((zrow + yo + ky) * pw + kx) * CBLK;
-                                    let orow = (zo * oh + yo) * ow * CBLK;
-                                    for xo in 0..ow {
-                                        let iv = &xd[xrow + xo * CBLK..xrow + (xo + 1) * CBLK];
-                                        let ov =
-                                            &mut ochunk[orow + xo * CBLK..orow + (xo + 1) * CBLK];
-                                        // 8x8 micro-kernel: ov[o] += iv[i] * wtile[i*8+o]
-                                        for (i, &ivv) in iv.iter().enumerate() {
-                                            if ivv != 0.0 {
-                                                let wrow = &wtile[i * CBLK..(i + 1) * CBLK];
-                                                for (o, &wv) in wrow.iter().enumerate() {
-                                                    ov[o] += ivv * wv;
-                                                }
+        }
+        for cbi in 0..cb {
+            for kz in 0..k {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let wbase = ((((obi * cb + cbi) * k + kz) * k + ky) * k + kx) * CBLK * CBLK;
+                        let wtile = &wd[wbase..wbase + CBLK * CBLK];
+                        for zo in 0..od {
+                            let zrow = ((ni * cb + cbi) * pd + zo + kz) * ph;
+                            for yo in 0..oh {
+                                let xrow = ((zrow + yo + ky) * pw + kx) * CBLK;
+                                let orow = (zo * oh + yo) * ow * CBLK;
+                                for xo in 0..ow {
+                                    let iv = &xd[xrow + xo * CBLK..xrow + (xo + 1) * CBLK];
+                                    let ov = &mut ochunk[orow + xo * CBLK..orow + (xo + 1) * CBLK];
+                                    // 8x8 micro-kernel: ov[o] += iv[i] * wtile[i*8+o]
+                                    for (i, &ivv) in iv.iter().enumerate() {
+                                        if ivv != 0.0 {
+                                            let wrow = &wtile[i * CBLK..(i + 1) * CBLK];
+                                            for (o, &wv) in wrow.iter().enumerate() {
+                                                ov[o] += ivv * wv;
                                             }
                                         }
                                     }
@@ -272,7 +258,8 @@ pub fn conv3d_blocked(x: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv3dSp
                     }
                 }
             }
-        });
+        }
+    });
     // Unpack [N, Ob, OD, OH, OW, 8] → [N, O, OD, OH, OW].
     let packed = out_b.reshape(&[n, ob, od, oh, ow, CBLK]);
     unpack_ncdhw8c(&packed, spec.out_c)
@@ -299,28 +286,23 @@ pub fn conv3d_backward_data(
     // Accumulate into a padded gradient, then crop.
     let mut gpad = Tensor::zeros(&[n, c, pd, ph, pw]);
     let per_image = c * pd * ph * pw;
-    gpad.data_mut()
-        .par_chunks_mut(per_image)
-        .enumerate()
-        .for_each(|(ni, gimg)| {
-            for oc in 0..o {
-                for zo in 0..od {
-                    for yo in 0..oh {
-                        let grow = (((ni * o + oc) * od + zo) * oh + yo) * ow;
-                        for xo in 0..ow {
-                            let g = gd[grow + xo];
-                            if g == 0.0 {
-                                continue;
-                            }
-                            for ci in 0..c {
-                                for kz in 0..k {
-                                    for ky in 0..k {
-                                        let wbase = ((((oc * c) + ci) * k + kz) * k + ky) * k;
-                                        let xbase =
-                                            (((ci * pd) + zo + kz) * ph + yo + ky) * pw + xo;
-                                        for kx in 0..k {
-                                            gimg[xbase + kx] += g * wd[wbase + kx];
-                                        }
+    gpad.data_mut().par_chunks_mut(per_image).enumerate().for_each(|(ni, gimg)| {
+        for oc in 0..o {
+            for zo in 0..od {
+                for yo in 0..oh {
+                    let grow = (((ni * o + oc) * od + zo) * oh + yo) * ow;
+                    for xo in 0..ow {
+                        let g = gd[grow + xo];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for ci in 0..c {
+                            for kz in 0..k {
+                                for ky in 0..k {
+                                    let wbase = ((((oc * c) + ci) * k + kz) * k + ky) * k;
+                                    let xbase = (((ci * pd) + zo + kz) * ph + yo + ky) * pw + xo;
+                                    for kx in 0..k {
+                                        gimg[xbase + kx] += g * wd[wbase + kx];
                                     }
                                 }
                             }
@@ -328,7 +310,8 @@ pub fn conv3d_backward_data(
                     }
                 }
             }
-        });
+        }
+    });
     // Crop padding.
     if spec.pad == 0 {
         return gpad.reshape(&[n, c, d, h, w]);
@@ -386,31 +369,24 @@ pub fn conv3d_backward_weights(
         })
         .collect();
     gb.copy_from_slice(&gb_chunks);
-    gw.data_mut()
-        .par_chunks_mut(wlen)
-        .enumerate()
-        .for_each(|(oc, wslab)| {
-            for ni in 0..n {
-                for zo in 0..od {
-                    for yo in 0..oh {
-                        let grow = (((ni * o + oc) * od + zo) * oh + yo) * ow;
-                        for xo in 0..ow {
-                            let g = gd[grow + xo];
-                            if g == 0.0 {
-                                continue;
-                            }
-                            for ci in 0..c {
-                                for kz in 0..k {
-                                    for ky in 0..k {
-                                        let wbase = (((ci * k) + kz) * k + ky) * k;
-                                        let xbase = ((((ni * c) + ci) * pd + zo + kz) * ph
-                                            + yo
-                                            + ky)
-                                            * pw
-                                            + xo;
-                                        for kx in 0..k {
-                                            wslab[wbase + kx] += g * xd[xbase + kx];
-                                        }
+    gw.data_mut().par_chunks_mut(wlen).enumerate().for_each(|(oc, wslab)| {
+        for ni in 0..n {
+            for zo in 0..od {
+                for yo in 0..oh {
+                    let grow = (((ni * o + oc) * od + zo) * oh + yo) * ow;
+                    for xo in 0..ow {
+                        let g = gd[grow + xo];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for ci in 0..c {
+                            for kz in 0..k {
+                                for ky in 0..k {
+                                    let wbase = (((ci * k) + kz) * k + ky) * k;
+                                    let xbase =
+                                        ((((ni * c) + ci) * pd + zo + kz) * ph + yo + ky) * pw + xo;
+                                    for kx in 0..k {
+                                        wslab[wbase + kx] += g * xd[xbase + kx];
                                     }
                                 }
                             }
@@ -418,7 +394,8 @@ pub fn conv3d_backward_weights(
                     }
                 }
             }
-        });
+        }
+    });
     (gw, gb)
 }
 
@@ -443,12 +420,10 @@ pub fn maxpool3d(x: &Tensor, k: usize) -> (Tensor, Vec<u32>) {
                         for kz in 0..k {
                             for ky in 0..k {
                                 for kx in 0..k {
-                                    let idx = ((((ni * c) + ci) * d + zo * k + kz) * h
-                                        + yo * k
-                                        + ky)
-                                        * w
-                                        + xo * k
-                                        + kx;
+                                    let idx =
+                                        ((((ni * c) + ci) * d + zo * k + kz) * h + yo * k + ky) * w
+                                            + xo * k
+                                            + kx;
                                     if xd[idx] > best {
                                         best = xd[idx];
                                         best_idx = idx;

@@ -47,10 +47,7 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
         }
     };
     if m * n * k >= PAR_THRESHOLD {
-        out.data_mut()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, orow)| run_row(i, orow));
+        out.data_mut().par_chunks_mut(n).enumerate().for_each(|(i, orow)| run_row(i, orow));
     } else {
         for (i, orow) in out.data_mut().chunks_mut(n).enumerate() {
             run_row(i, orow);
@@ -80,10 +77,7 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
         }
     };
     if m * n * k >= PAR_THRESHOLD {
-        out.data_mut()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, orow)| run_row(i, orow));
+        out.data_mut().par_chunks_mut(n).enumerate().for_each(|(i, orow)| run_row(i, orow));
     } else {
         for (i, orow) in out.data_mut().chunks_mut(n).enumerate() {
             run_row(i, orow);

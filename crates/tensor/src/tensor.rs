@@ -108,10 +108,7 @@ impl Tensor {
 
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// In-place elementwise map.
@@ -126,12 +123,7 @@ impl Tensor {
         assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
         Self {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
 

@@ -113,7 +113,11 @@ impl DistReport {
     }
 }
 
-fn allreduce_network(ctx: &AllReduceCtx, net: &mut IcNetwork, strategy: AllReduceStrategy) -> usize {
+fn allreduce_network(
+    ctx: &AllReduceCtx,
+    net: &mut IcNetwork,
+    strategy: AllReduceStrategy,
+) -> usize {
     let n = ctx.num_ranks() as f32;
     match strategy {
         AllReduceStrategy::DensePerTensor => {
@@ -165,9 +169,7 @@ fn allreduce_network(ctx: &AllReduceCtx, net: &mut IcNetwork, strategy: AllReduc
             net.visit_params("", &mut |_, p| {
                 if present[i] {
                     let len = p.grad.numel();
-                    for (dst, src) in
-                        p.grad.data_mut().iter_mut().zip(buf[off..off + len].iter())
-                    {
+                    for (dst, src) in p.grad.data_mut().iter_mut().zip(buf[off..off + len].iter()) {
                         *dst = src / n;
                     }
                     off += len;
@@ -237,9 +239,8 @@ pub fn train_distributed(
                         }
                         let mut t = PhaseTimings::default();
                         let t0 = Instant::now();
-                        let records = dataset
-                            .get_many(&plan.per_rank[rank][it])
-                            .expect("minibatch read");
+                        let records =
+                            dataset.get_many(&plan.per_rank[rank][it]).expect("minibatch read");
                         t.batch_read = t0.elapsed().as_secs_f64();
                         let res = accumulate_minibatch(&mut net, &records);
                         t.forward = res.timings.forward;
@@ -249,8 +250,7 @@ pub fn train_distributed(
                         let elems = allreduce_network(ctx, &mut net, dist.strategy);
                         let mut stats = [res.loss * res.used as f64, res.used as f64];
                         {
-                            let mut f32buf =
-                                [stats[0] as f32, stats[1] as f32];
+                            let mut f32buf = [stats[0] as f32, stats[1] as f32];
                             ctx.reduce_sum(&mut f32buf);
                             stats = [f32buf[0] as f64, f32buf[1] as f64];
                         }
@@ -259,7 +259,8 @@ pub fn train_distributed(
                         opt.begin_step();
                         net.visit_params("", &mut |n, p| opt.update(n, p));
                         t.optimizer = topt.elapsed().as_secs_f64();
-                        let global_loss = if stats[1] > 0.0 { stats[0] / stats[1] } else { f64::NAN };
+                        let global_loss =
+                            if stats[1] > 0.0 { stats[0] / stats[1] } else { f64::NAN };
                         losses.lock()[rank].push(global_loss);
                         timings.lock()[rank].push(t);
                         traces_total.fetch_add(res.used, std::sync::atomic::Ordering::Relaxed);
@@ -363,8 +364,7 @@ mod tests {
         let pregen = ds.get_many(&all).unwrap();
         let mut net = IcNetwork::new(small_ic());
         net.pregenerate(pregen.iter());
-        let mut trainer =
-            crate::trainer::Trainer::new(net, Adam::new(LrSchedule::Constant(1e-3)));
+        let mut trainer = crate::trainer::Trainer::new(net, Adam::new(LrSchedule::Constant(1e-3)));
         let res = trainer.step(&records);
         assert_eq!(res.used, 16);
         // Compare parameters.

@@ -22,7 +22,7 @@ use etalumis_data::TraceRecord;
 use etalumis_distributions::{Distribution, Value};
 use etalumis_inference::ProposalProvider;
 use etalumis_nn::{
-    Cnn3d, Cnn3dConfig, CategoricalHead, Embedding, Lstm, LstmState, MixtureTnHead, Module,
+    CategoricalHead, Cnn3d, Cnn3dConfig, Embedding, Lstm, LstmState, MixtureTnHead, Module,
     NormalHead, Parameter, SampleEmbedding,
 };
 use etalumis_tensor::Tensor;
@@ -298,8 +298,7 @@ impl IcNetwork {
             "sub-minibatch must share one trace type"
         );
         let b = records.len();
-        let steps: Vec<&str> =
-            records[0].controlled().map(|e| e.address.as_str()).collect();
+        let steps: Vec<&str> = records[0].controlled().map(|e| e.address.as_str()).collect();
         if steps.is_empty() {
             return Some(0.0);
         }
@@ -370,10 +369,8 @@ impl IcNetwork {
             let layers = self.layers.get_mut(*addr).unwrap();
             let (l, dh) = match &mut layers.head {
                 Head::Categorical(head) => {
-                    let targets: Vec<usize> = per_trace_entries
-                        .iter()
-                        .map(|e| e[t].1.as_i64() as usize)
-                        .collect();
+                    let targets: Vec<usize> =
+                        per_trace_entries.iter().map(|e| e[t].1.as_i64() as usize).collect();
                     head.loss_and_grad(&hs[t], &targets)
                 }
                 Head::Mixture(head) => {
@@ -624,15 +621,13 @@ mod tests {
     fn frozen_network_drops_unknown_addresses() {
         let recs = small_records(10);
         // Pregenerate on branch-0 traces only (2 controlled addresses).
-        let min_type: Vec<&TraceRecord> =
-            recs.iter().filter(|r| r.num_controlled() == 2).collect();
+        let min_type: Vec<&TraceRecord> = recs.iter().filter(|r| r.num_controlled() == 2).collect();
         if min_type.is_empty() {
             return; // extremely unlikely with 10 seeds
         }
         let mut net = IcNetwork::new(small_config());
         net.pregenerate(min_type.iter().copied());
-        let bigger: Vec<&TraceRecord> =
-            recs.iter().filter(|r| r.num_controlled() == 3).collect();
+        let bigger: Vec<&TraceRecord> = recs.iter().filter(|r| r.num_controlled() == 3).collect();
         if let Some(first) = bigger.first() {
             assert_eq!(net.loss_sub_minibatch(&[first]), None);
         }
@@ -669,14 +664,8 @@ mod tests {
         let mut model = BranchingModel::standard();
         let mut observes = ObserveMap::new();
         observes.insert("y".into(), Value::Real(1.0));
-        let post = etalumis_inference::ic_importance_sampling(
-            &mut model,
-            &observes,
-            "y",
-            &mut net,
-            50,
-            9,
-        );
+        let post =
+            etalumis_inference::ic_importance_sampling(&mut model, &observes, "y", &mut net, 50, 9);
         assert_eq!(post.len(), 50);
         assert!(post.log_weights.iter().all(|w| w.is_finite()));
         assert!(post.effective_sample_size() > 1.0);

@@ -54,9 +54,7 @@ fn main() -> std::io::Result<()> {
         post.log_evidence()
     );
     for k in 0..3 {
-        let p = post.expect(|t| {
-            (t.value_by_name("branch").unwrap().as_i64() == k) as u8 as f64
-        });
+        let p = post.expect(|t| (t.value_by_name("branch").unwrap().as_i64() == k) as u8 as f64);
         println!("[controller]   p(branch = {k} | y) = {p:.3}");
     }
 

@@ -16,7 +16,12 @@ fn main() {
     let trace = Executor::sample_prior(&mut model, 1);
     println!("prior trace: {} latents, log p(x) = {:.3}", trace.num_controlled(), trace.log_prior);
     for e in trace.entries.iter() {
-        println!("  {:<24} {:>10}  ({})", e.address.to_string(), e.value.to_string(), e.distribution.kind());
+        println!(
+            "  {:<24} {:>10}  ({})",
+            e.address.to_string(),
+            e.value.to_string(),
+            e.distribution.kind()
+        );
     }
 
     // 3. Condition on data: register observed values for the observe

@@ -26,7 +26,7 @@ const IC_SAMPLES: usize = 800;
 fn small_tau() -> TauDecayModel {
     // A reduced detector keeps the example fast while preserving structure;
     // the widened per-voxel noise keeps the laptop-scale posterior broad
-    // enough for the small training budget (see EXPERIMENTS.md, Figure 8).
+    // enough for the small training budget (see DESIGN.md §3, Figure 8).
     let config = TauDecayConfig {
         detector: DetectorConfig { depth: 8, height: 13, width: 13, ..Default::default() },
         obs_noise_std: 0.8,
@@ -44,8 +44,10 @@ fn main() {
     let gt_py = truth.value_by_base("tau/py[Uniform]").unwrap().as_f64();
     let gt_pz = truth.value_by_base("tau/pz[Uniform]").unwrap().as_f64();
     let gt_ch = truth.value_by_base("tau/channel[Categorical]").unwrap().as_i64();
-    println!("ground truth: px={gt_px:.3} py={gt_py:.3} pz={gt_pz:.3} channel={gt_ch} ({})",
-        truth.value_by_name("channel_name").unwrap());
+    println!(
+        "ground truth: px={gt_px:.3} py={gt_py:.3} pz={gt_pz:.3} channel={gt_ch} ({})",
+        truth.value_by_name("channel_name").unwrap()
+    );
     let mut observes = ObserveMap::new();
     observes.insert(TauDecayModel::OBSERVE_NAME.into(), obs);
 
@@ -82,7 +84,15 @@ fn main() {
     let mut net = IcNetwork::new(IcConfig::small([8, 13, 13], 8));
     net.pregenerate(records.iter());
     println!("[IC] network: {} addresses", net.num_addresses());
-    let mut trainer = Trainer::new(net, Adam::new(LrSchedule::Polynomial { initial: 1e-3, final_lr: 1e-4, order: 2, total_iters: TRAIN_STEPS }));
+    let mut trainer = Trainer::new(
+        net,
+        Adam::new(LrSchedule::Polynomial {
+            initial: 1e-3,
+            final_lr: 1e-4,
+            order: 2,
+            total_iters: TRAIN_STEPS,
+        }),
+    );
     trainer.grad_clip = Some(10.0);
     let t0 = std::time::Instant::now();
     let bsz = 32;
@@ -108,9 +118,8 @@ fn main() {
         5,
     );
     let ic_secs = t0.elapsed().as_secs_f64();
-    let (ic_mean, ic_std) = post_ic.mean_std(|t| {
-        t.value_by_base("tau/px[Uniform]").unwrap().as_f64()
-    });
+    let (ic_mean, ic_std) =
+        post_ic.mean_std(|t| t.value_by_base("tau/px[Uniform]").unwrap().as_f64());
     println!(
         "\n[IC] {IC_SAMPLES} guided samples in {ic_secs:.1}s; ESS {:.0}; E[px|y] = {ic_mean:.3} ± {ic_std:.3}",
         post_ic.effective_sample_size()
@@ -127,12 +136,8 @@ fn main() {
     for &x in &px_samples {
         rmh_hist.add(x, 1.0);
     }
-    let ic_hist = post_ic.histogram(
-        |t| t.value_by_base("tau/px[Uniform]").unwrap().as_f64(),
-        -2.5,
-        2.5,
-        14,
-    );
+    let ic_hist =
+        post_ic.histogram(|t| t.value_by_base("tau/px[Uniform]").unwrap().as_f64(), -2.5, 2.5, 14);
     let tv = etalumis_inference::total_variation(&rmh_hist, &ic_hist);
     println!("  total variation RMH vs IC: {tv:.3}\n");
     println!("  RMH p(px|y):");

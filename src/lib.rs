@@ -17,8 +17,8 @@
 //! | [`data`] | `etalumis-data` | trace datasets, shards, samplers |
 //! | [`train`] | `etalumis-train` | dynamic IC networks, distributed training |
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the paper-reproduction map.
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
+//! the crate-to-paper map and the reproduced-experiments index.
 
 pub use etalumis_core as core;
 pub use etalumis_data as data;

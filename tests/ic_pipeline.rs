@@ -33,8 +33,7 @@ fn ic_beats_prior_is_on_conjugate_gaussian() {
     obs.insert("y0".into(), Value::Real(ys[0]));
     obs.insert("y1".into(), Value::Real(ys[1]));
     let n = 3000;
-    let post_ic =
-        ic_importance_sampling(&mut model, &obs, "y0", &mut trainer.net, n, 5);
+    let post_ic = ic_importance_sampling(&mut model, &obs, "y0", &mut trainer.net, n, 5);
     let post_prior = importance_sampling(&mut model, &obs, n, 5);
     let f = |t: &etalumis_core::Trace| t.value_by_name("mu").unwrap().as_f64();
     let (am, astd) = model.posterior(&ys);
@@ -43,10 +42,7 @@ fn ic_beats_prior_is_on_conjugate_gaussian() {
     assert!((istd - astd).abs() < 0.08, "IC std {istd} vs analytic {astd}");
     let ess_ic = post_ic.effective_sample_size();
     let ess_prior = post_prior.effective_sample_size();
-    assert!(
-        ess_ic > ess_prior,
-        "trained proposals must beat prior ESS: {ess_ic} vs {ess_prior}"
-    );
+    assert!(ess_ic > ess_prior, "trained proposals must beat prior ESS: {ess_ic} vs {ess_prior}");
 }
 
 #[test]

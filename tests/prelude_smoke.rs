@@ -1,0 +1,68 @@
+//! Facade smoke test: everything a first-time user touches must be reachable
+//! through `etalumis::prelude` alone, and produce statistically correct
+//! results end-to-end.
+
+use etalumis::prelude::*;
+
+#[test]
+fn prelude_importance_sampling_recovers_analytic_posterior() {
+    let mut model = GaussianUnknownMean::standard();
+    let ys = [0.8, 1.4];
+    let mut obs = ObserveMap::new();
+    for (i, y) in ys.iter().enumerate() {
+        obs.insert(format!("y{i}"), Value::Real(*y));
+    }
+
+    let posterior: WeightedTraces = importance_sampling(&mut model, &obs, 20_000, 11);
+    let (mean, std) = posterior.mean_std(|t| t.value_by_name("mu").unwrap().as_f64());
+
+    let (analytic_mean, analytic_std) = model.posterior(&ys);
+    assert!(
+        (mean - analytic_mean).abs() < 0.05,
+        "posterior mean {mean} vs analytic {analytic_mean}"
+    );
+    assert!((std - analytic_std).abs() < 0.05, "posterior std {std} vs analytic {analytic_std}");
+}
+
+#[test]
+fn prelude_fn_program_runs_under_the_executor() {
+    // A user-defined model written against the prelude only: latent rate,
+    // one Poisson observation.
+    let mut program = FnProgram::new("fn_model", |ctx: &mut dyn SimCtx| {
+        let rate = ctx.sample_f64(&Distribution::Gamma { shape: 3.0, rate: 1.0 }, "rate");
+        ctx.observe(&Distribution::Poisson { rate }, "k");
+        Value::Real(rate)
+    });
+
+    let mut obs = ObserveMap::new();
+    obs.insert("k".into(), Value::Int(4));
+    let posterior = importance_sampling(&mut program, &obs, 20_000, 7);
+
+    // Gamma(3,1) prior + Poisson(4) observation -> Gamma(7,2) posterior:
+    // mean 3.5, std sqrt(7)/2.
+    let (mean, _) = posterior.mean_std(|t| t.value_by_name("rate").unwrap().as_f64());
+    assert!((mean - 3.5).abs() < 0.15, "posterior rate mean {mean}, expected 3.5");
+
+    // The prelude also exposes the raw executor for direct trace inspection.
+    let trace: Trace = Executor::sample_prior(&mut program, 5);
+    assert_eq!(trace.num_controlled(), 1);
+    assert!(trace.log_prior.is_finite());
+}
+
+#[test]
+fn prelude_rmh_agrees_with_importance_sampling() {
+    let mut model = GaussianUnknownMean::standard();
+    let mut obs = ObserveMap::new();
+    obs.insert("y0".into(), Value::Real(1.0));
+    obs.insert("y1".into(), Value::Real(0.2));
+
+    let is_post = importance_sampling(&mut model, &obs, 20_000, 3);
+    let cfg = RmhConfig { iterations: 20_000, burn_in: 2_000, seed: 4, ..Default::default() };
+    let (rmh_post, stats) = rmh(&mut model, &obs, &cfg);
+
+    let f = |t: &Trace| t.value_by_name("mu").unwrap().as_f64();
+    let (m_is, _) = is_post.mean_std(f);
+    let (m_rmh, _) = rmh_post.mean_std(f);
+    assert!((m_is - m_rmh).abs() < 0.1, "IS mean {m_is} vs RMH mean {m_rmh}");
+    assert!(stats.accepted > 0, "RMH accepted no proposals");
+}
