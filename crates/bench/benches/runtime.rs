@@ -1,0 +1,59 @@
+//! Serial executor vs pooled work-stealing trace generation (§4.4, Fig. 4).
+//!
+//! On a multi-core host the pooled runner should beat the serial executor
+//! roughly linearly in cores for the simulator-bound mini-Sherpa τ model;
+//! on a single core it shows the scheduler's overhead is within noise.
+//!
+//! Run: `cargo bench -p etalumis-bench --bench runtime` (add `-- --quick`
+//! for the CI smoke mode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etalumis_bench::bench_tau_model;
+use etalumis_core::{Executor, ObserveMap};
+use etalumis_runtime::{BatchRunner, CountingSink, RuntimeConfig, SimulatorPool};
+
+const TRACES_PER_ITER: usize = 16;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+
+    group.bench_function("serial_executor", |b| {
+        let mut model = bench_tau_model();
+        let mut seed = 0u64;
+        b.iter(|| {
+            let mut last = 0usize;
+            for _ in 0..TRACES_PER_ITER {
+                let t = Executor::sample_prior(&mut model, seed);
+                last += t.len();
+                seed += 1;
+            }
+            last
+        });
+    });
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for workers in [2usize, cores.max(2)] {
+        let id = format!("pooled_{workers}workers");
+        group.bench_function(&id, |b| {
+            let mut pool = SimulatorPool::from_factory(workers, |_| bench_tau_model());
+            let runner = BatchRunner::new(RuntimeConfig { workers, stealing: true });
+            let observes = ObserveMap::new();
+            let mut seed = 0u64;
+            b.iter(|| {
+                let sink = CountingSink::default();
+                let stats = runner.run_prior(&mut pool, &observes, TRACES_PER_ITER, seed, &sink);
+                seed += 1;
+                assert_eq!(sink.count(), TRACES_PER_ITER);
+                stats.total_executed()
+            });
+        });
+        if cores.max(2) == 2 {
+            break; // both configurations are identical on a dual-core host
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_generation);
+criterion_main!(benches);

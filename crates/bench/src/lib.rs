@@ -14,7 +14,8 @@
 //! This library holds the shared workload builders.
 
 use etalumis_core::Executor;
-use etalumis_data::{generate_dataset, sort_dataset, TraceDataset, TraceRecord};
+use etalumis_data::{sort_dataset, TraceDataset, TraceRecord};
+use etalumis_runtime::{generate_dataset_parallel, DatasetGenConfig};
 use etalumis_simulators::{DetectorConfig, TauDecayConfig, TauDecayModel};
 use etalumis_train::IcConfig;
 use std::path::PathBuf;
@@ -58,12 +59,22 @@ pub fn scratch_dir(tag: &str) -> PathBuf {
     d
 }
 
-/// Generate + sort an on-disk τ dataset for training benches. Returns
+/// Generate + sort an on-disk τ dataset for training benches, on the
+/// parallel runtime. `ordered` mode keeps the dataset byte-identical for
+/// any worker count, so bench numbers stay comparable run-to-run. Returns
 /// (sorted dataset, scratch dir to delete afterwards).
 pub fn tau_dataset(n: usize, per_shard: usize, tag: &str) -> (TraceDataset, PathBuf) {
     let dir = scratch_dir(tag);
-    let mut m = bench_tau_model();
-    let ds = generate_dataset(&mut m, n, per_shard, &dir, 17, true).expect("generate");
+    let cfg = DatasetGenConfig {
+        n,
+        traces_per_shard: per_shard,
+        partitions: 2,
+        workers: 0,
+        seed: 17,
+        ordered: true,
+        ..Default::default()
+    };
+    let ds = generate_dataset_parallel(|_| bench_tau_model(), &cfg, &dir).expect("generate");
     let sorted = sort_dataset(&ds, &dir.join("sorted"), per_shard).expect("sort");
     (sorted, dir)
 }

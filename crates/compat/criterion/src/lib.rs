@@ -3,10 +3,11 @@
 //! Implements the subset the workspace's benches use — `Criterion`,
 //! `benchmark_group` with `sample_size`/`measurement_time`/`bench_function`/
 //! `finish`, `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
-//! macros — as a simple wall-clock harness. Each sample runs the closure in a
-//! calibrated batch and reports mean/min/max nanoseconds per iteration to
-//! stdout. No statistics beyond that; the numbers are comparable run-to-run
-//! on the same machine, which is what the bench trajectory needs.
+//! macros — as a simple wall-clock harness. Each sample runs the closure in
+//! a calibrated batch and reports min/mean/max plus median ± standard
+//! deviation nanoseconds per iteration, and the sample × iteration counts,
+//! so run-to-run deltas on the same machine are interpretable. Passing
+//! `-- --quick` (mirroring real criterion) caps sampling for CI smoke runs.
 
 use std::time::{Duration, Instant};
 
@@ -16,18 +17,20 @@ pub use std::hint::black_box;
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
+    quick: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20, measurement_time: Duration::from_secs(3) }
+        Criterion { sample_size: 20, measurement_time: Duration::from_secs(3), quick: false }
     }
 }
 
 impl Criterion {
-    /// Hook for CLI configuration; accepted and ignored (`--bench` etc. are
-    /// already filtered by the harness).
-    pub fn configure_from_args(self) -> Self {
+    /// CLI configuration: honors `--quick` (capped sampling, the CI smoke
+    /// mode); other flags (`--bench` etc.) are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.quick = std::env::args().any(|a| a == "--quick");
         self
     }
 
@@ -46,6 +49,7 @@ impl Criterion {
             name: name.into(),
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
+            quick: self.quick,
             _parent: std::marker::PhantomData,
         }
     }
@@ -57,7 +61,7 @@ impl Criterion {
     {
         let sample_size = self.sample_size;
         let measurement_time = self.measurement_time;
-        run_one("", id, sample_size, measurement_time, f);
+        run_one("", id, sample_size, measurement_time, self.quick, f);
         self
     }
 }
@@ -67,6 +71,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     measurement_time: Duration,
+    quick: bool,
     _parent: std::marker::PhantomData<&'a mut Criterion>,
 }
 
@@ -85,18 +90,55 @@ impl<'a> BenchmarkGroup<'a> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&self.name, id, self.sample_size, self.measurement_time, f);
+        run_one(&self.name, id, self.sample_size, self.measurement_time, self.quick, f);
         self
     }
 
     pub fn finish(self) {}
 }
 
-fn run_one<F>(group: &str, id: &str, sample_size: usize, measurement_time: Duration, mut f: F)
-where
+/// Summary statistics over per-iteration sample times (nanoseconds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampleStats {
+    pub min: f64,
+    pub mean: f64,
+    pub max: f64,
+    pub median: f64,
+    pub std_dev: f64,
+}
+
+impl SampleStats {
+    /// Compute stats from raw samples (need not be sorted).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return SampleStats { min: 0.0, mean: 0.0, max: 0.0, median: 0.0, std_dev: 0.0 };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let median =
+            if n % 2 == 1 { sorted[n / 2] } else { 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]) };
+        let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        SampleStats { min: sorted[0], mean, max: sorted[n - 1], median, std_dev: var.sqrt() }
+    }
+}
+
+fn run_one<F>(
+    group: &str,
+    id: &str,
+    mut sample_size: usize,
+    mut measurement_time: Duration,
+    quick: bool,
+    mut f: F,
+) where
     F: FnMut(&mut Bencher),
 {
     let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    if quick {
+        sample_size = sample_size.min(5);
+        measurement_time = measurement_time.min(Duration::from_millis(250));
+    }
 
     // Calibration pass: how many iterations fit in ~1/sample_size of the
     // measurement budget?
@@ -112,15 +154,14 @@ where
         f(&mut b);
         samples_ns.push(b.elapsed.as_secs_f64() * 1e9 / iters_per_sample as f64);
     }
-    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
-    let min = samples_ns.first().copied().unwrap_or(0.0);
-    let max = samples_ns.last().copied().unwrap_or(0.0);
+    let stats = SampleStats::from_samples(&samples_ns);
     println!(
-        "{label:<40} time: [{} {} {}]  ({} samples x {} iters)",
-        fmt_ns(min),
-        fmt_ns(mean),
-        fmt_ns(max),
+        "{label:<40} time: [{} {} {}]  median {} ± {}  ({} samples x {} iters)",
+        fmt_ns(stats.min),
+        fmt_ns(stats.mean),
+        fmt_ns(stats.max),
+        fmt_ns(stats.median),
+        fmt_ns(stats.std_dev),
         sample_size,
         iters_per_sample,
     );
@@ -151,6 +192,35 @@ impl Bencher {
             black_box(f());
         }
         self.elapsed = start.elapsed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SampleStats;
+
+    #[test]
+    fn stats_on_known_samples() {
+        let s = SampleStats::from_samples(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.5);
+        // population std dev of 1..4 = sqrt(1.25)
+        assert!((s.std_dev - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_odd_count_median_is_middle() {
+        let s = SampleStats::from_samples(&[10.0, 30.0, 20.0]);
+        assert_eq!(s.median, 20.0);
+    }
+
+    #[test]
+    fn stats_empty_is_zeroed() {
+        let s = SampleStats::from_samples(&[]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std_dev, 0.0);
     }
 }
 

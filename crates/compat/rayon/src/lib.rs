@@ -3,11 +3,17 @@
 //! Implements the parallel-iterator subset the workspace uses —
 //! `par_chunks_mut`, `into_par_iter` on ranges and vectors, with
 //! `map`/`enumerate`/`for_each`/`collect` — executing on scoped OS threads
-//! (contiguous block partitioning, order-preserving). No work stealing; the
-//! workloads here are uniform row/chunk loops where static partitioning is
-//! within noise of a real deal scheduler.
+//! with **shared-queue dynamic scheduling**: workers claim fixed-size chunks
+//! of the item sequence from a shared queue, so a thread that draws cheap
+//! items keeps claiming more instead of idling behind a straggler (the
+//! load-balancing failure mode of static block partitioning). Output order
+//! is preserved regardless of which worker computes which chunk. Not a
+//! deque-based work-stealing pool like real rayon — for batched trace
+//! generation use `etalumis-runtime` — but within noise of one on the
+//! chunk-uniform workloads `par_iter` carries here.
 
 use std::num::NonZeroUsize;
+use std::sync::Mutex;
 
 /// Number of worker threads: `RAYON_NUM_THREADS` if set, else the number of
 /// available cores.
@@ -22,39 +28,66 @@ pub fn current_num_threads() -> usize {
     std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
 }
 
-/// Evaluate `f` over `items` on up to [`current_num_threads`] scoped threads,
-/// preserving input order in the output.
+/// Lock a mutex, recovering from poisoning (a panicking sibling worker is
+/// already being propagated by the thread scope).
+fn lock_ok<U>(m: &Mutex<U>) -> std::sync::MutexGuard<'_, U> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Evaluate `f` over `items` on up to [`current_num_threads`] scoped
+/// threads, preserving input order in the output.
+///
+/// Dynamic scheduling: the items are pre-split into chunks of
+/// `len / (threads * 8)` (≥ 1) elements tagged with their start offset;
+/// workers repeatedly claim the next chunk from a shared queue until it is
+/// drained, and completed `(offset, results)` pairs are reassembled in
+/// offset order. Plain `Vec` ownership throughout, so a panicking closure
+/// drops every pending element normally.
 fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = current_num_threads().min(items.len().max(1));
-    if threads <= 1 || items.len() <= 1 {
+    let len = items.len();
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let len = items.len();
-    let chunk = len.div_ceil(threads);
-    let mut slots: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let chunk = (len / (threads * 8)).max(1);
+
+    let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(len.div_ceil(chunk));
     let mut it = items.into_iter();
+    let mut offset = 0;
     loop {
         let part: Vec<T> = it.by_ref().take(chunk).collect();
         if part.is_empty() {
             break;
         }
-        slots.push(part);
+        offset += part.len();
+        chunks.push((offset - part.len(), part));
     }
-    let mut out: Vec<R> = Vec::with_capacity(len);
+    let queue = Mutex::new(chunks.into_iter());
+    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(len.div_ceil(chunk)));
+
     std::thread::scope(|s| {
-        let handles: Vec<_> = slots
-            .into_iter()
-            .map(|part| s.spawn(move || part.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        for h in handles {
-            out.extend(h.join().expect("rayon-compat worker panicked"));
+        for _ in 0..threads {
+            let queue = &queue;
+            let done = &done;
+            s.spawn(move || loop {
+                let Some((start, part)) = lock_ok(queue).next() else { break };
+                let results: Vec<R> = part.into_iter().map(f).collect();
+                lock_ok(done).push((start, results));
+            });
         }
     });
+
+    let mut parts = done.into_inner().unwrap_or_else(|e| e.into_inner());
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(len);
+    for (_, part) in parts {
+        out.extend(part);
+    }
     out
 }
 
@@ -247,5 +280,59 @@ mod tests {
     fn sum_matches_sequential() {
         let s: u64 = (0..10_000u64).into_par_iter().map(|i| i * 2).sum::<u64>() / 2;
         assert_eq!(s, (0..10_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn every_input_consumed_exactly_once() {
+        use std::sync::Arc;
+        // Count drops of the *inputs*: each must be consumed exactly once by
+        // the dynamic scheduler.
+        let token = Arc::new(());
+        let items: Vec<Arc<()>> = (0..1001).map(|_| Arc::clone(&token)).collect();
+        assert_eq!(Arc::strong_count(&token), 1002);
+        let lens: Vec<usize> =
+            items.into_par_iter().map(|a| Arc::strong_count(&a).min(1)).collect();
+        assert_eq!(lens.len(), 1001);
+        // All worker-side clones consumed; only `token` itself remains.
+        assert_eq!(Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn panicking_closure_drops_all_pending_inputs() {
+        use std::sync::Arc;
+        let token = Arc::new(());
+        let items: Vec<(usize, Arc<()>)> = (0..500).map(|i| (i, Arc::clone(&token))).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Vec<usize> = items
+                .into_par_iter()
+                .map(|(i, _guard)| {
+                    assert!(i != 250, "boom");
+                    i
+                })
+                .collect();
+        }));
+        assert!(result.is_err(), "panic should propagate");
+        // No leaks: every queued, processed, or pending clone was dropped.
+        assert_eq!(Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn skewed_work_is_claimed_by_multiple_chunks_in_order() {
+        // Items where cost grows with index: the dynamic cursor keeps the
+        // output ordered even though chunks finish wildly out of order.
+        let n = 4096usize;
+        let out: Vec<usize> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let spin = if i < 8 { 20_000 } else { 10 };
+                let mut acc = 0usize;
+                for k in 0..spin {
+                    acc = acc.wrapping_add(k ^ i);
+                }
+                std::hint::black_box(acc);
+                i
+            })
+            .collect();
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
     }
 }

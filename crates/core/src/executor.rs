@@ -113,10 +113,23 @@ impl<'a> Executor<'a> {
 
     /// Convenience: run once from the prior with a fresh seeded RNG.
     pub fn sample_prior(program: &mut dyn ProbProgram, seed: u64) -> Trace {
+        Self::execute_seeded(program, &mut PriorProposer, &ObserveMap::new(), seed)
+    }
+
+    /// Run once under `proposer` with a fresh RNG seeded from `seed`.
+    ///
+    /// The RNG is owned by the single execution, so the resulting trace is a
+    /// pure function of `(program, proposer, observes, seed)` — the property
+    /// parallel runtimes rely on to keep results independent of worker count
+    /// and scheduling order.
+    pub fn execute_seeded(
+        program: &mut dyn ProbProgram,
+        proposer: &mut dyn Proposer,
+        observes: &ObserveMap,
+        seed: u64,
+    ) -> Trace {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut prior = PriorProposer;
-        let observes = ObserveMap::new();
-        Self::execute(program, &mut prior, &observes, &mut rng)
+        Self::execute(program, proposer, observes, &mut rng)
     }
 
     fn record_sample(

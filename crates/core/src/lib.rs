@@ -47,5 +47,5 @@ pub use address::{Address, AddressBuilder, TraceTypeId};
 pub use executor::{
     Executor, ObserveMap, PriorProposer, ProposalDecision, Proposer, SampleRequest,
 };
-pub use program::{FnProgram, ProbProgram, SimCtx, SimCtxExt};
+pub use program::{BoxedProgram, FnProgram, ProbProgram, SimCtx, SimCtxExt};
 pub use trace::{EntryKind, Trace, TraceEntry};

@@ -118,6 +118,23 @@ pub trait ProbProgram {
     }
 }
 
+/// Boxed programs run transparently, so pooled executors can hold
+/// heterogeneous `Box<dyn ProbProgram + Send>` instances (one per worker)
+/// and still hand them to every API that takes a `ProbProgram`.
+impl<P: ProbProgram + ?Sized> ProbProgram for Box<P> {
+    fn run(&mut self, ctx: &mut dyn SimCtx) -> Value {
+        (**self).run(ctx)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// A heap-allocated program that can move across threads — the unit a
+/// `SimulatorPool` worker owns.
+pub type BoxedProgram = Box<dyn ProbProgram + Send>;
+
 /// Wrap a plain function or closure as a [`ProbProgram`].
 pub struct FnProgram<F: FnMut(&mut dyn SimCtx) -> Value> {
     f: F,

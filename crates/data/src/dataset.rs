@@ -7,7 +7,7 @@
 //! 50× training-speed improvement.
 
 use crate::record::TraceRecord;
-use crate::shard::{ShardReader, ShardWriter};
+use crate::shard::{RollingShardWriter, ShardReader};
 use etalumis_core::{Executor, ObserveMap, PriorProposer, ProbProgram};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -110,6 +110,10 @@ impl TraceDataset {
 
 /// Sample `n` prior traces from a program and write them into shards of
 /// `traces_per_shard` records under `dir`. Returns the dataset.
+///
+/// This is the serial path — the degenerate single-worker case of the
+/// parallel generator in `etalumis-runtime` (`generate_dataset_parallel`),
+/// kept for single-threaded callers and as the reference implementation.
 pub fn generate_dataset(
     program: &mut dyn ProbProgram,
     n: usize,
@@ -121,28 +125,13 @@ pub fn generate_dataset(
     std::fs::create_dir_all(dir)?;
     let observes = ObserveMap::new();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut shards = Vec::new();
-    let mut writer: Option<ShardWriter> = None;
-    let mut shard_idx = 0;
+    let mut writer = RollingShardWriter::new(dir, "shard", traces_per_shard, true);
     for _ in 0..n {
         let mut prior = PriorProposer;
         let trace = Executor::execute(program, &mut prior, &observes, &mut rng);
-        let rec = TraceRecord::from_trace(&trace, pruned);
-        if writer.as_ref().map(|w| w.len() >= traces_per_shard).unwrap_or(true) {
-            if let Some(w) = writer.take() {
-                w.finish()?;
-            }
-            let p = dir.join(format!("shard_{shard_idx:05}.etlm"));
-            shards.push(p.clone());
-            writer = Some(ShardWriter::new(p, true));
-            shard_idx += 1;
-        }
-        writer.as_mut().unwrap().push(rec);
+        writer.push(TraceRecord::from_trace(&trace, pruned))?;
     }
-    if let Some(w) = writer.take() {
-        w.finish()?;
-    }
-    TraceDataset::open(shards)
+    TraceDataset::open(writer.finish()?)
 }
 
 /// Offline sort of a dataset by (trace_type, length) into new shards — the
@@ -155,27 +144,13 @@ pub fn sort_dataset(
     std::fs::create_dir_all(out_dir)?;
     let mut order: Vec<usize> = (0..dataset.len()).collect();
     order.sort_by_key(|&i| dataset.meta(i));
-    let mut shards = Vec::new();
-    let mut shard_idx = 0;
-    let mut writer: Option<ShardWriter> = None;
+    let mut writer = RollingShardWriter::new(out_dir, "sorted", traces_per_shard, true);
     for chunk in order.chunks(4096) {
         for rec in dataset.get_many(chunk)? {
-            if writer.as_ref().map(|w| w.len() >= traces_per_shard).unwrap_or(true) {
-                if let Some(w) = writer.take() {
-                    w.finish()?;
-                }
-                let p = out_dir.join(format!("sorted_{shard_idx:05}.etlm"));
-                shards.push(p.clone());
-                writer = Some(ShardWriter::new(p, true));
-                shard_idx += 1;
-            }
-            writer.as_mut().unwrap().push(rec);
+            writer.push(rec)?;
         }
     }
-    if let Some(w) = writer.take() {
-        w.finish()?;
-    }
-    TraceDataset::open(shards)
+    TraceDataset::open(writer.finish()?)
 }
 
 #[cfg(test)]

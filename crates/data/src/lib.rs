@@ -24,4 +24,4 @@ pub mod shard;
 pub use dataset::{generate_dataset, sort_dataset, TraceDataset};
 pub use record::{decode_record, encode_record, AddressDictionary, RecordEntry, TraceRecord};
 pub use sampler::{homogeneous_fraction, DistributedSampler, EpochPlan, SamplerConfig};
-pub use shard::{regroup_shards, ShardReader, ShardWriter};
+pub use shard::{regroup_shards, RollingShardWriter, ShardReader, ShardWriter};

@@ -203,6 +203,94 @@ impl ShardReader {
     }
 }
 
+/// A [`ShardWriter`] that rolls to a fresh file whenever the current shard
+/// reaches `capacity` records.
+///
+/// This is the write-side primitive behind every shard producer in the
+/// workspace: the serial dataset generator, the offline sorter, and the
+/// runtime's parallel `ShardedTraceSink` all push records here and let the
+/// roller decide file boundaries.
+pub struct RollingShardWriter {
+    dir: PathBuf,
+    prefix: String,
+    capacity: usize,
+    use_dict: bool,
+    seq: usize,
+    current: Option<(PathBuf, ShardWriter)>,
+    /// Paths of shards fully written to disk; `current` joins only once its
+    /// own `finish` succeeds, so callers never receive a truncated shard.
+    finished: Vec<PathBuf>,
+}
+
+impl RollingShardWriter {
+    /// Roll shards named `{prefix}_{seq:05}.etlm` under `dir`, `capacity`
+    /// records per file. The directory is created lazily on the first push.
+    pub fn new(
+        dir: impl AsRef<Path>,
+        prefix: impl Into<String>,
+        capacity: usize,
+        use_dict: bool,
+    ) -> Self {
+        assert!(capacity > 0, "shard capacity must be non-zero");
+        Self {
+            dir: dir.as_ref().to_path_buf(),
+            prefix: prefix.into(),
+            capacity,
+            use_dict,
+            seq: 0,
+            current: None,
+            finished: Vec::new(),
+        }
+    }
+
+    /// Append one record, rolling to a new shard file when full.
+    pub fn push(&mut self, rec: TraceRecord) -> std::io::Result<()> {
+        if self.current.as_ref().map(|(_, w)| w.len() >= self.capacity).unwrap_or(true) {
+            self.roll()?;
+        }
+        self.current.as_mut().unwrap().1.push(rec);
+        Ok(())
+    }
+
+    /// Total records pushed so far (every finished shard is exactly full).
+    pub fn len(&self) -> usize {
+        self.finished.len() * self.capacity
+            + self.current.as_ref().map(|(_, w)| w.len()).unwrap_or(0)
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.finished.is_empty() && self.current.as_ref().map(|(_, w)| w.is_empty()).unwrap_or(true)
+    }
+
+    /// Write the in-progress shard to disk (if it holds records) and record
+    /// its path as finished.
+    fn flush_current(&mut self) -> std::io::Result<()> {
+        if let Some((path, w)) = self.current.take() {
+            if !w.is_empty() {
+                w.finish()?;
+                self.finished.push(path);
+            }
+        }
+        Ok(())
+    }
+
+    fn roll(&mut self) -> std::io::Result<()> {
+        self.flush_current()?;
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.dir.join(format!("{}_{:05}.etlm", self.prefix, self.seq));
+        self.current = Some((path.clone(), ShardWriter::new(path, self.use_dict)));
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Flush the last shard; returns all shard paths written, in order.
+    pub fn finish(mut self) -> std::io::Result<Vec<PathBuf>> {
+        self.flush_current()?;
+        Ok(self.finished)
+    }
+}
+
 /// Regroup shards into `group_size`-record shards (the 20k→100k grouping).
 /// Returns the new shard paths.
 pub fn regroup_shards(
@@ -211,33 +299,14 @@ pub fn regroup_shards(
     group_size: usize,
     use_dict: bool,
 ) -> std::io::Result<Vec<PathBuf>> {
-    std::fs::create_dir_all(out_dir)?;
-    let mut out_paths = Vec::new();
-    let mut writer: Option<ShardWriter> = None;
-    let mut shard_idx = 0;
+    let mut writer = RollingShardWriter::new(out_dir, "shard", group_size, use_dict);
     for p in inputs {
         let mut r = ShardReader::open(p)?;
         for rec in r.read_all()? {
-            if writer.as_ref().map(|w| w.len() >= group_size).unwrap_or(true) {
-                if let Some(w) = writer.take() {
-                    w.finish()?;
-                }
-                let path = out_dir.join(format!("shard_{shard_idx:05}.etlm"));
-                out_paths.push(path.clone());
-                writer = Some(ShardWriter::new(path, use_dict));
-                shard_idx += 1;
-            }
-            writer.as_mut().unwrap().push(rec);
+            writer.push(rec)?;
         }
     }
-    if let Some(w) = writer.take() {
-        if w.is_empty() {
-            out_paths.pop();
-        } else {
-            w.finish()?;
-        }
-    }
-    Ok(out_paths)
+    writer.finish()
 }
 
 #[cfg(test)]
@@ -317,6 +386,36 @@ mod tests {
         }
         assert_eq!(all, recs);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rolling_writer_rolls_and_preserves_records() {
+        let dir = std::env::temp_dir().join(format!("etalumis_roll_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recs = make_records(23);
+        let mut w = RollingShardWriter::new(&dir, "roll", 10, true);
+        assert!(w.is_empty());
+        for r in &recs {
+            w.push(r.clone()).unwrap();
+        }
+        assert_eq!(w.len(), 23);
+        let paths = w.finish().unwrap();
+        assert_eq!(paths.len(), 3); // 10 + 10 + 3
+        let mut all = Vec::new();
+        for p in &paths {
+            all.extend(ShardReader::open(p).unwrap().read_all().unwrap());
+        }
+        assert_eq!(all, recs);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rolling_writer_empty_finish_writes_nothing() {
+        let dir = std::env::temp_dir().join(format!("etalumis_roll_empty_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = RollingShardWriter::new(&dir, "roll", 4, false);
+        assert_eq!(w.finish().unwrap(), Vec::<PathBuf>::new());
+        assert!(!dir.exists());
     }
 
     #[test]

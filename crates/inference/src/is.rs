@@ -8,14 +8,16 @@
 //! rises dramatically — that is the amortized-inference payoff.
 //!
 //! IC/IS inference "is embarrassingly parallel" (§4.2):
-//! [`parallel_importance_sampling`] fans simulator executions out over a
-//! rayon thread pool, one model instance per worker.
+//! [`parallel_importance_sampling`] runs on the `etalumis-runtime` batch
+//! runner — a work-stealing pool with one model instance per worker and
+//! per-trace seeding, so the sampled trace set is identical for any worker
+//! count. The serial path below is the degenerate 1-worker case.
 
 use crate::posterior::WeightedTraces;
 use etalumis_core::{Executor, ObserveMap, PriorProposer, ProbProgram, Proposer};
+use etalumis_runtime::{BatchRunner, CollectSink, RuntimeConfig, SimulatorPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 
 /// Importance sampling with prior proposals (a.k.a. likelihood weighting).
 pub fn importance_sampling(
@@ -47,8 +49,9 @@ pub fn importance_sampling_with(
     WeightedTraces::new(traces, log_weights)
 }
 
-/// Embarrassingly parallel prior-proposal IS: `factory` builds one model per
-/// worker; each worker runs an independent, deterministically seeded stream.
+/// Embarrassingly parallel prior-proposal IS on the work-stealing runtime:
+/// `factory` builds one model instance per worker; trace `i` is seeded from
+/// `(seed, i)` alone, so the result is bit-identical for any `workers`.
 pub fn parallel_importance_sampling<F, P>(
     factory: F,
     observes: &ObserveMap,
@@ -57,32 +60,16 @@ pub fn parallel_importance_sampling<F, P>(
     workers: usize,
 ) -> WeightedTraces
 where
-    F: Fn() -> P + Sync,
-    P: ProbProgram,
+    F: Fn() -> P,
+    P: ProbProgram + Send + 'static,
 {
-    let workers = workers.max(1);
-    let per = n.div_ceil(workers);
-    let chunks: Vec<WeightedTraces> = (0..workers)
-        .into_par_iter()
-        .map(|w| {
-            let mut program = factory();
-            let count = per.min(n.saturating_sub(w * per));
-            let mut prior = PriorProposer;
-            importance_sampling_with(
-                &mut program,
-                observes,
-                count,
-                seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1)),
-                &mut prior,
-            )
-        })
-        .collect();
-    let mut traces = Vec::with_capacity(n);
-    let mut log_weights = Vec::with_capacity(n);
-    for c in chunks {
-        traces.extend(c.traces);
-        log_weights.extend(c.log_weights);
-    }
+    let workers = workers.clamp(1, n.max(1));
+    let mut pool = SimulatorPool::from_factory(workers, |_| factory());
+    let runner = BatchRunner::new(RuntimeConfig { workers, stealing: true });
+    let sink = CollectSink::new(n);
+    runner.run_prior(&mut pool, observes, n, seed, &sink);
+    let traces = sink.into_traces();
+    let log_weights = traces.iter().map(|t| t.log_weight()).collect();
     WeightedTraces::new(traces, log_weights)
 }
 
@@ -124,6 +111,19 @@ mod tests {
         let (mean, _) = wt.mean_std(|t| t.value_by_name("mu").unwrap().as_f64());
         let (am, _) = GaussianUnknownMean::standard().posterior(&ys);
         assert!((mean - am).abs() < 0.04, "parallel IS mean {mean} vs {am}");
+    }
+
+    #[test]
+    fn parallel_is_is_bit_identical_across_worker_counts() {
+        // Per-trace seeding on the runtime: the sampled trace set is a pure
+        // function of (model, observes, seed), not of the worker count.
+        let obs = observes_for(&[1.1]);
+        let w1 = parallel_importance_sampling(GaussianUnknownMean::standard, &obs, 500, 13, 1);
+        let w4 = parallel_importance_sampling(GaussianUnknownMean::standard, &obs, 500, 13, 4);
+        for (a, b) in w1.traces.iter().zip(&w4.traces) {
+            assert_eq!(a.value_by_name("mu"), b.value_by_name("mu"));
+        }
+        assert_eq!(w1.log_weights, w4.log_weights);
     }
 
     #[test]

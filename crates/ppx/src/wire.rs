@@ -408,6 +408,73 @@ mod tests {
     }
 
     #[test]
+    fn empty_tensors_roundtrip() {
+        // Zero-element tensors in every shape the codec can express them.
+        for shape in [vec![0usize], vec![2, 0], vec![0, 3], vec![4, 0, 2]] {
+            roundtrip(&Message::RunResult {
+                result: Value::Tensor(TensorValue::new(shape, vec![])),
+            });
+        }
+        roundtrip(&Message::Run { observation: Value::Tensor(TensorValue::zeros(vec![0])) });
+    }
+
+    #[test]
+    fn non_finite_scalars_roundtrip_bit_exact() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, f64::MIN_POSITIVE] {
+            let frame = encode(&Message::RunResult { result: Value::Real(x) });
+            match decode(&frame[4..]).unwrap() {
+                Message::RunResult { result: Value::Real(y) } => {
+                    assert_eq!(y.to_bits(), x.to_bits(), "bits changed for {x}");
+                }
+                other => panic!("decoded {}", other.name()),
+            }
+        }
+        // Non-finite distribution parameters survive too (NaN != NaN, so
+        // compare through the encoded frame rather than PartialEq).
+        let msg = Message::Sample {
+            address: "a".into(),
+            name: "n".into(),
+            distribution: Distribution::Normal { mean: f64::NEG_INFINITY, std: f64::NAN },
+            control: true,
+            replace: false,
+        };
+        let frame = encode(&msg);
+        let reencoded = encode(&decode(&frame[4..]).unwrap());
+        assert_eq!(frame, reencoded);
+    }
+
+    #[test]
+    fn zero_length_strings_roundtrip() {
+        roundtrip(&Message::Handshake { system_name: String::new() });
+        roundtrip(&Message::Tag { name: String::new(), value: Value::Str(String::new()) });
+        roundtrip(&Message::Sample {
+            address: String::new(),
+            name: String::new(),
+            distribution: Distribution::Bernoulli { p: 0.5 },
+            control: false,
+            replace: false,
+        });
+    }
+
+    #[test]
+    fn max_length_addresses_roundtrip() {
+        // The paper's stack-frame addresses can be very long; the codec's
+        // u32 length prefix must carry them without truncation.
+        let address = "frame/".repeat(20_000); // 120k bytes
+        let msg = Message::Observe {
+            address: address.clone(),
+            name: "obs".into(),
+            distribution: Distribution::Normal { mean: 0.0, std: 1.0 },
+        };
+        let frame = encode(&msg);
+        assert!(frame.len() > address.len());
+        match decode(&frame[4..]).unwrap() {
+            Message::Observe { address: a, .. } => assert_eq!(a, address),
+            other => panic!("decoded {}", other.name()),
+        }
+    }
+
+    #[test]
     fn truncated_frames_error() {
         let frame = encode(&Message::Handshake { system_name: "abc".into() });
         for cut in 1..frame.len() - 4 {
@@ -449,6 +516,47 @@ mod tests {
             let n = data.len();
             let msg = Message::RunResult {
                 result: Value::Tensor(TensorValue::new(vec![n], data)),
+            };
+            let frame = encode(&msg);
+            prop_assert_eq!(decode(&frame[4..]).unwrap(), msg);
+        }
+
+        #[test]
+        fn prop_any_f64_bit_pattern_roundtrips(bits: u64) {
+            // Covers NaN payloads, infinities, subnormals, and -0.0: the
+            // codec must be a bit-exact transport for every f64.
+            let x = f64::from_bits(bits);
+            let frame = encode(&Message::SampleResult { value: Value::Real(x) });
+            match decode(&frame[4..]).unwrap() {
+                Message::SampleResult { value: Value::Real(y) } =>
+                    prop_assert_eq!(y.to_bits(), bits),
+                other => panic!("decoded {}", other.name()),
+            }
+        }
+
+        #[test]
+        fn prop_long_addresses_roundtrip(addr in "[a-zA-Z0-9_/\\[\\]]{1000,1024}") {
+            let msg = Message::Sample {
+                address: addr,
+                name: String::new(),
+                distribution: Distribution::Exponential { rate: 1.0 },
+                control: true,
+                replace: false,
+            };
+            let frame = encode(&msg);
+            prop_assert_eq!(decode(&frame[4..]).unwrap(), msg);
+        }
+
+        #[test]
+        fn prop_tensors_with_zero_dims_roundtrip(
+            d0 in 0usize..4,
+            d1 in 0usize..4,
+            zero_axis in 0usize..2,
+        ) {
+            let mut shape = vec![d0, d1];
+            shape[zero_axis] = 0;
+            let msg = Message::ObserveResult {
+                value: Value::Tensor(TensorValue::new(shape, vec![])),
             };
             let frame = encode(&msg);
             prop_assert_eq!(decode(&frame[4..]).unwrap(), msg);

@@ -1,0 +1,334 @@
+//! The batch runner: N traces, any proposer, streamed to sinks.
+//!
+//! One [`BatchRunner::run`] call is the runtime's unit of work: execute
+//! `n` independent traces of the pooled programs under a per-worker
+//! proposer, scheduling trace indices over the work-stealing queues and
+//! streaming each completed [`Trace`] to a [`TraceSink`]. Every trace `i`
+//! runs with an RNG seeded purely from `(seed, i)`, so the batch's content
+//! is identical for any worker count, stealing decision, or finish order —
+//! only the wall-clock changes. Serial execution is literally the 1-worker
+//! degenerate case.
+
+use crate::pool::SimulatorPool;
+use crate::scheduler::TaskQueues;
+use crate::sink::TraceSink;
+use etalumis_core::{Executor, ObserveMap, PriorProposer, Proposer};
+use std::time::{Duration, Instant};
+
+/// Splitmix64: decorrelate per-trace seeds from a batch seed and an index.
+pub fn mix_seed(seed: u64, index: usize) -> u64 {
+    let mut z = seed.wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds the per-worker proposers a batch runs under.
+///
+/// Workers need one proposer each (proposers are stateful within a trace —
+/// e.g. the IC LSTM); the factory is consulted once per worker at batch
+/// start.
+pub trait ProposerFactory: Sync {
+    /// Proposer for `worker`.
+    fn make_proposer(&self, worker: usize) -> Box<dyn Proposer + Send>;
+}
+
+/// Every `Fn(usize) -> Box<dyn Proposer + Send> + Sync` is a factory.
+impl<F> ProposerFactory for F
+where
+    F: Fn(usize) -> Box<dyn Proposer + Send> + Sync,
+{
+    fn make_proposer(&self, worker: usize) -> Box<dyn Proposer + Send> {
+        self(worker)
+    }
+}
+
+/// Factory of [`PriorProposer`]s — forward simulation / trace generation.
+pub struct PriorProposerFactory;
+
+impl ProposerFactory for PriorProposerFactory {
+    fn make_proposer(&self, _worker: usize) -> Box<dyn Proposer + Send> {
+        Box::new(PriorProposer)
+    }
+}
+
+/// Scheduling knobs for a batch run.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Worker threads (and pooled program instances). 0 means "all cores".
+    pub workers: usize,
+    /// Work stealing on (the default). Off reproduces static partitioning —
+    /// kept as a measurable baseline, not a mode anyone should want.
+    pub stealing: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self { workers: 0, stealing: true }
+    }
+}
+
+impl RuntimeConfig {
+    /// Resolve `workers = 0` to the machine's available parallelism.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// What one worker did during a batch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerReport {
+    /// Traces this worker executed.
+    pub executed: usize,
+    /// Time spent inside simulator executions.
+    pub busy: Duration,
+}
+
+/// Outcome of one batch run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Wall-clock of the whole batch.
+    pub elapsed: Duration,
+    /// Per-worker execution counts and busy times.
+    pub per_worker: Vec<WorkerReport>,
+    /// Tasks that finished on a worker other than the one they were
+    /// initially assigned to.
+    pub steals: u64,
+}
+
+impl RunStats {
+    /// Total traces executed across workers.
+    pub fn total_executed(&self) -> usize {
+        self.per_worker.iter().map(|w| w.executed).sum()
+    }
+
+    /// Load imbalance: `max(busy) / mean(busy) − 1` (0 = perfectly even).
+    pub fn imbalance(&self) -> f64 {
+        let busies: Vec<f64> = self.per_worker.iter().map(|w| w.busy.as_secs_f64()).collect();
+        if busies.is_empty() {
+            return 0.0;
+        }
+        let max = busies.iter().cloned().fold(0.0f64, f64::max);
+        let mean = busies.iter().sum::<f64>() / busies.len() as f64;
+        if mean <= 0.0 {
+            0.0
+        } else {
+            max / mean - 1.0
+        }
+    }
+
+    /// Traces per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.total_executed() as f64 / s
+        }
+    }
+}
+
+/// Executes batches of traces over a [`SimulatorPool`].
+pub struct BatchRunner {
+    config: RuntimeConfig,
+}
+
+impl BatchRunner {
+    /// Runner with the given scheduling configuration.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runner with default scheduling (all cores, stealing on).
+    pub fn default_runner() -> Self {
+        Self::new(RuntimeConfig::default())
+    }
+
+    /// Execute `n` traces under per-worker proposers from `proposers`,
+    /// conditioning on `observes`, streaming completions into `sink`.
+    ///
+    /// The worker count is the pool size (each worker owns one pooled
+    /// program for the whole batch); a non-zero `RuntimeConfig.workers`
+    /// must agree with it (checked). Trace `i` is a pure function of
+    /// `(program, proposer, observes, mix_seed(seed, i))`.
+    pub fn run(
+        &self,
+        pool: &mut SimulatorPool,
+        proposers: &dyn ProposerFactory,
+        observes: &ObserveMap,
+        n: usize,
+        seed: u64,
+        sink: &dyn TraceSink,
+    ) -> RunStats {
+        let workers = pool.len();
+        assert!(
+            self.config.workers == 0 || self.config.workers == workers,
+            "RuntimeConfig.workers ({}) disagrees with the pool size ({}); \
+             the pool defines the worker count (workers = 0 defers to it)",
+            self.config.workers,
+            workers,
+        );
+        let stealing = self.config.stealing;
+        let queues = TaskQueues::new(workers);
+        queues.fill_blocks(n);
+        let start = Instant::now();
+        let mut per_worker = vec![WorkerReport::default(); workers];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = pool
+                .programs_mut()
+                .iter_mut()
+                .enumerate()
+                .map(|(w, program)| {
+                    let queues = &queues;
+                    s.spawn(move || {
+                        let mut proposer = proposers.make_proposer(w);
+                        let mut report = WorkerReport::default();
+                        while let Some(i) = queues.pop(w, stealing) {
+                            let t0 = Instant::now();
+                            let trace = Executor::execute_seeded(
+                                program,
+                                proposer.as_mut(),
+                                observes,
+                                mix_seed(seed, i),
+                            );
+                            report.busy += t0.elapsed();
+                            report.executed += 1;
+                            sink.accept(i, trace);
+                        }
+                        report
+                    })
+                })
+                .collect();
+            for (w, h) in handles.into_iter().enumerate() {
+                per_worker[w] = h.join().expect("runtime worker panicked");
+            }
+        });
+        RunStats { elapsed: start.elapsed(), per_worker, steals: queues.steals() }
+    }
+
+    /// [`BatchRunner::run`] with prior proposals — plain trace generation.
+    pub fn run_prior(
+        &self,
+        pool: &mut SimulatorPool,
+        observes: &ObserveMap,
+        n: usize,
+        seed: u64,
+        sink: &dyn TraceSink,
+    ) -> RunStats {
+        self.run(pool, &PriorProposerFactory, observes, n, seed, sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+    use etalumis_core::{FnProgram, SimCtx, SimCtxExt};
+    use etalumis_distributions::{Distribution, Value};
+    use etalumis_simulators::BranchingModel;
+
+    fn branching_pool(workers: usize) -> SimulatorPool {
+        SimulatorPool::from_factory(workers, |_| BranchingModel::standard())
+    }
+
+    fn run_batch(workers: usize, n: usize, seed: u64) -> Vec<Trace> {
+        let mut pool = branching_pool(workers);
+        let runner = BatchRunner::new(RuntimeConfig { workers, stealing: true });
+        let sink = CollectSink::new(n);
+        let observes = ObserveMap::new();
+        let stats = runner.run_prior(&mut pool, &observes, n, seed, &sink);
+        assert_eq!(stats.total_executed(), n);
+        sink.into_traces()
+    }
+
+    use etalumis_core::Trace;
+
+    #[test]
+    fn one_worker_batches_are_deterministic() {
+        let a = run_batch(1, 24, 42);
+        let b = run_batch(1, 24, 42);
+        assert_eq!(a.len(), 24);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.result, y.result);
+            assert_eq!(x.log_joint(), y.log_joint());
+        }
+    }
+
+    #[test]
+    fn batch_content_is_independent_of_worker_count() {
+        let serial = run_batch(1, 40, 7);
+        for workers in [2usize, 4] {
+            let parallel = run_batch(workers, 40, 7);
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.result, p.result, "trace diverged at {workers} workers");
+                assert_eq!(s.log_joint(), p.log_joint());
+            }
+        }
+    }
+
+    #[test]
+    fn all_traces_delivered_under_many_workers() {
+        let n = 103;
+        let mut pool = branching_pool(5);
+        let runner = BatchRunner::new(RuntimeConfig { workers: 5, stealing: true });
+        let sink = CollectSink::new(n);
+        let observes = ObserveMap::new();
+        let stats = runner.run_prior(&mut pool, &observes, n, 3, &sink);
+        assert_eq!(stats.total_executed(), n);
+        assert_eq!(stats.per_worker.len(), 5);
+        // into_traces panics on any missing index — delivery check.
+        assert_eq!(sink.into_traces().len(), n);
+    }
+
+    #[test]
+    fn skewed_workload_triggers_stealing() {
+        // All heavy work lands in worker 0's initial block: indices 0..n/4
+        // spin, the rest are trivial. With block filling, workers 1..3 drain
+        // their trivial blocks and must steal from worker 0 to finish.
+        let n = 64usize;
+        let heavy = n / 4; // exactly worker 0's block
+        let model = move |_w: usize| {
+            FnProgram::new("skew", move |ctx: &mut dyn SimCtx| {
+                let x = ctx.sample_f64(&Distribution::Uniform { low: 0.0, high: 1.0 }, "x");
+                Value::Real(x)
+            })
+        };
+        let mut pool = SimulatorPool::from_factory(4, model);
+        let runner = BatchRunner::new(RuntimeConfig { workers: 4, stealing: true });
+        let observes = ObserveMap::new();
+
+        // Sink that burns time for heavy indices, simulating slow simulator
+        // executions without depending on model internals.
+        struct SlowSink {
+            heavy_below: usize,
+        }
+        impl TraceSink for SlowSink {
+            fn accept(&self, index: usize, _trace: Trace) {
+                if index < self.heavy_below {
+                    std::thread::sleep(std::time::Duration::from_millis(4));
+                }
+            }
+        }
+        let sink = SlowSink { heavy_below: heavy };
+        let stats = runner.run_prior(&mut pool, &observes, n, 11, &sink);
+        assert_eq!(stats.total_executed(), n);
+        assert!(stats.steals > 0, "skewed workload should force steals, got {:?}", stats);
+    }
+
+    #[test]
+    fn static_mode_never_steals() {
+        let mut pool = branching_pool(3);
+        let runner = BatchRunner::new(RuntimeConfig { workers: 3, stealing: false });
+        let sink = CollectSink::new(30);
+        let observes = ObserveMap::new();
+        let stats = runner.run_prior(&mut pool, &observes, 30, 5, &sink);
+        assert_eq!(stats.steals, 0);
+        assert_eq!(stats.total_executed(), 30);
+        // Static blocks: every worker executed exactly its block.
+        assert!(stats.per_worker.iter().all(|w| w.executed == 10));
+    }
+}

@@ -1,0 +1,197 @@
+//! Parallel trace-dataset generation on the runtime.
+//!
+//! The paper's offline training mode needs millions of prior traces on disk
+//! (15M for the τ benchmark); generation throughput is simulator-bound and
+//! embarrassingly parallel, so this module runs it on the full runtime
+//! stack: a [`SimulatorPool`] of model instances, the work-stealing
+//! [`BatchRunner`], and a [`ShardedTraceSink`] streaming completions into
+//! `etalumis-data` shard files partitioned by trace type. The serial
+//! `etalumis_data::generate_dataset` remains the 1-worker reference path.
+
+use crate::batch::{BatchRunner, RuntimeConfig};
+use crate::pool::SimulatorPool;
+use crate::sink::{ShardedTraceSink, TraceSink};
+use etalumis_core::{ObserveMap, ProbProgram, Trace};
+use etalumis_data::{RollingShardWriter, TraceDataset, TraceRecord};
+use parking_lot::Mutex;
+use std::path::Path;
+
+/// Knobs for [`generate_dataset_parallel`].
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetGenConfig {
+    /// Traces to generate.
+    pub n: usize,
+    /// Records per shard file before rolling.
+    pub traces_per_shard: usize,
+    /// Trace-type hash partitions (independent shard streams).
+    pub partitions: usize,
+    /// Worker threads / pooled simulator instances (0 = all cores).
+    pub workers: usize,
+    /// Batch seed; trace `i` derives its RNG from `(seed, i)` only.
+    pub seed: u64,
+    /// Prune records to controlled entries + observation (training layout).
+    pub pruned: bool,
+    /// `true`: buffer records and write each partition in batch-index order
+    /// — shard files are byte-identical for any worker count (costs O(n)
+    /// memory; right for benchmarks and tests). `false`: stream through the
+    /// [`ShardedTraceSink`] in completion order — constant memory, the
+    /// multiset of records is still worker-count invariant but their order
+    /// within a partition is not.
+    pub ordered: bool,
+}
+
+impl Default for DatasetGenConfig {
+    fn default() -> Self {
+        Self {
+            n: 0,
+            traces_per_shard: 10_000,
+            partitions: 4,
+            workers: 0,
+            seed: 0,
+            pruned: true,
+            ordered: false,
+        }
+    }
+}
+
+/// Buffers records by batch index so partitions can be written in a
+/// deterministic order after the run (the `ordered` generation mode).
+struct OrderedRecordSink {
+    slots: Mutex<Vec<Option<TraceRecord>>>,
+    pruned: bool,
+}
+
+impl TraceSink for OrderedRecordSink {
+    fn accept(&self, index: usize, trace: Trace) {
+        self.slots.lock()[index] = Some(TraceRecord::from_trace(&trace, self.pruned));
+    }
+}
+
+/// Generate `cfg.n` prior traces in parallel and shard them under `dir`.
+///
+/// Returns the opened [`TraceDataset`]. The record *multiset* is always a
+/// pure function of `(factory, cfg.seed)` regardless of worker count;
+/// `cfg.ordered` additionally pins the on-disk order (see its doc).
+pub fn generate_dataset_parallel<P, F>(
+    factory: F,
+    cfg: &DatasetGenConfig,
+    dir: &Path,
+) -> std::io::Result<TraceDataset>
+where
+    P: ProbProgram + Send + 'static,
+    F: Fn(usize) -> P,
+{
+    let workers = RuntimeConfig { workers: cfg.workers, ..Default::default() }.resolved_workers();
+    let mut pool = SimulatorPool::from_factory(workers, factory);
+    let runner = BatchRunner::new(RuntimeConfig { workers, stealing: true });
+    let observes = ObserveMap::new();
+    if cfg.ordered {
+        let sink = OrderedRecordSink { slots: Mutex::new(vec![None; cfg.n]), pruned: cfg.pruned };
+        runner.run_prior(&mut pool, &observes, cfg.n, cfg.seed, &sink);
+        // Same partitioning and file naming as the streaming sink (shared
+        // helpers on ShardedTraceSink), but fed in batch-index order.
+        let partitions = cfg.partitions.max(1);
+        let mut writers: Vec<RollingShardWriter> = (0..partitions)
+            .map(|p| {
+                RollingShardWriter::new(
+                    dir,
+                    ShardedTraceSink::partition_prefix(p),
+                    cfg.traces_per_shard,
+                    true,
+                )
+            })
+            .collect();
+        for (i, slot) in sink.slots.into_inner().into_iter().enumerate() {
+            let rec = slot.unwrap_or_else(|| panic!("trace {i} never delivered"));
+            writers[ShardedTraceSink::partition_of(rec.trace_type, partitions)].push(rec)?;
+        }
+        let mut paths = Vec::new();
+        for w in writers {
+            paths.extend(w.finish()?);
+        }
+        TraceDataset::open(paths)
+    } else {
+        let sink = ShardedTraceSink::new(dir, cfg.partitions, cfg.traces_per_shard, cfg.pruned);
+        runner.run_prior(&mut pool, &observes, cfg.n, cfg.seed, &sink);
+        TraceDataset::open(sink.finish()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etalumis_simulators::BranchingModel;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("etalumis_rtds_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn parallel_generation_delivers_every_trace() {
+        let dir = tmpdir("gen");
+        let cfg = DatasetGenConfig {
+            n: 70,
+            traces_per_shard: 16,
+            partitions: 2,
+            workers: 3,
+            seed: 21,
+            ..Default::default()
+        };
+        let ds = generate_dataset_parallel(|_| BranchingModel::standard(), &cfg, &dir).unwrap();
+        assert_eq!(ds.len(), 70);
+        assert!(ds.num_trace_types() >= 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_type_multiset_is_worker_count_invariant() {
+        let dir1 = tmpdir("w1");
+        let dir4 = tmpdir("w4");
+        let base = DatasetGenConfig {
+            n: 50,
+            traces_per_shard: 8,
+            partitions: 3,
+            seed: 9,
+            workers: 1,
+            ..Default::default()
+        };
+        let d1 = generate_dataset_parallel(|_| BranchingModel::standard(), &base, &dir1).unwrap();
+        let cfg4 = DatasetGenConfig { workers: 4, ..base };
+        let d4 = generate_dataset_parallel(|_| BranchingModel::standard(), &cfg4, &dir4).unwrap();
+        assert_eq!(d1.trace_type_counts(), d4.trace_type_counts());
+        std::fs::remove_dir_all(&dir1).unwrap();
+        std::fs::remove_dir_all(&dir4).unwrap();
+    }
+
+    #[test]
+    fn ordered_generation_is_byte_identical_across_worker_counts() {
+        let dir1 = tmpdir("ord1");
+        let dir4 = tmpdir("ord4");
+        let base = DatasetGenConfig {
+            n: 60,
+            traces_per_shard: 16,
+            partitions: 2,
+            seed: 33,
+            workers: 1,
+            ordered: true,
+            ..Default::default()
+        };
+        let d1 = generate_dataset_parallel(|_| BranchingModel::standard(), &base, &dir1).unwrap();
+        let cfg4 = DatasetGenConfig { workers: 4, ..base };
+        let d4 = generate_dataset_parallel(|_| BranchingModel::standard(), &cfg4, &dir4).unwrap();
+        assert_eq!(d1.shards.len(), d4.shards.len());
+        for (a, b) in d1.shards.iter().zip(&d4.shards) {
+            assert_eq!(a.file_name(), b.file_name());
+            assert_eq!(
+                std::fs::read(a).unwrap(),
+                std::fs::read(b).unwrap(),
+                "shard {a:?} differs between worker counts"
+            );
+        }
+        std::fs::remove_dir_all(&dir1).unwrap();
+        std::fs::remove_dir_all(&dir4).unwrap();
+    }
+}

@@ -1,0 +1,98 @@
+//! # etalumis-runtime
+//!
+//! The parallel trace-generation runtime: the layer between the single-trace
+//! executor of `etalumis-core` and every consumer that needs traces at
+//! volume (importance sampling, dataset generation, benchmarking).
+//!
+//! The paper's throughput story (§4.4, Figure 4) is dynamic load balancing:
+//! execution traces vary enormously in cost — rejection loops, 38-way decay
+//! branching — so a static split of "n traces over k workers" leaves most
+//! workers idle while the unlucky one finishes. This crate supplies the
+//! machinery the paper's controller/simulator split implies:
+//!
+//! * [`scheduler`] — per-worker deques with work stealing over a fixed
+//!   batch of trace indices,
+//! * [`pool`] — [`SimulatorPool`]: one [`ProbProgram`] instance per worker,
+//!   local models or PPX [`RemoteModel`] connections alike, so fleets of
+//!   out-of-process simulators are driven concurrently,
+//! * [`batch`] — [`BatchRunner`]: execute N traces under any proposer
+//!   (prior, IC, replay) with per-trace seeding, making batch content a
+//!   pure function of the seed — identical for any worker count,
+//! * [`sink`] — streaming [`TraceSink`]s, including the
+//!   [`ShardedTraceSink`] that partitions completions across
+//!   `etalumis-data` shard writers by trace-type hash,
+//! * [`dataset`] — parallel dataset generation wired through all of the
+//!   above.
+//!
+//! [`RemoteModel`]: etalumis_ppx::RemoteModel
+//! [`ProbProgram`]: etalumis_core::ProbProgram
+
+pub mod batch;
+pub mod dataset;
+pub mod pool;
+pub mod scheduler;
+pub mod sink;
+
+pub use batch::{
+    mix_seed, BatchRunner, PriorProposerFactory, ProposerFactory, RunStats, RuntimeConfig,
+    WorkerReport,
+};
+pub use dataset::{generate_dataset_parallel, DatasetGenConfig};
+pub use pool::SimulatorPool;
+pub use scheduler::TaskQueues;
+pub use sink::{CollectSink, CountingSink, ShardedTraceSink, TraceSink};
+
+#[cfg(test)]
+mod ppx_pool_tests {
+    use super::*;
+    use etalumis_core::{FnProgram, ObserveMap, SimCtx, SimCtxExt};
+    use etalumis_distributions::{Distribution, Value};
+    use etalumis_ppx::{InProcTransport, RemoteModel, SimulatorServer};
+
+    fn spawn_remote() -> InProcTransport {
+        let (controller_side, sim_side) = InProcTransport::pair();
+        std::thread::spawn(move || {
+            let program = FnProgram::new("pool_gauss", |ctx: &mut dyn SimCtx| {
+                let mu = ctx.sample_f64(&Distribution::Normal { mean: 0.0, std: 1.0 }, "mu");
+                ctx.observe(&Distribution::Normal { mean: mu, std: 0.5 }, "y");
+                Value::Real(mu)
+            });
+            let mut server = SimulatorServer::new("rt", program);
+            let mut t = sim_side;
+            let _ = server.serve(&mut t);
+        });
+        controller_side
+    }
+
+    #[test]
+    fn pooled_remote_models_run_in_parallel_and_match_local() {
+        // 3 out-of-process (well, out-of-thread) simulators behind PPX.
+        let mut remote_pool =
+            SimulatorPool::connect_ppx(3, |_w| RemoteModel::connect(spawn_remote(), "etalumis-rs"))
+                .unwrap();
+        let runner = BatchRunner::new(RuntimeConfig { workers: 3, stealing: true });
+        let observes = ObserveMap::new();
+        let n = 30;
+        let sink = CollectSink::new(n);
+        let stats = runner.run_prior(&mut remote_pool, &observes, n, 77, &sink);
+        assert_eq!(stats.total_executed(), n);
+        let remote_traces = sink.into_traces();
+
+        // The same batch over local instances of the same model: values on
+        // the controlled sites must agree exactly (controller owns the RNG).
+        let mut local_pool = SimulatorPool::from_factory(1, |_| {
+            FnProgram::new("pool_gauss", |ctx: &mut dyn SimCtx| {
+                let mu = ctx.sample_f64(&Distribution::Normal { mean: 0.0, std: 1.0 }, "mu");
+                ctx.observe(&Distribution::Normal { mean: mu, std: 0.5 }, "y");
+                Value::Real(mu)
+            })
+        });
+        let sink = CollectSink::new(n);
+        // workers = 0 defers to the pool size (1 here).
+        BatchRunner::default_runner().run_prior(&mut local_pool, &observes, n, 77, &sink);
+        let local_traces = sink.into_traces();
+        for (r, l) in remote_traces.iter().zip(&local_traces) {
+            assert_eq!(r.value_by_name("mu"), l.value_by_name("mu"));
+        }
+    }
+}

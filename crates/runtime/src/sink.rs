@@ -1,0 +1,205 @@
+//! Trace sinks: where completed traces stream as workers finish them.
+//!
+//! The batch runner pushes each trace to a sink the moment its execution
+//! returns — there is no end-of-batch collection barrier, which is what lets
+//! dataset generation overlap simulation with serialization. Sinks are
+//! shared across workers and synchronize internally; the sharded sink keeps
+//! contention low by locking only the one partition a trace hashes to.
+
+use etalumis_core::Trace;
+use etalumis_data::{RollingShardWriter, TraceRecord};
+use parking_lot::Mutex;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Receives completed traces from worker threads.
+///
+/// `index` is the trace's position in the batch (`0..n`), so order-sensitive
+/// consumers can reconstruct deterministic output regardless of which worker
+/// finished first.
+pub trait TraceSink: Sync {
+    /// Accept one completed trace. Called from worker threads.
+    fn accept(&self, index: usize, trace: Trace);
+}
+
+/// Collects the whole batch in memory, in batch order.
+pub struct CollectSink {
+    slots: Mutex<Vec<Option<Trace>>>,
+}
+
+impl CollectSink {
+    /// Sink for a batch of `n` traces.
+    pub fn new(n: usize) -> Self {
+        Self { slots: Mutex::new(vec![None; n]) }
+    }
+
+    /// The collected traces in batch order; panics if any index is missing.
+    pub fn into_traces(self) -> Vec<Trace> {
+        self.slots
+            .into_inner()
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| t.unwrap_or_else(|| panic!("trace {i} never delivered")))
+            .collect()
+    }
+}
+
+impl TraceSink for CollectSink {
+    fn accept(&self, index: usize, trace: Trace) {
+        self.slots.lock()[index] = Some(trace);
+    }
+}
+
+/// Counts deliveries without keeping the traces (throughput measurement).
+#[derive(Default)]
+pub struct CountingSink {
+    count: std::sync::atomic::AtomicUsize,
+}
+
+impl CountingSink {
+    /// Traces delivered so far.
+    pub fn count(&self) -> usize {
+        self.count.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn accept(&self, _index: usize, _trace: Trace) {
+        self.count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Streams traces into `etalumis-data` shard files, partitioned by
+/// trace-type hash.
+///
+/// Partitioning by trace type does two jobs at once: workers contend only on
+/// the partition lock their trace hashes to, and each partition's shards are
+/// type-homogeneous — the grouping §4.4.3's offline sort otherwise has to
+/// create before training can drop sub-minibatching.
+pub struct ShardedTraceSink {
+    partitions: Vec<Mutex<RollingShardWriter>>,
+    pruned: bool,
+    /// First I/O error raised by any worker; surfaced at `finish`.
+    error: Mutex<Option<io::Error>>,
+}
+
+impl ShardedTraceSink {
+    /// The partition a trace type hashes to — the single definition shared
+    /// by the streaming sink and ordered dataset generation.
+    pub fn partition_of(trace_type: u64, partitions: usize) -> usize {
+        (trace_type % partitions.max(1) as u64) as usize
+    }
+
+    /// Shard-file prefix of a partition (`part{p:02}`).
+    pub fn partition_prefix(partition: usize) -> String {
+        format!("part{partition:02}")
+    }
+
+    /// Sink writing `partitions` independent shard streams under `dir`
+    /// (files `part{p:02}_{seq:05}.etlm`), rolling every `traces_per_shard`
+    /// records, with address-dictionary encoding. `pruned` follows
+    /// [`TraceRecord::from_trace`].
+    pub fn new(
+        dir: impl AsRef<Path>,
+        partitions: usize,
+        traces_per_shard: usize,
+        pruned: bool,
+    ) -> Self {
+        let partitions = partitions.max(1);
+        let dir = dir.as_ref();
+        Self {
+            partitions: (0..partitions)
+                .map(|p| {
+                    Mutex::new(RollingShardWriter::new(
+                        dir,
+                        Self::partition_prefix(p),
+                        traces_per_shard,
+                        true,
+                    ))
+                })
+                .collect(),
+            pruned,
+            error: Mutex::new(None),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Flush every partition; returns all shard paths (partition order, then
+    /// roll order) or the first error any worker hit.
+    pub fn finish(self) -> io::Result<Vec<PathBuf>> {
+        if let Some(e) = self.error.into_inner() {
+            return Err(e);
+        }
+        let mut paths = Vec::new();
+        for m in self.partitions {
+            paths.extend(m.into_inner().finish()?);
+        }
+        Ok(paths)
+    }
+}
+
+impl TraceSink for ShardedTraceSink {
+    fn accept(&self, _index: usize, trace: Trace) {
+        let rec = TraceRecord::from_trace(&trace, self.pruned);
+        let p = Self::partition_of(rec.trace_type, self.partitions.len());
+        if let Err(e) = self.partitions[p].lock().push(rec) {
+            self.error.lock().get_or_insert(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etalumis_core::Executor;
+    use etalumis_simulators::BranchingModel;
+
+    #[test]
+    fn collect_sink_orders_by_index() {
+        let sink = CollectSink::new(3);
+        let mut m = BranchingModel::standard();
+        let traces: Vec<Trace> = (0..3).map(|s| Executor::sample_prior(&mut m, s)).collect();
+        // Deliver out of order.
+        sink.accept(2, traces[2].clone());
+        sink.accept(0, traces[0].clone());
+        sink.accept(1, traces[1].clone());
+        let out = sink.into_traces();
+        for (a, b) in out.iter().zip(&traces) {
+            assert_eq!(a.result, b.result);
+        }
+    }
+
+    #[test]
+    fn sharded_sink_partitions_by_trace_type() {
+        let dir = std::env::temp_dir().join(format!("etalumis_sink_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = ShardedTraceSink::new(&dir, 2, 8, true);
+        let mut m = BranchingModel::standard();
+        let mut expected = std::collections::HashMap::new();
+        for s in 0..40u64 {
+            let t = Executor::sample_prior(&mut m, s);
+            *expected.entry(t.trace_type().0 % 2).or_insert(0usize) += 1;
+            sink.accept(s as usize, t);
+        }
+        let paths = sink.finish().unwrap();
+        let mut per_part = std::collections::HashMap::new();
+        let mut total = 0usize;
+        for p in &paths {
+            let mut r = etalumis_data::ShardReader::open(p).unwrap();
+            for rec in r.read_all().unwrap() {
+                *per_part.entry(rec.trace_type % 2).or_insert(0usize) += 1;
+                // The file's partition matches the record's hash partition.
+                let fname = p.file_name().unwrap().to_str().unwrap();
+                assert!(fname.starts_with(&format!("part{:02}", rec.trace_type % 2)));
+                total += 1;
+            }
+        }
+        assert_eq!(total, 40);
+        assert_eq!(per_part, expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`simulators`] | `etalumis-simulators` | mini-Sherpa τ decay + 3D detector |
 //! | [`inference`] | `etalumis-inference` | IS, RMH, IC engines + diagnostics |
 //! | [`data`] | `etalumis-data` | trace datasets, shards, samplers |
+//! | [`runtime`] | `etalumis-runtime` | work-stealing parallel trace generation, simulator pools, sharded sinks |
 //! | [`train`] | `etalumis-train` | dynamic IC networks, distributed training |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
@@ -26,6 +27,7 @@ pub use etalumis_distributions as distributions;
 pub use etalumis_inference as inference;
 pub use etalumis_nn as nn;
 pub use etalumis_ppx as ppx;
+pub use etalumis_runtime as runtime;
 pub use etalumis_simulators as simulators;
 pub use etalumis_tensor as tensor;
 pub use etalumis_train as train;
@@ -38,6 +40,9 @@ pub mod prelude {
     pub use etalumis_distributions::{Distribution, TensorValue, Value};
     pub use etalumis_inference::{
         ic_importance_sampling, importance_sampling, rmh, RmhConfig, WeightedTraces,
+    };
+    pub use etalumis_runtime::{
+        BatchRunner, CollectSink, RuntimeConfig, ShardedTraceSink, SimulatorPool, TraceSink,
     };
     pub use etalumis_simulators::{GaussianUnknownMean, TauDecayModel};
     pub use etalumis_train::{IcConfig, IcNetwork, Trainer};

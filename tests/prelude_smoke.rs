@@ -50,6 +50,25 @@ fn prelude_fn_program_runs_under_the_executor() {
 }
 
 #[test]
+fn prelude_runtime_batch_generation_works() {
+    // The parallel runtime is reachable through the prelude: pool two model
+    // instances, run a batch, and the collected traces match a 1-worker run.
+    let batch = |workers: usize| {
+        let mut pool = SimulatorPool::from_factory(workers, |_| GaussianUnknownMean::standard());
+        let runner = BatchRunner::new(RuntimeConfig { workers, stealing: true });
+        let sink = CollectSink::new(16);
+        let stats = runner.run_prior(&mut pool, &ObserveMap::new(), 16, 99, &sink);
+        assert_eq!(stats.total_executed(), 16);
+        sink.into_traces()
+    };
+    let serial = batch(1);
+    let pooled = batch(2);
+    for (s, p) in serial.iter().zip(&pooled) {
+        assert_eq!(s.value_by_name("mu"), p.value_by_name("mu"));
+    }
+}
+
+#[test]
 fn prelude_rmh_agrees_with_importance_sampling() {
     let mut model = GaussianUnknownMean::standard();
     let mut obs = ObserveMap::new();
