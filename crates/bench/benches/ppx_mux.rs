@@ -1,0 +1,148 @@
+//! Latency hiding through connection multiplexing (§4.1's controller↔fleet
+//! shape): with slow simulators, one reactor thread driving 8 sessions
+//! should approach the throughput of 8 dedicated blocking threads — and beat
+//! a single blocking connection by roughly the session count.
+//!
+//! Three shapes over the same slow simulator (≈1 ms per trace inside the
+//! program body):
+//!
+//! * `blocking_1thread_1conn` — the baseline: one connection, one thread,
+//!   every simulator sleep stalls the controller.
+//! * `mux_1thread_8conns` — the tentpole: one reactor thread, eight
+//!   sessions, sleeps overlap.
+//! * `blocking_8threads_8conns` — the thread-per-connection ceiling.
+//!
+//! Run: `cargo bench -p etalumis-bench --bench ppx_mux` (add `-- --quick`
+//! for the CI smoke mode). A headline `latency hiding:` line prints the
+//! measured mux-vs-single-blocking speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etalumis_core::{FnProgram, ObserveMap, SimCtx, SimCtxExt};
+use etalumis_distributions::{Distribution, Value};
+use etalumis_ppx::{InProcMuxEndpoint, InProcTransport, MuxEndpoint, RemoteModel, SimulatorServer};
+use etalumis_runtime::{BatchRunner, CountingSink, MuxSimulatorPool, RuntimeConfig, SimulatorPool};
+use std::time::{Duration, Instant};
+
+const TRACES: usize = 32;
+const SESSIONS: usize = 8;
+const SIM_LATENCY: Duration = Duration::from_millis(1);
+
+fn slow_model() -> FnProgram<impl FnMut(&mut dyn SimCtx) -> Value> {
+    FnProgram::new("slow_sim", |ctx: &mut dyn SimCtx| {
+        let x = ctx.sample_f64(&Distribution::Normal { mean: 0.0, std: 1.0 }, "x");
+        // The simulator's compute time, spent on the *simulator's* thread —
+        // exactly what a multiplexed controller can hide.
+        std::thread::sleep(SIM_LATENCY);
+        ctx.observe(&Distribution::Normal { mean: x, std: 0.5 }, "y");
+        Value::Real(x)
+    })
+}
+
+fn spawn_mux_server() -> InProcMuxEndpoint {
+    let (ep, sim_side) = InProcMuxEndpoint::pair();
+    std::thread::spawn(move || {
+        let mut server = SimulatorServer::new("bench-mux", slow_model());
+        let mut t = sim_side;
+        let _ = server.serve(&mut t);
+    });
+    ep
+}
+
+fn spawn_blocking_server() -> InProcTransport {
+    let (controller_side, sim_side) = InProcTransport::pair();
+    std::thread::spawn(move || {
+        let mut server = SimulatorServer::new("bench-mux", slow_model());
+        let mut t = sim_side;
+        let _ = server.serve(&mut t);
+    });
+    controller_side
+}
+
+fn blocking_pool(conns: usize) -> SimulatorPool {
+    SimulatorPool::connect_ppx(conns, |_| RemoteModel::connect(spawn_blocking_server(), "bench"))
+        .unwrap()
+}
+
+fn mux_pool(sessions: usize) -> MuxSimulatorPool {
+    MuxSimulatorPool::connect(sessions, "bench", |_| {
+        Ok(Box::new(spawn_mux_server()) as Box<dyn MuxEndpoint>)
+    })
+    .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppx_mux");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let observes = ObserveMap::new();
+
+    group.bench_function("blocking_1thread_1conn", |b| {
+        let mut pool = blocking_pool(1);
+        let runner = BatchRunner::new(RuntimeConfig { workers: 1, stealing: true });
+        let mut seed = 0u64;
+        b.iter(|| {
+            let sink = CountingSink::default();
+            let stats = runner.run_prior(&mut pool, &observes, TRACES, seed, &sink);
+            seed += 1;
+            assert_eq!(sink.count(), TRACES);
+            stats.total_executed()
+        });
+    });
+
+    group.bench_function("mux_1thread_8conns", |b| {
+        let mut pool = mux_pool(SESSIONS);
+        let runner = BatchRunner::new(RuntimeConfig { workers: 1, stealing: true });
+        let mut seed = 0u64;
+        b.iter(|| {
+            let sink = CountingSink::default();
+            let stats = runner.run_mux_prior(&mut pool, &observes, TRACES, seed, &sink);
+            seed += 1;
+            assert_eq!(sink.count(), TRACES);
+            assert!(stats.failures.is_empty());
+            stats.total_executed()
+        });
+    });
+
+    group.bench_function("blocking_8threads_8conns", |b| {
+        let mut pool = blocking_pool(SESSIONS);
+        let runner = BatchRunner::new(RuntimeConfig { workers: SESSIONS, stealing: true });
+        let mut seed = 0u64;
+        b.iter(|| {
+            let sink = CountingSink::default();
+            let stats = runner.run_prior(&mut pool, &observes, TRACES, seed, &sink);
+            seed += 1;
+            assert_eq!(sink.count(), TRACES);
+            stats.total_executed()
+        });
+    });
+
+    group.finish();
+
+    // Headline number: one measured batch per shape, outside the sampling
+    // harness, so even `--quick` smoke runs print the latency-hiding ratio.
+    let time_one = |f: &mut dyn FnMut() -> usize| {
+        let t0 = Instant::now();
+        let n = f();
+        (t0.elapsed(), n)
+    };
+    let mut single = blocking_pool(1);
+    let single_runner = BatchRunner::new(RuntimeConfig { workers: 1, stealing: true });
+    let (t_single, _) = time_one(&mut || {
+        let sink = CountingSink::default();
+        single_runner.run_prior(&mut single, &observes, TRACES, 99, &sink).total_executed()
+    });
+    let mut muxed = mux_pool(SESSIONS);
+    let (t_mux, _) = time_one(&mut || {
+        let sink = CountingSink::default();
+        single_runner.run_mux_prior(&mut muxed, &observes, TRACES, 99, &sink).total_executed()
+    });
+    println!(
+        "latency hiding: 1-thread mux over {SESSIONS} sessions is {:.1}x a single blocking \
+         connection ({:?} vs {:?} for {TRACES} traces of ~{SIM_LATENCY:?} each)",
+        t_single.as_secs_f64() / t_mux.as_secs_f64(),
+        t_mux,
+        t_single,
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("encode_decode_sample", |b| {
         b.iter(|| {
             let f = encode(black_box(&sample));
-            black_box(decode(&f[4..]).unwrap())
+            black_box(decode(&f).unwrap())
         })
     });
     let tensor_msg =
@@ -33,7 +33,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("encode_decode_voxel_tensor", |b| {
         b.iter(|| {
             let f = encode(black_box(&tensor_msg));
-            black_box(decode(&f[4..]).unwrap())
+            black_box(decode(&f).unwrap())
         })
     });
     // Full protocol round trip: one prior simulator execution over inproc.

@@ -1,12 +1,13 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by the
-//! workspace (the in-process PPX transport), and `std::sync::mpsc` has the
-//! exact semantics those call sites need: unbounded buffering, blocking
-//! `recv`, and errors on peer disconnect.
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver, TryRecvError}` is
+//! used by the workspace (the in-process PPX transports, blocking and
+//! non-blocking), and `std::sync::mpsc` has the exact semantics those call
+//! sites need: unbounded buffering, blocking `recv`, non-blocking `try_recv`
+//! distinguishing empty from disconnected, and errors on peer disconnect.
 
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
 
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {

@@ -7,12 +7,13 @@
 //! scores everything, and accumulates the trace.
 
 use crate::address::{Address, AddressBuilder};
-use crate::program::{ProbProgram, SimCtx};
+use crate::program::{ProbProgram, RunError, SimCtx};
 use crate::trace::{EntryKind, Trace, TraceEntry};
 use etalumis_distributions::{Distribution, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Observed data registered before an inference run: maps observe-statement
 /// names to their observed values.
@@ -74,11 +75,13 @@ impl Proposer for PriorProposer {
     }
 }
 
-/// Runs programs and records traces. Implements [`SimCtx`].
-pub struct Executor<'a> {
-    rng: &'a mut StdRng,
-    proposer: &'a mut dyn Proposer,
-    observes: &'a ObserveMap,
+/// The recording state of one execution, shared by the borrowing
+/// [`Executor`] (inverted control: `program.run(ctx)` drives it) and the
+/// owning [`StepExecutor`] (event-driven: a protocol reactor feeds it one
+/// sample/observe/tag request at a time). Both paths run exactly the same
+/// code against the same RNG discipline, which is what keeps event-driven
+/// remote executions bit-identical to blocking ones.
+struct Recorder {
     builder: AddressBuilder,
     trace: Trace,
     controlled_steps: usize,
@@ -88,27 +91,153 @@ pub struct Executor<'a> {
     scoring: bool,
 }
 
+impl Recorder {
+    fn new() -> Self {
+        Self {
+            builder: AddressBuilder::new(),
+            trace: Trace::default(),
+            controlled_steps: 0,
+            scoring: true,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_sample(
+        &mut self,
+        rng: &mut StdRng,
+        proposer: &mut dyn Proposer,
+        address: Address,
+        dist: &Distribution,
+        name: &str,
+        control: bool,
+        replace: bool,
+    ) -> Value {
+        let kind = if replace { EntryKind::SampleReplaced } else { EntryKind::Sample };
+        let controlled = control && !replace;
+        let (value, log_q) = if controlled {
+            let req =
+                SampleRequest { address: &address, dist, name, time_step: self.controlled_steps };
+            let decision = proposer.propose(&req);
+            let (v, lq) = match decision {
+                ProposalDecision::Prior => {
+                    let v = dist.sample(rng);
+                    let lp = dist.log_prob(&v);
+                    (v, lp)
+                }
+                ProposalDecision::Replay(v) => {
+                    let lp = dist.log_prob(&v);
+                    (v, lp)
+                }
+                ProposalDecision::ReplayWithLogQ(v, lq) => (v, lq),
+                ProposalDecision::Proposal(q) => {
+                    let v = q.sample(rng);
+                    let lq = q.log_prob(&v);
+                    (v, lq)
+                }
+            };
+            proposer.notify(&req, &v);
+            self.controlled_steps += 1;
+            (v, lq)
+        } else {
+            // Replaced or uncontrolled: always from the prior.
+            let v = dist.sample(rng);
+            let lp = dist.log_prob(&v);
+            (v, lp)
+        };
+        let log_prob = dist.log_prob(&value);
+        self.trace.log_prior += log_prob;
+        self.trace.log_q += log_q;
+        self.trace.entries.push(TraceEntry {
+            address,
+            distribution: dist.clone(),
+            value: value.clone(),
+            log_prob,
+            log_q,
+            kind,
+            name: name.to_string(),
+        });
+        value
+    }
+
+    fn record_observe(
+        &mut self,
+        rng: &mut StdRng,
+        observes: &ObserveMap,
+        address: Address,
+        dist: &Distribution,
+        name: &str,
+    ) -> Value {
+        let value = if self.scoring {
+            match observes.get(name) {
+                Some(v) => v.clone(),
+                // No registered observation: draw a synthetic one (prior /
+                // training-data generation mode).
+                None => dist.sample(rng),
+            }
+        } else {
+            dist.sample(rng)
+        };
+        let log_prob = dist.log_prob(&value);
+        self.trace.log_likelihood += log_prob;
+        self.trace.entries.push(TraceEntry {
+            address,
+            distribution: dist.clone(),
+            value: value.clone(),
+            log_prob,
+            log_q: log_prob,
+            kind: EntryKind::Observe,
+            name: name.to_string(),
+        });
+        value
+    }
+
+    fn sample_address(&mut self, address_base: &str, replace: bool) -> Address {
+        // The remote side owns base construction; we still manage instance
+        // counting locally so re-executions stay consistent.
+        if replace {
+            Address::new(address_base, 0)
+        } else {
+            self.builder.next_with_base(address_base)
+        }
+    }
+}
+
+/// Runs programs and records traces. Implements [`SimCtx`].
+pub struct Executor<'a> {
+    rng: &'a mut StdRng,
+    proposer: &'a mut dyn Proposer,
+    observes: &'a ObserveMap,
+    rec: Recorder,
+}
+
 impl<'a> Executor<'a> {
     /// Run `program` once under `proposer`, conditioning on `observes`.
+    ///
+    /// Panics if the program fails (only possible for remote programs whose
+    /// transport dies); use [`Executor::try_execute`] to handle that.
     pub fn execute(
         program: &mut dyn ProbProgram,
         proposer: &mut dyn Proposer,
         observes: &ObserveMap,
         rng: &mut StdRng,
     ) -> Trace {
+        Self::try_execute(program, proposer, observes, rng)
+            .unwrap_or_else(|e| panic!("{e} (use Executor::try_execute to handle failures)"))
+    }
+
+    /// Fallible [`Executor::execute`]: surfaces remote-program transport
+    /// failures as a [`RunError`] instead of panicking.
+    pub fn try_execute(
+        program: &mut dyn ProbProgram,
+        proposer: &mut dyn Proposer,
+        observes: &ObserveMap,
+        rng: &mut StdRng,
+    ) -> Result<Trace, RunError> {
         proposer.begin_trace(observes);
-        let mut ex = Executor {
-            rng,
-            proposer,
-            observes,
-            builder: AddressBuilder::new(),
-            trace: Trace::default(),
-            controlled_steps: 0,
-            scoring: true,
-        };
-        let result = program.run(&mut ex);
-        ex.trace.result = result;
-        ex.trace
+        let mut ex = Executor { rng, proposer, observes, rec: Recorder::new() };
+        let result = program.try_run(&mut ex)?;
+        ex.rec.trace.result = result;
+        Ok(ex.rec.trace)
     }
 
     /// Convenience: run once from the prior with a fresh seeded RNG.
@@ -132,84 +261,15 @@ impl<'a> Executor<'a> {
         Self::execute(program, proposer, observes, &mut rng)
     }
 
-    fn record_sample(
-        &mut self,
-        address: Address,
-        dist: &Distribution,
-        name: &str,
-        control: bool,
-        replace: bool,
-    ) -> Value {
-        let kind = if replace { EntryKind::SampleReplaced } else { EntryKind::Sample };
-        let controlled = control && !replace;
-        let (value, log_q) = if controlled {
-            let req =
-                SampleRequest { address: &address, dist, name, time_step: self.controlled_steps };
-            let decision = self.proposer.propose(&req);
-            let (v, lq) = match decision {
-                ProposalDecision::Prior => {
-                    let v = dist.sample(self.rng);
-                    let lp = dist.log_prob(&v);
-                    (v, lp)
-                }
-                ProposalDecision::Replay(v) => {
-                    let lp = dist.log_prob(&v);
-                    (v, lp)
-                }
-                ProposalDecision::ReplayWithLogQ(v, lq) => (v, lq),
-                ProposalDecision::Proposal(q) => {
-                    let v = q.sample(self.rng);
-                    let lq = q.log_prob(&v);
-                    (v, lq)
-                }
-            };
-            self.proposer.notify(&req, &v);
-            self.controlled_steps += 1;
-            (v, lq)
-        } else {
-            // Replaced or uncontrolled: always from the prior.
-            let v = dist.sample(self.rng);
-            let lp = dist.log_prob(&v);
-            (v, lp)
-        };
-        let log_prob = dist.log_prob(&value);
-        self.trace.log_prior += log_prob;
-        self.trace.log_q += log_q;
-        self.trace.entries.push(TraceEntry {
-            address,
-            distribution: dist.clone(),
-            value: value.clone(),
-            log_prob,
-            log_q,
-            kind,
-            name: name.to_string(),
-        });
-        value
-    }
-
-    fn record_observe(&mut self, address: Address, dist: &Distribution, name: &str) -> Value {
-        let value = if self.scoring {
-            match self.observes.get(name) {
-                Some(v) => v.clone(),
-                // No registered observation: draw a synthetic one (prior /
-                // training-data generation mode).
-                None => dist.sample(self.rng),
-            }
-        } else {
-            dist.sample(self.rng)
-        };
-        let log_prob = dist.log_prob(&value);
-        self.trace.log_likelihood += log_prob;
-        self.trace.entries.push(TraceEntry {
-            address,
-            distribution: dist.clone(),
-            value: value.clone(),
-            log_prob,
-            log_q: log_prob,
-            kind: EntryKind::Observe,
-            name: name.to_string(),
-        });
-        value
+    /// Fallible [`Executor::execute_seeded`].
+    pub fn try_execute_seeded(
+        program: &mut dyn ProbProgram,
+        proposer: &mut dyn Proposer,
+        observes: &ObserveMap,
+        seed: u64,
+    ) -> Result<Trace, RunError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::try_execute(program, proposer, observes, &mut rng)
     }
 }
 
@@ -221,25 +281,25 @@ impl SimCtx for Executor<'_> {
         control: bool,
         replace: bool,
     ) -> Value {
-        let address = self.builder.next(name, dist.kind(), replace);
-        self.record_sample(address, dist, name, control, replace)
+        let address = self.rec.builder.next(name, dist.kind(), replace);
+        self.rec.record_sample(self.rng, self.proposer, address, dist, name, control, replace)
     }
 
     fn observe(&mut self, dist: &Distribution, name: &str) -> Value {
-        let address = self.builder.next(name, dist.kind(), false);
-        self.record_observe(address, dist, name)
+        let address = self.rec.builder.next(name, dist.kind(), false);
+        self.rec.record_observe(self.rng, self.observes, address, dist, name)
     }
 
     fn tag(&mut self, name: &str, value: Value) {
-        self.trace.tags.push((name.to_string(), value));
+        self.rec.trace.tags.push((name.to_string(), value));
     }
 
     fn push_scope(&mut self, scope: &str) {
-        self.builder.push_scope(scope);
+        self.rec.builder.push_scope(scope);
     }
 
     fn pop_scope(&mut self) {
-        self.builder.pop_scope();
+        self.rec.builder.pop_scope();
     }
 
     fn sample_with_address(
@@ -250,14 +310,8 @@ impl SimCtx for Executor<'_> {
         control: bool,
         replace: bool,
     ) -> Value {
-        // The remote side owns base construction; we still manage instance
-        // counting locally so re-executions stay consistent.
-        let address = if replace {
-            Address::new(address_base, 0)
-        } else {
-            self.builder.next_with_base(address_base)
-        };
-        self.record_sample(address, dist, name, control, replace)
+        let address = self.rec.sample_address(address_base, replace);
+        self.rec.record_sample(self.rng, self.proposer, address, dist, name, control, replace)
     }
 
     fn observe_with_address(
@@ -266,8 +320,119 @@ impl SimCtx for Executor<'_> {
         dist: &Distribution,
         name: &str,
     ) -> Value {
-        let address = self.builder.next_with_base(address_base);
-        self.record_observe(address, dist, name)
+        let address = self.rec.builder.next_with_base(address_base);
+        self.rec.record_observe(self.rng, self.observes, address, dist, name)
+    }
+}
+
+/// An executor that owns its whole execution state, for event-driven runs.
+///
+/// The classic [`Executor`] has inverted control: `program.run(ctx)` calls
+/// back into it, so its state can live on the driving thread's stack. A
+/// protocol reactor multiplexing many remote executions on one thread cannot
+/// block inside `run`; it needs per-session executor state that persists
+/// across suspension points. `StepExecutor` is exactly that: create one per
+/// trace with the same `(proposer, observes, seed)` a blocking run would
+/// use, feed it each incoming sample/observe/tag request through its
+/// [`SimCtx`] impl, and [`StepExecutor::finish`] it with the run result.
+///
+/// Both executors share one [`Recorder`], so the produced [`Trace`] is
+/// bit-identical to `Executor::execute_seeded` for the same request
+/// sequence.
+pub struct StepExecutor {
+    rng: StdRng,
+    proposer: Box<dyn Proposer + Send>,
+    observes: Arc<ObserveMap>,
+    rec: Recorder,
+}
+
+impl StepExecutor {
+    /// Begin one execution: seeds the RNG from `seed` and announces the
+    /// trace to the proposer, mirroring [`Executor::execute_seeded`].
+    pub fn new(
+        mut proposer: Box<dyn Proposer + Send>,
+        observes: Arc<ObserveMap>,
+        seed: u64,
+    ) -> Self {
+        proposer.begin_trace(&observes);
+        Self { rng: StdRng::seed_from_u64(seed), proposer, observes, rec: Recorder::new() }
+    }
+
+    /// Complete the execution with the program's result value, returning the
+    /// recorded trace and handing the proposer back for reuse on the next
+    /// trace of the same session.
+    pub fn finish(self, result: Value) -> (Trace, Box<dyn Proposer + Send>) {
+        let mut trace = self.rec.trace;
+        trace.result = result;
+        (trace, self.proposer)
+    }
+}
+
+impl SimCtx for StepExecutor {
+    fn sample_ext(
+        &mut self,
+        dist: &Distribution,
+        name: &str,
+        control: bool,
+        replace: bool,
+    ) -> Value {
+        let address = self.rec.builder.next(name, dist.kind(), replace);
+        self.rec.record_sample(
+            &mut self.rng,
+            self.proposer.as_mut(),
+            address,
+            dist,
+            name,
+            control,
+            replace,
+        )
+    }
+
+    fn observe(&mut self, dist: &Distribution, name: &str) -> Value {
+        let address = self.rec.builder.next(name, dist.kind(), false);
+        self.rec.record_observe(&mut self.rng, &self.observes, address, dist, name)
+    }
+
+    fn tag(&mut self, name: &str, value: Value) {
+        self.rec.trace.tags.push((name.to_string(), value));
+    }
+
+    fn push_scope(&mut self, scope: &str) {
+        self.rec.builder.push_scope(scope);
+    }
+
+    fn pop_scope(&mut self) {
+        self.rec.builder.pop_scope();
+    }
+
+    fn sample_with_address(
+        &mut self,
+        address_base: &str,
+        dist: &Distribution,
+        name: &str,
+        control: bool,
+        replace: bool,
+    ) -> Value {
+        let address = self.rec.sample_address(address_base, replace);
+        self.rec.record_sample(
+            &mut self.rng,
+            self.proposer.as_mut(),
+            address,
+            dist,
+            name,
+            control,
+            replace,
+        )
+    }
+
+    fn observe_with_address(
+        &mut self,
+        address_base: &str,
+        dist: &Distribution,
+        name: &str,
+    ) -> Value {
+        let address = self.rec.builder.next_with_base(address_base);
+        self.rec.record_observe(&mut self.rng, &self.observes, address, dist, name)
     }
 }
 
@@ -361,6 +526,51 @@ mod tests {
         let replaced: Vec<_> =
             t.entries.iter().filter(|e| e.kind == EntryKind::SampleReplaced).collect();
         assert!(replaced.windows(2).all(|w| w[0].address == w[1].address));
+    }
+
+    #[test]
+    fn step_executor_matches_blocking_executor_bit_for_bit() {
+        // Drive a StepExecutor with the exact request sequence the model
+        // makes through the blocking Executor; the traces must be identical.
+        let mut m = gaussian_model();
+        let mut observes = ObserveMap::new();
+        observes.insert("y".to_string(), Value::Real(0.5));
+        let seed = 99;
+        let blocking = Executor::execute_seeded(&mut m, &mut PriorProposer, &observes, seed);
+
+        let mut step = StepExecutor::new(Box::new(PriorProposer), Arc::new(observes.clone()), seed);
+        let mu = step.sample_ext(&Distribution::Normal { mean: 0.0, std: 1.0 }, "mu", true, false);
+        step.observe(&Distribution::Normal { mean: mu.as_f64(), std: 0.5 }, "y");
+        let (trace, _proposer) = step.finish(mu.clone());
+
+        assert_eq!(trace.entries.len(), blocking.entries.len());
+        for (a, b) in trace.entries.iter().zip(&blocking.entries) {
+            assert_eq!(a.address, b.address);
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.log_prob.to_bits(), b.log_prob.to_bits());
+            assert_eq!(a.log_q.to_bits(), b.log_q.to_bits());
+        }
+        assert_eq!(trace.result, blocking.result);
+        assert_eq!(trace.log_prior.to_bits(), blocking.log_prior.to_bits());
+        assert_eq!(trace.log_likelihood.to_bits(), blocking.log_likelihood.to_bits());
+    }
+
+    #[test]
+    fn try_execute_surfaces_program_failure() {
+        struct FailingProgram;
+        impl ProbProgram for FailingProgram {
+            fn run(&mut self, ctx: &mut dyn SimCtx) -> Value {
+                self.try_run(ctx).expect("transport failed")
+            }
+            fn try_run(&mut self, _ctx: &mut dyn SimCtx) -> Result<Value, RunError> {
+                Err(RunError::new("connection reset by peer"))
+            }
+        }
+        let observes = ObserveMap::new();
+        let err =
+            Executor::try_execute_seeded(&mut FailingProgram, &mut PriorProposer, &observes, 1)
+                .unwrap_err();
+        assert!(err.message.contains("connection reset"));
     }
 
     #[test]

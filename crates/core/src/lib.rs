@@ -45,7 +45,7 @@ pub mod trace;
 
 pub use address::{Address, AddressBuilder, TraceTypeId};
 pub use executor::{
-    Executor, ObserveMap, PriorProposer, ProposalDecision, Proposer, SampleRequest,
+    Executor, ObserveMap, PriorProposer, ProposalDecision, Proposer, SampleRequest, StepExecutor,
 };
-pub use program::{BoxedProgram, FnProgram, ProbProgram, SimCtx, SimCtxExt};
+pub use program::{BoxedProgram, FnProgram, ProbProgram, RunError, SimCtx, SimCtxExt};
 pub use trace::{EntryKind, Trace, TraceEntry};

@@ -106,11 +106,51 @@ pub trait SimCtxExt: SimCtx {
 
 impl<T: SimCtx + ?Sized> SimCtxExt for T {}
 
+/// A program execution failed for a reason outside the model's control —
+/// in practice, a PPX transport or protocol failure while driving a remote
+/// simulator. Local native programs never fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError {
+    /// Human-readable failure description (carries the transport error).
+    pub message: String,
+}
+
+impl RunError {
+    /// Build an error from anything displayable.
+    pub fn new(message: impl std::fmt::Display) -> Self {
+        Self { message: message.to_string() }
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "program run failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<std::io::Error> for RunError {
+    fn from(e: std::io::Error) -> Self {
+        RunError::new(e)
+    }
+}
+
 /// A probabilistic program: a simulator whose randomness flows through a
 /// [`SimCtx`].
 pub trait ProbProgram {
     /// Execute the program once, returning its result value.
+    ///
+    /// Panics on transport failure for remote programs; batch runtimes that
+    /// must survive individual failures use [`ProbProgram::try_run`].
     fn run(&mut self, ctx: &mut dyn SimCtx) -> Value;
+
+    /// Fallible execution: remote programs surface transport/protocol
+    /// failures as a [`RunError`] instead of panicking. Local programs never
+    /// fail, hence the default.
+    fn try_run(&mut self, ctx: &mut dyn SimCtx) -> Result<Value, RunError> {
+        Ok(self.run(ctx))
+    }
 
     /// Human-readable model name (used in handshakes and logs).
     fn name(&self) -> &str {
@@ -124,6 +164,10 @@ pub trait ProbProgram {
 impl<P: ProbProgram + ?Sized> ProbProgram for Box<P> {
     fn run(&mut self, ctx: &mut dyn SimCtx) -> Value {
         (**self).run(ctx)
+    }
+
+    fn try_run(&mut self, ctx: &mut dyn SimCtx) -> Result<Value, RunError> {
+        (**self).try_run(ctx)
     }
 
     fn name(&self) -> &str {

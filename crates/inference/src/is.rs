@@ -15,7 +15,7 @@
 
 use crate::posterior::WeightedTraces;
 use etalumis_core::{Executor, ObserveMap, PriorProposer, ProbProgram, Proposer};
-use etalumis_runtime::{BatchRunner, CollectSink, RuntimeConfig, SimulatorPool};
+use etalumis_runtime::{BatchRunner, CollectSink, MuxSimulatorPool, RuntimeConfig, SimulatorPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -73,6 +73,37 @@ where
     WeightedTraces::new(traces, log_weights)
 }
 
+/// Prior-proposal IS over a multiplexed pool of remote PPX simulators:
+/// `workers` reactor threads (0 = all cores, capped at the session count)
+/// drive the pool's K sessions concurrently, hiding each simulator's
+/// latency behind the others'. Per-trace seeding is identical to
+/// [`parallel_importance_sampling`], so for the same model and seed the
+/// weighted trace set matches the local and blocking-remote paths exactly.
+///
+/// Returns an error if any trace failed (dead session): an IS estimate over
+/// a silently truncated batch would be biased.
+pub fn parallel_importance_sampling_mux(
+    pool: &mut MuxSimulatorPool,
+    observes: &ObserveMap,
+    n: usize,
+    seed: u64,
+    workers: usize,
+) -> Result<WeightedTraces, String> {
+    let workers = workers.min(pool.len());
+    let runner = BatchRunner::new(RuntimeConfig { workers, stealing: true });
+    let sink = CollectSink::new(n);
+    let stats = runner.run_mux_prior(pool, observes, n, seed, &sink);
+    if let Some((i, e)) = stats.failures.first() {
+        return Err(format!(
+            "{} of {n} traces failed during multiplexed IS (first: trace {i}: {e})",
+            stats.failures.len()
+        ));
+    }
+    let traces = sink.into_traces();
+    let log_weights = traces.iter().map(|t| t.log_weight()).collect();
+    Ok(WeightedTraces::new(traces, log_weights))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +155,32 @@ mod tests {
             assert_eq!(a.value_by_name("mu"), b.value_by_name("mu"));
         }
         assert_eq!(w1.log_weights, w4.log_weights);
+    }
+
+    #[test]
+    fn mux_is_matches_local_parallel_is_exactly() {
+        use etalumis_ppx::{InProcMuxEndpoint, MuxEndpoint, SimulatorServer};
+        use etalumis_runtime::MuxSimulatorPool;
+        let obs = observes_for(&[1.1]);
+        let local = parallel_importance_sampling(GaussianUnknownMean::standard, &obs, 300, 13, 2);
+
+        let mut pool = MuxSimulatorPool::connect(5, "etalumis-rs", |_| {
+            let (ep, sim_side) = InProcMuxEndpoint::pair();
+            std::thread::spawn(move || {
+                let mut server = SimulatorServer::new("is", GaussianUnknownMean::standard());
+                let mut t = sim_side;
+                let _ = server.serve(&mut t);
+            });
+            Ok(Box::new(ep) as Box<dyn MuxEndpoint>)
+        })
+        .unwrap();
+        let remote = parallel_importance_sampling_mux(&mut pool, &obs, 300, 13, 2).unwrap();
+
+        assert_eq!(remote.len(), local.len());
+        assert_eq!(remote.log_weights, local.log_weights);
+        for (a, b) in remote.traces.iter().zip(&local.traces) {
+            assert_eq!(a.value_by_name("mu"), b.value_by_name("mu"));
+        }
     }
 
     #[test]

@@ -7,15 +7,22 @@
 //! is the key property of PPX — engines are fully agnostic to where and in
 //! which language the simulator runs.
 
+use crate::error::PpxError;
 use crate::message::Message;
+use crate::session::{Serviced, Session, SessionAction};
 use crate::transport::Transport;
-use etalumis_core::{ProbProgram, SimCtx};
+use etalumis_core::{ProbProgram, RunError, SimCtx};
 use etalumis_distributions::Value;
 
 /// A probabilistic program whose body executes on the other side of a
 /// transport.
+///
+/// The protocol logic lives in the [`Session`] state machine (shared with
+/// the non-blocking [`crate::mux::Mux`] reactor); this type is the thin
+/// blocking adapter that marries one session to one [`Transport`].
 pub struct RemoteModel<T: Transport> {
     transport: T,
+    session: Session,
     model_name: String,
     /// Observation payload forwarded with each `Run` (defaults to `Unit`).
     pub run_observation: Value,
@@ -24,49 +31,60 @@ pub struct RemoteModel<T: Transport> {
 impl<T: Transport> RemoteModel<T> {
     /// Perform the PPX handshake and return the connected model.
     pub fn connect(mut transport: T, system_name: &str) -> std::io::Result<Self> {
-        transport.send(&Message::Handshake { system_name: system_name.to_string() })?;
-        let model_name = match transport.recv()? {
-            Message::HandshakeResult { model_name, .. } => model_name,
-            other => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("expected HandshakeResult, got {}", other.name()),
-                ))
-            }
+        let (mut session, handshake) = Session::connect(system_name);
+        transport.send(&handshake)?;
+        let reply = transport.recv()?;
+        let action = session.on_message(reply).map_err(std::io::Error::from)?;
+        let model_name = match action {
+            SessionAction::Connected { model_name } => model_name,
+            // In `Handshaking` the machine accepts nothing else.
+            _ => unreachable!("session yielded a non-Connected action during handshake"),
         };
-        Ok(Self { transport, model_name, run_observation: Value::Unit })
+        Ok(Self { transport, session, model_name, run_observation: Value::Unit })
+    }
+
+    /// Run the remote program once, surfacing transport and protocol
+    /// failures instead of panicking. After an error the session is poisoned
+    /// and every subsequent call fails fast.
+    pub fn try_run_remote(&mut self, ctx: &mut dyn SimCtx) -> Result<Value, PpxError> {
+        let run = self.session.start_run(self.run_observation.clone())?;
+        self.send(&run)?;
+        loop {
+            let msg = match self.transport.recv() {
+                Ok(m) => m,
+                Err(e) => {
+                    self.session.fail();
+                    return Err(e.into());
+                }
+            };
+            let action = self.session.on_message(msg)?;
+            match self.session.service(action, ctx)? {
+                Serviced::Reply(reply) => self.send(&reply)?,
+                Serviced::Finished(result) => return Ok(result),
+                Serviced::Connected(_) => unreachable!("handshake completed at connect"),
+            }
+        }
+    }
+
+    fn send(&mut self, msg: &Message) -> Result<(), PpxError> {
+        match self.transport.send(msg) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.session.fail();
+                Err(e.into())
+            }
+        }
     }
 }
 
 impl<T: Transport> ProbProgram for RemoteModel<T> {
     fn run(&mut self, ctx: &mut dyn SimCtx) -> Value {
-        self.transport
-            .send(&Message::Run { observation: self.run_observation.clone() })
-            .expect("PPX Run send failed");
-        loop {
-            let msg = self.transport.recv().expect("PPX recv failed during run");
-            match msg {
-                Message::Sample { address, name, distribution, control, replace } => {
-                    let value =
-                        ctx.sample_with_address(&address, &distribution, &name, control, replace);
-                    self.transport
-                        .send(&Message::SampleResult { value })
-                        .expect("PPX SampleResult send failed");
-                }
-                Message::Observe { address, name, distribution } => {
-                    let value = ctx.observe_with_address(&address, &distribution, &name);
-                    self.transport
-                        .send(&Message::ObserveResult { value })
-                        .expect("PPX ObserveResult send failed");
-                }
-                Message::Tag { name, value } => {
-                    ctx.tag(&name, value);
-                    self.transport.send(&Message::TagResult).expect("PPX TagResult send failed");
-                }
-                Message::RunResult { result } => return result,
-                other => panic!("unexpected message {} during run", other.name()),
-            }
-        }
+        self.try_run_remote(ctx)
+            .unwrap_or_else(|e| panic!("{e} (use try_run for fallible remote execution)"))
+    }
+
+    fn try_run(&mut self, ctx: &mut dyn SimCtx) -> Result<Value, RunError> {
+        self.try_run_remote(ctx).map_err(RunError::from)
     }
 
     fn name(&self) -> &str {
@@ -139,6 +157,33 @@ mod tests {
             let first_noise = trace.entries.iter().find(|e| e.name == "noise").unwrap();
             assert_eq!(first_noise.address.instance, 0);
         }
+    }
+
+    #[test]
+    fn transport_death_surfaces_as_error_not_panic() {
+        // A server that completes the handshake and then vanishes.
+        let (controller_side, sim_side) = InProcTransport::pair();
+        std::thread::spawn(move || {
+            use crate::transport::Transport;
+            let mut t = sim_side;
+            let _hs = t.recv().unwrap();
+            t.send(&Message::HandshakeResult {
+                system_name: "sim".into(),
+                model_name: "vanishing".into(),
+            })
+            .unwrap();
+            // Dropping t severs the channel mid-session.
+        });
+        let mut model = RemoteModel::connect(controller_side, "etalumis-rs").unwrap();
+        let observes = ObserveMap::new();
+        let err = Executor::try_execute_seeded(&mut model, &mut PriorProposer, &observes, 7)
+            .expect_err("run against a dead transport must fail, not panic");
+        assert!(err.message.contains("disconnected"), "unexpected error: {err}");
+        // The session is poisoned: the next run fails fast with a protocol
+        // error instead of touching the transport.
+        let err2 =
+            Executor::try_execute_seeded(&mut model, &mut PriorProposer, &observes, 8).unwrap_err();
+        assert!(err2.message.contains("protocol violation"), "unexpected error: {err2}");
     }
 
     #[test]

@@ -16,17 +16,33 @@
 //! * [`RemoteModel`] — controller-side binding: a remote simulator exposed
 //!   as a local `ProbProgram`, so inference engines are agnostic to where
 //!   the simulator runs.
+//! * [`session`] — the controller-side protocol state machine
+//!   (`Handshaking → Idle → Running{awaiting} → Done/Failed`), shared by the
+//!   blocking client and the event-driven reactor.
+//! * [`mux`] — connection multiplexing: frame reassembly, non-blocking
+//!   TCP/in-proc endpoints with per-connection write queues, and the poll
+//!   [`Mux`] reactor that lets one thread drive many simulator sessions.
 //! * [`address`] — stack-frame symbol resolution with the dladdr-style
 //!   cache (the 5× address-string optimization of §4.2).
 
 pub mod address;
 pub mod client;
+pub mod error;
 pub mod message;
+pub mod mux;
 pub mod server;
+pub mod session;
 pub mod transport;
 pub mod wire;
 
 pub use client::RemoteModel;
+pub use error::PpxError;
 pub use message::Message;
-pub use server::SimulatorServer;
+pub use mux::{
+    BlockingMux, FragmentingEndpoint, FrameBuffer, InProcMuxEndpoint, Mux, MuxEndpoint, MuxEvent,
+    TcpMuxEndpoint,
+};
+pub use server::{serve_listener, SimulatorServer};
+pub use session::{Awaiting, Serviced, Session, SessionAction, SessionState};
 pub use transport::{InProcTransport, TcpTransport, Transport};
+pub use wire::MAX_FRAME_LEN;

@@ -6,11 +6,23 @@
 //! returned values are handed back to the running program. This is the
 //! Rust equivalent of the paper's C++ front end that reroutes Sherpa's
 //! random number draws (§4.1, §5.4).
+//!
+//! [`serve_listener`] extends this to many controllers on one listener: a
+//! reactor loop owns every socket (non-blocking accept, frame reassembly,
+//! write queues — the same [`crate::mux`] machinery the controller side
+//! uses), while each client's program runs on its own thread bridged to the
+//! reactor by frame channels. Program execution is native, inverted-control
+//! code and genuinely needs a stack — the paper likewise runs one Sherpa
+//! process per core — but the *I/O* does not, so sockets never block a
+//! program thread and a half-open client cannot wedge the listener.
 
 use crate::message::Message;
-use crate::transport::Transport;
-use etalumis_core::{AddressBuilder, ProbProgram, SimCtx};
+use crate::mux::{MuxEndpoint, TcpMuxEndpoint};
+use crate::transport::{InProcTransport, Transport};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use etalumis_core::{AddressBuilder, BoxedProgram, ProbProgram, SimCtx};
 use etalumis_distributions::{Distribution, Value};
+use std::net::TcpListener;
 
 /// Serves a wrapped probabilistic program over a transport.
 pub struct SimulatorServer<P: ProbProgram> {
@@ -178,5 +190,158 @@ impl<P: ProbProgram> SimulatorServer<P> {
                 }
             }
         }
+    }
+}
+
+/// One reactor-bridged client connection: the reactor owns the socket; the
+/// program thread owns the execution; frames shuttle between them.
+struct Bridge {
+    endpoint: TcpMuxEndpoint,
+    to_program: Sender<Vec<u8>>,
+    from_program: Receiver<Vec<u8>>,
+}
+
+impl Bridge {
+    /// Move frames in both directions; `Ok(true)` if anything moved,
+    /// `Err(())` when the connection is finished (either side gone).
+    fn pump(&mut self) -> Result<bool, ()> {
+        let mut progress = false;
+        // socket → program
+        loop {
+            match self.endpoint.poll_frame() {
+                Ok(Some(payload)) => {
+                    progress = true;
+                    self.to_program.send(payload).map_err(|_| ())?;
+                }
+                Ok(None) => break,
+                Err(_) => return Err(()),
+            }
+        }
+        // program → socket
+        loop {
+            match self.from_program.try_recv() {
+                Ok(frame) => {
+                    progress = true;
+                    self.endpoint.send_frame(frame).map_err(|_| ())?;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return Err(()),
+            }
+        }
+        self.endpoint.flush().map_err(|_| ())?;
+        Ok(progress)
+    }
+}
+
+/// Serve `max_clients` controller connections over one listener.
+///
+/// The calling thread runs the reactor: it accepts connections
+/// (non-blocking), owns every socket's reassembly buffer and write queue,
+/// and bridges complete frames to one program thread per client running the
+/// ordinary blocking [`SimulatorServer::serve`] loop. `factory(i)` builds
+/// the program instance for the `i`-th accepted client. Returns once
+/// `max_clients` clients have connected and disconnected.
+pub fn serve_listener<F>(
+    listener: TcpListener,
+    system_name: &str,
+    mut factory: F,
+    max_clients: usize,
+) -> std::io::Result<()>
+where
+    F: FnMut(usize) -> BoxedProgram,
+{
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let mut bridges: Vec<Option<Bridge>> = Vec::new();
+        let mut accepted = 0usize;
+        loop {
+            let mut progress = false;
+            if accepted < max_clients {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let endpoint = TcpMuxEndpoint::new(stream)?;
+                        let (to_program, program_rx) = unbounded();
+                        let (program_tx, from_program) = unbounded();
+                        let program = factory(accepted);
+                        let name = system_name.to_string();
+                        scope.spawn(move || {
+                            let mut transport =
+                                InProcTransport::from_channels(program_tx, program_rx);
+                            let mut server = SimulatorServer::new(name, program);
+                            // Clean disconnects surface as Ok; anything else
+                            // already poisoned the controller side.
+                            let _ = server.serve(&mut transport);
+                        });
+                        bridges.push(Some(Bridge { endpoint, to_program, from_program }));
+                        accepted += 1;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            for slot in bridges.iter_mut() {
+                let Some(bridge) = slot else { continue };
+                match bridge.pump() {
+                    Ok(p) => progress |= p,
+                    Err(()) => {
+                        // Dropping the bridge severs the program thread's
+                        // channels; its serve loop exits and the scope joins
+                        // it.
+                        *slot = None;
+                        progress = true;
+                    }
+                }
+            }
+            if accepted == max_clients && bridges.iter().all(Option::is_none) {
+                return Ok(());
+            }
+            if !progress {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RemoteModel;
+    use crate::transport::TcpTransport;
+    use etalumis_core::{Executor, FnProgram, SimCtxExt};
+
+    fn listener_model() -> BoxedProgram {
+        Box::new(FnProgram::new("multi", |ctx: &mut dyn SimCtx| {
+            let x = ctx.sample_f64(&Distribution::Uniform { low: 0.0, high: 1.0 }, "x");
+            Value::Real(x)
+        }))
+    }
+
+    #[test]
+    fn one_listener_serves_many_concurrent_clients() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let n_clients = 4;
+        let server = std::thread::spawn(move || {
+            serve_listener(listener, "multi-sim", |_| listener_model(), n_clients).unwrap();
+        });
+        // All clients connect before any disconnects: genuinely concurrent.
+        let mut models: Vec<_> = (0..n_clients)
+            .map(|_| {
+                let t = TcpTransport::connect(&addr.to_string()).unwrap();
+                RemoteModel::connect(t, "etalumis-rs").unwrap()
+            })
+            .collect();
+        for (i, m) in models.iter_mut().enumerate() {
+            assert_eq!(m.name(), "multi");
+            let trace = Executor::sample_prior(m, 40 + i as u64);
+            assert_eq!(trace.num_controlled(), 1);
+            // Same seed ⇒ same draw as a local run of the same model.
+            let mut local = listener_model();
+            let reference = Executor::sample_prior(&mut local, 40 + i as u64);
+            assert_eq!(trace.result, reference.result);
+        }
+        drop(models);
+        server.join().unwrap();
     }
 }

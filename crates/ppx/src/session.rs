@@ -1,0 +1,381 @@
+//! The controller-side session state machine.
+//!
+//! One [`Session`] tracks one controller↔simulator conversation as a pure
+//! protocol core: it consumes decoded [`Message`]s, validates them against
+//! the current state, and tells the driver what to do next — it never touches
+//! a transport. That single property is what lets the same machine sit under
+//! three very different drivers:
+//!
+//! * the blocking [`crate::RemoteModel`] (one thread, one connection),
+//! * the [`crate::mux::Mux`] reactor (one thread, many connections),
+//! * tests that feed hand-crafted message sequences.
+//!
+//! States:
+//!
+//! ```text
+//! Handshaking ──HandshakeResult──▶ Idle ──start_run──▶ Running
+//!    Running{awaiting: Simulator} ──Sample/Observe/Tag──▶
+//!    Running{awaiting: Sample/Observe/Tag reply} ──reply_*──▶ back to awaiting Simulator
+//!    Running ──RunResult──▶ Idle          close ──▶ Done
+//!    (any illegal message/call) ──▶ Failed
+//! ```
+
+use crate::error::PpxError;
+use crate::message::Message;
+use etalumis_core::SimCtx;
+use etalumis_distributions::{Distribution, Value};
+
+/// Which side owes the next protocol step while a run is in flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Awaiting {
+    /// We are waiting for the simulator's next message.
+    Simulator,
+    /// The simulator awaits our `SampleResult`.
+    SampleReply,
+    /// The simulator awaits our `ObserveResult`.
+    ObserveReply,
+    /// The simulator awaits our `TagResult`.
+    TagReply,
+}
+
+/// Protocol state of one controller-side session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionState {
+    /// `Handshake` sent, waiting for `HandshakeResult`.
+    Handshaking,
+    /// Connected; no run in flight.
+    Idle,
+    /// A `Run` is executing on the simulator.
+    Running(Awaiting),
+    /// Session closed deliberately; no further traffic is legal.
+    Done,
+    /// A protocol violation or transport failure poisoned the session.
+    Failed,
+}
+
+/// What the driver must do after feeding a message to the session.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionAction {
+    /// Handshake finished; the session is now [`SessionState::Idle`].
+    Connected {
+        /// Model name announced by the simulator.
+        model_name: String,
+    },
+    /// The simulator requests a sample value: service it (via a `SimCtx`)
+    /// and send the message returned by [`Session::reply_sample`].
+    NeedsSample {
+        /// Fully qualified address base from the simulator side.
+        address: String,
+        /// Statement name.
+        name: String,
+        /// Prior distribution at the site.
+        distribution: Distribution,
+        /// Whether inference may control the draw.
+        control: bool,
+        /// Rejection-sampling re-draw.
+        replace: bool,
+    },
+    /// The simulator requests an observation value.
+    NeedsObserve {
+        /// Fully qualified address base.
+        address: String,
+        /// Statement name.
+        name: String,
+        /// Likelihood distribution.
+        distribution: Distribution,
+    },
+    /// The simulator records a tagged by-product.
+    NeedsTag {
+        /// Tag name.
+        name: String,
+        /// Tag value.
+        value: Value,
+    },
+    /// The run completed; the session is [`SessionState::Idle`] again.
+    Finished {
+        /// The program's return value.
+        result: Value,
+    },
+}
+
+/// Result of [`Session::service`].
+#[derive(Debug, PartialEq)]
+pub enum Serviced {
+    /// Send this reply to the simulator; the run continues.
+    Reply(Message),
+    /// The handshake completed (no reply needed).
+    Connected(String),
+    /// The run completed with this result (no reply needed).
+    Finished(Value),
+}
+
+/// The controller-side state machine for one PPX connection.
+#[derive(Debug)]
+pub struct Session {
+    state: SessionState,
+    model_name: Option<String>,
+}
+
+impl Session {
+    /// Begin a session: returns the machine (in `Handshaking`) and the
+    /// `Handshake` message the driver must send.
+    pub fn connect(system_name: &str) -> (Self, Message) {
+        (
+            Self { state: SessionState::Handshaking, model_name: None },
+            Message::Handshake { system_name: system_name.to_string() },
+        )
+    }
+
+    /// Current protocol state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Model name learned from the handshake (None before `Connected`).
+    pub fn model_name(&self) -> Option<&str> {
+        self.model_name.as_deref()
+    }
+
+    /// True when a `Run` can be started.
+    pub fn is_idle(&self) -> bool {
+        self.state == SessionState::Idle
+    }
+
+    /// True when the session can carry no further traffic.
+    pub fn is_dead(&self) -> bool {
+        matches!(self.state, SessionState::Done | SessionState::Failed)
+    }
+
+    /// Record an external (transport) failure, poisoning the session.
+    pub fn fail(&mut self) {
+        self.state = SessionState::Failed;
+    }
+
+    /// Close an idle session deliberately.
+    pub fn close(&mut self) {
+        self.state = SessionState::Done;
+    }
+
+    fn violation(&mut self, expected: &'static str, got: &'static str) -> PpxError {
+        self.state = SessionState::Failed;
+        PpxError::Protocol { expected, got }
+    }
+
+    /// Start one remote execution: returns the `Run` message to send.
+    /// Legal only in `Idle`.
+    pub fn start_run(&mut self, observation: Value) -> Result<Message, PpxError> {
+        match self.state {
+            SessionState::Idle => {
+                self.state = SessionState::Running(Awaiting::Simulator);
+                Ok(Message::Run { observation })
+            }
+            SessionState::Handshaking => Err(self.violation("HandshakeResult first", "start_run")),
+            _ => Err(self.violation("Idle session", "start_run")),
+        }
+    }
+
+    /// Feed one decoded message from the simulator; returns the action the
+    /// driver must take. Any message that is illegal in the current state
+    /// poisons the session and errors.
+    pub fn on_message(&mut self, msg: Message) -> Result<SessionAction, PpxError> {
+        match (self.state, msg) {
+            (SessionState::Handshaking, Message::HandshakeResult { model_name, .. }) => {
+                self.state = SessionState::Idle;
+                self.model_name = Some(model_name.clone());
+                Ok(SessionAction::Connected { model_name })
+            }
+            (
+                SessionState::Running(Awaiting::Simulator),
+                Message::Sample { address, name, distribution, control, replace },
+            ) => {
+                self.state = SessionState::Running(Awaiting::SampleReply);
+                Ok(SessionAction::NeedsSample { address, name, distribution, control, replace })
+            }
+            (
+                SessionState::Running(Awaiting::Simulator),
+                Message::Observe { address, name, distribution },
+            ) => {
+                self.state = SessionState::Running(Awaiting::ObserveReply);
+                Ok(SessionAction::NeedsObserve { address, name, distribution })
+            }
+            (SessionState::Running(Awaiting::Simulator), Message::Tag { name, value }) => {
+                self.state = SessionState::Running(Awaiting::TagReply);
+                Ok(SessionAction::NeedsTag { name, value })
+            }
+            (SessionState::Running(Awaiting::Simulator), Message::RunResult { result }) => {
+                self.state = SessionState::Idle;
+                Ok(SessionAction::Finished { result })
+            }
+            (state, msg) => {
+                let expected = match state {
+                    SessionState::Handshaking => "HandshakeResult",
+                    SessionState::Idle => "no message while idle",
+                    SessionState::Running(Awaiting::Simulator) => {
+                        "Sample/Observe/Tag/RunResult during run"
+                    }
+                    SessionState::Running(_) => "no message while a reply is pending",
+                    SessionState::Done => "no message after close",
+                    SessionState::Failed => "nothing (session failed)",
+                };
+                Err(self.violation(expected, msg.name()))
+            }
+        }
+    }
+
+    /// Answer a pending `Sample` request with the realized value.
+    pub fn reply_sample(&mut self, value: Value) -> Result<Message, PpxError> {
+        match self.state {
+            SessionState::Running(Awaiting::SampleReply) => {
+                self.state = SessionState::Running(Awaiting::Simulator);
+                Ok(Message::SampleResult { value })
+            }
+            _ => Err(self.violation("pending Sample", "reply_sample")),
+        }
+    }
+
+    /// Answer a pending `Observe` request with the value that was scored.
+    pub fn reply_observe(&mut self, value: Value) -> Result<Message, PpxError> {
+        match self.state {
+            SessionState::Running(Awaiting::ObserveReply) => {
+                self.state = SessionState::Running(Awaiting::Simulator);
+                Ok(Message::ObserveResult { value })
+            }
+            _ => Err(self.violation("pending Observe", "reply_observe")),
+        }
+    }
+
+    /// Acknowledge a pending `Tag`.
+    pub fn reply_tag(&mut self) -> Result<Message, PpxError> {
+        match self.state {
+            SessionState::Running(Awaiting::TagReply) => {
+                self.state = SessionState::Running(Awaiting::Simulator);
+                Ok(Message::TagResult)
+            }
+            _ => Err(self.violation("pending Tag", "reply_tag")),
+        }
+    }
+
+    /// Service an action against an executor context: delegates the request
+    /// to `ctx` (exactly as the blocking loop did) and produces the reply to
+    /// send, if one is owed. Shared by the blocking `RemoteModel` adapter and
+    /// the mux drivers, so both answer requests with identical executor
+    /// calls.
+    pub fn service(
+        &mut self,
+        action: SessionAction,
+        ctx: &mut dyn SimCtx,
+    ) -> Result<Serviced, PpxError> {
+        match action {
+            SessionAction::NeedsSample { address, name, distribution, control, replace } => {
+                let value =
+                    ctx.sample_with_address(&address, &distribution, &name, control, replace);
+                Ok(Serviced::Reply(self.reply_sample(value)?))
+            }
+            SessionAction::NeedsObserve { address, name, distribution } => {
+                let value = ctx.observe_with_address(&address, &distribution, &name);
+                Ok(Serviced::Reply(self.reply_observe(value)?))
+            }
+            SessionAction::NeedsTag { name, value } => {
+                ctx.tag(&name, value);
+                Ok(Serviced::Reply(self.reply_tag()?))
+            }
+            SessionAction::Connected { model_name } => Ok(Serviced::Connected(model_name)),
+            SessionAction::Finished { result } => Ok(Serviced::Finished(result)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn connected_session() -> Session {
+        let (mut s, hs) = Session::connect("etalumis-rs");
+        assert_eq!(hs, Message::Handshake { system_name: "etalumis-rs".into() });
+        assert_eq!(s.state(), SessionState::Handshaking);
+        let action = s
+            .on_message(Message::HandshakeResult {
+                system_name: "sim".into(),
+                model_name: "m".into(),
+            })
+            .unwrap();
+        assert_eq!(action, SessionAction::Connected { model_name: "m".into() });
+        assert!(s.is_idle());
+        s
+    }
+
+    #[test]
+    fn full_run_walks_the_states() {
+        let mut s = connected_session();
+        let run = s.start_run(Value::Unit).unwrap();
+        assert_eq!(run, Message::Run { observation: Value::Unit });
+        assert_eq!(s.state(), SessionState::Running(Awaiting::Simulator));
+
+        let action = s
+            .on_message(Message::Sample {
+                address: "a[Normal]".into(),
+                name: "a".into(),
+                distribution: Distribution::Normal { mean: 0.0, std: 1.0 },
+                control: true,
+                replace: false,
+            })
+            .unwrap();
+        assert!(matches!(action, SessionAction::NeedsSample { .. }));
+        assert_eq!(s.state(), SessionState::Running(Awaiting::SampleReply));
+        let reply = s.reply_sample(Value::Real(0.5)).unwrap();
+        assert_eq!(reply, Message::SampleResult { value: Value::Real(0.5) });
+        assert_eq!(s.state(), SessionState::Running(Awaiting::Simulator));
+
+        let action = s.on_message(Message::RunResult { result: Value::Real(0.5) }).unwrap();
+        assert_eq!(action, SessionAction::Finished { result: Value::Real(0.5) });
+        assert!(s.is_idle());
+        // Sessions are reusable across runs.
+        s.start_run(Value::Unit).unwrap();
+    }
+
+    #[test]
+    fn illegal_messages_poison_the_session() {
+        let mut s = connected_session();
+        s.start_run(Value::Unit).unwrap();
+        // SampleResult is a controller→simulator message; receiving one is a
+        // violation.
+        let err = s.on_message(Message::SampleResult { value: Value::Unit }).unwrap_err();
+        assert!(matches!(err, PpxError::Protocol { .. }));
+        assert_eq!(s.state(), SessionState::Failed);
+        assert!(s.is_dead());
+        // Everything after the poison errors too.
+        assert!(s.start_run(Value::Unit).is_err());
+    }
+
+    #[test]
+    fn replies_require_a_pending_request() {
+        let mut s = connected_session();
+        s.start_run(Value::Unit).unwrap();
+        assert!(s.reply_sample(Value::Unit).is_err());
+        assert!(s.is_dead());
+    }
+
+    #[test]
+    fn run_requires_idle() {
+        let (mut s, _) = Session::connect("x");
+        assert!(s.start_run(Value::Unit).is_err());
+        assert_eq!(s.state(), SessionState::Failed);
+    }
+
+    #[test]
+    fn mismatched_reply_kind_is_a_violation() {
+        let mut s = connected_session();
+        s.start_run(Value::Unit).unwrap();
+        s.on_message(Message::Tag { name: "t".into(), value: Value::Unit }).unwrap();
+        // A Tag is pending; answering with a sample reply is illegal.
+        assert!(s.reply_sample(Value::Unit).is_err());
+    }
+
+    #[test]
+    fn closed_sessions_accept_nothing() {
+        let mut s = connected_session();
+        s.close();
+        assert_eq!(s.state(), SessionState::Done);
+        assert!(s.on_message(Message::RunResult { result: Value::Unit }).is_err());
+    }
+}

@@ -15,7 +15,7 @@
 //! transports exercise the identical serialization path.
 
 use crate::message::Message;
-use crate::wire::{decode, encode};
+use crate::wire::{decode, encode, MAX_FRAME_LEN};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -29,6 +29,9 @@ pub trait Transport: Send {
 }
 
 /// In-process transport endpoint backed by crossbeam channels.
+///
+/// Channels are message-grained, so frames travel as bare codec payloads —
+/// no length prefix, no reassembly, and no intermediate copy.
 pub struct InProcTransport {
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
@@ -41,13 +44,26 @@ impl InProcTransport {
         let (tx_b, rx_a) = unbounded();
         (InProcTransport { tx: tx_a, rx: rx_a }, InProcTransport { tx: tx_b, rx: rx_b })
     }
+
+    /// Build an endpoint from raw frame channels (`tx` carries outgoing
+    /// payloads, `rx` incoming ones). Used by bridges that shuttle frames
+    /// between a socket reactor and a program thread.
+    pub fn from_channels(tx: Sender<Vec<u8>>, rx: Receiver<Vec<u8>>) -> Self {
+        Self { tx, rx }
+    }
+
+    /// Decompose into the raw frame channels (inverse of
+    /// [`InProcTransport::from_channels`]).
+    pub fn into_channels(self) -> (Sender<Vec<u8>>, Receiver<Vec<u8>>) {
+        (self.tx, self.rx)
+    }
 }
 
 impl Transport for InProcTransport {
     fn send(&mut self, msg: &Message) -> io::Result<()> {
-        let frame = encode(msg);
+        let payload = encode(msg);
         self.tx
-            .send(frame[4..].to_vec())
+            .send(payload.into())
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer disconnected"))
     }
 
@@ -80,8 +96,23 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn send(&mut self, msg: &Message) -> io::Result<()> {
-        let frame = encode(msg);
-        self.stream.write_all(&frame)?;
+        let payload = encode(msg);
+        // Enforce the frame limit on the sender too: a payload the peer is
+        // guaranteed to reject must not leave this side (and a ≥ 4 GiB one
+        // would silently truncate the u32 prefix).
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "refusing to send a {}-byte PPX frame (limit {MAX_FRAME_LEN})",
+                    payload.len()
+                ),
+            ));
+        }
+        let mut framed = Vec::with_capacity(4 + payload.len());
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        self.stream.write_all(&framed)?;
         self.stream.flush()
     }
 
@@ -89,6 +120,13 @@ impl Transport for TcpTransport {
         let mut len_buf = [0u8; 4];
         self.stream.read_exact(&mut len_buf)?;
         let len = u32::from_le_bytes(len_buf) as usize;
+        // A corrupt/hostile length prefix must not drive the allocation.
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("PPX frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"),
+            ));
+        }
         let mut payload = vec![0u8; len];
         self.stream.read_exact(&mut payload)?;
         decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
@@ -115,6 +153,22 @@ mod tests {
         let (mut a, b) = InProcTransport::pair();
         drop(b);
         assert!(a.recv().is_err());
+    }
+
+    #[test]
+    fn tcp_rejects_oversized_length_prefix() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // A corrupt prefix announcing a ~3 GB payload, then a few bytes.
+            stream.write_all(&3_000_000_000u32.to_le_bytes()).unwrap();
+            stream.write_all(&[0u8; 16]).unwrap();
+        });
+        let mut c = TcpTransport::connect(&addr.to_string()).unwrap();
+        let err = c.recv().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        handle.join().unwrap();
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Layout (all little-endian):
 //!
 //! ```text
-//! frame    := u32 payload_len ++ payload
+//! frame    := u32 payload_len ++ payload     (stream transports only)
 //! payload  := u8 msg_tag ++ fields...
 //! string   := u32 len ++ utf8 bytes
 //! value    := u8 val_tag ++ body
@@ -13,12 +13,27 @@
 //! dist     := u8 dist_tag ++ params (f64 / vec<f64> := u32 len ++ f64...)
 //! ```
 //!
+//! [`encode`] produces the *payload* only; message-grained transports (the
+//! in-process channel) carry payloads as-is, while byte-stream transports
+//! (TCP) add the `u32` length prefix via [`frame`] and strip it again with
+//! the reassembly buffer (see [`crate::mux::FrameBuffer`]). Announced
+//! payload lengths are bounded by [`MAX_FRAME_LEN`] so a corrupt or hostile
+//! prefix can never trigger an arbitrary-size allocation.
+//!
 //! This replaces the flatbuffers schema of the reference implementation with
 //! an explicitly documented format; any language can implement it.
 
 use crate::message::Message;
 use bytes::{Buf, BufMut, BytesMut};
 use etalumis_distributions::{Distribution, TensorValue, Value};
+
+/// Largest payload any PPX transport will accept or emit, in bytes.
+///
+/// Generous for real traffic — the biggest legitimate message is a voxel
+/// tensor `RunResult`/`Run` observation (the paper's 20×35×35 calorimeter is
+/// 98 KB) — while keeping a corrupt 4-byte length prefix from provoking a
+/// multi-gigabyte `vec![0u8; len]`.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
 
 /// Errors raised while decoding a frame.
 #[derive(Debug, PartialEq, Eq)]
@@ -148,7 +163,8 @@ fn put_dist(buf: &mut BytesMut, d: &Distribution) {
     }
 }
 
-/// Encode a message into a length-prefixed frame.
+/// Encode a message into a frame payload (no length prefix — see [`frame`]
+/// for the stream-transport framing).
 pub fn encode(msg: &Message) -> BytesMut {
     let mut body = BytesMut::with_capacity(64);
     body.put_u8(msg.tag_byte());
@@ -180,10 +196,21 @@ pub fn encode(msg: &Message) -> BytesMut {
         }
         Message::TagResult | Message::Reset => {}
     }
-    let mut frame = BytesMut::with_capacity(4 + body.len());
-    frame.put_u32_le(body.len() as u32);
-    frame.extend_from_slice(&body);
-    frame
+    body
+}
+
+/// Encode a message into a length-prefixed frame for byte-stream transports.
+///
+/// Callers are responsible for the [`MAX_FRAME_LEN`] bound — the transports
+/// (`TcpTransport::send`, `TcpMuxEndpoint::send_frame`) check it before any
+/// bytes leave the process, since a ≥ 4 GiB payload would silently truncate
+/// the `u32` prefix.
+pub fn frame(msg: &Message) -> BytesMut {
+    let payload = encode(msg);
+    let mut framed = BytesMut::with_capacity(4 + payload.len());
+    framed.put_u32_le(payload.len() as u32);
+    framed.extend_from_slice(&payload);
+    framed
 }
 
 struct Cursor<'a> {
@@ -334,10 +361,13 @@ mod tests {
     use proptest::prelude::*;
 
     fn roundtrip(msg: &Message) {
-        let frame = encode(msg);
-        let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
-        assert_eq!(len, frame.len() - 4);
-        let decoded = decode(&frame[4..]).unwrap();
+        let payload = encode(msg);
+        // The stream framing prefixes exactly the payload length.
+        let framed = frame(msg);
+        let len = u32::from_le_bytes(framed[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len, payload.len());
+        assert_eq!(&framed[4..], &payload[..]);
+        let decoded = decode(&payload).unwrap();
         assert_eq!(&decoded, msg);
     }
 
@@ -422,7 +452,7 @@ mod tests {
     fn non_finite_scalars_roundtrip_bit_exact() {
         for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, f64::MIN_POSITIVE] {
             let frame = encode(&Message::RunResult { result: Value::Real(x) });
-            match decode(&frame[4..]).unwrap() {
+            match decode(&frame).unwrap() {
                 Message::RunResult { result: Value::Real(y) } => {
                     assert_eq!(y.to_bits(), x.to_bits(), "bits changed for {x}");
                 }
@@ -439,7 +469,7 @@ mod tests {
             replace: false,
         };
         let frame = encode(&msg);
-        let reencoded = encode(&decode(&frame[4..]).unwrap());
+        let reencoded = encode(&decode(&frame).unwrap());
         assert_eq!(frame, reencoded);
     }
 
@@ -468,7 +498,7 @@ mod tests {
         };
         let frame = encode(&msg);
         assert!(frame.len() > address.len());
-        match decode(&frame[4..]).unwrap() {
+        match decode(&frame).unwrap() {
             Message::Observe { address: a, .. } => assert_eq!(a, address),
             other => panic!("decoded {}", other.name()),
         }
@@ -476,9 +506,9 @@ mod tests {
 
     #[test]
     fn truncated_frames_error() {
-        let frame = encode(&Message::Handshake { system_name: "abc".into() });
-        for cut in 1..frame.len() - 4 {
-            let r = decode(&frame[4..4 + cut]);
+        let payload = encode(&Message::Handshake { system_name: "abc".into() });
+        for cut in 1..payload.len() {
+            let r = decode(&payload[..cut]);
             assert!(r.is_err(), "cut at {cut} should fail");
         }
     }
@@ -507,7 +537,7 @@ mod tests {
                 replace,
             };
             let frame = encode(&msg);
-            let decoded = decode(&frame[4..]).unwrap();
+            let decoded = decode(&frame).unwrap();
             prop_assert_eq!(decoded, msg);
         }
 
@@ -518,7 +548,7 @@ mod tests {
                 result: Value::Tensor(TensorValue::new(vec![n], data)),
             };
             let frame = encode(&msg);
-            prop_assert_eq!(decode(&frame[4..]).unwrap(), msg);
+            prop_assert_eq!(decode(&frame).unwrap(), msg);
         }
 
         #[test]
@@ -527,7 +557,7 @@ mod tests {
             // codec must be a bit-exact transport for every f64.
             let x = f64::from_bits(bits);
             let frame = encode(&Message::SampleResult { value: Value::Real(x) });
-            match decode(&frame[4..]).unwrap() {
+            match decode(&frame).unwrap() {
                 Message::SampleResult { value: Value::Real(y) } =>
                     prop_assert_eq!(y.to_bits(), bits),
                 other => panic!("decoded {}", other.name()),
@@ -544,7 +574,7 @@ mod tests {
                 replace: false,
             };
             let frame = encode(&msg);
-            prop_assert_eq!(decode(&frame[4..]).unwrap(), msg);
+            prop_assert_eq!(decode(&frame).unwrap(), msg);
         }
 
         #[test]
@@ -559,7 +589,7 @@ mod tests {
                 value: Value::Tensor(TensorValue::new(shape, vec![])),
             };
             let frame = encode(&msg);
-            prop_assert_eq!(decode(&frame[4..]).unwrap(), msg);
+            prop_assert_eq!(decode(&frame).unwrap(), msg);
         }
     }
 }

@@ -98,6 +98,10 @@ pub struct RunStats {
     /// Tasks that finished on a worker other than the one they were
     /// initially assigned to.
     pub steals: u64,
+    /// Traces that failed (remote transport/protocol errors), as
+    /// `(batch index, error)` sorted by index. Failed traces are recorded
+    /// and skipped — never delivered to the sink, never aborting the batch.
+    pub failures: Vec<(usize, String)>,
 }
 
 impl RunStats {
@@ -148,6 +152,11 @@ impl BatchRunner {
         Self::new(RuntimeConfig::default())
     }
 
+    /// The runner's scheduling configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
     /// Execute `n` traces under per-worker proposers from `proposers`,
     /// conditioning on `observes`, streaming completions into `sink`.
     ///
@@ -177,6 +186,7 @@ impl BatchRunner {
         queues.fill_blocks(n);
         let start = Instant::now();
         let mut per_worker = vec![WorkerReport::default(); workers];
+        let mut failures: Vec<(usize, String)> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = pool
                 .programs_mut()
@@ -187,27 +197,38 @@ impl BatchRunner {
                     s.spawn(move || {
                         let mut proposer = proposers.make_proposer(w);
                         let mut report = WorkerReport::default();
+                        let mut failed: Vec<(usize, String)> = Vec::new();
                         while let Some(i) = queues.pop(w, stealing) {
                             let t0 = Instant::now();
-                            let trace = Executor::execute_seeded(
+                            let result = Executor::try_execute_seeded(
                                 program,
                                 proposer.as_mut(),
                                 observes,
                                 mix_seed(seed, i),
                             );
                             report.busy += t0.elapsed();
-                            report.executed += 1;
-                            sink.accept(i, trace);
+                            match result {
+                                Ok(trace) => {
+                                    report.executed += 1;
+                                    sink.accept(i, trace);
+                                }
+                                // Record and move on: one dead simulator
+                                // must not abort the whole batch.
+                                Err(e) => failed.push((i, e.message)),
+                            }
                         }
-                        report
+                        (report, failed)
                     })
                 })
                 .collect();
             for (w, h) in handles.into_iter().enumerate() {
-                per_worker[w] = h.join().expect("runtime worker panicked");
+                let (report, failed) = h.join().expect("runtime worker panicked");
+                per_worker[w] = report;
+                failures.extend(failed);
             }
         });
-        RunStats { elapsed: start.elapsed(), per_worker, steals: queues.steals() }
+        failures.sort_by_key(|(i, _)| *i);
+        RunStats { elapsed: start.elapsed(), per_worker, steals: queues.steals(), failures }
     }
 
     /// [`BatchRunner::run`] with prior proposals — plain trace generation.
@@ -317,6 +338,32 @@ mod tests {
         let stats = runner.run_prior(&mut pool, &observes, n, 11, &sink);
         assert_eq!(stats.total_executed(), n);
         assert!(stats.steals > 0, "skewed workload should force steals, got {:?}", stats);
+    }
+
+    #[test]
+    fn failed_traces_are_recorded_not_fatal() {
+        use etalumis_core::{ProbProgram, RunError};
+        // A "remote" program whose transport is dead: every run fails.
+        struct DeadTransportProgram;
+        impl ProbProgram for DeadTransportProgram {
+            fn run(&mut self, ctx: &mut dyn SimCtx) -> Value {
+                self.try_run(ctx).expect("dead transport")
+            }
+            fn try_run(&mut self, _ctx: &mut dyn SimCtx) -> Result<Value, RunError> {
+                Err(RunError::new("peer disconnected"))
+            }
+        }
+        let mut pool = SimulatorPool::from_programs(vec![Box::new(DeadTransportProgram)]);
+        let runner = BatchRunner::new(RuntimeConfig { workers: 1, stealing: true });
+        let sink = crate::sink::CountingSink::default();
+        let observes = ObserveMap::new();
+        let stats = runner.run_prior(&mut pool, &observes, 12, 4, &sink);
+        // The batch completed; nothing was delivered, everything recorded.
+        assert_eq!(stats.total_executed(), 0);
+        assert_eq!(sink.count(), 0);
+        assert_eq!(stats.failures.len(), 12);
+        assert_eq!(stats.failures[0].0, 0);
+        assert!(stats.failures[0].1.contains("peer disconnected"));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! `etalumis-data` shard files partitioned by trace type. The serial
 //! `etalumis_data::generate_dataset` remains the 1-worker reference path.
 
-use crate::batch::{BatchRunner, RuntimeConfig};
+use crate::batch::{BatchRunner, RunStats, RuntimeConfig};
+use crate::oversub::MuxSimulatorPool;
 use crate::pool::SimulatorPool;
 use crate::sink::{ShardedTraceSink, TraceSink};
 use etalumis_core::{ObserveMap, ProbProgram, Trace};
@@ -67,27 +68,19 @@ impl TraceSink for OrderedRecordSink {
     }
 }
 
-/// Generate `cfg.n` prior traces in parallel and shard them under `dir`.
-///
-/// Returns the opened [`TraceDataset`]. The record *multiset* is always a
-/// pure function of `(factory, cfg.seed)` regardless of worker count;
-/// `cfg.ordered` additionally pins the on-disk order (see its doc).
-pub fn generate_dataset_parallel<P, F>(
-    factory: F,
+/// Shared generation driver: `run` executes the batch against whatever sink
+/// the mode needs; the writer side is identical for local pools and
+/// multiplexed remote pools. Failed traces (dead remote sessions) surface
+/// as an error — a training dataset must not silently miss records.
+fn generate_with(
+    run: impl FnOnce(&dyn TraceSink) -> RunStats,
     cfg: &DatasetGenConfig,
     dir: &Path,
-) -> std::io::Result<TraceDataset>
-where
-    P: ProbProgram + Send + 'static,
-    F: Fn(usize) -> P,
-{
-    let workers = RuntimeConfig { workers: cfg.workers, ..Default::default() }.resolved_workers();
-    let mut pool = SimulatorPool::from_factory(workers, factory);
-    let runner = BatchRunner::new(RuntimeConfig { workers, stealing: true });
-    let observes = ObserveMap::new();
+) -> std::io::Result<TraceDataset> {
     if cfg.ordered {
         let sink = OrderedRecordSink { slots: Mutex::new(vec![None; cfg.n]), pruned: cfg.pruned };
-        runner.run_prior(&mut pool, &observes, cfg.n, cfg.seed, &sink);
+        let stats = run(&sink);
+        fail_on_failures(&stats)?;
         // Same partitioning and file naming as the streaming sink (shared
         // helpers on ShardedTraceSink), but fed in batch-index order.
         let partitions = cfg.partitions.max(1);
@@ -112,9 +105,57 @@ where
         TraceDataset::open(paths)
     } else {
         let sink = ShardedTraceSink::new(dir, cfg.partitions, cfg.traces_per_shard, cfg.pruned);
-        runner.run_prior(&mut pool, &observes, cfg.n, cfg.seed, &sink);
+        let stats = run(&sink);
+        fail_on_failures(&stats)?;
         TraceDataset::open(sink.finish()?)
     }
+}
+
+fn fail_on_failures(stats: &RunStats) -> std::io::Result<()> {
+    if let Some((i, e)) = stats.failures.first() {
+        return Err(std::io::Error::other(format!(
+            "{} trace(s) failed during dataset generation (first: trace {i}: {e})",
+            stats.failures.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Generate `cfg.n` prior traces in parallel and shard them under `dir`.
+///
+/// Returns the opened [`TraceDataset`]. The record *multiset* is always a
+/// pure function of `(factory, cfg.seed)` regardless of worker count;
+/// `cfg.ordered` additionally pins the on-disk order (see its doc).
+pub fn generate_dataset_parallel<P, F>(
+    factory: F,
+    cfg: &DatasetGenConfig,
+    dir: &Path,
+) -> std::io::Result<TraceDataset>
+where
+    P: ProbProgram + Send + 'static,
+    F: Fn(usize) -> P,
+{
+    let workers = RuntimeConfig { workers: cfg.workers, ..Default::default() }.resolved_workers();
+    let mut pool = SimulatorPool::from_factory(workers, factory);
+    let runner = BatchRunner::new(RuntimeConfig { workers, stealing: true });
+    let observes = ObserveMap::new();
+    generate_with(|sink| runner.run_prior(&mut pool, &observes, cfg.n, cfg.seed, sink), cfg, dir)
+}
+
+/// [`generate_dataset_parallel`] over a multiplexed remote-session pool:
+/// `cfg.workers` reactor threads (0 = all cores, capped at the session
+/// count) drive the pool's K sessions. Per-trace seeding is unchanged, so
+/// the produced records match the local/blocking paths for the same model
+/// and seed.
+pub fn generate_dataset_mux(
+    pool: &mut MuxSimulatorPool,
+    cfg: &DatasetGenConfig,
+    dir: &Path,
+) -> std::io::Result<TraceDataset> {
+    let workers = cfg.workers.min(pool.len());
+    let runner = BatchRunner::new(RuntimeConfig { workers, stealing: true });
+    let observes = ObserveMap::new();
+    generate_with(|sink| runner.run_mux_prior(pool, &observes, cfg.n, cfg.seed, sink), cfg, dir)
 }
 
 #[cfg(test)]
@@ -164,6 +205,52 @@ mod tests {
         assert_eq!(d1.trace_type_counts(), d4.trace_type_counts());
         std::fs::remove_dir_all(&dir1).unwrap();
         std::fs::remove_dir_all(&dir4).unwrap();
+    }
+
+    #[test]
+    fn mux_generation_matches_local_generation_byte_for_byte() {
+        use etalumis_ppx::{InProcMuxEndpoint, MuxEndpoint, SimulatorServer};
+        let dir_local = tmpdir("mux_ref");
+        let dir_mux = tmpdir("mux_gen");
+        let cfg = DatasetGenConfig {
+            n: 40,
+            traces_per_shard: 8,
+            partitions: 2,
+            seed: 19,
+            workers: 1,
+            ordered: true,
+            ..Default::default()
+        };
+        let local =
+            generate_dataset_parallel(|_| BranchingModel::standard(), &cfg, &dir_local).unwrap();
+
+        // The same generation driven through 4 remote sessions on 1 reactor
+        // worker: remote address construction matches local construction,
+        // so even the shard bytes agree.
+        let mut pool = crate::MuxSimulatorPool::connect(4, "etalumis-rs", |_| {
+            let (ep, sim_side) = InProcMuxEndpoint::pair();
+            std::thread::spawn(move || {
+                let mut server = SimulatorServer::new("ds", BranchingModel::standard());
+                let mut t = sim_side;
+                let _ = server.serve(&mut t);
+            });
+            Ok(Box::new(ep) as Box<dyn MuxEndpoint>)
+        })
+        .unwrap();
+        let remote = generate_dataset_mux(&mut pool, &cfg, &dir_mux).unwrap();
+
+        assert_eq!(local.len(), remote.len());
+        assert_eq!(local.shards.len(), remote.shards.len());
+        for (a, b) in local.shards.iter().zip(&remote.shards) {
+            assert_eq!(a.file_name(), b.file_name());
+            assert_eq!(
+                std::fs::read(a).unwrap(),
+                std::fs::read(b).unwrap(),
+                "shard {a:?} differs between local and mux generation"
+            );
+        }
+        std::fs::remove_dir_all(&dir_local).unwrap();
+        std::fs::remove_dir_all(&dir_mux).unwrap();
     }
 
     #[test]

@@ -21,14 +21,19 @@
 //! * [`sink`] — streaming [`TraceSink`]s, including the
 //!   [`ShardedTraceSink`] that partitions completions across
 //!   `etalumis-data` shard writers by trace-type hash,
+//! * [`oversub`] — oversubscribed remote execution: a [`MuxSimulatorPool`]
+//!   of K PPX sessions driven by M ≤ K reactor workers, so one thread hides
+//!   the latency of many slow simulators while batch content stays
+//!   bit-identical to the blocking path,
 //! * [`dataset`] — parallel dataset generation wired through all of the
-//!   above.
+//!   above (local pools or multiplexed remote pools).
 //!
 //! [`RemoteModel`]: etalumis_ppx::RemoteModel
 //! [`ProbProgram`]: etalumis_core::ProbProgram
 
 pub mod batch;
 pub mod dataset;
+pub mod oversub;
 pub mod pool;
 pub mod scheduler;
 pub mod sink;
@@ -37,7 +42,8 @@ pub use batch::{
     mix_seed, BatchRunner, PriorProposerFactory, ProposerFactory, RunStats, RuntimeConfig,
     WorkerReport,
 };
-pub use dataset::{generate_dataset_parallel, DatasetGenConfig};
+pub use dataset::{generate_dataset_mux, generate_dataset_parallel, DatasetGenConfig};
+pub use oversub::MuxSimulatorPool;
 pub use pool::SimulatorPool;
 pub use scheduler::TaskQueues;
 pub use sink::{CollectSink, CountingSink, ShardedTraceSink, TraceSink};

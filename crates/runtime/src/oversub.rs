@@ -1,0 +1,558 @@
+//! Oversubscribed remote execution: K sessions on M ≤ K worker threads.
+//!
+//! The blocking [`crate::SimulatorPool`] pins one connection to one worker
+//! thread, so a controller waiting on a slow simulator idles a whole core.
+//! This module multiplexes instead: a [`MuxSimulatorPool`] holds K
+//! handshaked PPX sessions, and [`BatchRunner::run_mux`] drives them from M
+//! worker threads, each running a poll reactor over its share of the
+//! sessions. A worker services whichever of its sessions is *ready* —
+//! while one simulator computes, the worker answers another's sample
+//! requests — so one thread hides the latency of many remote simulators
+//! (the paper's controller↔Sherpa fleet shape, §4.1).
+//!
+//! The oversubscription invariant: trace `i` runs on an
+//! [`etalumis_core::StepExecutor`] seeded from `mix_seed(seed, i)` with a
+//! fresh proposer trace, exactly like the blocking path — so batch content
+//! is bit-identical for any worker count M, any session count K, and any
+//! readiness interleaving. Only the wall-clock changes.
+
+use crate::batch::{mix_seed, BatchRunner, ProposerFactory, RunStats, WorkerReport};
+use crate::scheduler::TaskQueues;
+use crate::sink::TraceSink;
+use etalumis_core::{ObserveMap, StepExecutor};
+use etalumis_distributions::Value;
+use etalumis_ppx::{
+    Mux, MuxEndpoint, MuxEvent, PpxError, Serviced, Session, SessionAction, TcpMuxEndpoint,
+};
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a worker sleeps when a poll sweep makes no progress.
+const IDLE_BACKOFF: Duration = Duration::from_micros(20);
+
+/// K connected, handshaked PPX simulator sessions awaiting multiplexed
+/// execution.
+///
+/// Unlike [`crate::SimulatorPool`], the session count is independent of the
+/// worker count: [`BatchRunner::run_mux`] drives K sessions from any
+/// M ≤ K threads.
+pub struct MuxSimulatorPool {
+    sessions: Vec<(Box<dyn MuxEndpoint>, Session)>,
+    model_name: String,
+}
+
+impl MuxSimulatorPool {
+    /// Connect `k` sessions over endpoints from `make_endpoint(i)` and
+    /// drive every handshake to completion on the calling thread.
+    pub fn connect<F>(k: usize, system_name: &str, mut make_endpoint: F) -> Result<Self, PpxError>
+    where
+        F: FnMut(usize) -> io::Result<Box<dyn MuxEndpoint>>,
+    {
+        let k = k.max(1);
+        let mut mux = Mux::new();
+        for i in 0..k {
+            let ep = make_endpoint(i).map_err(PpxError::from)?;
+            mux.add_connect(ep, system_name)?;
+        }
+        let mut model_name = String::new();
+        let mut events = Vec::new();
+        let mut connected = 0;
+        while connected < k {
+            events.clear();
+            let progress = mux.poll(&mut events);
+            for ev in events.drain(..) {
+                match ev {
+                    MuxEvent::Action {
+                        action: SessionAction::Connected { model_name: name },
+                        ..
+                    } => {
+                        model_name = name;
+                        connected += 1;
+                    }
+                    // `Handshaking` sessions can only yield `Connected`.
+                    MuxEvent::Action { .. } => {
+                        unreachable!("non-handshake action while connecting")
+                    }
+                    MuxEvent::ConnFailed { error, .. } => return Err(error),
+                }
+            }
+            if !progress {
+                std::thread::sleep(IDLE_BACKOFF);
+            }
+        }
+        Ok(Self { sessions: mux.into_parts(), model_name })
+    }
+
+    /// Connect `k` TCP sessions to one listening multi-client server (see
+    /// `etalumis_ppx::serve_listener`).
+    pub fn connect_tcp(k: usize, addr: &str, system_name: &str) -> Result<Self, PpxError> {
+        Self::connect(k, system_name, |_| {
+            TcpMuxEndpoint::connect(addr).map(|e| Box::new(e) as Box<dyn MuxEndpoint>)
+        })
+    }
+
+    /// Number of pooled sessions (K).
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when the pool holds no sessions (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Sessions still able to run traces.
+    pub fn live(&self) -> usize {
+        self.sessions.iter().filter(|(_, s)| !s.is_dead()).count()
+    }
+
+    /// Model name announced by the simulators during the handshake.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+}
+
+/// One session slot inside a worker's reactor.
+struct Slot {
+    /// Position of this session in the pool (for reassembly after the run).
+    global: usize,
+    /// The session's proposer, parked between traces.
+    proposer: Option<Box<dyn etalumis_core::Proposer + Send>>,
+    /// The in-flight trace: `(batch index, executor)`.
+    active: Option<(usize, StepExecutor)>,
+}
+
+/// What one worker reactor returns when its share of the batch is done.
+struct WorkerOutcome {
+    report: WorkerReport,
+    failures: Vec<(usize, String)>,
+    sessions: Vec<(usize, (Box<dyn MuxEndpoint>, Session))>,
+}
+
+impl BatchRunner {
+    /// Execute `n` traces over a multiplexed session pool: K sessions on
+    /// M ≤ K workers (`RuntimeConfig.workers`; 0 means `min(cores, K)`).
+    ///
+    /// Scheduling is oversubscribed: each worker owns a fixed share of the
+    /// sessions but pulls trace indices from the shared work-stealing
+    /// queues, launching the next trace on whichever of its sessions is
+    /// ready. Per-trace `(seed, i)` derivation is unchanged from
+    /// [`BatchRunner::run`], so batch content is bit-identical to the
+    /// blocking path for any `(K, M)`. Proposers are per-session (one
+    /// `make_proposer(worker)` call each); like the blocking path, each
+    /// trace starts with a fresh proposer trace.
+    ///
+    /// Failed sessions poison only their in-flight trace (recorded in
+    /// [`RunStats::failures`]); remaining sessions finish the batch. If a
+    /// worker loses all its sessions it drains its queue share into
+    /// `failures` rather than stranding the batch.
+    pub fn run_mux(
+        &self,
+        pool: &mut MuxSimulatorPool,
+        proposers: &dyn ProposerFactory,
+        observes: &ObserveMap,
+        n: usize,
+        seed: u64,
+        sink: &dyn TraceSink,
+    ) -> RunStats {
+        let k = pool.len();
+        let workers = if self.config().workers == 0 {
+            std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1).min(k)
+        } else {
+            self.config().workers
+        };
+        assert!(
+            workers <= k,
+            "oversubscribed mode needs workers ({workers}) <= sessions ({k}); \
+             extra threads would sit sessionless"
+        );
+        let stealing = self.config().stealing;
+        let queues = TaskQueues::new(workers);
+        queues.fill_blocks(n);
+        let observes = Arc::new(observes.clone());
+        let start = Instant::now();
+
+        // Partition sessions round-robin across workers, remembering each
+        // one's pool position so the pool can be reassembled afterwards.
+        let mut shares: Vec<Vec<(usize, (Box<dyn MuxEndpoint>, Session))>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (g, part) in std::mem::take(&mut pool.sessions).into_iter().enumerate() {
+            shares[g % workers].push((g, part));
+        }
+
+        let mut per_worker = vec![WorkerReport::default(); workers];
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        let mut recovered: Vec<(usize, (Box<dyn MuxEndpoint>, Session))> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = shares
+                .into_iter()
+                .enumerate()
+                .map(|(w, share)| {
+                    let queues = &queues;
+                    let observes = &observes;
+                    s.spawn(move || {
+                        worker_reactor(w, share, proposers, observes, seed, stealing, queues, sink)
+                    })
+                })
+                .collect();
+            for (w, h) in handles.into_iter().enumerate() {
+                let outcome = h.join().expect("mux worker panicked");
+                per_worker[w] = outcome.report;
+                failures.extend(outcome.failures);
+                recovered.extend(outcome.sessions);
+            }
+        });
+        recovered.sort_by_key(|(g, _)| *g);
+        pool.sessions = recovered.into_iter().map(|(_, part)| part).collect();
+        failures.sort_by_key(|(i, _)| *i);
+        RunStats { elapsed: start.elapsed(), per_worker, steals: queues.steals(), failures }
+    }
+
+    /// [`BatchRunner::run_mux`] with prior proposals.
+    pub fn run_mux_prior(
+        &self,
+        pool: &mut MuxSimulatorPool,
+        observes: &ObserveMap,
+        n: usize,
+        seed: u64,
+        sink: &dyn TraceSink,
+    ) -> RunStats {
+        self.run_mux(pool, &crate::batch::PriorProposerFactory, observes, n, seed, sink)
+    }
+}
+
+/// The per-worker event loop: a poll reactor over this worker's sessions.
+#[allow(clippy::too_many_arguments)]
+fn worker_reactor(
+    worker: usize,
+    share: Vec<(usize, (Box<dyn MuxEndpoint>, Session))>,
+    proposers: &dyn ProposerFactory,
+    observes: &Arc<ObserveMap>,
+    seed: u64,
+    stealing: bool,
+    queues: &TaskQueues,
+    sink: &dyn TraceSink,
+) -> WorkerOutcome {
+    let mut mux = Mux::new();
+    let mut slots: Vec<Slot> = Vec::with_capacity(share.len());
+    for (global, (endpoint, session)) in share {
+        mux.add(endpoint, session);
+        slots.push(Slot { global, proposer: Some(proposers.make_proposer(worker)), active: None });
+    }
+
+    let mut report = WorkerReport::default();
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    let mut events: Vec<MuxEvent> = Vec::new();
+    // Set once a pop returns None; tasks are never re-queued, so "drained"
+    // is permanent and the loop ends when in-flight traces do.
+    let mut drained = false;
+    loop {
+        let mut progress = false;
+
+        // Launch the next trace on every ready session.
+        for (conn, slot) in slots.iter_mut().enumerate() {
+            if drained || slot.active.is_some() || mux.is_dead(conn) {
+                continue;
+            }
+            let Some(i) = queues.pop(worker, stealing) else {
+                drained = true;
+                break;
+            };
+            let proposer = slot.proposer.take().unwrap_or_else(|| proposers.make_proposer(worker));
+            let exec = StepExecutor::new(proposer, observes.clone(), mix_seed(seed, i));
+            let started = match mux.session_mut(conn).start_run(Value::Unit) {
+                Ok(run) => mux.send(conn, &run),
+                Err(e) => Err(e),
+            };
+            match started {
+                Ok(()) => {
+                    slot.active = Some((i, exec));
+                    progress = true;
+                }
+                Err(e) => {
+                    // The session died between traces: this index fails,
+                    // the slot is retired, and the loop goes on.
+                    failures.push((i, e.to_string()));
+                    progress = true;
+                }
+            }
+        }
+
+        // If every session is gone, drain the remaining share as failures
+        // instead of stranding the batch.
+        if mux.live() == 0 {
+            while let Some(i) = queues.pop(worker, stealing) {
+                failures.push((i, "no live sessions left on this worker".to_string()));
+            }
+            break;
+        }
+
+        // Ingest frames, advance state machines, service the actions.
+        events.clear();
+        progress |= mux.poll(&mut events);
+        for ev in events.drain(..) {
+            match ev {
+                MuxEvent::Action { conn, action } => {
+                    let slot = &mut slots[conn];
+                    let Some((_, exec)) = slot.active.as_mut() else {
+                        // An action with no run in flight is a protocol
+                        // violation; poison the session.
+                        mux.session_mut(conn).fail();
+                        continue;
+                    };
+                    let t0 = Instant::now();
+                    let serviced = mux.session_mut(conn).service(action, exec);
+                    report.busy += t0.elapsed();
+                    match serviced {
+                        Ok(Serviced::Reply(reply)) => {
+                            if let Err(e) = mux.send(conn, &reply) {
+                                let (i, _) = slot.active.take().unwrap();
+                                failures.push((i, e.to_string()));
+                            }
+                        }
+                        Ok(Serviced::Finished(result)) => {
+                            let (i, exec) = slot.active.take().unwrap();
+                            let (trace, proposer) = exec.finish(result);
+                            slot.proposer = Some(proposer);
+                            report.executed += 1;
+                            sink.accept(i, trace);
+                        }
+                        Ok(Serviced::Connected(_)) => {
+                            unreachable!("handshakes completed at pool connect")
+                        }
+                        Err(e) => {
+                            let (i, _) = slot.active.take().unwrap();
+                            failures.push((i, e.to_string()));
+                        }
+                    }
+                }
+                MuxEvent::ConnFailed { conn, error } => {
+                    if let Some((i, _)) = slots[conn].active.take() {
+                        failures.push((i, error.to_string()));
+                    }
+                }
+            }
+        }
+
+        if drained && slots.iter().all(|s| s.active.is_none()) {
+            break;
+        }
+        if !progress {
+            std::thread::sleep(IDLE_BACKOFF);
+        }
+    }
+
+    let sessions =
+        slots.iter().map(|s| s.global).zip(mux.into_parts()).map(|(g, part)| (g, part)).collect();
+    WorkerOutcome { report, failures, sessions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::RuntimeConfig;
+    use crate::pool::SimulatorPool;
+    use crate::sink::{CollectSink, CountingSink};
+    use etalumis_core::{FnProgram, SimCtx, SimCtxExt, Trace};
+    use etalumis_distributions::Distribution;
+    use etalumis_ppx::{
+        BlockingMux, FragmentingEndpoint, InProcMuxEndpoint, InProcTransport, RemoteModel,
+        SimulatorServer,
+    };
+
+    fn test_model() -> FnProgram<impl FnMut(&mut dyn SimCtx) -> Value> {
+        FnProgram::new("oversub_model", |ctx: &mut dyn SimCtx| {
+            let mu = ctx.sample_f64(&Distribution::Normal { mean: 0.0, std: 1.0 }, "mu");
+            let k =
+                ctx.sample_i64(&Distribution::Categorical { probs: vec![0.5, 0.3, 0.2] }, "branch");
+            for j in 0..=k {
+                let _ = ctx
+                    .sample_f64(&Distribution::Normal { mean: mu, std: 1.0 + j as f64 }, "noise");
+            }
+            ctx.observe(&Distribution::Normal { mean: mu, std: 0.5 }, "y");
+            ctx.tag("branch_tag", Value::Int(k));
+            Value::Real(mu)
+        })
+    }
+
+    fn spawn_inproc_server() -> InProcMuxEndpoint {
+        let (ep, sim_side) = InProcMuxEndpoint::pair();
+        std::thread::spawn(move || {
+            let mut server = SimulatorServer::new("rt-mux", test_model());
+            let mut t = sim_side;
+            let _ = server.serve(&mut t);
+        });
+        ep
+    }
+
+    fn spawn_fragmenting_server(seed: u64) -> FragmentingEndpoint {
+        let (ep, sim_side) = FragmentingEndpoint::pair(seed, 5);
+        std::thread::spawn(move || {
+            let mut server = SimulatorServer::new("rt-mux", test_model());
+            let mut t = BlockingMux(sim_side);
+            let _ = server.serve(&mut t);
+        });
+        ep
+    }
+
+    /// Reference: the blocking path over one remote connection.
+    fn blocking_reference(n: usize, seed: u64) -> Vec<Trace> {
+        let mut pool = SimulatorPool::connect_ppx(1, |_| {
+            let (controller_side, sim_side) = InProcTransport::pair();
+            std::thread::spawn(move || {
+                let mut server = SimulatorServer::new("rt-mux", test_model());
+                let mut t = sim_side;
+                let _ = server.serve(&mut t);
+            });
+            RemoteModel::connect(controller_side, "etalumis-rs")
+        })
+        .unwrap();
+        let runner = BatchRunner::new(RuntimeConfig { workers: 1, stealing: true });
+        let sink = CollectSink::new(n);
+        let observes = ObserveMap::new();
+        let stats = runner.run_prior(&mut pool, &observes, n, seed, &sink);
+        assert!(stats.failures.is_empty());
+        sink.into_traces()
+    }
+
+    fn assert_traces_bit_identical(a: &[Trace], b: &[Trace], label: &str) {
+        assert_eq!(a.len(), b.len(), "{label}: trace count");
+        for (idx, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.entries.len(), y.entries.len(), "{label}: entries of trace {idx}");
+            for (ex, ey) in x.entries.iter().zip(&y.entries) {
+                assert_eq!(ex.address, ey.address, "{label}: address in trace {idx}");
+                assert_eq!(ex.value, ey.value, "{label}: value in trace {idx}");
+                assert_eq!(ex.log_prob.to_bits(), ey.log_prob.to_bits(), "{label}: trace {idx}");
+                assert_eq!(ex.log_q.to_bits(), ey.log_q.to_bits(), "{label}: trace {idx}");
+            }
+            assert_eq!(x.result, y.result, "{label}: result of trace {idx}");
+            assert_eq!(x.tags, y.tags, "{label}: tags of trace {idx}");
+            assert_eq!(x.log_prior.to_bits(), y.log_prior.to_bits(), "{label}: trace {idx}");
+            assert_eq!(
+                x.log_likelihood.to_bits(),
+                y.log_likelihood.to_bits(),
+                "{label}: trace {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_reactor_thread_drives_eight_sessions_bit_identical_to_blocking() {
+        let n = 48;
+        let seed = 2024;
+        let reference = blocking_reference(n, seed);
+
+        let mut pool = MuxSimulatorPool::connect(8, "etalumis-rs", |_| {
+            Ok(Box::new(spawn_inproc_server()) as Box<dyn MuxEndpoint>)
+        })
+        .unwrap();
+        assert_eq!(pool.len(), 8);
+        assert_eq!(pool.model_name(), "oversub_model");
+        // One worker thread, eight concurrent sessions.
+        let runner = BatchRunner::new(RuntimeConfig { workers: 1, stealing: true });
+        let sink = CollectSink::new(n);
+        let observes = ObserveMap::new();
+        let stats = runner.run_mux_prior(&mut pool, &observes, n, seed, &sink);
+        assert_eq!(stats.total_executed(), n);
+        assert!(stats.failures.is_empty(), "failures: {:?}", stats.failures);
+        assert_eq!(stats.per_worker.len(), 1);
+        assert_eq!(pool.live(), 8, "sessions must survive the batch");
+        assert_traces_bit_identical(&sink.into_traces(), &reference, "mux 1x8");
+    }
+
+    #[test]
+    fn oversubscription_is_invariant_to_workers_sessions_and_fragmentation() {
+        let n = 30;
+        let seed = 777;
+        let reference = blocking_reference(n, seed);
+        // Fragmented transports: frames arrive split at pseudo-random byte
+        // boundaries, interleaved across concurrent sessions.
+        for (k, m) in [(2usize, 1usize), (4, 2), (6, 3)] {
+            let mut pool = MuxSimulatorPool::connect(k, "etalumis-rs", |i| {
+                Ok(Box::new(spawn_fragmenting_server(seed ^ (i as u64) << 3))
+                    as Box<dyn MuxEndpoint>)
+            })
+            .unwrap();
+            let runner = BatchRunner::new(RuntimeConfig { workers: m, stealing: true });
+            let sink = CollectSink::new(n);
+            let observes = ObserveMap::new();
+            let stats = runner.run_mux_prior(&mut pool, &observes, n, seed, &sink);
+            assert_eq!(stats.total_executed(), n, "K={k} M={m}");
+            assert!(stats.failures.is_empty(), "K={k} M={m}: {:?}", stats.failures);
+            assert_traces_bit_identical(&sink.into_traces(), &reference, &format!("K={k} M={m}"));
+        }
+    }
+
+    #[test]
+    fn pool_sessions_are_reusable_across_batches() {
+        let mut pool = MuxSimulatorPool::connect(3, "etalumis-rs", |_| {
+            Ok(Box::new(spawn_inproc_server()) as Box<dyn MuxEndpoint>)
+        })
+        .unwrap();
+        let runner = BatchRunner::new(RuntimeConfig { workers: 2, stealing: true });
+        let observes = ObserveMap::new();
+        for seed in [1u64, 2, 3] {
+            let sink = CountingSink::default();
+            let stats = runner.run_mux_prior(&mut pool, &observes, 12, seed, &sink);
+            assert_eq!(stats.total_executed(), 12, "batch with seed {seed}");
+            assert_eq!(sink.count(), 12);
+            assert_eq!(pool.live(), 3);
+        }
+    }
+
+    /// An endpoint that dies after a fixed number of delivered frames.
+    struct FailAfter {
+        inner: InProcMuxEndpoint,
+        frames_left: usize,
+    }
+
+    impl MuxEndpoint for FailAfter {
+        fn poll_frame(&mut self) -> Result<Option<Vec<u8>>, PpxError> {
+            if self.frames_left == 0 {
+                return Err(PpxError::Disconnected);
+            }
+            let f = self.inner.poll_frame()?;
+            if f.is_some() {
+                self.frames_left -= 1;
+            }
+            Ok(f)
+        }
+
+        fn send_frame(&mut self, payload: Vec<u8>) -> Result<(), PpxError> {
+            self.inner.send_frame(payload)
+        }
+
+        fn flush(&mut self) -> Result<bool, PpxError> {
+            self.inner.flush()
+        }
+    }
+
+    #[test]
+    fn mid_batch_session_death_is_recorded_and_skipped() {
+        let n = 20;
+        // Session 0 dies after a handful of frames; session 1 is healthy.
+        let mut pool = MuxSimulatorPool::connect(2, "etalumis-rs", |i| {
+            let inner = spawn_inproc_server();
+            let ep: Box<dyn MuxEndpoint> = if i == 0 {
+                Box::new(FailAfter { inner, frames_left: 9 })
+            } else {
+                Box::new(inner)
+            };
+            Ok(ep)
+        })
+        .unwrap();
+        let runner = BatchRunner::new(RuntimeConfig { workers: 1, stealing: true });
+        let sink = CountingSink::default();
+        let observes = ObserveMap::new();
+        let stats = runner.run_mux_prior(&mut pool, &observes, n, 5, &sink);
+        assert!(!stats.failures.is_empty(), "the dying session must fail at least one trace");
+        assert_eq!(
+            stats.total_executed() + stats.failures.len(),
+            n,
+            "every index is either delivered or recorded as failed: {stats:?}"
+        );
+        assert_eq!(sink.count(), stats.total_executed());
+        assert_eq!(pool.live(), 1, "only the healthy session survives");
+    }
+}

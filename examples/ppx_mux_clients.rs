@@ -1,0 +1,101 @@
+//! Multiplexed PPX across two OS processes.
+//!
+//! The parent process is the controller: one reactor thread drives eight
+//! TCP sessions concurrently (`MuxSimulatorPool` + `BatchRunner::run_mux`).
+//! The child process is the simulator: one listener serving all eight
+//! clients through the multi-client reactor (`serve_listener`). Swap the
+//! child for a C++ simulator speaking the same wire format and nothing on
+//! the controller side changes — Figure 1 of the paper, at fleet shape.
+//!
+//! Run with: `cargo run --release --example ppx_mux_clients`
+//! (the binary re-executes itself with `--server` for the child process).
+
+use etalumis_core::{BoxedProgram, Executor, ObserveMap, PriorProposer};
+use etalumis_ppx::serve_listener;
+use etalumis_runtime::{mix_seed, BatchRunner, CollectSink, MuxSimulatorPool, RuntimeConfig};
+use etalumis_simulators::BranchingModel;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::process::{Command, Stdio};
+
+const SESSIONS: usize = 8;
+const TRACES: usize = 64;
+
+fn main() -> std::io::Result<()> {
+    if std::env::args().any(|a| a == "--server") {
+        return server_main();
+    }
+
+    // --- child process: the simulator fleet behind one listener ---
+    let exe = std::env::current_exe()?;
+    let mut child = Command::new(exe).arg("--server").stdout(Stdio::piped()).spawn()?;
+    let mut lines = BufReader::new(child.stdout.take().expect("child stdout")).lines();
+    let addr = loop {
+        let line = lines.next().expect("server exited before announcing its address")?;
+        if let Some(rest) = line.strip_prefix("ADDR ") {
+            break rest.to_string();
+        }
+    };
+    println!("[controller] simulator process listening on {addr}");
+
+    // --- parent process: one reactor thread, eight TCP sessions ---
+    let mut pool = MuxSimulatorPool::connect_tcp(SESSIONS, &addr, "etalumis-rs")
+        .map_err(std::io::Error::from)?;
+    println!(
+        "[controller] {} sessions handshaked, remote model: {:?}",
+        pool.len(),
+        pool.model_name()
+    );
+    let runner = BatchRunner::new(RuntimeConfig { workers: 1, stealing: true });
+    let observes = ObserveMap::new();
+    let sink = CollectSink::new(TRACES);
+    let stats = runner.run_mux_prior(&mut pool, &observes, TRACES, 7, &sink);
+    println!(
+        "[controller] {} traces over {SESSIONS} sessions on 1 reactor thread in {:?} \
+         ({} failures)",
+        stats.total_executed(),
+        stats.elapsed,
+        stats.failures.len()
+    );
+
+    // Cross-process runs are bit-identical to a local serial execution of
+    // the same model under the same per-trace seeds.
+    let traces = sink.into_traces();
+    let mut reference = BranchingModel::standard();
+    let matching = traces
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| {
+            let r = Executor::execute_seeded(
+                &mut reference,
+                &mut PriorProposer,
+                &observes,
+                mix_seed(7, *i),
+            );
+            r.result == t.result && r.log_joint() == t.log_joint()
+        })
+        .count();
+    println!("[controller] {matching}/{TRACES} traces bit-identical to local serial execution");
+
+    drop(pool); // closes all sockets; the server process drains and exits
+    let status = child.wait()?;
+    println!("[controller] simulator process exited: {status}");
+    if matching != TRACES {
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// The child process: serve `SESSIONS` controller connections over one
+/// listener, then exit.
+fn server_main() -> std::io::Result<()> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    println!("ADDR {}", listener.local_addr()?);
+    std::io::stdout().flush()?;
+    serve_listener(
+        listener,
+        "two-process-sim",
+        |_| Box::new(BranchingModel::standard()) as BoxedProgram,
+        SESSIONS,
+    )
+}

@@ -77,8 +77,8 @@ proptest! {
             control,
             replace: !control,
         };
-        let frame = etalumis_ppx::wire::encode(&msg);
-        let back = etalumis_ppx::wire::decode(&frame[4..]).unwrap();
+        let payload = etalumis_ppx::wire::encode(&msg);
+        let back = etalumis_ppx::wire::decode(&payload).unwrap();
         prop_assert_eq!(back, msg);
     }
 
