@@ -126,9 +126,12 @@ pub fn generate_dataset(
     let observes = ObserveMap::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut writer = RollingShardWriter::new(dir, "shard", traces_per_shard, true);
-    for _ in 0..n {
+    for i in 0..n {
         let mut prior = PriorProposer;
-        let trace = Executor::execute(program, &mut prior, &observes, &mut rng);
+        // Fallible execution: a dead remote program surfaces as an error
+        // naming the failed trace, never a worker-thread panic.
+        let trace = Executor::try_execute(program, &mut prior, &observes, &mut rng)
+            .map_err(|e| std::io::Error::other(format!("trace {i} failed: {e}")))?;
         writer.push(TraceRecord::from_trace(&trace, pruned))?;
     }
     TraceDataset::open(writer.finish()?)

@@ -22,6 +22,11 @@ pub mod sampler;
 pub mod shard;
 
 pub use dataset::{generate_dataset, sort_dataset, TraceDataset};
-pub use record::{decode_record, encode_record, AddressDictionary, RecordEntry, TraceRecord};
+pub use record::{
+    decode_record, encode_record, AddressDictionary, DecodeError, Reader, RecordEntry, TraceRecord,
+};
 pub use sampler::{homogeneous_fraction, DistributedSampler, EpochPlan, SamplerConfig};
-pub use shard::{regroup_shards, RollingShardWriter, ShardReader, ShardWriter};
+pub use shard::{
+    read_journal, regroup_shards, RollingShardWriter, ShardReader, ShardWriter, WriterProgress,
+    PARTIAL_EXT,
+};

@@ -15,10 +15,133 @@
 //!   shorthand IDs used in serialization" (≈40% memory reduction):
 //!   [`AddressDictionary`] + the two encoding modes in [`encode_record`].
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{BufMut, BytesMut};
 use etalumis_core::{Address, EntryKind, Trace};
 use etalumis_distributions::{Distribution, TensorValue, Value};
 use std::collections::HashMap;
+
+/// Why stored bytes failed to decode into a [`TraceRecord`].
+///
+/// Corrupt input must surface as a value, not a panic: one bad record in a
+/// multi-gigabyte dataset aborts a single load call, never the process.
+/// The shard layer wraps this with the shard path and file offset of the
+/// offending record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the announced structure did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// A value carried a tag outside the known set.
+    UnknownValueTag(u8),
+    /// A distribution carried a tag outside the known set.
+    UnknownDistTag(u8),
+    /// An embedded string was not valid UTF-8.
+    BadUtf8,
+    /// A dictionary-encoded record referenced an id the dictionary lacks.
+    MissingDictEntry(u32),
+    /// A dictionary-encoded record was decoded without a dictionary.
+    MissingDictionary,
+    /// The observation field held a non-tensor value.
+    ObservationNotTensor,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, available } => {
+                write!(f, "record truncated: needed {needed} more bytes, had {available}")
+            }
+            DecodeError::UnknownValueTag(t) => write!(f, "bad value tag {t}"),
+            DecodeError::UnknownDistTag(t) => write!(f, "bad dist tag {t}"),
+            DecodeError::BadUtf8 => write!(f, "embedded string is not valid UTF-8"),
+            DecodeError::MissingDictEntry(id) => {
+                write!(f, "address id {id} not present in the shard dictionary")
+            }
+            DecodeError::MissingDictionary => {
+                write!(f, "record is dictionary-encoded but no dictionary was supplied")
+            }
+            DecodeError::ObservationNotTensor => write!(f, "observation must be a tensor"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for std::io::Error {
+    fn from(e: DecodeError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice: every read that
+/// would run past the end returns [`DecodeError::Truncated`] instead of
+/// panicking. Shared by every decoder in the workspace that must survive
+/// corrupt input (records, shard journals, checkpoint manifests).
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Consume the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() < n {
+            return Err(DecodeError::Truncated { needed: n, available: self.buf.len() });
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    /// Consume one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consume a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Consume a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Consume a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Consume a little-endian `f32`.
+    pub fn f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Consume a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Consume a `u32`-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+}
 
 /// One sample statement in a stored trace.
 #[derive(Clone, Debug, PartialEq)]
@@ -144,17 +267,17 @@ impl AddressDictionary {
         }
     }
 
-    /// Deserialize a dictionary.
-    pub fn decode(buf: &mut &[u8]) -> Self {
-        let n = buf.get_u32_le() as usize;
+    /// Deserialize a dictionary, advancing `buf` past it.
+    pub fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let n = r.u32()? as usize;
         let mut d = Self::new();
         for _ in 0..n {
-            let len = buf.get_u32_le() as usize;
-            let s = String::from_utf8(buf[..len].to_vec()).expect("utf8 address");
-            buf.advance(len);
+            let s = r.string()?;
             d.intern(&s);
         }
-        d
+        *buf = r.buf;
+        Ok(d)
     }
 }
 
@@ -191,33 +314,40 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
     }
 }
 
-fn get_value(buf: &mut &[u8]) -> Value {
-    match buf.get_u8() {
+fn get_value(r: &mut Reader) -> Result<Value, DecodeError> {
+    Ok(match r.u8()? {
         0 => Value::Unit,
-        1 => Value::Bool(buf.get_u8() != 0),
-        2 => Value::Int(buf.get_i64_le()),
-        3 => Value::Real(buf.get_f64_le()),
+        1 => Value::Bool(r.u8()? != 0),
+        2 => Value::Int(r.i64()?),
+        3 => Value::Real(r.f64()?),
         4 => {
-            let ndim = buf.get_u32_le() as usize;
-            let mut shape = Vec::with_capacity(ndim);
+            let ndim = r.u32()? as usize;
+            let mut shape = Vec::with_capacity(ndim.min(r.remaining() / 4));
             for _ in 0..ndim {
-                shape.push(buf.get_u32_le() as usize);
+                shape.push(r.u32()? as usize);
             }
-            let n: usize = shape.iter().product();
+            // A corrupt shape can announce an absurd element count (or one
+            // that overflows usize); bound the allocation by what the input
+            // can actually hold, with overflow-checked arithmetic.
+            let announced = shape.iter().try_fold(1usize, |acc, &d| acc.checked_mul(d));
+            let n = match announced {
+                Some(n) if n <= r.remaining() / 4 => n,
+                other => {
+                    return Err(DecodeError::Truncated {
+                        needed: other.map(|n| n.saturating_mul(4)).unwrap_or(usize::MAX),
+                        available: r.remaining(),
+                    })
+                }
+            };
             let mut data = Vec::with_capacity(n);
             for _ in 0..n {
-                data.push(buf.get_f32_le());
+                data.push(r.f32()?);
             }
             Value::Tensor(TensorValue::new(shape, data))
         }
-        5 => {
-            let len = buf.get_u32_le() as usize;
-            let s = String::from_utf8(buf[..len].to_vec()).expect("utf8");
-            buf.advance(len);
-            Value::Str(s)
-        }
-        t => panic!("bad value tag {t}"),
-    }
+        5 => Value::Str(r.string()?),
+        t => return Err(DecodeError::UnknownValueTag(t)),
+    })
 }
 
 fn put_dist(buf: &mut BytesMut, d: &Distribution) {
@@ -288,43 +418,45 @@ fn put_dist(buf: &mut BytesMut, d: &Distribution) {
     }
 }
 
-fn get_dist(buf: &mut &[u8]) -> Distribution {
-    let get_vec = |buf: &mut &[u8]| {
-        let n = buf.get_u32_le() as usize;
-        (0..n).map(|_| buf.get_f64_le()).collect::<Vec<f64>>()
-    };
-    match buf.get_u8() {
-        0 => Distribution::Uniform { low: buf.get_f64_le(), high: buf.get_f64_le() },
-        1 => Distribution::Normal { mean: buf.get_f64_le(), std: buf.get_f64_le() },
+fn get_dist(r: &mut Reader) -> Result<Distribution, DecodeError> {
+    fn get_vec(r: &mut Reader) -> Result<Vec<f64>, DecodeError> {
+        let n = r.u32()? as usize;
+        if n > r.remaining() / 8 {
+            return Err(DecodeError::Truncated { needed: n * 8, available: r.remaining() });
+        }
+        (0..n).map(|_| r.f64()).collect()
+    }
+    Ok(match r.u8()? {
+        0 => Distribution::Uniform { low: r.f64()?, high: r.f64()? },
+        1 => Distribution::Normal { mean: r.f64()?, std: r.f64()? },
         2 => Distribution::TruncatedNormal {
-            mean: buf.get_f64_le(),
-            std: buf.get_f64_le(),
-            low: buf.get_f64_le(),
-            high: buf.get_f64_le(),
+            mean: r.f64()?,
+            std: r.f64()?,
+            low: r.f64()?,
+            high: r.f64()?,
         },
-        3 => Distribution::Exponential { rate: buf.get_f64_le() },
-        4 => Distribution::Beta { alpha: buf.get_f64_le(), beta: buf.get_f64_le() },
-        5 => Distribution::Gamma { shape: buf.get_f64_le(), rate: buf.get_f64_le() },
-        6 => Distribution::Poisson { rate: buf.get_f64_le() },
-        7 => Distribution::Bernoulli { p: buf.get_f64_le() },
-        8 => Distribution::Categorical { probs: get_vec(buf) },
+        3 => Distribution::Exponential { rate: r.f64()? },
+        4 => Distribution::Beta { alpha: r.f64()?, beta: r.f64()? },
+        5 => Distribution::Gamma { shape: r.f64()?, rate: r.f64()? },
+        6 => Distribution::Poisson { rate: r.f64()? },
+        7 => Distribution::Bernoulli { p: r.f64()? },
+        8 => Distribution::Categorical { probs: get_vec(r)? },
         9 => Distribution::MixtureTruncatedNormal {
-            weights: get_vec(buf),
-            means: get_vec(buf),
-            stds: get_vec(buf),
-            low: buf.get_f64_le(),
-            high: buf.get_f64_le(),
+            weights: get_vec(r)?,
+            means: get_vec(r)?,
+            stds: get_vec(r)?,
+            low: r.f64()?,
+            high: r.f64()?,
         },
         10 => {
-            let v = get_value(buf);
-            let mean = match v {
+            let mean = match get_value(r)? {
                 Value::Tensor(t) => t,
-                _ => panic!("IndependentNormal mean must be a tensor"),
+                _ => return Err(DecodeError::ObservationNotTensor),
             };
-            Distribution::IndependentNormal { mean, std: buf.get_f64_le() }
+            Distribution::IndependentNormal { mean, std: r.f64()? }
         }
-        t => panic!("bad dist tag {t}"),
-    }
+        t => return Err(DecodeError::UnknownDistTag(t)),
+    })
 }
 
 /// Encode a record. With `dict = Some(..)`, addresses are stored as u32
@@ -361,32 +493,42 @@ pub fn encode_record(rec: &TraceRecord, dict: Option<&mut AddressDictionary>) ->
 }
 
 /// Decode a record encoded by [`encode_record`].
-pub fn decode_record(mut buf: &[u8], dict: Option<&AddressDictionary>) -> TraceRecord {
-    let trace_type = buf.get_u64_le();
-    let length = buf.get_u32_le();
-    let n = buf.get_u32_le() as usize;
-    let uses_dict = buf.get_u8() == 1;
-    let mut entries = Vec::with_capacity(n);
+///
+/// Corrupt input (bad tags, truncation, invalid UTF-8, dangling dictionary
+/// ids) surfaces as a [`DecodeError`] — never a panic — so one bad record
+/// cannot abort loading a multi-gigabyte dataset. The shard layer adds the
+/// shard path and byte offset to the error it propagates.
+pub fn decode_record(
+    buf: &[u8],
+    dict: Option<&AddressDictionary>,
+) -> Result<TraceRecord, DecodeError> {
+    let mut r = Reader::new(buf);
+    let trace_type = r.u64()?;
+    let length = r.u32()?;
+    let n = r.u32()? as usize;
+    let uses_dict = r.u8()? == 1;
+    let mut entries = Vec::with_capacity(n.min(r.remaining()));
     for _ in 0..n {
         let address = if uses_dict {
-            let id = buf.get_u32_le();
-            dict.expect("record was dictionary-encoded").resolve(id).to_string()
+            let id = r.u32()?;
+            let dict = dict.ok_or(DecodeError::MissingDictionary)?;
+            if id as usize >= dict.len() {
+                return Err(DecodeError::MissingDictEntry(id));
+            }
+            dict.resolve(id).to_string()
         } else {
-            let len = buf.get_u32_le() as usize;
-            let s = String::from_utf8(buf[..len].to_vec()).expect("utf8");
-            buf.advance(len);
-            s
+            r.string()?
         };
-        let replaced = buf.get_u8() != 0;
-        let distribution = get_dist(&mut buf);
-        let value = get_value(&mut buf);
+        let replaced = r.u8()? != 0;
+        let distribution = get_dist(&mut r)?;
+        let value = get_value(&mut r)?;
         entries.push(RecordEntry { address, distribution, value, replaced });
     }
-    let observation = match get_value(&mut buf) {
+    let observation = match get_value(&mut r)? {
         Value::Tensor(t) => t,
-        _ => panic!("observation must be a tensor"),
+        _ => return Err(DecodeError::ObservationNotTensor),
     };
-    TraceRecord { trace_type, entries, observation, length }
+    Ok(TraceRecord { trace_type, entries, observation, length })
 }
 
 #[cfg(test)]
@@ -401,7 +543,7 @@ mod tests {
         let t = Executor::sample_prior(&mut m, 1);
         let rec = TraceRecord::from_trace(&t, true);
         let buf = encode_record(&rec, None);
-        let back = decode_record(&buf, None);
+        let back = decode_record(&buf, None).unwrap();
         assert_eq!(back, rec);
     }
 
@@ -412,7 +554,7 @@ mod tests {
         let rec = TraceRecord::from_trace(&t, true);
         let mut dict = AddressDictionary::new();
         let buf = encode_record(&rec, Some(&mut dict));
-        let back = decode_record(&buf, Some(&dict));
+        let back = decode_record(&buf, Some(&dict)).unwrap();
         assert_eq!(back, rec);
         assert_eq!(dict.len(), rec.entries.len());
     }
@@ -461,9 +603,76 @@ mod tests {
         assert_eq!(d.intern("x"), a);
         let mut buf = BytesMut::new();
         d.encode(&mut buf);
-        let d2 = AddressDictionary::decode(&mut &buf[..]);
+        let d2 = AddressDictionary::decode(&mut &buf[..]).unwrap();
         assert_eq!(d2.resolve(a), "x");
         assert_eq!(d2.resolve(b), "y");
         assert_eq!(d2.len(), 2);
+    }
+
+    #[test]
+    fn corrupt_bytes_error_instead_of_panicking() {
+        let mut m = BranchingModel::standard();
+        let rec = TraceRecord::from_trace(&Executor::sample_prior(&mut m, 3), true);
+        let good = encode_record(&rec, None);
+
+        // Truncation at every prefix length must yield an error, not a panic.
+        for cut in 0..good.len() {
+            assert!(
+                decode_record(&good[..cut], None).is_err(),
+                "truncated prefix of {cut} bytes decoded successfully"
+            );
+        }
+
+        // Flip the dict flag (byte 16, after trace_type + length + count):
+        // a dict-encoded record with no dictionary supplied must error.
+        let mut tagged = good.to_vec();
+        tagged[16] = 1;
+        match decode_record(&tagged, None) {
+            Err(DecodeError::MissingDictionary) => {}
+            other => panic!("expected MissingDictionary, got {other:?}"),
+        }
+
+        // Dict-encoded record with an id beyond the dictionary.
+        let mut dict = AddressDictionary::new();
+        let buf = encode_record(&rec, Some(&mut dict));
+        let empty = AddressDictionary::new();
+        match decode_record(&buf, Some(&empty)) {
+            Err(DecodeError::MissingDictEntry(_)) => {}
+            other => panic!("expected MissingDictEntry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_tensor_shape_is_rejected_without_allocating() {
+        // Hand-craft a record whose observation announces u32::MAX elements.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1); // trace_type
+        buf.put_u32_le(0); // length
+        buf.put_u32_le(0); // entries
+        buf.put_u8(0); // no dict
+        buf.put_u8(4); // tensor tag
+        buf.put_u32_le(1); // ndim
+        buf.put_u32_le(u32::MAX); // 4 billion elements announced
+        match decode_record(&buf, None) {
+            Err(DecodeError::Truncated { .. }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+
+        // A shape whose element product overflows usize must error, not
+        // panic (debug) or wrap into a bogus small allocation (release).
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1);
+        buf.put_u32_le(0);
+        buf.put_u32_le(0);
+        buf.put_u8(0);
+        buf.put_u8(4); // tensor tag
+        buf.put_u32_le(3); // ndim
+        for _ in 0..3 {
+            buf.put_u32_le(u32::MAX); // (2^32 - 1)^3 overflows 64-bit usize
+        }
+        match decode_record(&buf, None) {
+            Err(DecodeError::Truncated { .. }) => {}
+            other => panic!("expected Truncated on overflow, got {other:?}"),
+        }
     }
 }

@@ -19,14 +19,27 @@
 //! footer:  u64 index_offset
 //! ```
 
-use crate::record::{decode_record, encode_record, AddressDictionary, TraceRecord};
+use crate::record::{decode_record, encode_record, AddressDictionary, DecodeError, TraceRecord};
 use bytes::BytesMut;
-use std::fs::File;
+use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"ETLM";
 const VERSION: u32 = 1;
+
+/// Extension of the append-only journal backing a durable writer's
+/// in-progress shard (see [`RollingShardWriter::durable`]).
+pub const PARTIAL_EXT: &str = "partial";
+
+/// Wrap a [`DecodeError`] with the shard file and byte offset it was hit at,
+/// so a corrupt record in a multi-shard dataset is locatable.
+fn decode_err(path: &Path, offset: u64, e: DecodeError) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("corrupt record in shard {} at offset {offset}: {e}", path.display()),
+    )
+}
 
 /// Writes one shard file.
 pub struct ShardWriter {
@@ -57,8 +70,13 @@ impl ShardWriter {
     }
 
     /// Write the shard to disk; returns the file size in bytes.
+    ///
+    /// The file is written to a temporary sibling and renamed into place, so
+    /// a crash mid-write never leaves a truncated `.etlm` behind: a shard
+    /// path either does not exist or holds a complete shard.
     pub fn finish(self) -> std::io::Result<u64> {
-        let file = File::create(&self.path)?;
+        let tmp = self.path.with_extension("etlm.tmp");
+        let file = File::create(&tmp)?;
         let mut w = BufWriter::new(file);
         w.write_all(MAGIC)?;
         w.write_all(&VERSION.to_le_bytes())?;
@@ -96,13 +114,18 @@ impl ShardWriter {
         }
         w.write_all(&index_offset.to_le_bytes())?;
         w.flush()?;
-        Ok(w.stream_position()?)
+        let size = w.stream_position()?;
+        w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        std::fs::rename(&tmp, &self.path)?;
+        Ok(size)
     }
 }
 
 /// Reads one shard file with random or sequential access.
 pub struct ShardReader {
+    path: PathBuf,
     file: BufReader<File>,
+    file_len: u64,
     dict: Option<AddressDictionary>,
     offsets: Vec<u64>,
 }
@@ -110,7 +133,9 @@ pub struct ShardReader {
 impl ShardReader {
     /// Open a shard, loading its dictionary and index.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        let f = File::open(path.as_ref())?;
+        let path = path.as_ref().to_path_buf();
+        let f = File::open(&path)?;
+        let file_len = f.metadata()?.len();
         let mut r = BufReader::new(f);
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
@@ -134,7 +159,7 @@ impl ShardReader {
             let mut rest = Vec::new();
             r.read_to_end(&mut rest)?;
             let mut slice = &rest[..];
-            let d = AddressDictionary::decode(&mut slice);
+            let d = AddressDictionary::decode(&mut slice).map_err(|e| decode_err(&path, pos, e))?;
             let consumed = rest.len() - slice.len();
             r.seek(SeekFrom::Start(pos + consumed as u64))?;
             Some(d)
@@ -144,6 +169,19 @@ impl ShardReader {
         let mut nbuf = [0u8; 4];
         r.read_exact(&mut nbuf)?;
         let n = u32::from_le_bytes(nbuf) as usize;
+        // A corrupt count could announce billions of records; every record
+        // costs at least 8 index bytes, so bound it by the file size before
+        // reserving the offsets vector.
+        if n as u64 > file_len / 8 {
+            return Err(decode_err(
+                &path,
+                0,
+                DecodeError::Truncated {
+                    needed: n.saturating_mul(8),
+                    available: file_len as usize,
+                },
+            ));
+        }
         // Index from footer.
         let data_start = r.stream_position()?;
         r.seek(SeekFrom::End(-8))?;
@@ -158,7 +196,25 @@ impl ShardReader {
             offsets.push(u64::from_le_bytes(ob));
         }
         r.seek(SeekFrom::Start(data_start))?;
-        Ok(Self { file: r, dict, offsets })
+        Ok(Self { path, file: r, file_len, dict, offsets })
+    }
+
+    /// Bound a record's announced length by the file size before allocating
+    /// its buffer — a corrupt length prefix must error, not OOM.
+    fn check_record_len(&self, offset: u64, len: usize) -> std::io::Result<()> {
+        if len as u64 > self.file_len {
+            return Err(decode_err(
+                &self.path,
+                offset,
+                DecodeError::Truncated { needed: len, available: self.file_len as usize },
+            ));
+        }
+        Ok(())
+    }
+
+    /// The shard file this reader is over.
+    pub fn path(&self) -> &Path {
+        &self.path
     }
 
     /// Number of records in the shard.
@@ -178,9 +234,10 @@ impl ShardReader {
         let mut lb = [0u8; 4];
         self.file.read_exact(&mut lb)?;
         let len = u32::from_le_bytes(lb) as usize;
+        self.check_record_len(off, len)?;
         let mut buf = vec![0u8; len];
         self.file.read_exact(&mut buf)?;
-        Ok(decode_record(&buf, self.dict.as_ref()))
+        decode_record(&buf, self.dict.as_ref()).map_err(|e| decode_err(&self.path, off, e))
     }
 
     /// Sequential scan of all records (large buffered reads).
@@ -191,13 +248,17 @@ impl ShardReader {
             return Ok(out);
         }
         self.file.seek(SeekFrom::Start(self.offsets[0]))?;
-        for _ in 0..n {
+        for i in 0..n {
             let mut lb = [0u8; 4];
             self.file.read_exact(&mut lb)?;
             let len = u32::from_le_bytes(lb) as usize;
+            self.check_record_len(self.offsets[i], len)?;
             let mut buf = vec![0u8; len];
             self.file.read_exact(&mut buf)?;
-            out.push(decode_record(&buf, self.dict.as_ref()));
+            out.push(
+                decode_record(&buf, self.dict.as_ref())
+                    .map_err(|e| decode_err(&self.path, self.offsets[i], e))?,
+            );
         }
         Ok(out)
     }
@@ -220,6 +281,58 @@ pub struct RollingShardWriter {
     /// Paths of shards fully written to disk; `current` joins only once its
     /// own `finish` succeeds, so callers never receive a truncated shard.
     finished: Vec<PathBuf>,
+    /// Durable mode: the append-only journal backing the in-progress shard
+    /// (see [`RollingShardWriter::durable`]). `None` in plain mode or before
+    /// the first push.
+    journal: Option<Journal>,
+    durable: bool,
+    /// Journals of shards that have since been finished. They are *not*
+    /// deleted at roll time: a checkpoint manifest written before the roll
+    /// still references them, so the owner deletes them only after the
+    /// superseding manifest is durably on disk
+    /// ([`RollingShardWriter::take_obsolete_journals`]).
+    obsolete_journals: Vec<PathBuf>,
+}
+
+/// The append-only record log backing a durable writer's in-progress shard.
+///
+/// Records are written `u32 len | dict-less encoding` the moment they are
+/// pushed, so a crash loses at most the bytes the OS had not yet accepted —
+/// the finished `.etlm` shard is still produced in one atomic rename when
+/// the shard fills.
+struct Journal {
+    path: PathBuf,
+    file: File,
+    bytes: u64,
+    records: usize,
+    /// Appends not yet fsynced (see [`RollingShardWriter::sync_journal`]).
+    dirty: bool,
+}
+
+impl Journal {
+    fn append(&mut self, rec: &TraceRecord) -> std::io::Result<()> {
+        let buf = encode_record(rec, None);
+        self.file.write_all(&(buf.len() as u32).to_le_bytes())?;
+        self.file.write_all(&buf)?;
+        self.bytes += 4 + buf.len() as u64;
+        self.records += 1;
+        self.dirty = true;
+        Ok(())
+    }
+}
+
+/// Durable progress of one [`RollingShardWriter`], as recorded in a
+/// checkpoint manifest: everything needed to resume the writer after a
+/// crash.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriterProgress {
+    /// Completed `.etlm` shards on disk (also the sequence number of the
+    /// in-progress shard's journal).
+    pub finished: usize,
+    /// Records committed to the in-progress shard's journal.
+    pub partial_records: usize,
+    /// Byte length of the committed journal prefix.
+    pub partial_bytes: u64,
 }
 
 impl RollingShardWriter {
@@ -240,13 +353,149 @@ impl RollingShardWriter {
             seq: 0,
             current: None,
             finished: Vec::new(),
+            journal: None,
+            durable: false,
+            obsolete_journals: Vec::new(),
         }
+    }
+
+    /// Switch the writer to durable mode: every pushed record is also
+    /// appended to a `{prefix}_{seq:05}.partial` journal the moment it
+    /// arrives, so an in-progress shard survives process death. A crashed
+    /// writer is reconstructed with [`RollingShardWriter::resume_durable`]
+    /// from the [`WriterProgress`] a checkpoint manifest recorded —
+    /// reopening the journal, truncating it to the last committed record,
+    /// and replaying it into the in-memory shard buffer.
+    pub fn durable(mut self) -> Self {
+        self.durable = true;
+        self
+    }
+
+    /// Reconstruct a durable writer from checkpointed progress.
+    ///
+    /// Validates that every finished shard exists, reopens the in-progress
+    /// journal, **truncates** it to `progress.partial_bytes` (discarding any
+    /// records appended after the manifest was written), and replays the
+    /// kept prefix into the shard buffer. Returns `InvalidData` if the disk
+    /// state is behind the manifest (missing shard, short journal, corrupt
+    /// journal record).
+    pub fn resume_durable(
+        dir: impl AsRef<Path>,
+        prefix: impl Into<String>,
+        capacity: usize,
+        use_dict: bool,
+        progress: WriterProgress,
+    ) -> std::io::Result<Self> {
+        let mut w = Self::new(dir, prefix, capacity, use_dict).durable();
+        for i in 0..progress.finished {
+            let p = w.shard_path(i);
+            if !p.is_file() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("checkpoint references missing shard {}", p.display()),
+                ));
+            }
+            w.finished.push(p);
+        }
+        w.seq = progress.finished;
+        if progress.partial_records == 0 {
+            // Partition untouched since the last roll boundary — fresh state
+            // (the journal, if any survived, is superseded; a new one is
+            // created on the next push).
+            return Ok(w);
+        }
+        let jpath = w.journal_path(w.seq);
+        let file = OpenOptions::new().read(true).write(true).open(&jpath)?;
+        let on_disk = file.metadata()?.len();
+        if on_disk < progress.partial_bytes {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "journal {} holds {on_disk} bytes but the checkpoint committed {}",
+                    jpath.display(),
+                    progress.partial_bytes
+                ),
+            ));
+        }
+        // Drop everything after the last committed record, then replay.
+        file.set_len(progress.partial_bytes)?;
+        let records = read_journal(&jpath, progress.partial_bytes)?;
+        if records.len() != progress.partial_records {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "journal {} replayed {} records but the checkpoint committed {}",
+                    jpath.display(),
+                    records.len(),
+                    progress.partial_records
+                ),
+            ));
+        }
+        let shard_path = w.shard_path(w.seq);
+        let mut shard = ShardWriter::new(&shard_path, use_dict);
+        for rec in records {
+            shard.push(rec);
+        }
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        w.journal = Some(Journal {
+            path: jpath,
+            file,
+            bytes: progress.partial_bytes,
+            records: progress.partial_records,
+            dirty: false,
+        });
+        w.current = Some((shard_path, shard));
+        w.seq += 1;
+        Ok(w)
+    }
+
+    fn shard_path(&self, seq: usize) -> PathBuf {
+        self.dir.join(format!("{}_{:05}.etlm", self.prefix, seq))
+    }
+
+    fn journal_path(&self, seq: usize) -> PathBuf {
+        self.dir.join(format!("{}_{:05}.{}", self.prefix, seq, PARTIAL_EXT))
+    }
+
+    /// Durable progress for a checkpoint manifest (all zeros in plain mode
+    /// before any push).
+    pub fn progress(&self) -> WriterProgress {
+        let (partial_records, partial_bytes) =
+            self.journal.as_ref().map(|j| (j.records, j.bytes)).unwrap_or((0, 0));
+        WriterProgress { finished: self.finished.len(), partial_records, partial_bytes }
+    }
+
+    /// Journals of shards finished since the last call. The owner deletes
+    /// them once a checkpoint manifest reflecting the finished shards is
+    /// durably on disk — deleting earlier would strand a resume whose
+    /// manifest still points into them.
+    pub fn take_obsolete_journals(&mut self) -> Vec<PathBuf> {
+        std::mem::take(&mut self.obsolete_journals)
+    }
+
+    /// Fsync the in-progress journal's appends to disk. A checkpoint
+    /// manifest must not reference journal bytes the disk has not
+    /// acknowledged — otherwise a machine crash could leave a durable
+    /// manifest pointing past the journal's surviving length, making the
+    /// run unresumable. No-op when nothing is dirty.
+    pub fn sync_journal(&mut self) -> std::io::Result<()> {
+        if let Some(j) = self.journal.as_mut() {
+            if j.dirty {
+                j.file.sync_data()?;
+                j.dirty = false;
+            }
+        }
+        Ok(())
     }
 
     /// Append one record, rolling to a new shard file when full.
     pub fn push(&mut self, rec: TraceRecord) -> std::io::Result<()> {
         if self.current.as_ref().map(|(_, w)| w.len() >= self.capacity).unwrap_or(true) {
             self.roll()?;
+        }
+        if let Some(j) = self.journal.as_mut() {
+            j.append(&rec)?;
         }
         self.current.as_mut().unwrap().1.push(rec);
         Ok(())
@@ -264,7 +513,8 @@ impl RollingShardWriter {
     }
 
     /// Write the in-progress shard to disk (if it holds records) and record
-    /// its path as finished.
+    /// its path as finished. In durable mode the backing journal becomes
+    /// obsolete but stays on disk until the owner collects it.
     fn flush_current(&mut self) -> std::io::Result<()> {
         if let Some((path, w)) = self.current.take() {
             if !w.is_empty() {
@@ -272,23 +522,85 @@ impl RollingShardWriter {
                 self.finished.push(path);
             }
         }
+        if let Some(j) = self.journal.take() {
+            self.obsolete_journals.push(j.path);
+        }
         Ok(())
     }
 
     fn roll(&mut self) -> std::io::Result<()> {
         self.flush_current()?;
         std::fs::create_dir_all(&self.dir)?;
-        let path = self.dir.join(format!("{}_{:05}.etlm", self.prefix, self.seq));
+        let path = self.shard_path(self.seq);
+        if self.durable {
+            let jpath = self.journal_path(self.seq);
+            // `create` truncates any stale leftover from a previous life.
+            let file = File::create(&jpath)?;
+            self.journal = Some(Journal { path: jpath, file, bytes: 0, records: 0, dirty: false });
+        }
         self.current = Some((path.clone(), ShardWriter::new(path, self.use_dict)));
         self.seq += 1;
         Ok(())
     }
 
     /// Flush the last shard; returns all shard paths written, in order.
-    pub fn finish(mut self) -> std::io::Result<Vec<PathBuf>> {
-        self.flush_current()?;
-        Ok(self.finished)
+    /// In durable mode every journal (current and obsolete) is removed —
+    /// the run is complete, nothing remains to resume.
+    pub fn finish(self) -> std::io::Result<Vec<PathBuf>> {
+        let (shards, journals) = self.finish_keeping_journals()?;
+        for j in journals {
+            let _ = std::fs::remove_file(j);
+        }
+        Ok(shards)
     }
+
+    /// Flush the last shard but leave every journal on disk, returning
+    /// `(shard paths, journal paths)`. Checkpointed runs use this so the
+    /// journals outlive the manifest that references them: the caller
+    /// deletes the manifest first, then the journals — a crash in between
+    /// stays resumable (or degrades to a clean fresh start), never an
+    /// unresumable manifest pointing at deleted journals.
+    pub fn finish_keeping_journals(mut self) -> std::io::Result<(Vec<PathBuf>, Vec<PathBuf>)> {
+        self.flush_current()?;
+        let journals = std::mem::take(&mut self.obsolete_journals);
+        Ok((self.finished, journals))
+    }
+}
+
+/// Decode the committed prefix of a shard journal (see
+/// [`RollingShardWriter::durable`]): `u32 len | dict-less record` repeated.
+/// `committed` bounds the bytes read; the file may legally be longer (the
+/// tail past the last checkpoint is discarded by resume).
+pub fn read_journal(path: &Path, committed: u64) -> std::io::Result<Vec<TraceRecord>> {
+    let mut f = File::open(path)?;
+    let mut buf = vec![0u8; committed as usize];
+    f.read_exact(&mut buf)?;
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    while off < buf.len() {
+        if off + 4 > buf.len() {
+            return Err(decode_err(
+                path,
+                off as u64,
+                DecodeError::Truncated { needed: 4, available: buf.len() - off },
+            ));
+        }
+        let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        if off + len > buf.len() {
+            return Err(decode_err(
+                path,
+                off as u64,
+                DecodeError::Truncated { needed: len, available: buf.len() - off },
+            ));
+        }
+        records.push(
+            decode_record(&buf[off..off + len], None)
+                .map_err(|e| decode_err(path, off as u64, e))?,
+        );
+        off += len;
+    }
+    Ok(records)
 }
 
 /// Regroup shards into `group_size`-record shards (the 20k→100k grouping).
@@ -416,6 +728,160 @@ mod tests {
         let w = RollingShardWriter::new(&dir, "roll", 4, false);
         assert_eq!(w.finish().unwrap(), Vec::<PathBuf>::new());
         assert!(!dir.exists());
+    }
+
+    #[test]
+    fn durable_writer_resumes_from_truncated_journal() {
+        let dir = std::env::temp_dir().join(format!("etalumis_durable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recs = make_records(23);
+
+        // Reference: an uninterrupted durable run over all 23 records.
+        let ref_dir = dir.join("ref");
+        let mut w = RollingShardWriter::new(&ref_dir, "d", 10, true).durable();
+        for r in &recs {
+            w.push(r.clone()).unwrap();
+        }
+        let ref_paths = w.finish().unwrap();
+        assert_eq!(ref_paths.len(), 3);
+        // finish() removed every journal.
+        assert!(std::fs::read_dir(&ref_dir).unwrap().all(|e| e
+            .unwrap()
+            .path()
+            .extension()
+            .unwrap()
+            == "etlm"));
+
+        // Crashing run: push 17 records, checkpoint the progress after 14,
+        // then "die" (drop nothing — just abandon the writer state).
+        let crash_dir = dir.join("crash");
+        let mut w = RollingShardWriter::new(&crash_dir, "d", 10, true).durable();
+        let mut progress_at_14 = WriterProgress::default();
+        for (i, r) in recs.iter().take(17).enumerate() {
+            w.push(r.clone()).unwrap();
+            if i + 1 == 14 {
+                progress_at_14 = w.progress();
+            }
+        }
+        assert_eq!(progress_at_14.finished, 1);
+        assert_eq!(progress_at_14.partial_records, 4);
+        drop(w); // the crash: no finish(), journals + partial state left behind
+
+        // Resume from the checkpointed progress: records 14..17 (appended
+        // after the checkpoint) are truncated away and re-pushed.
+        let mut w =
+            RollingShardWriter::resume_durable(&crash_dir, "d", 10, true, progress_at_14).unwrap();
+        assert_eq!(w.progress(), progress_at_14);
+        for r in &recs[14..] {
+            w.push(r.clone()).unwrap();
+        }
+        let paths = w.finish().unwrap();
+        assert_eq!(paths.len(), ref_paths.len());
+        for (a, b) in paths.iter().zip(&ref_paths) {
+            assert_eq!(a.file_name(), b.file_name());
+            assert_eq!(
+                std::fs::read(a).unwrap(),
+                std::fs::read(b).unwrap(),
+                "resumed shard {a:?} differs from uninterrupted reference"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_disk_state_behind_the_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("etalumis_durable_bad_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recs = make_records(3);
+        let mut w = RollingShardWriter::new(&dir, "d", 10, true).durable();
+        for r in &recs {
+            w.push(r.clone()).unwrap();
+        }
+        let progress = w.progress();
+        drop(w);
+        // Journal shorter than the checkpoint committed: must be rejected.
+        let jpath = dir.join(format!("d_00000.{PARTIAL_EXT}"));
+        let full = std::fs::read(&jpath).unwrap();
+        std::fs::write(&jpath, &full[..full.len() - 1]).unwrap();
+        let err = RollingShardWriter::resume_durable(&dir, "d", 10, true, progress)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("journal"), "unexpected error: {err}");
+        // A checkpoint referencing a missing finished shard is rejected too.
+        let missing = WriterProgress { finished: 2, ..progress };
+        let err = RollingShardWriter::resume_durable(&dir, "d", 10, true, missing)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("missing shard"), "unexpected error: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_shard_decode_reports_path_and_offset() {
+        let dir = std::env::temp_dir().join(format!("etalumis_corrupt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.etlm");
+        let recs = make_records(4);
+        let mut w = ShardWriter::new(&path, false);
+        for r in &recs {
+            w.push(r.clone());
+        }
+        w.finish().unwrap();
+        assert_eq!(ShardReader::open(&path).unwrap().get(0).unwrap(), recs[0]);
+        // Trash a run of payload bytes inside the first record (0xFF is
+        // never valid UTF-8 and not a known dist/value tag), leaving the
+        // header and footer index intact.
+        let mut bytes = std::fs::read(&path).unwrap();
+        for b in bytes.iter_mut().skip(40).take(8) {
+            *b = 0xFF;
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        match ShardReader::open(&path).and_then(|mut r| r.read_all()) {
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(
+                    msg.contains("c.etlm") && msg.contains("offset"),
+                    "error must name the shard and offset: {msg}"
+                );
+            }
+            Ok(_) => panic!("corrupted shard decoded successfully"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_count_and_length_prefixes_error_without_allocating() {
+        let dir = std::env::temp_dir().join(format!("etalumis_bomb_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.etlm");
+        let recs = make_records(3);
+        let mut w = ShardWriter::new(&path, false);
+        for r in &recs {
+            w.push(r.clone());
+        }
+        w.finish().unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Record count (bytes 9..13 in a dict-less shard) claiming 4 billion
+        // records: open must error before reserving the offsets index.
+        let mut bad = good.clone();
+        bad[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        let err = ShardReader::open(&path).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("b.etlm"), "unexpected error: {err}");
+
+        // First record's length prefix (bytes 13..17) claiming ~4 GB: get()
+        // must error before allocating the record buffer.
+        let mut bad = good.clone();
+        bad[13..17].copy_from_slice(&(u32::MAX - 1).to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        let mut r = ShardReader::open(&path).unwrap();
+        let err = r.get(0).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "unexpected error: {err}");
+        assert!(r.read_all().map(|_| ()).unwrap_err().to_string().contains("truncated"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

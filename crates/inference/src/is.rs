@@ -67,7 +67,18 @@ where
     let mut pool = SimulatorPool::from_factory(workers, |_| factory());
     let runner = BatchRunner::new(RuntimeConfig { workers, stealing: true });
     let sink = CollectSink::new(n);
-    runner.run_prior(&mut pool, observes, n, seed, &sink);
+    let stats = runner.run_prior(&mut pool, observes, n, seed, &sink);
+    // Local factories produce infallible programs, so failures here mean a
+    // broken program wired through the infallible API — refuse to return a
+    // silently truncated (biased) estimate.
+    assert!(
+        stats.failures.is_empty(),
+        "{} of {n} traces failed during parallel IS (first: trace {}: {}); \
+         use parallel_importance_sampling_mux for fallible remote pools",
+        stats.failures.len(),
+        stats.failures[0].0,
+        stats.failures[0].1,
+    );
     let traces = sink.into_traces();
     let log_weights = traces.iter().map(|t| t.log_weight()).collect();
     WeightedTraces::new(traces, log_weights)

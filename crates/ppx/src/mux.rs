@@ -386,7 +386,9 @@ pub enum MuxEvent {
 }
 
 struct MuxConn {
-    endpoint: Box<dyn MuxEndpoint>,
+    /// `None` once the connection has been detached ([`Mux::detach`]); the
+    /// slot stays behind as a tombstone so connection ids remain stable.
+    endpoint: Option<Box<dyn MuxEndpoint>>,
     session: Session,
     dead: bool,
 }
@@ -412,8 +414,22 @@ impl Mux {
     /// Register a connection whose handshake is already done (or driven
     /// elsewhere); returns its connection id.
     pub fn add(&mut self, endpoint: Box<dyn MuxEndpoint>, session: Session) -> usize {
-        self.conns.push(MuxConn { endpoint, session, dead: false });
+        self.conns.push(MuxConn { endpoint: Some(endpoint), session, dead: false });
         self.conns.len() - 1
+    }
+
+    /// Remove `conn` from the reactor, returning its endpoint and session
+    /// as they stand (a dead endpoint after a transport failure, or a live
+    /// one being re-homed). A tombstone keeps the id space stable: the slot
+    /// reads as dead, is skipped by [`Mux::poll`], and yields `None` on a
+    /// second detach. This is how a driver swaps a failed connection for a
+    /// respawned one without disturbing its other sessions.
+    pub fn detach(&mut self, conn: usize) -> Option<(Box<dyn MuxEndpoint>, Session)> {
+        let c = &mut self.conns[conn];
+        let endpoint = c.endpoint.take()?;
+        c.dead = true;
+        let session = std::mem::replace(&mut c.session, Session::poisoned());
+        Some((endpoint, session))
     }
 
     /// Register a fresh connection and send its `Handshake`; the
@@ -463,10 +479,10 @@ impl Mux {
     /// Encode and queue `msg` on `conn`'s write queue.
     pub fn send(&mut self, conn: usize, msg: &Message) -> Result<(), PpxError> {
         let c = &mut self.conns[conn];
-        if c.dead {
+        let Some(endpoint) = c.endpoint.as_mut().filter(|_| !c.dead) else {
             return Err(PpxError::Disconnected);
-        }
-        match c.endpoint.send_frame(encode(msg).into()) {
+        };
+        match endpoint.send_frame(encode(msg).into()) {
             Ok(()) => Ok(()),
             Err(e) => {
                 c.dead = true;
@@ -478,10 +494,10 @@ impl Mux {
 
     /// Decompose the reactor into its `(endpoint, session)` connections, in
     /// registration order — used by drivers that re-partition sessions
-    /// across several worker reactors (dead sessions are included; check
-    /// [`Session::is_dead`]).
+    /// across several worker reactors. Dead sessions are included (check
+    /// [`Session::is_dead`]); detached tombstones are not.
     pub fn into_parts(self) -> Vec<(Box<dyn MuxEndpoint>, Session)> {
-        self.conns.into_iter().map(|c| (c.endpoint, c.session)).collect()
+        self.conns.into_iter().filter_map(|c| c.endpoint.map(|e| (e, c.session))).collect()
     }
 
     /// One readiness sweep over every live connection. Appends events to
@@ -501,7 +517,10 @@ impl Mux {
                 c.dead = true;
                 continue;
             }
-            match c.endpoint.flush() {
+            let Some(endpoint) = c.endpoint.as_mut() else {
+                continue;
+            };
+            match endpoint.flush() {
                 Ok(_) => {}
                 Err(e) => {
                     c.dead = true;
@@ -514,8 +533,7 @@ impl Mux {
             // At most one action per connection per sweep: PPX is
             // request-reply, so after an action the simulator is waiting on
             // us, not sending.
-            let step = c
-                .endpoint
+            let step = endpoint
                 .poll_frame()
                 .and_then(|opt| match opt {
                     None => Ok(None),

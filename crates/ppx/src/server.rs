@@ -22,6 +22,8 @@ use crate::transport::{InProcTransport, Transport};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use etalumis_core::{AddressBuilder, BoxedProgram, ProbProgram, SimCtx};
 use etalumis_distributions::{Distribution, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::net::TcpListener;
 
 /// Serves a wrapped probabilistic program over a transport.
@@ -31,15 +33,55 @@ pub struct SimulatorServer<P: ProbProgram> {
 }
 
 /// Simulator-side context that forwards every statement over the transport.
+///
+/// If the controller dies mid-execution the context does **not** panic the
+/// program thread (a controller crash must never take the simulator fleet
+/// down with it): it records the failure, feeds the still-running program
+/// locally drawn prior values until the program returns on its own, and
+/// lets [`SimulatorServer::serve`] surface the transport error afterwards.
+/// The poisoned execution's result is discarded — nothing is sent to the
+/// (dead) controller.
 struct ForwardingCtx<'a> {
     transport: &'a mut dyn Transport,
     builder: AddressBuilder,
+    /// First transport/protocol failure; once set, no further I/O happens.
+    failed: Option<std::io::Error>,
+    /// Fallback RNG for draining a poisoned execution with in-support
+    /// values.
+    fallback_rng: StdRng,
 }
 
 impl ForwardingCtx<'_> {
-    fn exchange(&mut self, msg: Message) -> Message {
-        self.transport.send(&msg).expect("PPX send failed mid-execution");
-        self.transport.recv().expect("PPX recv failed mid-execution")
+    fn new(transport: &mut dyn Transport) -> ForwardingCtx<'_> {
+        ForwardingCtx {
+            transport,
+            builder: AddressBuilder::new(),
+            failed: None,
+            fallback_rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    fn exchange(&mut self, msg: Message) -> Option<Message> {
+        if self.failed.is_some() {
+            return None;
+        }
+        match self.transport.send(&msg).and_then(|()| self.transport.recv()) {
+            Ok(reply) => Some(reply),
+            Err(e) => {
+                self.failed = Some(e);
+                None
+            }
+        }
+    }
+
+    /// Note a protocol violation (wrong reply kind) without panicking.
+    fn violation(&mut self, expected: &'static str, got: &'static str) {
+        if self.failed.is_none() {
+            self.failed = Some(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected {expected}, got {got}"),
+            ));
+        }
     }
 }
 
@@ -68,8 +110,12 @@ impl SimCtx for ForwardingCtx<'_> {
             replace,
         });
         match reply {
-            Message::SampleResult { value } => value,
-            other => panic!("expected SampleResult, got {}", other.name()),
+            Some(Message::SampleResult { value }) => value,
+            Some(other) => {
+                self.violation("SampleResult", other.name());
+                dist.sample(&mut self.fallback_rng)
+            }
+            None => dist.sample(&mut self.fallback_rng),
         }
     }
 
@@ -86,16 +132,19 @@ impl SimCtx for ForwardingCtx<'_> {
             distribution: dist.clone(),
         });
         match reply {
-            Message::ObserveResult { value } => value,
-            other => panic!("expected ObserveResult, got {}", other.name()),
+            Some(Message::ObserveResult { value }) => value,
+            Some(other) => {
+                self.violation("ObserveResult", other.name());
+                dist.sample(&mut self.fallback_rng)
+            }
+            None => dist.sample(&mut self.fallback_rng),
         }
     }
 
     fn tag(&mut self, name: &str, value: Value) {
-        let reply = self.exchange(Message::Tag { name: name.to_string(), value });
-        match reply {
-            Message::TagResult => {}
-            other => panic!("expected TagResult, got {}", other.name()),
+        match self.exchange(Message::Tag { name: name.to_string(), value }) {
+            Some(Message::TagResult) | None => {}
+            Some(other) => self.violation("TagResult", other.name()),
         }
     }
 
@@ -123,8 +172,12 @@ impl SimCtx for ForwardingCtx<'_> {
             replace,
         });
         match reply {
-            Message::SampleResult { value } => value,
-            other => panic!("expected SampleResult, got {}", other.name()),
+            Some(Message::SampleResult { value }) => value,
+            Some(other) => {
+                self.violation("SampleResult", other.name());
+                dist.sample(&mut self.fallback_rng)
+            }
+            None => dist.sample(&mut self.fallback_rng),
         }
     }
 
@@ -140,8 +193,12 @@ impl SimCtx for ForwardingCtx<'_> {
             distribution: dist.clone(),
         });
         match reply {
-            Message::ObserveResult { value } => value,
-            other => panic!("expected ObserveResult, got {}", other.name()),
+            Some(Message::ObserveResult { value }) => value,
+            Some(other) => {
+                self.violation("ObserveResult", other.name());
+                dist.sample(&mut self.fallback_rng)
+            }
+            None => dist.sample(&mut self.fallback_rng),
         }
     }
 }
@@ -177,9 +234,23 @@ impl<P: ProbProgram> SimulatorServer<P> {
                     })?;
                 }
                 Message::Run { observation: _ } => {
-                    let mut ctx = ForwardingCtx { transport, builder: AddressBuilder::new() };
+                    let mut ctx = ForwardingCtx::new(transport);
                     let result = self.program.run(&mut ctx);
-                    transport.send(&Message::RunResult { result })?;
+                    match ctx.failed.take() {
+                        // Controller vanished mid-execution: the run was
+                        // drained with fallback draws and its result is
+                        // discarded. An orderly class of disconnect ends
+                        // serving cleanly; anything else propagates.
+                        Some(e) => {
+                            return match e.kind() {
+                                std::io::ErrorKind::BrokenPipe
+                                | std::io::ErrorKind::UnexpectedEof
+                                | std::io::ErrorKind::ConnectionReset => Ok(()),
+                                _ => Err(e),
+                            };
+                        }
+                        None => transport.send(&Message::RunResult { result })?,
+                    }
                 }
                 Message::Reset => { /* abandon any state; next Run starts fresh */ }
                 other => {
@@ -315,6 +386,35 @@ mod tests {
             let x = ctx.sample_f64(&Distribution::Uniform { low: 0.0, high: 1.0 }, "x");
             Value::Real(x)
         }))
+    }
+
+    #[test]
+    fn controller_death_mid_run_does_not_panic_the_server() {
+        use crate::wire;
+        // Drive the server by hand: handshake, start a run, then vanish
+        // after the first Sample request — mid-execution.
+        let (controller_side, sim_side) = InProcTransport::pair();
+        let handle = std::thread::spawn(move || {
+            let program = FnProgram::new("drain", |ctx: &mut dyn SimCtx| {
+                let a = ctx.sample_f64(&Distribution::Uniform { low: 0.0, high: 1.0 }, "a");
+                let b = ctx.sample_f64(&Distribution::Normal { mean: a, std: 1.0 }, "b");
+                Value::Real(a + b)
+            });
+            let mut server = SimulatorServer::new("sim", program);
+            let mut t = sim_side;
+            // Must return (Ok for a disconnect), never panic the thread.
+            server.serve(&mut t)
+        });
+        let mut t = controller_side;
+        t.send(&Message::Handshake { system_name: "x".into() }).unwrap();
+        let _ = t.recv().unwrap();
+        t.send(&Message::Run { observation: Value::Unit }).unwrap();
+        let first = t.recv().unwrap();
+        assert_eq!(first.name(), "Sample");
+        let _ = wire::frame(&first); // touch the codec, then vanish
+        drop(t);
+        let served = handle.join().expect("server thread must not panic");
+        assert!(served.is_ok(), "disconnect must end serving cleanly: {served:?}");
     }
 
     #[test]

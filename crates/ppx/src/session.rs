@@ -126,6 +126,13 @@ impl Session {
         )
     }
 
+    /// A session born dead ([`SessionState::Failed`]) — the tombstone a
+    /// reactor leaves behind when it detaches a connection, and the
+    /// placeholder a pool returns for a slot whose respawn budget ran out.
+    pub fn poisoned() -> Self {
+        Self { state: SessionState::Failed, model_name: None }
+    }
+
     /// Current protocol state.
     pub fn state(&self) -> SessionState {
         self.state

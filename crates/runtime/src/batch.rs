@@ -13,6 +13,10 @@ use crate::pool::SimulatorPool;
 use crate::scheduler::TaskQueues;
 use crate::sink::TraceSink;
 use etalumis_core::{Executor, ObserveMap, PriorProposer, Proposer};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Splitmix64: decorrelate per-trace seeds from a batch seed and an index.
@@ -79,6 +83,101 @@ impl RuntimeConfig {
     }
 }
 
+/// What a batch does when a trace execution fails.
+///
+/// Per-trace seeding makes a re-execution of trace `i` produce the exact
+/// same content on any worker or session, so retrying a trace whose
+/// simulator died is always safe — the knobs here only bound how much dying
+/// hardware the batch will tolerate before recording a permanent failure.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Times one trace index may be requeued after a failed execution
+    /// before it is recorded in [`RunStats::failures`].
+    pub max_trace_retries: u32,
+    /// Consecutive failures after which a blocking worker retires (its
+    /// program is considered dead; remaining work is stolen or drained).
+    /// Mux workers retire per-session via the pool's reconnect policy
+    /// instead.
+    pub worker_failure_threshold: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_trace_retries: 3, worker_failure_threshold: 3 }
+    }
+}
+
+/// Cooperative abort signal for a batch run, with an optional countdown.
+///
+/// Workers stop pulling work the moment the switch fires and return without
+/// flushing or finalizing anything — from the filesystem's point of view the
+/// run simply stops mid-flight, which is exactly the state a `SIGKILL`ed
+/// process leaves behind. Tests and the `resume_dataset` example use the
+/// countdown form ([`KillSwitch::after`]) to die at a chosen trace index and
+/// then prove the checkpoint manifest restores the run bit-identically.
+#[derive(Debug, Default)]
+pub struct KillSwitch {
+    killed: AtomicBool,
+    /// Deliveries remaining before the switch auto-fires (< 0: never).
+    countdown: AtomicI64,
+}
+
+impl KillSwitch {
+    /// A switch that only fires when [`KillSwitch::kill`] is called.
+    pub fn new() -> Self {
+        Self { killed: AtomicBool::new(false), countdown: AtomicI64::new(-1) }
+    }
+
+    /// A switch that fires automatically after `n` trace deliveries
+    /// (`n = 0` fires immediately).
+    pub fn after(n: usize) -> Self {
+        Self { killed: AtomicBool::new(n == 0), countdown: AtomicI64::new(n as i64) }
+    }
+
+    /// Fire the switch.
+    pub fn kill(&self) {
+        self.killed.store(true, Ordering::SeqCst);
+    }
+
+    /// Has the switch fired?
+    pub fn killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
+    }
+
+    /// Count one delivery against the countdown.
+    pub(crate) fn tick(&self) {
+        if self.countdown.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.kill();
+        }
+    }
+}
+
+/// Shared per-index retry budget: how many times each trace has been
+/// requeued after a failure. Lives outside the workers because stealing can
+/// move a retried index anywhere.
+pub(crate) struct RetryTable {
+    counts: Mutex<HashMap<usize, u32>>,
+    max: u32,
+}
+
+impl RetryTable {
+    pub(crate) fn new(max: u32) -> Self {
+        Self { counts: Mutex::new(HashMap::new()), max }
+    }
+
+    /// Consume one retry for `index`; `true` if the index may run again.
+    pub(crate) fn try_consume(&self, index: usize) -> bool {
+        let mut counts = self.counts.lock();
+        let c = counts.entry(index).or_insert(0);
+        if *c < self.max {
+            *c += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// What one worker did during a batch.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct WorkerReport {
@@ -102,6 +201,16 @@ pub struct RunStats {
     /// `(batch index, error)` sorted by index. Failed traces are recorded
     /// and skipped — never delivered to the sink, never aborting the batch.
     pub failures: Vec<(usize, String)>,
+    /// Trace executions requeued after a failure (each eventually delivered
+    /// by a healthy worker/session or recorded in `failures`).
+    pub retries: u64,
+    /// Mux sessions re-established mid-batch (endpoint re-made, handshake
+    /// re-driven) after their connection died. Always 0 on the blocking
+    /// path.
+    pub respawns: u64,
+    /// True when the batch was aborted by a [`KillSwitch`] before every
+    /// index was delivered or failed.
+    pub killed: bool,
 }
 
 impl RunStats {
@@ -139,12 +248,17 @@ impl RunStats {
 /// Executes batches of traces over a [`SimulatorPool`].
 pub struct BatchRunner {
     config: RuntimeConfig,
+    policy: RetryPolicy,
+    kill: Option<Arc<KillSwitch>>,
+    /// Explicit task list (a resumed batch's remaining indices). `None`
+    /// means the full range `0..n`, block-partitioned.
+    tasks: Option<Vec<usize>>,
 }
 
 impl BatchRunner {
     /// Runner with the given scheduling configuration.
     pub fn new(config: RuntimeConfig) -> Self {
-        Self { config }
+        Self { config, policy: RetryPolicy::default(), kill: None, tasks: None }
     }
 
     /// Runner with default scheduling (all cores, stealing on).
@@ -155,6 +269,53 @@ impl BatchRunner {
     /// The runner's scheduling configuration.
     pub fn config(&self) -> &RuntimeConfig {
         &self.config
+    }
+
+    /// Override the failure [`RetryPolicy`].
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The runner's failure policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Attach a [`KillSwitch`]; when it fires, workers abandon the batch
+    /// immediately (simulated process death for checkpoint tests).
+    pub fn with_kill_switch(mut self, kill: Arc<KillSwitch>) -> Self {
+        self.kill = Some(kill);
+        self
+    }
+
+    /// Run only these trace indices of the batch (the remaining work of a
+    /// checkpointed run — see [`crate::checkpoint::Checkpoint`]). Indices
+    /// are interleaved round-robin across workers so the contiguous
+    /// completed prefix — what a checkpoint can commit — advances evenly.
+    /// Per-trace seeding is unchanged: index `i` still runs under
+    /// `mix_seed(seed, i)`, so a partial batch's content matches the same
+    /// indices of a full run exactly.
+    pub fn with_tasks(mut self, tasks: Vec<usize>) -> Self {
+        self.tasks = Some(tasks);
+        self
+    }
+
+    /// Fill `queues` with this run's work: the explicit task list if one was
+    /// set (interleaved), the full block-partitioned range otherwise.
+    pub(crate) fn fill_queues(&self, queues: &TaskQueues, n: usize) {
+        match &self.tasks {
+            Some(tasks) => queues.fill_interleaved(tasks.iter().copied()),
+            None => queues.fill_blocks(n),
+        }
+    }
+
+    pub(crate) fn killed(&self) -> bool {
+        self.kill.as_ref().is_some_and(|k| k.killed())
+    }
+
+    pub(crate) fn kill_handle(&self) -> Option<Arc<KillSwitch>> {
+        self.kill.clone()
     }
 
     /// Execute `n` traces under per-worker proposers from `proposers`,
@@ -183,10 +344,12 @@ impl BatchRunner {
         );
         let stealing = self.config.stealing;
         let queues = TaskQueues::new(workers);
-        queues.fill_blocks(n);
+        self.fill_queues(&queues, n);
+        let retries = RetryTable::new(self.policy.max_trace_retries);
         let start = Instant::now();
         let mut per_worker = vec![WorkerReport::default(); workers];
         let mut failures: Vec<(usize, String)> = Vec::new();
+        let mut total_retries = 0u64;
         std::thread::scope(|s| {
             let handles: Vec<_> = pool
                 .programs_mut()
@@ -194,11 +357,17 @@ impl BatchRunner {
                 .enumerate()
                 .map(|(w, program)| {
                     let queues = &queues;
+                    let retries = &retries;
+                    let kill = self.kill.as_deref();
+                    let threshold = self.policy.worker_failure_threshold;
                     s.spawn(move || {
                         let mut proposer = proposers.make_proposer(w);
                         let mut report = WorkerReport::default();
                         let mut failed: Vec<(usize, String)> = Vec::new();
-                        while let Some(i) = queues.pop(w, stealing) {
+                        let mut requeued = 0u64;
+                        let mut consecutive = 0u32;
+                        while !kill.is_some_and(|k| k.killed()) {
+                            let Some(i) = queues.pop(w, stealing) else { break };
                             let t0 = Instant::now();
                             let result = Executor::try_execute_seeded(
                                 program,
@@ -209,26 +378,68 @@ impl BatchRunner {
                             report.busy += t0.elapsed();
                             match result {
                                 Ok(trace) => {
+                                    consecutive = 0;
                                     report.executed += 1;
                                     sink.accept(i, trace);
+                                    if let Some(k) = kill {
+                                        k.tick();
+                                    }
                                 }
-                                // Record and move on: one dead simulator
-                                // must not abort the whole batch.
-                                Err(e) => failed.push((i, e.message)),
+                                Err(e) => {
+                                    // One failed execution must not abort
+                                    // the batch: requeue the index (another
+                                    // worker's healthy simulator can rerun
+                                    // it bit-identically) while its budget
+                                    // lasts, then record it.
+                                    if retries.try_consume(i) {
+                                        queues.push((w + 1) % workers, i);
+                                        requeued += 1;
+                                    } else {
+                                        sink.reject(i, &e.message);
+                                        failed.push((i, e.message));
+                                    }
+                                    // A program that keeps failing is dead
+                                    // (poisoned remote session): retire the
+                                    // worker, let the others absorb its
+                                    // share.
+                                    consecutive += 1;
+                                    if consecutive >= threshold {
+                                        break;
+                                    }
+                                }
                             }
                         }
-                        (report, failed)
+                        (report, failed, requeued)
                     })
                 })
                 .collect();
             for (w, h) in handles.into_iter().enumerate() {
-                let (report, failed) = h.join().expect("runtime worker panicked");
+                let (report, failed, requeued) = h.join().expect("runtime worker panicked");
                 per_worker[w] = report;
                 failures.extend(failed);
+                total_retries += requeued;
             }
         });
+        let killed = self.killed();
+        if !killed {
+            // Tasks stranded by retired workers (with stealing off nobody
+            // else could take them): account for every index.
+            for i in queues.drain_remaining() {
+                sink.reject(i, "not executed: worker retired after repeated failures");
+                failures
+                    .push((i, "not executed: worker retired after repeated failures".to_string()));
+            }
+        }
         failures.sort_by_key(|(i, _)| *i);
-        RunStats { elapsed: start.elapsed(), per_worker, steals: queues.steals(), failures }
+        RunStats {
+            elapsed: start.elapsed(),
+            per_worker,
+            steals: queues.steals(),
+            failures,
+            retries: total_retries,
+            respawns: 0,
+            killed,
+        }
     }
 
     /// [`BatchRunner::run`] with prior proposals — plain trace generation.
@@ -301,8 +512,10 @@ mod tests {
         let stats = runner.run_prior(&mut pool, &observes, n, 3, &sink);
         assert_eq!(stats.total_executed(), n);
         assert_eq!(stats.per_worker.len(), 5);
-        // into_traces panics on any missing index — delivery check.
-        assert_eq!(sink.into_traces().len(), n);
+        // into_results reports missing indices — delivery check.
+        let (delivered, missing) = sink.into_results();
+        assert_eq!(delivered.len(), n);
+        assert!(missing.is_empty());
     }
 
     #[test]
@@ -358,12 +571,57 @@ mod tests {
         let sink = crate::sink::CountingSink::default();
         let observes = ObserveMap::new();
         let stats = runner.run_prior(&mut pool, &observes, 12, 4, &sink);
-        // The batch completed; nothing was delivered, everything recorded.
+        // The batch completed; nothing was delivered, every index is
+        // accounted for: the sole worker retried its dead program a few
+        // times, retired, and the remaining share was drained as failures.
         assert_eq!(stats.total_executed(), 0);
         assert_eq!(sink.count(), 0);
         assert_eq!(stats.failures.len(), 12);
         assert_eq!(stats.failures[0].0, 0);
-        assert!(stats.failures[0].1.contains("peer disconnected"));
+        assert!(stats.retries > 0, "a failed trace must be retried before giving up: {stats:?}");
+        assert!(!stats.killed);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_on_healthy_workers() {
+        use etalumis_core::{ProbProgram, RunError};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Worker 0's program fails its first two executions then dies for
+        // good; worker 1 is healthy. Every trace must still be delivered,
+        // through retries, with zero recorded failures.
+        static FAILS: AtomicUsize = AtomicUsize::new(0);
+        struct FlakyProgram {
+            healthy: Option<BranchingModel>,
+        }
+        impl ProbProgram for FlakyProgram {
+            fn run(&mut self, ctx: &mut dyn SimCtx) -> Value {
+                self.try_run(ctx).expect("flaky")
+            }
+            fn try_run(&mut self, ctx: &mut dyn SimCtx) -> Result<Value, RunError> {
+                match &mut self.healthy {
+                    Some(m) => m.try_run(ctx),
+                    None => {
+                        FAILS.fetch_add(1, Ordering::SeqCst);
+                        Err(RunError::new("simulator crashed"))
+                    }
+                }
+            }
+        }
+        FAILS.store(0, Ordering::SeqCst);
+        let mut pool = SimulatorPool::from_programs(vec![
+            Box::new(FlakyProgram { healthy: None }),
+            Box::new(FlakyProgram { healthy: Some(BranchingModel::standard()) }),
+        ]);
+        let n = 16;
+        let runner = BatchRunner::new(RuntimeConfig { workers: 2, stealing: true });
+        let sink = CollectSink::new(n);
+        let observes = ObserveMap::new();
+        let stats = runner.run_prior(&mut pool, &observes, n, 8, &sink);
+        assert_eq!(stats.total_executed(), n, "stats: {stats:?}");
+        assert!(stats.failures.is_empty(), "retries must absorb the dead worker: {stats:?}");
+        assert!(stats.retries > 0);
+        assert_eq!(sink.into_traces().len(), n);
+        assert!(FAILS.load(Ordering::SeqCst) > 0, "the dead worker must have been exercised");
     }
 
     #[test]

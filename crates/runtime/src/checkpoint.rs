@@ -1,0 +1,640 @@
+//! Checkpoint/resume for long batch runs.
+//!
+//! The paper's headline datasets take hours across hundreds of nodes
+//! (§4.4); a run that dies at trace 14,999,000 of 15M must not start over.
+//! This module makes sharded dataset generation restartable:
+//!
+//! * [`CheckpointSink`] — a [`TraceSink`] that commits completed traces to
+//!   per-partition shard journals **in batch-index order** and periodically
+//!   writes a [`Checkpoint`] manifest (atomically, via temp-file rename).
+//! * [`Checkpoint`] — the manifest: batch identity (`n`, `seed`, shard
+//!   config), the contiguous committed watermark, permanently failed
+//!   indices, and each partition's [`WriterProgress`].
+//! * [`BatchRunner::resume_from`] — run only the indices a manifest says
+//!   are still owed.
+//!
+//! The invariant the whole design leans on: trace `i` is a pure function of
+//! `(program, seed, i)`, so a killed-and-resumed run re-executes exactly
+//! the uncommitted indices and produces shard files **byte-identical** to
+//! an uninterrupted run. Commit order is batch-index order (not completion
+//! order), which is what makes the shard bytes deterministic in the first
+//! place — the same order `ordered` dataset generation writes.
+//!
+//! Crash-consistency protocol, in write order:
+//!
+//! 1. records append to per-partition journals (`*.partial`) as the
+//!    watermark passes them;
+//! 2. full shards are written to a temp file and renamed into place
+//!    (`ShardWriter::finish`), never truncated mid-write;
+//! 3. the manifest is written to `checkpoint.etck.tmp`, fsynced, renamed;
+//! 4. only *then* are journals superseded by the manifest deleted.
+//!
+//! A crash between any two steps resumes cleanly: the manifest always
+//! references journals/shards that exist, and journal bytes past the
+//! manifest's watermark are truncated away on resume (the re-run rewrites
+//! them identically).
+
+use crate::batch::BatchRunner;
+use crate::sink::{ShardedTraceSink, TraceSink};
+use etalumis_core::Trace;
+use etalumis_data::{Reader, RollingShardWriter, TraceRecord, WriterProgress};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the checkpoint manifest inside a dataset directory.
+pub const MANIFEST_NAME: &str = "checkpoint.etck";
+
+const MANIFEST_MAGIC: &[u8; 4] = b"ETCK";
+const MANIFEST_VERSION: u32 = 1;
+
+/// Knobs for checkpointed runs.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointConfig {
+    /// Commit a manifest every `interval` committed traces (a manifest is
+    /// also forced whenever a shard rolls, so journal deletion stays behind
+    /// the manifest that supersedes it).
+    pub interval: usize,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        Self { interval: 1000 }
+    }
+}
+
+/// The durable state of a checkpointed batch run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Batch size the run was started with.
+    pub n: u64,
+    /// Batch seed (trace `i` runs under `mix_seed(seed, i)`).
+    pub seed: u64,
+    /// Partition count of the sharded sink.
+    pub partitions: u32,
+    /// Records per shard before rolling.
+    pub traces_per_shard: u64,
+    /// Whether records are pruned to the training layout.
+    pub pruned: bool,
+    /// Every index `< watermark` is durably committed (or recorded failed).
+    pub watermark: u64,
+    /// Indices whose retry budget ran out; they stay failed across resumes
+    /// and surface in the final run report.
+    pub failed: Vec<u64>,
+    /// Per-partition writer progress, index = partition.
+    pub parts: Vec<WriterProgress>,
+}
+
+impl Checkpoint {
+    /// The indices a resumed run still owes: `watermark..n`.
+    pub fn remaining(&self) -> Vec<usize> {
+        (self.watermark as usize..self.n as usize).collect()
+    }
+
+    /// Serialize the manifest.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(64 + 8 * self.failed.len() + 24 * self.parts.len());
+        b.extend_from_slice(MANIFEST_MAGIC);
+        b.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        b.extend_from_slice(&self.n.to_le_bytes());
+        b.extend_from_slice(&self.seed.to_le_bytes());
+        b.extend_from_slice(&self.partitions.to_le_bytes());
+        b.extend_from_slice(&self.traces_per_shard.to_le_bytes());
+        b.push(self.pruned as u8);
+        b.extend_from_slice(&self.watermark.to_le_bytes());
+        b.extend_from_slice(&(self.failed.len() as u64).to_le_bytes());
+        for f in &self.failed {
+            b.extend_from_slice(&f.to_le_bytes());
+        }
+        b.extend_from_slice(&(self.parts.len() as u32).to_le_bytes());
+        for p in &self.parts {
+            b.extend_from_slice(&(p.finished as u64).to_le_bytes());
+            b.extend_from_slice(&(p.partial_records as u64).to_le_bytes());
+            b.extend_from_slice(&p.partial_bytes.to_le_bytes());
+        }
+        b
+    }
+
+    /// Deserialize a manifest (strict: bad magic/version/truncation error).
+    pub fn decode(buf: &[u8]) -> io::Result<Self> {
+        fn bad(msg: &str) -> io::Error {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corrupt checkpoint manifest: {msg}"),
+            )
+        }
+        let r = &mut Reader::new(buf);
+        let ctx = |_| bad("truncated");
+        if r.take(4).map_err(ctx)? != MANIFEST_MAGIC {
+            return Err(bad("bad magic"));
+        }
+        if r.u32().map_err(ctx)? != MANIFEST_VERSION {
+            return Err(bad("unsupported version"));
+        }
+        let n = r.u64().map_err(ctx)?;
+        let seed = r.u64().map_err(ctx)?;
+        let partitions = r.u32().map_err(ctx)?;
+        let traces_per_shard = r.u64().map_err(ctx)?;
+        let pruned = r.u8().map_err(ctx)? != 0;
+        let watermark = r.u64().map_err(ctx)?;
+        let n_failed = r.u64().map_err(ctx)? as usize;
+        if n_failed > buf.len() / 8 {
+            return Err(bad("failed-list length exceeds the manifest"));
+        }
+        let mut failed = Vec::with_capacity(n_failed);
+        for _ in 0..n_failed {
+            failed.push(r.u64().map_err(ctx)?);
+        }
+        let n_parts = r.u32().map_err(ctx)? as usize;
+        if n_parts > buf.len() / 24 {
+            return Err(bad("partition count exceeds the manifest"));
+        }
+        let mut parts = Vec::with_capacity(n_parts);
+        for _ in 0..n_parts {
+            parts.push(WriterProgress {
+                finished: r.u64().map_err(ctx)? as usize,
+                partial_records: r.u64().map_err(ctx)? as usize,
+                partial_bytes: r.u64().map_err(ctx)?,
+            });
+        }
+        Ok(Self { n, seed, partitions, traces_per_shard, pruned, watermark, failed, parts })
+    }
+
+    /// Load the manifest from a dataset directory (`None` if absent — a
+    /// fresh run).
+    pub fn load(dir: &Path) -> io::Result<Option<Self>> {
+        let path = dir.join(MANIFEST_NAME);
+        let mut buf = Vec::new();
+        match File::open(&path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut buf)?;
+                Self::decode(&buf).map(Some)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Atomically write the manifest into `dir`: temp file, fsync, rename.
+    /// A crash at any point leaves either the previous manifest or this one
+    /// — never a torn file.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+        let mut f = File::create(&tmp)?;
+        f.write_all(&self.encode())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, dir.join(MANIFEST_NAME))?;
+        // Make the rename itself durable where the platform allows it.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+}
+
+/// Shard-layout parameters a [`CheckpointSink`] needs (mirrors the relevant
+/// fields of `DatasetGenConfig`).
+#[derive(Clone, Copy, Debug)]
+pub struct ShardLayout {
+    /// Batch size.
+    pub n: usize,
+    /// Batch seed.
+    pub seed: u64,
+    /// Trace-type hash partitions.
+    pub partitions: usize,
+    /// Records per shard before rolling.
+    pub traces_per_shard: usize,
+    /// Prune records to the training layout.
+    pub pruned: bool,
+}
+
+struct CkState {
+    watermark: usize,
+    /// Completed (Some) or permanently failed (None) indices beyond the
+    /// watermark, waiting for the prefix to close.
+    pending: BTreeMap<usize, Option<TraceRecord>>,
+    writers: Vec<RollingShardWriter>,
+    failed: Vec<u64>,
+    since_manifest: usize,
+    /// Finished-shard counts at the last manifest write (to force a
+    /// manifest after any roll).
+    finished_counts: Vec<usize>,
+    /// First I/O error; everything after it is dropped and the error
+    /// surfaces at finalize.
+    error: Option<io::Error>,
+}
+
+/// A [`TraceSink`] that makes a sharded batch run restartable.
+///
+/// Completed traces are held in a reorder buffer until every lower index
+/// has arrived, then committed to their partition's journal in batch-index
+/// order; every [`CheckpointConfig::interval`] commits (and after every
+/// shard roll) a [`Checkpoint`] manifest is atomically written. Kill the
+/// process at any instant, call [`CheckpointSink::resume`], rerun the
+/// remaining indices, and the final shard files are byte-identical to an
+/// uninterrupted run's.
+pub struct CheckpointSink {
+    dir: PathBuf,
+    layout: ShardLayout,
+    interval: usize,
+    /// Reorder-buffer backpressure: a worker delivering an index more than
+    /// `window` past the watermark waits (briefly, bounded) for the prefix
+    /// to catch up. This bounds checkpoint lag and the buffer's memory —
+    /// without it, staggered worker start-up lets fast workers race
+    /// thousands of indices ahead of the commit watermark.
+    window: usize,
+    state: Mutex<CkState>,
+}
+
+impl CheckpointSink {
+    /// A sink for a fresh run.
+    pub fn new(dir: impl AsRef<Path>, layout: ShardLayout, ckpt: &CheckpointConfig) -> Self {
+        let partitions = layout.partitions.max(1);
+        let writers = (0..partitions)
+            .map(|p| {
+                RollingShardWriter::new(
+                    dir.as_ref(),
+                    ShardedTraceSink::partition_prefix(p),
+                    layout.traces_per_shard,
+                    true,
+                )
+                .durable()
+            })
+            .collect();
+        Self {
+            dir: dir.as_ref().to_path_buf(),
+            layout: ShardLayout { partitions, ..layout },
+            interval: ckpt.interval.max(1),
+            window: ckpt.interval.max(1) * 2 + 64,
+            state: Mutex::new(CkState {
+                watermark: 0,
+                pending: BTreeMap::new(),
+                writers,
+                failed: Vec::new(),
+                since_manifest: 0,
+                finished_counts: vec![0; partitions],
+                error: None,
+            }),
+        }
+    }
+
+    /// Rebuild a sink from a loaded [`Checkpoint`] manifest (see
+    /// [`Checkpoint::load`]), validating it against the run's layout; the
+    /// manifest's [`Checkpoint::remaining`] is the work still owed.
+    pub fn resume(
+        dir: impl AsRef<Path>,
+        layout: ShardLayout,
+        ckpt: &CheckpointConfig,
+        manifest: &Checkpoint,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        let partitions = layout.partitions.max(1);
+        if manifest.n != layout.n as u64
+            || manifest.seed != layout.seed
+            || manifest.partitions != partitions as u32
+            || manifest.traces_per_shard != layout.traces_per_shard as u64
+            || manifest.pruned != layout.pruned
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "checkpoint manifest does not match the requested run \
+                     (manifest: n={} seed={} partitions={} shard={} pruned={}; \
+                     requested: n={} seed={} partitions={} shard={} pruned={})",
+                    manifest.n,
+                    manifest.seed,
+                    manifest.partitions,
+                    manifest.traces_per_shard,
+                    manifest.pruned,
+                    layout.n,
+                    layout.seed,
+                    partitions,
+                    layout.traces_per_shard,
+                    layout.pruned
+                ),
+            ));
+        }
+        if manifest.parts.len() != partitions {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint manifest is internally inconsistent: partitions={} but {} \
+                     per-partition progress entries",
+                    manifest.partitions,
+                    manifest.parts.len()
+                ),
+            ));
+        }
+        if manifest.watermark > manifest.n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint manifest is internally inconsistent: watermark {} exceeds n {}",
+                    manifest.watermark, manifest.n
+                ),
+            ));
+        }
+        let mut writers = Vec::with_capacity(partitions);
+        let mut finished_counts = Vec::with_capacity(partitions);
+        for (p, progress) in manifest.parts.iter().enumerate() {
+            writers.push(RollingShardWriter::resume_durable(
+                dir,
+                ShardedTraceSink::partition_prefix(p),
+                layout.traces_per_shard,
+                true,
+                *progress,
+            )?);
+            finished_counts.push(progress.finished);
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            layout: ShardLayout { partitions, ..layout },
+            interval: ckpt.interval.max(1),
+            window: ckpt.interval.max(1) * 2 + 64,
+            state: Mutex::new(CkState {
+                watermark: manifest.watermark as usize,
+                pending: BTreeMap::new(),
+                writers,
+                failed: manifest.failed.clone(),
+                since_manifest: 0,
+                finished_counts,
+                error: None,
+            }),
+        })
+    }
+
+    fn manifest_of(&self, state: &CkState) -> Checkpoint {
+        Checkpoint {
+            n: self.layout.n as u64,
+            seed: self.layout.seed,
+            partitions: self.layout.partitions as u32,
+            traces_per_shard: self.layout.traces_per_shard as u64,
+            pruned: self.layout.pruned,
+            watermark: state.watermark as u64,
+            failed: state.failed.clone(),
+            parts: state.writers.iter().map(|w| w.progress()).collect(),
+        }
+    }
+
+    /// Commit the closed prefix, then write a manifest if due. Any I/O error
+    /// poisons the sink (first error wins, surfaced at finalize).
+    fn advance(&self, state: &mut CkState) {
+        if state.error.is_some() {
+            return;
+        }
+        let result = (|| -> io::Result<()> {
+            while let Some(entry) = state.pending.remove(&state.watermark) {
+                if let Some(rec) = entry {
+                    let p = ShardedTraceSink::partition_of(rec.trace_type, self.layout.partitions);
+                    state.writers[p].push(rec)?;
+                }
+                state.watermark += 1;
+                state.since_manifest += 1;
+            }
+            let rolled = state
+                .writers
+                .iter()
+                .zip(&state.finished_counts)
+                .any(|(w, &f)| w.progress().finished != f);
+            if rolled || state.since_manifest >= self.interval {
+                // The manifest must not reference journal bytes the disk
+                // has not acknowledged: fsync dirty journals first.
+                for w in state.writers.iter_mut() {
+                    w.sync_journal()?;
+                }
+                self.manifest_of(state).save(&self.dir)?;
+                state.since_manifest = 0;
+                for (p, w) in state.writers.iter_mut().enumerate() {
+                    state.finished_counts[p] = w.progress().finished;
+                    // Safe only now: the freshly renamed manifest no longer
+                    // references these journals.
+                    for j in w.take_obsolete_journals() {
+                        let _ = std::fs::remove_file(j);
+                    }
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            state.error = Some(e);
+        }
+    }
+
+    /// Flush everything, write no further manifests, delete the manifest
+    /// and journals, and return the final shard paths (partition order,
+    /// then roll order) — the run is complete.
+    pub fn finalize(self) -> io::Result<Vec<PathBuf>> {
+        let state = self.state.into_inner();
+        if let Some(e) = state.error {
+            return Err(e);
+        }
+        if !state.pending.is_empty() {
+            return Err(io::Error::other(format!(
+                "{} trace(s) neither delivered nor failed at finalize (first: {:?})",
+                state.pending.len(),
+                state.pending.keys().next()
+            )));
+        }
+        // Ordering matters for crash consistency: flush every shard while
+        // keeping the journals, delete the manifest, and only then delete
+        // the journals it referenced. A crash before the manifest removal
+        // resumes cleanly (journals intact); a crash after it degrades to
+        // a fresh deterministic re-run, never an unresumable state.
+        let mut paths = Vec::new();
+        let mut journals = Vec::new();
+        for w in state.writers {
+            let (shards, js) = w.finish_keeping_journals()?;
+            paths.extend(shards);
+            journals.extend(js);
+        }
+        std::fs::remove_file(self.dir.join(MANIFEST_NAME)).or_else(|e| {
+            if e.kind() == io::ErrorKind::NotFound {
+                Ok(())
+            } else {
+                Err(e)
+            }
+        })?;
+        for j in journals {
+            let _ = std::fs::remove_file(j);
+        }
+        Ok(paths)
+    }
+
+    /// The failed indices recorded so far (including ones inherited from
+    /// the manifest a resumed run started from).
+    pub fn failed(&self) -> Vec<u64> {
+        self.state.lock().failed.clone()
+    }
+
+    /// The current commit watermark (test/diagnostic hook).
+    pub fn watermark(&self) -> usize {
+        self.state.lock().watermark
+    }
+}
+
+impl TraceSink for CheckpointSink {
+    fn accept(&self, index: usize, trace: Trace) {
+        let rec = TraceRecord::from_trace(&trace, self.layout.pruned);
+        // Backpressure: wait (bounded) while this index is too far past
+        // the watermark. The wait can never deadlock — the worker owning
+        // the watermark index pops its indices in ascending order, so it is
+        // never itself waiting on a higher index — but it is capped anyway
+        // so a pathologically descheduled worker only costs memory, not
+        // liveness.
+        let mut waits = 0u32;
+        loop {
+            let mut state = self.state.lock();
+            if index < state.watermark {
+                return; // already durable (can only happen on operator error)
+            }
+            let far_ahead = index > state.watermark + self.window;
+            if !far_ahead || state.error.is_some() || waits >= 4000 {
+                // A successful delivery heals an earlier reject of the same
+                // index (a resumed run re-executes manifest-failed indices
+                // that sit above the watermark; if the rerun succeeds the
+                // failure must not outlive it).
+                if let Ok(pos) = state.failed.binary_search(&(index as u64)) {
+                    state.failed.remove(pos);
+                }
+                state.pending.insert(index, Some(rec));
+                self.advance(&mut state);
+                return;
+            }
+            drop(state);
+            waits += 1;
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+
+    fn reject(&self, index: usize, _error: &str) {
+        let mut state = self.state.lock();
+        if index < state.watermark {
+            return;
+        }
+        state.failed.push(index as u64);
+        state.failed.sort_unstable();
+        state.failed.dedup();
+        state.pending.insert(index, None);
+        self.advance(&mut state);
+    }
+}
+
+impl BatchRunner {
+    /// Configure the runner to execute only the work a [`Checkpoint`] says
+    /// is still owed (equivalent to `with_tasks(manifest.remaining())`).
+    pub fn resume_from(self, manifest: &Checkpoint) -> Self {
+        self.with_tasks(manifest.remaining())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrips() {
+        let ck = Checkpoint {
+            n: 15_000_000,
+            seed: 0xDEAD_BEEF,
+            partitions: 4,
+            traces_per_shard: 100_000,
+            pruned: true,
+            watermark: 14_999_000,
+            failed: vec![3, 77, 1_000_000],
+            parts: vec![
+                WriterProgress { finished: 37, partial_records: 12, partial_bytes: 34_567 },
+                WriterProgress { finished: 36, partial_records: 0, partial_bytes: 0 },
+                WriterProgress { finished: 38, partial_records: 99_999, partial_bytes: 1 << 30 },
+                WriterProgress { finished: 35, partial_records: 5, partial_bytes: 555 },
+            ],
+        };
+        let bytes = ck.encode();
+        assert_eq!(Checkpoint::decode(&bytes).unwrap(), ck);
+        // Every truncated prefix errors instead of panicking.
+        for cut in 0..bytes.len() {
+            assert!(Checkpoint::decode(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+        }
+        // Corrupt magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(Checkpoint::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn manifest_save_load_is_atomic_and_idempotent() {
+        let dir = std::env::temp_dir().join(format!("etalumis_ck_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(Checkpoint::load(&dir.join("nope")).unwrap(), None);
+        let ck = Checkpoint {
+            n: 100,
+            seed: 7,
+            partitions: 2,
+            traces_per_shard: 10,
+            pruned: true,
+            watermark: 42,
+            failed: vec![],
+            parts: vec![WriterProgress::default(); 2],
+        };
+        ck.save(&dir).unwrap();
+        assert_eq!(Checkpoint::load(&dir).unwrap(), Some(ck.clone()));
+        // Overwrite with a later manifest; no temp file left behind.
+        let later = Checkpoint { watermark: 90, ..ck };
+        later.save(&dir).unwrap();
+        assert_eq!(Checkpoint::load(&dir).unwrap(), Some(later));
+        assert!(!dir.join(format!("{MANIFEST_NAME}.tmp")).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn successful_rerun_heals_an_earlier_reject() {
+        use etalumis_core::Executor;
+        use etalumis_simulators::BranchingModel;
+        let dir = std::env::temp_dir().join(format!("etalumis_ck_heal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let layout =
+            ShardLayout { n: 6, seed: 1, partitions: 1, traces_per_shard: 10, pruned: true };
+        let sink = CheckpointSink::new(&dir, layout, &CheckpointConfig::default());
+        let mut m = BranchingModel::standard();
+        // Index 5 fails while the prefix is still open (watermark 0), then a
+        // retry (or a resumed run) delivers it successfully.
+        sink.reject(5, "simulator died");
+        assert_eq!(sink.failed(), vec![5]);
+        sink.accept(5, Executor::sample_prior(&mut m, 5));
+        assert!(sink.failed().is_empty(), "a successful rerun must clear the failure");
+        for i in 0..5 {
+            sink.accept(i, Executor::sample_prior(&mut m, i as u64));
+        }
+        assert_eq!(sink.watermark(), 6);
+        let paths = sink.finalize().unwrap();
+        assert_eq!(paths.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_layout() {
+        let dir = std::env::temp_dir().join(format!("etalumis_ck_mm_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let layout =
+            ShardLayout { n: 50, seed: 3, partitions: 2, traces_per_shard: 10, pruned: true };
+        let sink = CheckpointSink::new(&dir, layout, &CheckpointConfig::default());
+        // Force a manifest to disk.
+        sink.manifest_of(&sink.state.lock()).save(&dir).unwrap();
+        let wrong_seed = ShardLayout { seed: 4, ..layout };
+        let manifest = Checkpoint::load(&dir).unwrap().unwrap();
+        let err = CheckpointSink::resume(&dir, wrong_seed, &CheckpointConfig::default(), &manifest)
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // Internally inconsistent manifests are rejected too: a watermark
+        // past n would silently truncate the dataset if honored.
+        let over = Checkpoint { watermark: layout.n as u64 + 1, ..manifest.clone() };
+        let err = CheckpointSink::resume(&dir, layout, &CheckpointConfig::default(), &over)
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -8,7 +8,8 @@
 //! `etalumis-data` shard files partitioned by trace type. The serial
 //! `etalumis_data::generate_dataset` remains the 1-worker reference path.
 
-use crate::batch::{BatchRunner, RunStats, RuntimeConfig};
+use crate::batch::{BatchRunner, KillSwitch, RunStats, RuntimeConfig};
+use crate::checkpoint::{Checkpoint, CheckpointConfig, CheckpointSink, ShardLayout};
 use crate::oversub::MuxSimulatorPool;
 use crate::pool::SimulatorPool;
 use crate::sink::{ShardedTraceSink, TraceSink};
@@ -16,6 +17,7 @@ use etalumis_core::{ObserveMap, ProbProgram, Trace};
 use etalumis_data::{RollingShardWriter, TraceDataset, TraceRecord};
 use parking_lot::Mutex;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Knobs for [`generate_dataset_parallel`].
 #[derive(Clone, Copy, Debug)]
@@ -94,9 +96,22 @@ fn generate_with(
                 )
             })
             .collect();
+        // Undelivered slots past the failure check would mean an accounting
+        // bug in the runner; surface it as an error, not a panic.
+        let mut missing = Vec::new();
         for (i, slot) in sink.slots.into_inner().into_iter().enumerate() {
-            let rec = slot.unwrap_or_else(|| panic!("trace {i} never delivered"));
-            writers[ShardedTraceSink::partition_of(rec.trace_type, partitions)].push(rec)?;
+            match slot {
+                Some(rec) => {
+                    writers[ShardedTraceSink::partition_of(rec.trace_type, partitions)].push(rec)?
+                }
+                None => missing.push(i),
+            }
+        }
+        if let Some(&first) = missing.first() {
+            return Err(std::io::Error::other(format!(
+                "{} trace(s) were neither delivered nor recorded as failed (first: {first})",
+                missing.len()
+            )));
         }
         let mut paths = Vec::new();
         for w in writers {
@@ -156,6 +171,122 @@ pub fn generate_dataset_mux(
     let runner = BatchRunner::new(RuntimeConfig { workers, stealing: true });
     let observes = ObserveMap::new();
     generate_with(|sink| runner.run_mux_prior(pool, &observes, cfg.n, cfg.seed, sink), cfg, dir)
+}
+
+impl DatasetGenConfig {
+    /// The shard-layout slice of this config (what a checkpoint validates).
+    pub fn layout(&self) -> ShardLayout {
+        ShardLayout {
+            n: self.n,
+            seed: self.seed,
+            partitions: self.partitions.max(1),
+            traces_per_shard: self.traces_per_shard,
+            pruned: self.pruned,
+        }
+    }
+}
+
+/// Shared driver for the checkpointed generators: build or resume the
+/// [`CheckpointSink`], run the remaining indices, surface kills and
+/// failures, finalize.
+fn generate_resumable_with(
+    run: impl FnOnce(&BatchRunner, &CheckpointSink) -> RunStats,
+    runner: BatchRunner,
+    cfg: &DatasetGenConfig,
+    dir: &Path,
+    ckpt: &CheckpointConfig,
+    kill: Option<Arc<KillSwitch>>,
+) -> std::io::Result<TraceDataset> {
+    let layout = cfg.layout();
+    let (sink, remaining) = match Checkpoint::load(dir)? {
+        Some(manifest) => {
+            let sink = CheckpointSink::resume(dir, layout, ckpt, &manifest)?;
+            (sink, manifest.remaining())
+        }
+        None => (CheckpointSink::new(dir, layout, ckpt), (0..cfg.n).collect()),
+    };
+    let mut runner = runner.with_tasks(remaining);
+    if let Some(k) = kill {
+        runner = runner.with_kill_switch(k);
+    }
+    let stats = run(&runner, &sink);
+    if stats.killed {
+        // Simulated process death: leave the manifest + journals exactly as
+        // they stand; the same call resumes the run.
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            format!(
+                "dataset generation killed at watermark {} of {} (resume with the same call)",
+                sink.watermark(),
+                cfg.n
+            ),
+        ));
+    }
+    let failed = sink.failed();
+    if !failed.is_empty() {
+        return Err(std::io::Error::other(format!(
+            "{} trace(s) failed permanently during checkpointed generation (first: trace {})",
+            failed.len(),
+            failed[0]
+        )));
+    }
+    fail_on_failures(&stats)?;
+    TraceDataset::open(sink.finalize()?)
+}
+
+/// Checkpointed, restartable [`generate_dataset_parallel`].
+///
+/// Every [`CheckpointConfig::interval`] committed traces a manifest is
+/// atomically written next to the shards; if the process dies (or the
+/// optional `kill` switch fires — the test hook simulating `SIGKILL`),
+/// calling this function again with the same arguments resumes from the
+/// manifest and produces shard files **byte-identical** to an uninterrupted
+/// run. Shards are written in batch-index order per partition (the same
+/// bytes `cfg.ordered` generation produces) regardless of worker count.
+pub fn generate_dataset_resumable<P, F>(
+    factory: F,
+    cfg: &DatasetGenConfig,
+    dir: &Path,
+    ckpt: &CheckpointConfig,
+    kill: Option<Arc<KillSwitch>>,
+) -> std::io::Result<TraceDataset>
+where
+    P: ProbProgram + Send + 'static,
+    F: Fn(usize) -> P,
+{
+    let workers = RuntimeConfig { workers: cfg.workers, ..Default::default() }.resolved_workers();
+    let mut pool = SimulatorPool::from_factory(workers, factory);
+    let observes = ObserveMap::new();
+    generate_resumable_with(
+        |runner, sink| runner.run_prior(&mut pool, &observes, cfg.n, cfg.seed, sink),
+        BatchRunner::new(RuntimeConfig { workers, stealing: true }),
+        cfg,
+        dir,
+        ckpt,
+        kill,
+    )
+}
+
+/// Checkpointed, restartable [`generate_dataset_mux`]: the same manifest
+/// protocol over a multiplexed remote-session pool, composing with the
+/// pool's mid-batch session respawn.
+pub fn generate_dataset_mux_resumable(
+    pool: &mut MuxSimulatorPool,
+    cfg: &DatasetGenConfig,
+    dir: &Path,
+    ckpt: &CheckpointConfig,
+    kill: Option<Arc<KillSwitch>>,
+) -> std::io::Result<TraceDataset> {
+    let workers = if cfg.workers == 0 { pool.len() } else { cfg.workers.min(pool.len()) };
+    let observes = ObserveMap::new();
+    generate_resumable_with(
+        |runner, sink| runner.run_mux_prior(pool, &observes, cfg.n, cfg.seed, sink),
+        BatchRunner::new(RuntimeConfig { workers, stealing: true }),
+        cfg,
+        dir,
+        ckpt,
+        kill,
+    )
 }
 
 #[cfg(test)]
@@ -251,6 +382,143 @@ mod tests {
         }
         std::fs::remove_dir_all(&dir_local).unwrap();
         std::fs::remove_dir_all(&dir_mux).unwrap();
+    }
+
+    fn assert_same_shard_bytes(a: &TraceDataset, b: &TraceDataset, label: &str) {
+        assert_eq!(a.shards.len(), b.shards.len(), "{label}: shard count");
+        for (x, y) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(x.file_name(), y.file_name(), "{label}");
+            assert_eq!(
+                std::fs::read(x).unwrap(),
+                std::fs::read(y).unwrap(),
+                "{label}: shard {x:?} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn resumable_generation_matches_ordered_generation_byte_for_byte() {
+        let dir_ord = tmpdir("ck_ord");
+        let dir_ck = tmpdir("ck_run");
+        let cfg = DatasetGenConfig {
+            n: 90,
+            traces_per_shard: 16,
+            partitions: 3,
+            seed: 27,
+            workers: 4,
+            ordered: true,
+            ..Default::default()
+        };
+        let ordered =
+            generate_dataset_parallel(|_| BranchingModel::standard(), &cfg, &dir_ord).unwrap();
+        // An uninterrupted checkpointed run writes the same bytes: commit
+        // order is batch-index order, exactly like ordered mode.
+        let ck = generate_dataset_resumable(
+            |_| BranchingModel::standard(),
+            &cfg,
+            &dir_ck,
+            &CheckpointConfig { interval: 10 },
+            None,
+        )
+        .unwrap();
+        assert_eq!(ck.len(), 90);
+        assert_same_shard_bytes(&ck, &ordered, "checkpointed vs ordered");
+        // Nothing transient is left behind: no manifest, no journals.
+        assert!(!dir_ck.join(crate::MANIFEST_NAME).exists());
+        assert!(std::fs::read_dir(&dir_ck).unwrap().all(|e| e
+            .unwrap()
+            .path()
+            .extension()
+            .unwrap()
+            == "etlm"));
+        std::fs::remove_dir_all(&dir_ord).unwrap();
+        std::fs::remove_dir_all(&dir_ck).unwrap();
+    }
+
+    #[test]
+    fn killed_and_resumed_generation_is_byte_identical_to_uninterrupted() {
+        let cfg = DatasetGenConfig {
+            n: 80,
+            traces_per_shard: 8,
+            partitions: 2,
+            seed: 55,
+            workers: 3,
+            ..Default::default()
+        };
+        let ckpt = CheckpointConfig { interval: 7 };
+        let dir_ref = tmpdir("kill_ref");
+        let reference =
+            generate_dataset_resumable(|_| BranchingModel::standard(), &cfg, &dir_ref, &ckpt, None)
+                .unwrap();
+
+        for kill_at in [1usize, 13, 40, 79] {
+            let dir = tmpdir(&format!("kill_{kill_at}"));
+            let kill = Arc::new(KillSwitch::after(kill_at));
+            let err = generate_dataset_resumable(
+                |_| BranchingModel::standard(),
+                &cfg,
+                &dir,
+                &ckpt,
+                Some(kill),
+            )
+            .map(|_| ())
+            .expect_err("the kill switch must abort the run");
+            assert_eq!(err.kind(), std::io::ErrorKind::Interrupted, "kill_at={kill_at}");
+            // Resume: same call, no kill switch.
+            let resumed =
+                generate_dataset_resumable(|_| BranchingModel::standard(), &cfg, &dir, &ckpt, None)
+                    .unwrap();
+            assert_eq!(resumed.len(), cfg.n, "kill_at={kill_at}");
+            assert_same_shard_bytes(&resumed, &reference, &format!("kill_at={kill_at}"));
+            assert!(!dir.join(crate::MANIFEST_NAME).exists());
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        std::fs::remove_dir_all(&dir_ref).unwrap();
+    }
+
+    #[test]
+    fn mux_resumable_generation_survives_kill_and_matches_local() {
+        use etalumis_ppx::{InProcMuxEndpoint, MuxEndpoint, SimulatorServer};
+        let cfg = DatasetGenConfig {
+            n: 40,
+            traces_per_shard: 8,
+            partitions: 2,
+            seed: 19,
+            workers: 1,
+            ..Default::default()
+        };
+        let ckpt = CheckpointConfig { interval: 5 };
+        let dir_ref = tmpdir("muxck_ref");
+        let reference =
+            generate_dataset_resumable(|_| BranchingModel::standard(), &cfg, &dir_ref, &ckpt, None)
+                .unwrap();
+
+        let connect = || {
+            crate::MuxSimulatorPool::connect(4, "etalumis-rs", |_| {
+                let (ep, sim_side) = InProcMuxEndpoint::pair();
+                std::thread::spawn(move || {
+                    let mut server = SimulatorServer::new("ds", BranchingModel::standard());
+                    let mut t = sim_side;
+                    let _ = server.serve(&mut t);
+                });
+                Ok(Box::new(ep) as Box<dyn MuxEndpoint>)
+            })
+            .unwrap()
+        };
+        let dir = tmpdir("muxck_run");
+        let mut pool = connect();
+        let kill = Arc::new(KillSwitch::after(17));
+        let err = generate_dataset_mux_resumable(&mut pool, &cfg, &dir, &ckpt, Some(kill))
+            .map(|_| ())
+            .expect_err("kill must abort");
+        assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+        // Resume over a *fresh* pool — the old process is "dead".
+        let mut pool = connect();
+        let resumed = generate_dataset_mux_resumable(&mut pool, &cfg, &dir, &ckpt, None).unwrap();
+        assert_eq!(resumed.len(), cfg.n);
+        assert_same_shard_bytes(&resumed, &reference, "mux killed+resumed vs local");
+        std::fs::remove_dir_all(&dir_ref).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! [`ProbProgram`]: etalumis_core::ProbProgram
 
 pub mod batch;
+pub mod checkpoint;
 pub mod dataset;
 pub mod oversub;
 pub mod pool;
@@ -39,11 +40,15 @@ pub mod scheduler;
 pub mod sink;
 
 pub use batch::{
-    mix_seed, BatchRunner, PriorProposerFactory, ProposerFactory, RunStats, RuntimeConfig,
-    WorkerReport,
+    mix_seed, BatchRunner, KillSwitch, PriorProposerFactory, ProposerFactory, RetryPolicy,
+    RunStats, RuntimeConfig, WorkerReport,
 };
-pub use dataset::{generate_dataset_mux, generate_dataset_parallel, DatasetGenConfig};
-pub use oversub::MuxSimulatorPool;
+pub use checkpoint::{Checkpoint, CheckpointConfig, CheckpointSink, ShardLayout, MANIFEST_NAME};
+pub use dataset::{
+    generate_dataset_mux, generate_dataset_mux_resumable, generate_dataset_parallel,
+    generate_dataset_resumable, DatasetGenConfig,
+};
+pub use oversub::{MuxSimulatorPool, ReconnectPolicy};
 pub use pool::SimulatorPool;
 pub use scheduler::TaskQueues;
 pub use sink::{CollectSink, CountingSink, ShardedTraceSink, TraceSink};

@@ -16,13 +16,14 @@
 //! is bit-identical for any worker count M, any session count K, and any
 //! readiness interleaving. Only the wall-clock changes.
 
-use crate::batch::{mix_seed, BatchRunner, ProposerFactory, RunStats, WorkerReport};
+use crate::batch::{mix_seed, BatchRunner, ProposerFactory, RetryTable, RunStats, WorkerReport};
 use crate::scheduler::TaskQueues;
 use crate::sink::TraceSink;
 use etalumis_core::{ObserveMap, StepExecutor};
 use etalumis_distributions::Value;
 use etalumis_ppx::{
-    Mux, MuxEndpoint, MuxEvent, PpxError, Serviced, Session, SessionAction, TcpMuxEndpoint,
+    Mux, MuxEndpoint, MuxEvent, PpxError, Serviced, Session, SessionAction, SessionState,
+    TcpMuxEndpoint,
 };
 use std::io;
 use std::sync::Arc;
@@ -31,23 +32,67 @@ use std::time::{Duration, Instant};
 /// How long a worker sleeps when a poll sweep makes no progress.
 const IDLE_BACKOFF: Duration = Duration::from_micros(20);
 
+/// The factory a pool keeps so dead sessions can be re-established
+/// mid-batch: `make_endpoint(slot)` produces a fresh transport to the
+/// simulator fleet.
+pub type EndpointFactory = dyn Fn(usize) -> io::Result<Box<dyn MuxEndpoint>> + Send + Sync;
+
+/// How a [`MuxSimulatorPool`] reacts when a session dies mid-batch.
+///
+/// A dead session's in-flight trace index is requeued (per-trace seeding
+/// makes the rerun bit-identical), and the session slot is re-established
+/// through the pool's stored endpoint factory: fresh endpoint, fresh
+/// handshake, capped retries with exponential backoff. Respawning is
+/// non-blocking — a worker keeps servicing its healthy sessions while a
+/// slot waits out its backoff.
+#[derive(Clone, Copy, Debug)]
+pub struct ReconnectPolicy {
+    /// Times one session slot may be respawned during a batch before it is
+    /// retired for good.
+    pub max_respawns: u32,
+    /// Backoff before the first respawn attempt; doubles per consecutive
+    /// failure of the same slot.
+    pub backoff: Duration,
+    /// How long a respawned session may sit in its handshake before the
+    /// attempt is treated as a connection death (a peer that accepts the
+    /// transport but never replies must not hang the batch).
+    pub handshake_timeout: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        Self {
+            max_respawns: 3,
+            backoff: Duration::from_millis(2),
+            handshake_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
 /// K connected, handshaked PPX simulator sessions awaiting multiplexed
 /// execution.
 ///
 /// Unlike [`crate::SimulatorPool`], the session count is independent of the
 /// worker count: [`BatchRunner::run_mux`] drives K sessions from any
-/// M ≤ K threads.
+/// M ≤ K threads. The pool remembers how its endpoints were made, so a
+/// session that dies mid-batch is respawned in place (see
+/// [`ReconnectPolicy`]) instead of permanently failing its share of the
+/// work.
 pub struct MuxSimulatorPool {
     sessions: Vec<(Box<dyn MuxEndpoint>, Session)>,
     model_name: String,
+    make_endpoint: Arc<EndpointFactory>,
+    system_name: String,
+    policy: ReconnectPolicy,
 }
 
 impl MuxSimulatorPool {
     /// Connect `k` sessions over endpoints from `make_endpoint(i)` and
-    /// drive every handshake to completion on the calling thread.
-    pub fn connect<F>(k: usize, system_name: &str, mut make_endpoint: F) -> Result<Self, PpxError>
+    /// drive every handshake to completion on the calling thread. The
+    /// factory is retained for mid-batch session respawn.
+    pub fn connect<F>(k: usize, system_name: &str, make_endpoint: F) -> Result<Self, PpxError>
     where
-        F: FnMut(usize) -> io::Result<Box<dyn MuxEndpoint>>,
+        F: Fn(usize) -> io::Result<Box<dyn MuxEndpoint>> + Send + Sync + 'static,
     {
         let k = k.max(1);
         let mut mux = Mux::new();
@@ -81,15 +126,35 @@ impl MuxSimulatorPool {
                 std::thread::sleep(IDLE_BACKOFF);
             }
         }
-        Ok(Self { sessions: mux.into_parts(), model_name })
+        Ok(Self {
+            sessions: mux.into_parts(),
+            model_name,
+            make_endpoint: Arc::new(make_endpoint),
+            system_name: system_name.to_string(),
+            policy: ReconnectPolicy::default(),
+        })
     }
 
     /// Connect `k` TCP sessions to one listening multi-client server (see
     /// `etalumis_ppx::serve_listener`).
     pub fn connect_tcp(k: usize, addr: &str, system_name: &str) -> Result<Self, PpxError> {
-        Self::connect(k, system_name, |_| {
-            TcpMuxEndpoint::connect(addr).map(|e| Box::new(e) as Box<dyn MuxEndpoint>)
+        let addr = addr.to_string();
+        Self::connect(k, system_name, move |_| {
+            TcpMuxEndpoint::connect(&addr).map(|e| Box::new(e) as Box<dyn MuxEndpoint>)
         })
+    }
+
+    /// Override the session [`ReconnectPolicy`] (respawn budget + backoff).
+    /// `max_respawns = 0` disables respawning: a dead session stays dead
+    /// and only the trace-retry machinery remains.
+    pub fn with_reconnect_policy(mut self, policy: ReconnectPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The pool's session reconnect policy.
+    pub fn reconnect_policy(&self) -> ReconnectPolicy {
+        self.policy
     }
 
     /// Number of pooled sessions (K).
@@ -113,20 +178,49 @@ impl MuxSimulatorPool {
     }
 }
 
+/// Where one session slot stands in its connection lifecycle.
+enum SlotConn {
+    /// Handshaked and usable; holds the slot's current reactor conn id.
+    Ready(usize),
+    /// A (re)spawned endpoint whose handshake is in flight.
+    Handshaking {
+        /// Reactor conn id.
+        conn: usize,
+        /// When the handshake is abandoned as a connection death.
+        deadline: Instant,
+    },
+    /// The connection died; a respawn attempt is scheduled.
+    Backoff {
+        /// Earliest instant of the next attempt.
+        at: Instant,
+    },
+    /// Respawn budget exhausted — the slot is out of the batch.
+    Retired,
+}
+
 /// One session slot inside a worker's reactor.
 struct Slot {
     /// Position of this session in the pool (for reassembly after the run).
     global: usize,
+    conn: SlotConn,
+    /// Respawn attempts consumed by this slot (bounded by
+    /// [`ReconnectPolicy::max_respawns`]).
+    respawn_attempts: u32,
     /// The session's proposer, parked between traces.
     proposer: Option<Box<dyn etalumis_core::Proposer + Send>>,
     /// The in-flight trace: `(batch index, executor)`.
     active: Option<(usize, StepExecutor)>,
+    /// The last dead `(endpoint, session)` pair, kept so a retired slot can
+    /// still hand *something* back for pool reassembly.
+    graveyard: Option<(Box<dyn MuxEndpoint>, Session)>,
 }
 
 /// What one worker reactor returns when its share of the batch is done.
 struct WorkerOutcome {
     report: WorkerReport,
     failures: Vec<(usize, String)>,
+    retries: u64,
+    respawns: u64,
     sessions: Vec<(usize, (Box<dyn MuxEndpoint>, Session))>,
 }
 
@@ -143,10 +237,12 @@ impl BatchRunner {
     /// `make_proposer(worker)` call each); like the blocking path, each
     /// trace starts with a fresh proposer trace.
     ///
-    /// Failed sessions poison only their in-flight trace (recorded in
-    /// [`RunStats::failures`]); remaining sessions finish the batch. If a
-    /// worker loses all its sessions it drains its queue share into
-    /// `failures` rather than stranding the batch.
+    /// A failed session requeues its in-flight trace (rerun bit-identically
+    /// elsewhere, see [`crate::RetryPolicy`]) and is respawned through the
+    /// pool's endpoint factory under its [`ReconnectPolicy`] — the batch
+    /// completes with full content as long as any session can be kept
+    /// alive. Sessions whose respawn budget runs out are retired; traces
+    /// whose retry budget runs out land in [`RunStats::failures`].
     pub fn run_mux(
         &self,
         pool: &mut MuxSimulatorPool,
@@ -169,7 +265,8 @@ impl BatchRunner {
         );
         let stealing = self.config().stealing;
         let queues = TaskQueues::new(workers);
-        queues.fill_blocks(n);
+        self.fill_queues(&queues, n);
+        let retries = RetryTable::new(self.retry_policy().max_trace_retries);
         let observes = Arc::new(observes.clone());
         let start = Instant::now();
 
@@ -183,6 +280,8 @@ impl BatchRunner {
 
         let mut per_worker = vec![WorkerReport::default(); workers];
         let mut failures: Vec<(usize, String)> = Vec::new();
+        let mut total_retries = 0u64;
+        let mut total_respawns = 0u64;
         let mut recovered: Vec<(usize, (Box<dyn MuxEndpoint>, Session))> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = shares
@@ -191,22 +290,53 @@ impl BatchRunner {
                 .map(|(w, share)| {
                     let queues = &queues;
                     let observes = &observes;
-                    s.spawn(move || {
-                        worker_reactor(w, share, proposers, observes, seed, stealing, queues, sink)
-                    })
+                    let retries = &retries;
+                    let ctx = ReactorCtx {
+                        worker: w,
+                        proposers,
+                        seed,
+                        stealing,
+                        respawn: RespawnCtx {
+                            factory: pool.make_endpoint.clone(),
+                            system_name: pool.system_name.clone(),
+                            policy: pool.policy,
+                        },
+                        kill: self.kill_handle(),
+                    };
+                    s.spawn(move || worker_reactor(ctx, share, observes, queues, retries, sink))
                 })
                 .collect();
             for (w, h) in handles.into_iter().enumerate() {
                 let outcome = h.join().expect("mux worker panicked");
                 per_worker[w] = outcome.report;
                 failures.extend(outcome.failures);
+                total_retries += outcome.retries;
+                total_respawns += outcome.respawns;
                 recovered.extend(outcome.sessions);
             }
         });
+        let killed = self.killed();
+        if !killed {
+            // Indices stranded because every session of their worker
+            // retired (and stealing was off, or all workers died): every
+            // index must end delivered or failed.
+            for i in queues.drain_remaining() {
+                sink.reject(i, "not executed: no live sessions left");
+                failures.push((i, "not executed: no live sessions left".to_string()));
+            }
+        }
         recovered.sort_by_key(|(g, _)| *g);
         pool.sessions = recovered.into_iter().map(|(_, part)| part).collect();
         failures.sort_by_key(|(i, _)| *i);
-        RunStats { elapsed: start.elapsed(), per_worker, steals: queues.steals(), failures }
+        RunStats {
+            elapsed: start.elapsed(),
+            per_worker,
+            steals: queues.steals(),
+            failures,
+            retries: total_retries,
+            respawns: total_respawns,
+            killed,
+        }
     }
 
     /// [`BatchRunner::run_mux`] with prior proposals.
@@ -222,130 +352,417 @@ impl BatchRunner {
     }
 }
 
-/// The per-worker event loop: a poll reactor over this worker's sessions.
-#[allow(clippy::too_many_arguments)]
-fn worker_reactor(
+/// Everything a worker needs to respawn a dead session slot.
+struct RespawnCtx {
+    factory: Arc<EndpointFactory>,
+    system_name: String,
+    policy: ReconnectPolicy,
+}
+
+/// Per-worker reactor parameters (bundled to keep the spawn site readable).
+struct ReactorCtx<'a> {
     worker: usize,
-    share: Vec<(usize, (Box<dyn MuxEndpoint>, Session))>,
-    proposers: &dyn ProposerFactory,
-    observes: &Arc<ObserveMap>,
+    proposers: &'a dyn ProposerFactory,
     seed: u64,
     stealing: bool,
+    respawn: RespawnCtx,
+    kill: Option<Arc<crate::batch::KillSwitch>>,
+}
+
+/// The per-worker event loop: a poll reactor over this worker's session
+/// slots, with mid-batch respawn.
+///
+/// The respawn state machine per slot:
+///
+/// ```text
+/// Ready ──conn death──▶ Backoff ──attempt──▶ Handshaking ──Connected──▶ Ready
+///   Backoff ──budget exhausted──▶ Retired
+///   Handshaking ──conn death──▶ Backoff (next attempt, doubled backoff)
+/// ```
+///
+/// A death requeues the slot's in-flight trace index onto this worker's own
+/// deque (per-trace seeding makes the rerun bit-identical wherever it
+/// lands); the trace fails only when its [`crate::RetryPolicy`] budget runs
+/// out. Backoff is non-blocking: the worker keeps servicing its healthy
+/// sessions while a dead slot waits out its delay.
+fn worker_reactor(
+    ctx: ReactorCtx,
+    share: Vec<(usize, (Box<dyn MuxEndpoint>, Session))>,
+    observes: &Arc<ObserveMap>,
     queues: &TaskQueues,
+    retries: &RetryTable,
     sink: &dyn TraceSink,
 ) -> WorkerOutcome {
-    let mut mux = Mux::new();
-    let mut slots: Vec<Slot> = Vec::with_capacity(share.len());
-    for (global, (endpoint, session)) in share {
-        mux.add(endpoint, session);
-        slots.push(Slot { global, proposer: Some(proposers.make_proposer(worker)), active: None });
+    Reactor {
+        ctx,
+        observes,
+        queues,
+        retries,
+        sink,
+        mux: Mux::new(),
+        slots: Vec::with_capacity(share.len()),
+        conn_slot: Vec::new(),
+        report: WorkerReport::default(),
+        failures: Vec::new(),
+        requeued: 0,
+        respawns: 0,
+        drained: false,
+    }
+    .run(share)
+}
+
+/// The mutable state of one worker's reactor loop (see [`worker_reactor`]).
+struct Reactor<'a> {
+    ctx: ReactorCtx<'a>,
+    observes: &'a Arc<ObserveMap>,
+    queues: &'a TaskQueues,
+    retries: &'a RetryTable,
+    sink: &'a dyn TraceSink,
+    mux: Mux,
+    slots: Vec<Slot>,
+    /// conn id → slot index (respawned slots get fresh conn ids).
+    conn_slot: Vec<usize>,
+    report: WorkerReport,
+    failures: Vec<(usize, String)>,
+    requeued: u64,
+    respawns: u64,
+    /// True while the shared queues have come up empty; a requeued trace
+    /// clears it (the deque holds work again).
+    drained: bool,
+}
+
+impl Reactor<'_> {
+    /// Adopt the worker's session share: live sessions join the mux,
+    /// dead/abandoned ones go straight to the respawn machinery.
+    fn adopt(&mut self, share: Vec<(usize, (Box<dyn MuxEndpoint>, Session))>) {
+        for (s_idx, (global, (endpoint, session))) in share.into_iter().enumerate() {
+            let state = session.state();
+            let mut slot = Slot {
+                global,
+                conn: SlotConn::Retired,
+                proposer: Some(self.ctx.proposers.make_proposer(self.ctx.worker)),
+                active: None,
+                graveyard: None,
+                respawn_attempts: 0,
+            };
+            match state {
+                SessionState::Idle => {
+                    slot.conn = SlotConn::Ready(self.register(s_idx, endpoint, session));
+                }
+                // A respawn from a previous batch still completing; keep
+                // polling it.
+                SessionState::Handshaking => {
+                    slot.conn = SlotConn::Handshaking {
+                        conn: self.register(s_idx, endpoint, session),
+                        deadline: Instant::now() + self.ctx.respawn.policy.handshake_timeout,
+                    };
+                }
+                // Dead (or abandoned mid-run by a kill switch): hand the
+                // pair to the graveyard and let the respawn machinery
+                // revive the slot if the policy allows.
+                SessionState::Running(_) | SessionState::Done | SessionState::Failed => {
+                    slot.graveyard = Some((endpoint, session));
+                    slot.conn = if self.ctx.respawn.policy.max_respawns > 0 {
+                        SlotConn::Backoff { at: Instant::now() }
+                    } else {
+                        SlotConn::Retired
+                    };
+                }
+            }
+            self.slots.push(slot);
+        }
     }
 
-    let mut report = WorkerReport::default();
-    let mut failures: Vec<(usize, String)> = Vec::new();
-    let mut events: Vec<MuxEvent> = Vec::new();
-    // Set once a pop returns None; tasks are never re-queued, so "drained"
-    // is permanent and the loop ends when in-flight traces do.
-    let mut drained = false;
-    loop {
-        let mut progress = false;
+    /// Register a connection with the mux and record its slot mapping.
+    fn register(
+        &mut self,
+        s_idx: usize,
+        endpoint: Box<dyn MuxEndpoint>,
+        session: Session,
+    ) -> usize {
+        let conn = self.mux.add(endpoint, session);
+        self.conn_slot.push(s_idx);
+        debug_assert_eq!(self.conn_slot.len() - 1, conn);
+        conn
+    }
 
-        // Launch the next trace on every ready session.
-        for (conn, slot) in slots.iter_mut().enumerate() {
-            if drained || slot.active.is_some() || mux.is_dead(conn) {
+    /// Schedule the next respawn attempt for a slot (or retire it once the
+    /// budget is spent).
+    fn schedule_respawn(&mut self, s_idx: usize) {
+        let policy = self.ctx.respawn.policy;
+        let slot = &mut self.slots[s_idx];
+        slot.conn = if slot.respawn_attempts < policy.max_respawns {
+            SlotConn::Backoff {
+                at: Instant::now() + policy.backoff * (1 << slot.respawn_attempts.min(16)),
+            }
+        } else {
+            SlotConn::Retired
+        };
+    }
+
+    /// Handle the death of a slot's connection: salvage the dead pair for
+    /// reassembly, requeue the in-flight trace, schedule a respawn.
+    fn on_conn_death(&mut self, s_idx: usize, conn: usize, error: &str) {
+        if let Some(pair) = self.mux.detach(conn) {
+            self.slots[s_idx].graveyard = Some(pair);
+        }
+        if let Some((i, _)) = self.slots[s_idx].active.take() {
+            if self.retries.try_consume(i) {
+                // Requeue onto this worker's own deque: its surviving
+                // sessions (or a stealing neighbor) rerun it
+                // bit-identically.
+                self.queues.push(self.ctx.worker, i);
+                self.requeued += 1;
+                self.drained = false;
+            } else {
+                self.sink.reject(i, error);
+                self.failures.push((i, error.to_string()));
+            }
+        }
+        self.schedule_respawn(s_idx);
+    }
+
+    /// Respawn every slot whose backoff has elapsed: fresh endpoint from
+    /// the pool's factory, fresh handshake driven through the reactor.
+    fn respawn_due(&mut self) -> bool {
+        let mut progress = false;
+        for s_idx in 0..self.slots.len() {
+            let SlotConn::Backoff { at } = self.slots[s_idx].conn else { continue };
+            if Instant::now() < at {
                 continue;
             }
-            let Some(i) = queues.pop(worker, stealing) else {
-                drained = true;
-                break;
-            };
-            let proposer = slot.proposer.take().unwrap_or_else(|| proposers.make_proposer(worker));
-            let exec = StepExecutor::new(proposer, observes.clone(), mix_seed(seed, i));
-            let started = match mux.session_mut(conn).start_run(Value::Unit) {
-                Ok(run) => mux.send(conn, &run),
-                Err(e) => Err(e),
-            };
-            match started {
-                Ok(()) => {
-                    slot.active = Some((i, exec));
-                    progress = true;
-                }
-                Err(e) => {
-                    // The session died between traces: this index fails,
-                    // the slot is retired, and the loop goes on.
-                    failures.push((i, e.to_string()));
-                    progress = true;
-                }
-            }
-        }
-
-        // If every session is gone, drain the remaining share as failures
-        // instead of stranding the batch.
-        if mux.live() == 0 {
-            while let Some(i) = queues.pop(worker, stealing) {
-                failures.push((i, "no live sessions left on this worker".to_string()));
-            }
-            break;
-        }
-
-        // Ingest frames, advance state machines, service the actions.
-        events.clear();
-        progress |= mux.poll(&mut events);
-        for ev in events.drain(..) {
-            match ev {
-                MuxEvent::Action { conn, action } => {
-                    let slot = &mut slots[conn];
-                    let Some((_, exec)) = slot.active.as_mut() else {
-                        // An action with no run in flight is a protocol
-                        // violation; poison the session.
-                        mux.session_mut(conn).fail();
-                        continue;
+            self.slots[s_idx].respawn_attempts += 1;
+            progress = true;
+            let attempt = (self.ctx.respawn.factory)(self.slots[s_idx].global)
+                .map_err(PpxError::from)
+                .and_then(|ep| self.mux.add_connect(ep, &self.ctx.respawn.system_name));
+            match attempt {
+                Ok(conn) => {
+                    self.conn_slot.push(s_idx);
+                    debug_assert_eq!(self.conn_slot.len() - 1, conn);
+                    self.slots[s_idx].conn = SlotConn::Handshaking {
+                        conn,
+                        deadline: Instant::now() + self.ctx.respawn.policy.handshake_timeout,
                     };
-                    let t0 = Instant::now();
-                    let serviced = mux.session_mut(conn).service(action, exec);
-                    report.busy += t0.elapsed();
-                    match serviced {
-                        Ok(Serviced::Reply(reply)) => {
-                            if let Err(e) = mux.send(conn, &reply) {
-                                let (i, _) = slot.active.take().unwrap();
-                                failures.push((i, e.to_string()));
-                            }
-                        }
-                        Ok(Serviced::Finished(result)) => {
-                            let (i, exec) = slot.active.take().unwrap();
-                            let (trace, proposer) = exec.finish(result);
-                            slot.proposer = Some(proposer);
-                            report.executed += 1;
-                            sink.accept(i, trace);
-                        }
-                        Ok(Serviced::Connected(_)) => {
-                            unreachable!("handshakes completed at pool connect")
-                        }
-                        Err(e) => {
-                            let (i, _) = slot.active.take().unwrap();
-                            failures.push((i, e.to_string()));
-                        }
-                    }
                 }
-                MuxEvent::ConnFailed { conn, error } => {
-                    if let Some((i, _)) = slots[conn].active.take() {
-                        failures.push((i, error.to_string()));
+                Err(_) => {
+                    // The handshake send may have registered (and killed) a
+                    // connection; salvage it if so.
+                    if self.conn_slot.len() < self.mux.len() {
+                        self.conn_slot.push(s_idx);
+                        if let Some(pair) = self.mux.detach(self.mux.len() - 1) {
+                            self.slots[s_idx].graveyard = Some(pair);
+                        }
                     }
+                    self.schedule_respawn(s_idx);
                 }
             }
         }
+        progress
+    }
 
-        if drained && slots.iter().all(|s| s.active.is_none()) {
-            break;
-        }
-        if !progress {
-            std::thread::sleep(IDLE_BACKOFF);
+    /// Abandon handshakes that outlived the policy deadline: the peer
+    /// accepted a transport but never completed the protocol, which must
+    /// not hang the batch. Counts as a connection death (respawn budget).
+    fn expire_handshakes(&mut self) {
+        for s_idx in 0..self.slots.len() {
+            let SlotConn::Handshaking { conn, deadline } = self.slots[s_idx].conn else { continue };
+            if Instant::now() < deadline {
+                continue;
+            }
+            self.mux.session_mut(conn).fail();
+            self.on_conn_death(s_idx, conn, "handshake timed out");
         }
     }
 
-    let sessions =
-        slots.iter().map(|s| s.global).zip(mux.into_parts()).map(|(g, part)| (g, part)).collect();
-    WorkerOutcome { report, failures, sessions }
+    /// Launch the next trace on every ready, idle session.
+    fn launch_ready(&mut self) -> bool {
+        let mut progress = false;
+        for s_idx in 0..self.slots.len() {
+            let SlotConn::Ready(conn) = self.slots[s_idx].conn else { continue };
+            if self.drained || self.slots[s_idx].active.is_some() {
+                continue;
+            }
+            if self.mux.is_dead(conn) {
+                // Death observed outside the event stream (poisoned during
+                // a previous sweep's servicing).
+                self.on_conn_death(s_idx, conn, "session poisoned");
+                continue;
+            }
+            let Some(i) = self.queues.pop(self.ctx.worker, self.ctx.stealing) else {
+                self.drained = true;
+                break;
+            };
+            let slot = &mut self.slots[s_idx];
+            let proposer = slot
+                .proposer
+                .take()
+                .unwrap_or_else(|| self.ctx.proposers.make_proposer(self.ctx.worker));
+            let exec =
+                StepExecutor::new(proposer, self.observes.clone(), mix_seed(self.ctx.seed, i));
+            let started = match self.mux.session_mut(conn).start_run(Value::Unit) {
+                Ok(run) => self.mux.send(conn, &run),
+                Err(e) => Err(e),
+            };
+            progress = true;
+            match started {
+                Ok(()) => self.slots[s_idx].active = Some((i, exec)),
+                Err(e) => {
+                    // Died between traces: the popped index goes through the
+                    // same requeue path as an in-flight one.
+                    self.slots[s_idx].active = Some((i, exec));
+                    self.on_conn_death(s_idx, conn, &e.to_string());
+                }
+            }
+        }
+        progress
+    }
+
+    /// Service one mux event; `true` if it made progress.
+    fn handle_event(&mut self, ev: MuxEvent) -> bool {
+        match ev {
+            MuxEvent::Action { conn, action } => {
+                let s_idx = self.conn_slot[conn];
+                if let SessionAction::Connected { .. } = action {
+                    let slot = &mut self.slots[s_idx];
+                    if matches!(slot.conn, SlotConn::Handshaking { conn: c, .. } if c == conn) {
+                        slot.conn = SlotConn::Ready(conn);
+                        self.respawns += 1;
+                        return true;
+                    }
+                    return false;
+                }
+                if self.slots[s_idx].active.is_none() {
+                    // An action with no run in flight is a protocol
+                    // violation; poison and respawn the connection.
+                    self.mux.session_mut(conn).fail();
+                    self.on_conn_death(
+                        s_idx,
+                        conn,
+                        "protocol violation: action with no run in flight",
+                    );
+                    return true;
+                }
+                let t0 = Instant::now();
+                let serviced = {
+                    let (_, exec) = self.slots[s_idx].active.as_mut().unwrap();
+                    self.mux.session_mut(conn).service(action, exec)
+                };
+                self.report.busy += t0.elapsed();
+                match serviced {
+                    Ok(Serviced::Reply(reply)) => {
+                        if let Err(e) = self.mux.send(conn, &reply) {
+                            self.on_conn_death(s_idx, conn, &e.to_string());
+                        }
+                    }
+                    Ok(Serviced::Finished(result)) => {
+                        let (i, exec) = self.slots[s_idx].active.take().unwrap();
+                        let (trace, proposer) = exec.finish(result);
+                        self.slots[s_idx].proposer = Some(proposer);
+                        self.report.executed += 1;
+                        self.sink.accept(i, trace);
+                        if let Some(k) = self.ctx.kill.as_ref() {
+                            k.tick();
+                        }
+                    }
+                    Ok(Serviced::Connected(_)) => {
+                        unreachable!("Connected actions are handled above")
+                    }
+                    Err(e) => self.on_conn_death(s_idx, conn, &e.to_string()),
+                }
+                true
+            }
+            MuxEvent::ConnFailed { conn, error } => {
+                let s_idx = self.conn_slot[conn];
+                self.on_conn_death(s_idx, conn, &error.to_string());
+                true
+            }
+        }
+    }
+
+    fn run(mut self, share: Vec<(usize, (Box<dyn MuxEndpoint>, Session))>) -> WorkerOutcome {
+        self.adopt(share);
+        let mut events: Vec<MuxEvent> = Vec::new();
+        loop {
+            if self.ctx.kill.as_ref().is_some_and(|k| k.killed()) {
+                break;
+            }
+            let mut progress = self.respawn_due();
+            self.expire_handshakes();
+            progress |= self.launch_ready();
+
+            // Every slot retired: leave the remaining share for stealing
+            // neighbors (run_mux drains true stragglers after the join).
+            if self.slots.iter().all(|s| matches!(s.conn, SlotConn::Retired)) {
+                break;
+            }
+
+            // Ingest frames, advance state machines, service the actions.
+            events.clear();
+            progress |= self.mux.poll(&mut events);
+            for ev in events.drain(..) {
+                progress |= self.handle_event(ev);
+            }
+
+            if self.drained && self.slots.iter().all(|s| s.active.is_none()) {
+                break;
+            }
+            if !progress {
+                std::thread::sleep(IDLE_BACKOFF);
+            }
+        }
+
+        // Reassemble the pool's session pairs: live conns come back out of
+        // the reactor; dead/retired slots return their last known (dead)
+        // pair.
+        let mux = &mut self.mux;
+        let sessions = self
+            .slots
+            .into_iter()
+            .map(|mut slot| {
+                let pair = match slot.conn {
+                    SlotConn::Ready(conn) | SlotConn::Handshaking { conn, .. } => mux
+                        .detach(conn)
+                        .or_else(|| slot.graveyard.take())
+                        .unwrap_or_else(dead_placeholder),
+                    SlotConn::Backoff { .. } | SlotConn::Retired => {
+                        slot.graveyard.take().unwrap_or_else(dead_placeholder)
+                    }
+                };
+                (slot.global, pair)
+            })
+            .collect();
+        WorkerOutcome {
+            report: self.report,
+            failures: self.failures,
+            retries: self.requeued,
+            respawns: self.respawns,
+            sessions,
+        }
+    }
+}
+
+/// A dead `(endpoint, session)` pair for slots with nothing to return (the
+/// endpoint was consumed by a failed respawn attempt).
+fn dead_placeholder() -> (Box<dyn MuxEndpoint>, Session) {
+    (Box::new(ClosedEndpoint), Session::poisoned())
+}
+
+/// An endpoint that is permanently disconnected.
+struct ClosedEndpoint;
+
+impl MuxEndpoint for ClosedEndpoint {
+    fn poll_frame(&mut self) -> Result<Option<Vec<u8>>, PpxError> {
+        Err(PpxError::Disconnected)
+    }
+
+    fn send_frame(&mut self, _payload: Vec<u8>) -> Result<(), PpxError> {
+        Err(PpxError::Disconnected)
+    }
+
+    fn flush(&mut self) -> Result<bool, PpxError> {
+        Err(PpxError::Disconnected)
+    }
 }
 
 #[cfg(test)]
@@ -469,7 +886,7 @@ mod tests {
         // Fragmented transports: frames arrive split at pseudo-random byte
         // boundaries, interleaved across concurrent sessions.
         for (k, m) in [(2usize, 1usize), (4, 2), (6, 3)] {
-            let mut pool = MuxSimulatorPool::connect(k, "etalumis-rs", |i| {
+            let mut pool = MuxSimulatorPool::connect(k, "etalumis-rs", move |i| {
                 Ok(Box::new(spawn_fragmenting_server(seed ^ (i as u64) << 3))
                     as Box<dyn MuxEndpoint>)
             })
@@ -528,10 +945,52 @@ mod tests {
         }
     }
 
+    /// Endpoint factory where session 0's *first* endpoint dies after
+    /// `frames` delivered frames and every later endpoint (the respawns) is
+    /// healthy — one simulator crash, then a clean replacement.
+    fn crash_once_factory(
+        frames: usize,
+    ) -> impl Fn(usize) -> std::io::Result<Box<dyn MuxEndpoint>> + Send + Sync + 'static {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let crashed = std::sync::Arc::new(AtomicBool::new(false));
+        move |i| {
+            let inner = spawn_inproc_server();
+            let ep: Box<dyn MuxEndpoint> = if i == 0 && !crashed.swap(true, Ordering::SeqCst) {
+                Box::new(FailAfter { inner, frames_left: frames })
+            } else {
+                Box::new(inner)
+            };
+            Ok(ep)
+        }
+    }
+
     #[test]
-    fn mid_batch_session_death_is_recorded_and_skipped() {
+    fn killed_session_is_respawned_and_batch_content_is_bit_identical() {
+        let n = 24;
+        let seed = 91;
+        let reference = blocking_reference(n, seed);
+        // Session 0 dies mid-batch (after its handshake + a few trace
+        // frames); the respawned replacement is healthy.
+        let mut pool = MuxSimulatorPool::connect(2, "etalumis-rs", crash_once_factory(7)).unwrap();
+        let runner = BatchRunner::new(RuntimeConfig { workers: 1, stealing: true });
+        let sink = CollectSink::new(n);
+        let observes = ObserveMap::new();
+        let stats = runner.run_mux_prior(&mut pool, &observes, n, seed, &sink);
+        assert!(stats.failures.is_empty(), "respawn must absorb the crash: {stats:?}");
+        assert_eq!(stats.total_executed(), n);
+        assert_eq!(stats.respawns, 1, "exactly one session respawn expected: {stats:?}");
+        assert!(stats.retries >= 1, "the in-flight trace must have been requeued: {stats:?}");
+        assert_eq!(pool.live(), 2, "the respawned session rejoins the pool");
+        // The spine of the fault-tolerance PR: content is bit-identical to
+        // an undisturbed blocking run despite the mid-batch death.
+        assert_traces_bit_identical(&sink.into_traces(), &reference, "respawned mux");
+    }
+
+    #[test]
+    fn respawn_budget_exhaustion_retires_the_slot_but_accounts_every_index() {
         let n = 20;
-        // Session 0 dies after a handful of frames; session 1 is healthy.
+        // Session 0's endpoint always dies after a few frames — every
+        // respawn is doomed; session 1 is healthy.
         let mut pool = MuxSimulatorPool::connect(2, "etalumis-rs", |i| {
             let inner = spawn_inproc_server();
             let ep: Box<dyn MuxEndpoint> = if i == 0 {
@@ -546,13 +1005,121 @@ mod tests {
         let sink = CountingSink::default();
         let observes = ObserveMap::new();
         let stats = runner.run_mux_prior(&mut pool, &observes, n, 5, &sink);
-        assert!(!stats.failures.is_empty(), "the dying session must fail at least one trace");
         assert_eq!(
             stats.total_executed() + stats.failures.len(),
             n,
             "every index is either delivered or recorded as failed: {stats:?}"
         );
         assert_eq!(sink.count(), stats.total_executed());
-        assert_eq!(pool.live(), 1, "only the healthy session survives");
+        assert!(
+            stats.total_executed() >= n - pool.reconnect_policy().max_respawns as usize - 1,
+            "the healthy session should deliver nearly everything: {stats:?}"
+        );
+        // The healthy session always survives; the dying slot may read as
+        // live if its final respawn had not yet burned through its frame
+        // budget when the batch drained.
+        assert!(pool.live() >= 1, "the healthy session must survive");
+    }
+
+    /// An endpoint that accepts frames but never delivers any — a peer
+    /// that connects and then stays silent.
+    struct BlackHole;
+
+    impl MuxEndpoint for BlackHole {
+        fn poll_frame(&mut self) -> Result<Option<Vec<u8>>, PpxError> {
+            Ok(None)
+        }
+
+        fn send_frame(&mut self, _payload: Vec<u8>) -> Result<(), PpxError> {
+            Ok(())
+        }
+
+        fn flush(&mut self) -> Result<bool, PpxError> {
+            Ok(true)
+        }
+    }
+
+    #[test]
+    fn silent_respawn_peer_times_out_instead_of_hanging_the_batch() {
+        let n = 16;
+        // Session 0 dies quickly; every respawn endpoint is a black hole
+        // whose handshake never completes. The handshake timeout must
+        // convert those into respawn-budget deaths so the batch finishes
+        // on session 1 instead of hanging forever.
+        let mut pool = MuxSimulatorPool::connect(2, "etalumis-rs", |i| {
+            let ep: Box<dyn MuxEndpoint> = if i == 0 {
+                Box::new(FailAfter { inner: spawn_inproc_server(), frames_left: 6 })
+            } else {
+                Box::new(spawn_inproc_server())
+            };
+            Ok(ep)
+        })
+        .unwrap()
+        .with_reconnect_policy(ReconnectPolicy {
+            handshake_timeout: Duration::from_millis(20),
+            ..Default::default()
+        });
+        // Swap the factory's behavior is not possible post-connect, but the
+        // FailAfter respawns are themselves FailAfter(6): handshake result
+        // (1 frame) + a few more, then death — exercising repeated deaths.
+        // The black-hole case is covered by a second pool below.
+        let runner = BatchRunner::new(RuntimeConfig { workers: 1, stealing: true });
+        let sink = CountingSink::default();
+        let observes = ObserveMap::new();
+        let stats = runner.run_mux_prior(&mut pool, &observes, n, 9, &sink);
+        assert_eq!(stats.total_executed() + stats.failures.len(), n, "{stats:?}");
+
+        // Now the literal black hole: session 0's respawns never handshake.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let crashed = std::sync::Arc::new(AtomicBool::new(false));
+        let mut pool = MuxSimulatorPool::connect(2, "etalumis-rs", move |i| {
+            let ep: Box<dyn MuxEndpoint> = if i == 0 {
+                if !crashed.swap(true, Ordering::SeqCst) {
+                    Box::new(FailAfter { inner: spawn_inproc_server(), frames_left: 6 })
+                } else {
+                    Box::new(BlackHole)
+                }
+            } else {
+                Box::new(spawn_inproc_server())
+            };
+            Ok(ep)
+        })
+        .unwrap()
+        .with_reconnect_policy(ReconnectPolicy {
+            handshake_timeout: Duration::from_millis(20),
+            ..Default::default()
+        });
+        let sink = CountingSink::default();
+        let start = std::time::Instant::now();
+        let stats = runner.run_mux_prior(&mut pool, &observes, n, 9, &sink);
+        assert_eq!(stats.total_executed() + stats.failures.len(), n, "{stats:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "silent handshakes must time out, not hang: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn respawn_disabled_reproduces_fail_fast_semantics() {
+        let n = 12;
+        let mut pool = MuxSimulatorPool::connect(2, "etalumis-rs", |i| {
+            let inner = spawn_inproc_server();
+            let ep: Box<dyn MuxEndpoint> = if i == 0 {
+                Box::new(FailAfter { inner, frames_left: 9 })
+            } else {
+                Box::new(inner)
+            };
+            Ok(ep)
+        })
+        .unwrap()
+        .with_reconnect_policy(ReconnectPolicy { max_respawns: 0, ..Default::default() });
+        let runner = BatchRunner::new(RuntimeConfig { workers: 1, stealing: true });
+        let sink = CountingSink::default();
+        let observes = ObserveMap::new();
+        let stats = runner.run_mux_prior(&mut pool, &observes, n, 5, &sink);
+        assert_eq!(stats.respawns, 0);
+        assert_eq!(stats.total_executed() + stats.failures.len(), n, "{stats:?}");
+        assert_eq!(pool.live(), 1);
     }
 }

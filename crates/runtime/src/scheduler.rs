@@ -54,9 +54,36 @@ impl TaskQueues {
         }
     }
 
+    /// Distribute an explicit task list round-robin across workers (task
+    /// `k` goes to worker `k % workers`). Used by resumable runs: the
+    /// remaining indices of a checkpointed batch are an arbitrary set, and
+    /// interleaving keeps the *contiguous completed prefix* — what a
+    /// checkpoint can durably commit — advancing evenly instead of at the
+    /// pace of worker 0's block.
+    pub fn fill_interleaved(&self, tasks: impl IntoIterator<Item = usize>) {
+        let w = self.workers();
+        for (k, t) in tasks.into_iter().enumerate() {
+            self.deques[k % w].lock().push_front(t);
+        }
+    }
+
     /// Push one task onto `worker`'s deque.
     pub fn push(&self, worker: usize, task: usize) {
         self.deques[worker].lock().push_back(task);
+    }
+
+    /// Drain every remaining task from every deque (ascending). Called after
+    /// the workers have exited to account for tasks stranded by worker
+    /// retirement (e.g. every session of a mux worker died with stealing
+    /// disabled) — a batch must end with each index delivered or failed,
+    /// never silently dropped.
+    pub fn drain_remaining(&self) -> Vec<usize> {
+        let mut left = Vec::new();
+        for d in &self.deques {
+            left.extend(d.lock().drain(..));
+        }
+        left.sort_unstable();
+        left
     }
 
     /// Next task for `worker`: its own deque first (back), then — when
@@ -119,6 +146,20 @@ mod tests {
         assert_eq!(q.steals(), 1);
         // Worker 0 still pops its own newest first (LIFO).
         assert_eq!(q.pop(0, true), Some(5));
+    }
+
+    #[test]
+    fn interleaved_fill_pops_ascending_per_worker() {
+        let q = TaskQueues::new(3);
+        q.fill_interleaved([5usize, 6, 7, 8, 9, 10, 11]);
+        // Worker 0 got 5, 8, 11 and pops its lowest index first.
+        assert_eq!(q.pop(0, false), Some(5));
+        assert_eq!(q.pop(0, false), Some(8));
+        assert_eq!(q.pop(1, false), Some(6));
+        assert_eq!(q.pop(2, false), Some(7));
+        let rest = q.drain_remaining();
+        assert_eq!(rest, vec![9, 10, 11]);
+        assert_eq!(q.pop(0, true), None);
     }
 
     #[test]

@@ -20,6 +20,14 @@ use std::path::{Path, PathBuf};
 pub trait TraceSink: Sync {
     /// Accept one completed trace. Called from worker threads.
     fn accept(&self, index: usize, trace: Trace);
+
+    /// Told that `index` permanently failed (its retry budget ran out).
+    /// Checkpointing sinks use this to pass their commit watermark over the
+    /// hole; most sinks don't care — the failure is already recorded in
+    /// [`crate::RunStats::failures`].
+    fn reject(&self, index: usize, error: &str) {
+        let _ = (index, error);
+    }
 }
 
 /// Collects the whole batch in memory, in batch order.
@@ -33,14 +41,28 @@ impl CollectSink {
         Self { slots: Mutex::new(vec![None; n]) }
     }
 
-    /// The collected traces in batch order; panics if any index is missing.
+    /// The delivered traces in batch order.
+    ///
+    /// Indices that were never delivered (failed traces — see
+    /// [`crate::RunStats::failures`]) are skipped, so a batch with failures
+    /// yields its partial results instead of panicking; use
+    /// [`CollectSink::into_results`] when the caller needs the holes.
     pub fn into_traces(self) -> Vec<Trace> {
-        self.slots
-            .into_inner()
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| t.unwrap_or_else(|| panic!("trace {i} never delivered")))
-            .collect()
+        self.slots.into_inner().into_iter().flatten().collect()
+    }
+
+    /// The delivered `(index, trace)` pairs in batch order, plus the list
+    /// of indices that were never delivered.
+    pub fn into_results(self) -> (Vec<(usize, Trace)>, Vec<usize>) {
+        let mut delivered = Vec::new();
+        let mut missing = Vec::new();
+        for (i, t) in self.slots.into_inner().into_iter().enumerate() {
+            match t {
+                Some(t) => delivered.push((i, t)),
+                None => missing.push(i),
+            }
+        }
+        (delivered, missing)
     }
 }
 
@@ -171,6 +193,23 @@ mod tests {
         for (a, b) in out.iter().zip(&traces) {
             assert_eq!(a.result, b.result);
         }
+    }
+
+    #[test]
+    fn partial_delivery_returns_results_and_holes_without_panicking() {
+        let sink = CollectSink::new(4);
+        let mut m = BranchingModel::standard();
+        sink.accept(0, Executor::sample_prior(&mut m, 0));
+        sink.accept(2, Executor::sample_prior(&mut m, 2));
+        sink.reject(1, "simulator died"); // default no-op, must not panic
+        let (delivered, missing) = sink.into_results();
+        assert_eq!(delivered.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(missing, vec![1, 3]);
+
+        // into_traces yields the partial batch rather than panicking.
+        let sink = CollectSink::new(3);
+        sink.accept(1, Executor::sample_prior(&mut m, 1));
+        assert_eq!(sink.into_traces().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Kill-one-simulator-mid-batch smoke for the multiplexed session pool.
+//!
+//! Connects a [`MuxSimulatorPool`] of PPX sessions, crashes one simulator's
+//! transport partway through a batch, and shows the reactor absorbing it:
+//! the in-flight trace is requeued, the session is respawned through the
+//! pool's endpoint factory (fresh endpoint + fresh handshake), and the
+//! batch completes with content bit-identical to an undisturbed run.
+//!
+//! ```text
+//! cargo run --release --example mux_respawn
+//! ```
+//!
+//! [`MuxSimulatorPool`]: etalumis_runtime::MuxSimulatorPool
+
+use etalumis_core::{Executor, FnProgram, ObserveMap, PriorProposer, SimCtx, SimCtxExt, Trace};
+use etalumis_distributions::{Distribution, Value};
+use etalumis_ppx::{InProcMuxEndpoint, MuxEndpoint, PpxError, SimulatorServer};
+use etalumis_runtime::{mix_seed, BatchRunner, CollectSink, MuxSimulatorPool, RuntimeConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn model() -> FnProgram<impl FnMut(&mut dyn SimCtx) -> Value> {
+    FnProgram::new("respawn_demo", |ctx: &mut dyn SimCtx| {
+        let mu = ctx.sample_f64(&Distribution::Normal { mean: 0.0, std: 1.0 }, "mu");
+        let k = ctx.sample_i64(&Distribution::Categorical { probs: vec![0.5, 0.3, 0.2] }, "branch");
+        for j in 0..=k {
+            let _ = ctx.sample_f64(&Distribution::Normal { mean: mu, std: 1.0 + j as f64 }, "n");
+        }
+        ctx.observe(&Distribution::Normal { mean: mu, std: 0.5 }, "y");
+        Value::Real(mu)
+    })
+}
+
+/// Endpoint that dies after delivering `frames_left` frames.
+struct FailAfter {
+    inner: InProcMuxEndpoint,
+    frames_left: usize,
+}
+
+impl MuxEndpoint for FailAfter {
+    fn poll_frame(&mut self) -> Result<Option<Vec<u8>>, PpxError> {
+        if self.frames_left == 0 {
+            return Err(PpxError::Disconnected);
+        }
+        let f = self.inner.poll_frame()?;
+        if f.is_some() {
+            self.frames_left -= 1;
+        }
+        Ok(f)
+    }
+
+    fn send_frame(&mut self, payload: Vec<u8>) -> Result<(), PpxError> {
+        self.inner.send_frame(payload)
+    }
+
+    fn flush(&mut self) -> Result<bool, PpxError> {
+        self.inner.flush()
+    }
+}
+
+fn spawn_server() -> InProcMuxEndpoint {
+    let (ep, sim_side) = InProcMuxEndpoint::pair();
+    std::thread::spawn(move || {
+        let mut server = SimulatorServer::new("respawn-demo", model());
+        let mut t = sim_side;
+        let _ = server.serve(&mut t);
+    });
+    ep
+}
+
+fn main() {
+    const SESSIONS: usize = 4;
+    const WORKERS: usize = 2;
+    const TRACES: usize = 200;
+    const SEED: u64 = 77;
+
+    // Local reference: the per-trace-seeded executor defines the batch's
+    // content; any healthy path must reproduce it bit-for-bit.
+    let observes = ObserveMap::new();
+    let mut reference_model = model();
+    let reference: Vec<Trace> = (0..TRACES)
+        .map(|i| {
+            Executor::try_execute_seeded(
+                &mut reference_model,
+                &mut PriorProposer,
+                &observes,
+                mix_seed(SEED, i),
+            )
+            .expect("local reference")
+        })
+        .collect();
+
+    // Session 0's first endpoint dies mid-batch (after ~40 delivered
+    // frames); every endpoint the factory makes after that — including the
+    // respawn replacement — is healthy.
+    let crashed = Arc::new(AtomicBool::new(false));
+    let mut pool = MuxSimulatorPool::connect(SESSIONS, "etalumis-rs", move |i| {
+        let inner = spawn_server();
+        let ep: Box<dyn MuxEndpoint> = if i == 0 && !crashed.swap(true, Ordering::SeqCst) {
+            Box::new(FailAfter { inner, frames_left: 40 })
+        } else {
+            Box::new(inner)
+        };
+        Ok(ep)
+    })
+    .expect("pool connect");
+    println!(
+        "pool              : {} sessions ({}), one rigged to crash mid-batch",
+        pool.len(),
+        pool.model_name()
+    );
+
+    let runner = BatchRunner::new(RuntimeConfig { workers: WORKERS, stealing: true });
+    let sink = CollectSink::new(TRACES);
+    let stats = runner.run_mux_prior(&mut pool, &observes, TRACES, SEED, &sink);
+    println!(
+        "batch             : {} traces on {} workers in {:.1?}",
+        stats.total_executed(),
+        WORKERS,
+        stats.elapsed
+    );
+    println!(
+        "fault tolerance   : {} session respawn(s), {} trace retry(ies), {} failure(s)",
+        stats.respawns,
+        stats.retries,
+        stats.failures.len()
+    );
+
+    assert!(stats.failures.is_empty(), "respawn must absorb the crash: {:?}", stats.failures);
+    assert_eq!(stats.total_executed(), TRACES, "every trace must be delivered");
+    assert!(stats.respawns >= 1, "the rigged session must have been respawned");
+    assert_eq!(pool.live(), SESSIONS, "the respawned session must rejoin the pool");
+
+    // Bit-identical content despite the mid-batch death.
+    let traces = sink.into_traces();
+    assert_eq!(traces.len(), TRACES);
+    for (i, (a, b)) in traces.iter().zip(&reference).enumerate() {
+        assert_eq!(a.entries.len(), b.entries.len(), "trace {i}: entry count");
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.value, y.value, "trace {i}: value");
+            assert_eq!(x.log_prob.to_bits(), y.log_prob.to_bits(), "trace {i}: log_prob bits");
+        }
+        assert_eq!(a.result, b.result, "trace {i}: result");
+    }
+    println!("verified          : batch content bit-identical to the undisturbed local reference");
+    println!("OK");
+}

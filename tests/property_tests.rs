@@ -90,7 +90,7 @@ proptest! {
         let rec = etalumis_data::TraceRecord::from_trace(&trace, pruned);
         let mut dict = etalumis_data::AddressDictionary::new();
         let buf = etalumis_data::encode_record(&rec, Some(&mut dict));
-        let back = etalumis_data::decode_record(&buf, Some(&dict));
+        let back = etalumis_data::decode_record(&buf, Some(&dict)).unwrap();
         prop_assert_eq!(back, rec);
     }
 
