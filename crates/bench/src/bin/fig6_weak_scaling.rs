@@ -29,7 +29,7 @@ fn main() {
             buckets: 1,
             seed: 5,
         };
-        let (_, report) = train_distributed(&ds, bench_ic_config(6), &dist);
+        let (_, report) = train_distributed(&ds, bench_ic_config(6), &dist).expect("dataset read");
         println!("  {ranks} rank(s): {:>8.1} traces/s", report.traces_per_sec());
         rates.push(report.traces_per_sec());
     }

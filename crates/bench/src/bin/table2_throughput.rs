@@ -24,7 +24,7 @@ fn measure(ranks: usize, ds: &etalumis_data::TraceDataset, cfg: IcConfig) -> (f6
         buckets: 1,
         seed: 2,
     };
-    let (net, report) = train_distributed(ds, cfg, &dist);
+    let (net, report) = train_distributed(ds, cfg, &dist).expect("dataset read");
     // Flops per trace: forward count for the mean trace length × the
     // forward+backward multiplier.
     let mut net = net;

@@ -7,7 +7,7 @@
 //! 50× training-speed improvement.
 
 use crate::record::TraceRecord;
-use crate::shard::{RollingShardWriter, ShardReader};
+use crate::shard::{deny_stale_partials, remove_stale_rolls, RollingShardWriter, ShardReader};
 use etalumis_core::{Executor, ObserveMap, PriorProposer, ProbProgram};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -139,12 +139,20 @@ pub fn generate_dataset(
 
 /// Offline sort of a dataset by (trace_type, length) into new shards — the
 /// paper's "parallel trace sorting" preprocessing (§4.4.3).
+///
+/// Crash-safe: each output shard becomes visible only through an atomic
+/// rename ([`crate::ShardWriter::finish`]), so a sort killed mid-run never
+/// leaves a truncated shard that [`TraceDataset::open`] would read as valid.
+/// The output dir is rejected if it holds an unfinished checkpointed run's
+/// `*.partial` journals, and stale shards of a longer previous sort are
+/// removed once the new set is complete.
 pub fn sort_dataset(
     dataset: &TraceDataset,
     out_dir: &Path,
     traces_per_shard: usize,
 ) -> std::io::Result<TraceDataset> {
     std::fs::create_dir_all(out_dir)?;
+    deny_stale_partials(out_dir)?;
     let mut order: Vec<usize> = (0..dataset.len()).collect();
     order.sort_by_key(|&i| dataset.meta(i));
     let mut writer = RollingShardWriter::new(out_dir, "sorted", traces_per_shard, true);
@@ -153,7 +161,9 @@ pub fn sort_dataset(
             writer.push(rec)?;
         }
     }
-    TraceDataset::open(writer.finish()?)
+    let paths = writer.finish()?;
+    remove_stale_rolls(out_dir, "sorted", paths.len())?;
+    TraceDataset::open(paths)
 }
 
 #[cfg(test)]

@@ -15,18 +15,28 @@
 //! * [`sampler`] — the distributed minibatch sampler: sorted chunking,
 //!   round-robin rank assignment, multi-bucketing by length, and
 //!   token-based dynamic batching (§7.2).
+//! * [`merge`] — deterministic cross-process shard merging: per-rank
+//!   manifests, mutual validation, and the k-way merge that folds a fleet's
+//!   rank-private shard sets back into the canonical single-process layout,
+//!   byte for byte.
 
 pub mod dataset;
+pub mod merge;
 pub mod record;
 pub mod sampler;
 pub mod shard;
 
 pub use dataset::{generate_dataset, sort_dataset, TraceDataset};
+pub use merge::{
+    discover_rank_dirs, merge_ranks, rank_slice, MergeOutput, MergedManifest, RankManifest,
+    RankSummary, MERGED_MANIFEST_NAME, RANK_MANIFEST_NAME,
+};
 pub use record::{
     decode_record, encode_record, AddressDictionary, DecodeError, Reader, RecordEntry, TraceRecord,
 };
 pub use sampler::{homogeneous_fraction, DistributedSampler, EpochPlan, SamplerConfig};
 pub use shard::{
-    read_journal, regroup_shards, RollingShardWriter, ShardReader, ShardWriter, WriterProgress,
-    PARTIAL_EXT,
+    atomic_save, deny_stale_partials, partition_of, partition_prefix, read_journal, regroup_shards,
+    remove_stale_rolls, RollingShardWriter, ShardReader, ShardWriter, WriterProgress,
+    CHECKPOINT_MANIFEST_NAME, PARTIAL_EXT,
 };

@@ -32,6 +32,108 @@ const VERSION: u32 = 1;
 /// in-progress shard (see [`RollingShardWriter::durable`]).
 pub const PARTIAL_EXT: &str = "partial";
 
+/// File name of a checkpointed run's manifest inside its dataset directory.
+///
+/// The manifest itself is owned by `etalumis-runtime`'s checkpoint layer,
+/// but the *name* lives here because the data layer must recognize it too:
+/// a rank directory still holding one is an unfinished run the merge must
+/// refuse.
+pub const CHECKPOINT_MANIFEST_NAME: &str = "checkpoint.etck";
+
+/// Atomically publish `bytes` as `dir/name`: write to a `.tmp` sibling,
+/// fsync, rename into place, then best-effort fsync the directory. A crash
+/// at any point leaves either the previous file or the new one — never a
+/// torn one. The shared discipline behind every manifest in the workspace
+/// (checkpoint, rank, merged).
+pub fn atomic_save(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!("{name}.tmp"));
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    std::fs::rename(&tmp, dir.join(name))?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Shard-file prefix of a trace-type partition (`part{p:02}`) — the single
+/// naming rule shared by the runtime's sharded sinks, the checkpointed
+/// writers, and the cross-process merge in [`crate::merge`].
+pub fn partition_prefix(partition: usize) -> String {
+    format!("part{partition:02}")
+}
+
+/// The partition a trace type hashes to — the single placement rule shared
+/// by the runtime's sharded sinks and the cross-process merge. Per-trace
+/// seeding makes record *content* placement-invariant; this function makes
+/// record *location* placement-invariant too.
+pub fn partition_of(trace_type: u64, partitions: usize) -> usize {
+    (trace_type % partitions.max(1) as u64) as usize
+}
+
+/// Error unless `dir` holds no `*.partial` journals.
+///
+/// A `*.partial` file is the durable journal of an in-progress checkpointed
+/// run; finding one in a directory about to receive sorted/regrouped/merged
+/// output means either an unfinished run still owns the directory or a
+/// crashed one was never resumed. Writing fresh shards next to it would mix
+/// two generations of data, so offline rewriters refuse instead.
+pub fn deny_stale_partials(dir: &Path) -> std::io::Result<()> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        if path.extension().map(|x| x == PARTIAL_EXT).unwrap_or(false) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "output dir {} contains a stale shard journal {} — an unfinished \
+                     checkpointed run owns this directory (resume or remove it first)",
+                    dir.display(),
+                    path.display()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Remove `{prefix}_{seq:05}.etlm` files with `seq >= kept`, plus any
+/// `{prefix}_*.etlm.tmp` leftovers of a crashed atomic write.
+///
+/// Rewriters that overwrite a directory in place (sort, regroup, merge)
+/// rename each new shard into position atomically, which replaces same-named
+/// files but cannot retract a *longer* previous generation: if the last run
+/// wrote 5 shards and this run writes 3, shards 3–4 would survive as stale
+/// data a later directory scan could pick up. Calling this after `finish`
+/// closes that hole.
+pub fn remove_stale_rolls(dir: &Path, prefix: &str, kept: usize) -> std::io::Result<()> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    let lead = format!("{prefix}_");
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        let Some(rest) = name.strip_prefix(&lead) else { continue };
+        if rest.ends_with(".etlm.tmp") {
+            std::fs::remove_file(&path)?;
+        } else if let Some(seq) = rest.strip_suffix(".etlm").and_then(|s| s.parse::<usize>().ok()) {
+            if seq >= kept {
+                std::fs::remove_file(&path)?;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Wrap a [`DecodeError`] with the shard file and byte offset it was hit at,
 /// so a corrupt record in a multi-shard dataset is locatable.
 fn decode_err(path: &Path, offset: u64, e: DecodeError) -> std::io::Error {
@@ -605,12 +707,18 @@ pub fn read_journal(path: &Path, committed: u64) -> std::io::Result<Vec<TraceRec
 
 /// Regroup shards into `group_size`-record shards (the 20k→100k grouping).
 /// Returns the new shard paths.
+///
+/// Crash-safe: every output shard is renamed into place atomically
+/// ([`ShardWriter::finish`]), the output dir is rejected if an unfinished
+/// checkpointed run's `*.partial` journals sit in it, and stale shards of a
+/// longer previous regroup are removed once the new set is complete.
 pub fn regroup_shards(
     inputs: &[PathBuf],
     out_dir: &Path,
     group_size: usize,
     use_dict: bool,
 ) -> std::io::Result<Vec<PathBuf>> {
+    deny_stale_partials(out_dir)?;
     let mut writer = RollingShardWriter::new(out_dir, "shard", group_size, use_dict);
     for p in inputs {
         let mut r = ShardReader::open(p)?;
@@ -618,7 +726,9 @@ pub fn regroup_shards(
             writer.push(rec)?;
         }
     }
-    writer.finish()
+    let paths = writer.finish()?;
+    remove_stale_rolls(out_dir, "shard", paths.len())?;
+    Ok(paths)
 }
 
 #[cfg(test)]

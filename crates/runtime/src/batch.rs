@@ -243,9 +243,38 @@ impl RunStats {
             self.total_executed() as f64 / s
         }
     }
+
+    /// Fold another run's statistics into this one: counters sum, worker
+    /// reports append, failure lists merge (sorted by index, deduplicated),
+    /// `killed` ORs, and `elapsed` sums — total compute time across the
+    /// folded runs, not fleet wall-clock. This is how multi-pass runs (a
+    /// resumed batch's main pass plus its healing pass) and multi-rank
+    /// distributed generation report one aggregate [`RunStats`].
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.elapsed += other.elapsed;
+        self.per_worker.extend(other.per_worker.iter().copied());
+        self.steals += other.steals;
+        self.failures.extend(other.failures.iter().cloned());
+        self.failures.sort_by_key(|&(i, _)| i);
+        self.failures.dedup_by_key(|&mut (i, _)| i);
+        self.retries += other.retries;
+        self.respawns += other.respawns;
+        self.killed |= other.killed;
+    }
+
+    /// [`RunStats::absorb`] folded over any number of runs (per-rank stats
+    /// of a distributed generation, sequential passes of a resumed one).
+    pub fn aggregate<'a>(runs: impl IntoIterator<Item = &'a RunStats>) -> RunStats {
+        let mut total = RunStats::default();
+        for r in runs {
+            total.absorb(r);
+        }
+        total
+    }
 }
 
 /// Executes batches of traces over a [`SimulatorPool`].
+#[derive(Clone)]
 pub struct BatchRunner {
     config: RuntimeConfig,
     policy: RetryPolicy,

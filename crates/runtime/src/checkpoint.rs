@@ -37,18 +37,27 @@
 use crate::batch::BatchRunner;
 use crate::sink::{ShardedTraceSink, TraceSink};
 use etalumis_core::Trace;
-use etalumis_data::{Reader, RollingShardWriter, TraceRecord, WriterProgress};
+use etalumis_data::{
+    atomic_save, decode_record, encode_record, remove_stale_rolls, Reader, RollingShardWriter,
+    TraceRecord, WriterProgress,
+};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fs::File;
-use std::io::{self, Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-/// File name of the checkpoint manifest inside a dataset directory.
-pub const MANIFEST_NAME: &str = "checkpoint.etck";
+/// File name of the checkpoint manifest inside a dataset directory (the
+/// name is defined in `etalumis-data` so the merge layer can refuse
+/// unfinished rank outputs).
+pub const MANIFEST_NAME: &str = etalumis_data::CHECKPOINT_MANIFEST_NAME;
+
+/// File name of the healing pass's repair journal inside a dataset
+/// directory (see [`CheckpointSink::begin_repair`]).
+pub const REPAIR_JOURNAL_NAME: &str = "repair.partial";
 
 const MANIFEST_MAGIC: &[u8; 4] = b"ETCK";
-const MANIFEST_VERSION: u32 = 1;
+const MANIFEST_VERSION: u32 = 2;
 
 /// Knobs for checkpointed runs.
 #[derive(Clone, Copy, Debug)]
@@ -70,8 +79,13 @@ impl Default for CheckpointConfig {
 pub struct Checkpoint {
     /// Batch size the run was started with.
     pub n: u64,
-    /// Batch seed (trace `i` runs under `mix_seed(seed, i)`).
+    /// Batch seed (trace `i` runs under `mix_seed(seed, base + i)`).
     pub seed: u64,
+    /// First *global* index of the slice this run owns (0 for a
+    /// single-process run over the whole batch). Part of the manifest's
+    /// identity: two slices of equal length but different placement hold
+    /// different records, so resuming one as the other must be refused.
+    pub base: u64,
     /// Partition count of the sharded sink.
     pub partitions: u32,
     /// Records per shard before rolling.
@@ -100,6 +114,7 @@ impl Checkpoint {
         b.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
         b.extend_from_slice(&self.n.to_le_bytes());
         b.extend_from_slice(&self.seed.to_le_bytes());
+        b.extend_from_slice(&self.base.to_le_bytes());
         b.extend_from_slice(&self.partitions.to_le_bytes());
         b.extend_from_slice(&self.traces_per_shard.to_le_bytes());
         b.push(self.pruned as u8);
@@ -135,6 +150,7 @@ impl Checkpoint {
         }
         let n = r.u64().map_err(ctx)?;
         let seed = r.u64().map_err(ctx)?;
+        let base = r.u64().map_err(ctx)?;
         let partitions = r.u32().map_err(ctx)?;
         let traces_per_shard = r.u64().map_err(ctx)?;
         let pruned = r.u8().map_err(ctx)? != 0;
@@ -159,7 +175,7 @@ impl Checkpoint {
                 partial_bytes: r.u64().map_err(ctx)?,
             });
         }
-        Ok(Self { n, seed, partitions, traces_per_shard, pruned, watermark, failed, parts })
+        Ok(Self { n, seed, base, partitions, traces_per_shard, pruned, watermark, failed, parts })
     }
 
     /// Load the manifest from a dataset directory (`None` if absent — a
@@ -181,17 +197,7 @@ impl Checkpoint {
     /// A crash at any point leaves either the previous manifest or this one
     /// — never a torn file.
     pub fn save(&self, dir: &Path) -> io::Result<()> {
-        std::fs::create_dir_all(dir)?;
-        let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
-        let mut f = File::create(&tmp)?;
-        f.write_all(&self.encode())?;
-        f.sync_all()?;
-        std::fs::rename(&tmp, dir.join(MANIFEST_NAME))?;
-        // Make the rename itself durable where the platform allows it.
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
-        Ok(())
+        atomic_save(dir, MANIFEST_NAME, &self.encode())
     }
 }
 
@@ -199,10 +205,12 @@ impl Checkpoint {
 /// fields of `DatasetGenConfig`).
 #[derive(Clone, Copy, Debug)]
 pub struct ShardLayout {
-    /// Batch size.
+    /// Batch size (slice length for a distributed rank).
     pub n: usize,
     /// Batch seed.
     pub seed: u64,
+    /// First global index of the slice (0 for whole-batch runs).
+    pub base: usize,
     /// Trace-type hash partitions.
     pub partitions: usize,
     /// Records per shard before rolling.
@@ -222,6 +230,13 @@ struct CkState {
     /// Finished-shard counts at the last manifest write (to force a
     /// manifest after any roll).
     finished_counts: Vec<usize>,
+    /// Below-watermark indices healed by the repair pass, with the records
+    /// their re-execution produced (written out as `repair_*` shards at
+    /// finalize). Keyed by index so replay + re-run cannot double-insert.
+    repaired: BTreeMap<u64, TraceRecord>,
+    /// The open repair journal (`repair.partial`), present once a healing
+    /// pass has begun.
+    repair_journal: Option<File>,
     /// First I/O error; everything after it is dropped and the error
     /// surfaces at finalize.
     error: Option<io::Error>,
@@ -276,6 +291,8 @@ impl CheckpointSink {
                 failed: Vec::new(),
                 since_manifest: 0,
                 finished_counts: vec![0; partitions],
+                repaired: BTreeMap::new(),
+                repair_journal: None,
                 error: None,
             }),
         }
@@ -294,6 +311,7 @@ impl CheckpointSink {
         let partitions = layout.partitions.max(1);
         if manifest.n != layout.n as u64
             || manifest.seed != layout.seed
+            || manifest.base != layout.base as u64
             || manifest.partitions != partitions as u32
             || manifest.traces_per_shard != layout.traces_per_shard as u64
             || manifest.pruned != layout.pruned
@@ -302,15 +320,17 @@ impl CheckpointSink {
                 io::ErrorKind::InvalidInput,
                 format!(
                     "checkpoint manifest does not match the requested run \
-                     (manifest: n={} seed={} partitions={} shard={} pruned={}; \
-                     requested: n={} seed={} partitions={} shard={} pruned={})",
+                     (manifest: n={} seed={} base={} partitions={} shard={} pruned={}; \
+                     requested: n={} seed={} base={} partitions={} shard={} pruned={})",
                     manifest.n,
                     manifest.seed,
+                    manifest.base,
                     manifest.partitions,
                     manifest.traces_per_shard,
                     manifest.pruned,
                     layout.n,
                     layout.seed,
+                    layout.base,
                     partitions,
                     layout.traces_per_shard,
                     layout.pruned
@@ -361,6 +381,8 @@ impl CheckpointSink {
                 failed: manifest.failed.clone(),
                 since_manifest: 0,
                 finished_counts,
+                repaired: BTreeMap::new(),
+                repair_journal: None,
                 error: None,
             }),
         })
@@ -370,6 +392,7 @@ impl CheckpointSink {
         Checkpoint {
             n: self.layout.n as u64,
             seed: self.layout.seed,
+            base: self.layout.base as u64,
             partitions: self.layout.partitions as u32,
             traces_per_shard: self.layout.traces_per_shard as u64,
             pruned: self.layout.pruned,
@@ -423,9 +446,124 @@ impl CheckpointSink {
         }
     }
 
+    /// Begin the healing pass for manifest-recorded permanent failures.
+    ///
+    /// Indices whose retry budget ran out *below* the commit watermark are
+    /// holes the normal resume path can never fill: the watermark has
+    /// passed them, so re-running `watermark..n` skips them forever, and
+    /// patching them into already-committed shards would rewrite bytes the
+    /// crash-consistency protocol promised were final. The healing pass
+    /// re-runs them with a fresh retry budget and stages the recovered
+    /// records in a **repair journal** (`repair.partial`, `u64 index |
+    /// u32 len | record` appends); [`CheckpointSink::finalize`] turns the
+    /// staged records into trailing `repair_*` shards via the usual atomic
+    /// rename, leaving every committed shard byte-for-byte untouched.
+    ///
+    /// This method replays any journal a previous (crashed) healing pass
+    /// left behind — already-recovered records are taken from the journal
+    /// instead of being re-executed, and a torn final append is truncated
+    /// away. Returns the indices still owed, i.e. the failed list minus
+    /// what the journal already healed; deliver their re-runs through
+    /// [`CheckpointSink::repair_sink`].
+    pub fn begin_repair(&self) -> io::Result<Vec<u64>> {
+        let mut state = self.state.lock();
+        if state.repair_journal.is_none() {
+            let path = self.dir.join(REPAIR_JOURNAL_NAME);
+            let mut file = match File::options().read(true).write(true).open(&path) {
+                Ok(f) => {
+                    // Replay the committed prefix of a previous attempt.
+                    let mut buf = Vec::new();
+                    let mut f2 = &f;
+                    f2.read_to_end(&mut buf)?;
+                    let mut off = 0usize;
+                    while buf.len() - off >= 12 {
+                        let idx = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+                        let len =
+                            u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap()) as usize;
+                        if buf.len() - off - 12 < len {
+                            break; // torn tail: the crash interrupted this append
+                        }
+                        // An undecodable entry is treated exactly like a
+                        // torn tail: journal appends are not fsynced
+                        // (deliberately — nothing references them until
+                        // finalize), so unordered data writeback after a
+                        // power loss can persist a length header whose
+                        // payload pages were lost. Every entry is a pure
+                        // function of (seed, index), so truncating here and
+                        // re-running the rest is always safe — the journal
+                        // must never be able to wedge a resume.
+                        let Ok(rec) = decode_record(&buf[off + 12..off + 12 + len], None) else {
+                            break;
+                        };
+                        off += 12 + len;
+                        if let Ok(pos) = state.failed.binary_search(&idx) {
+                            state.failed.remove(pos);
+                            state.repaired.insert(idx, rec);
+                        }
+                    }
+                    file_truncate_to(&f, off as u64)?;
+                    f
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    if state.failed.is_empty() {
+                        return Ok(Vec::new()); // nothing to heal, no journal needed
+                    }
+                    std::fs::create_dir_all(&self.dir)?;
+                    File::options().create_new(true).read(true).write(true).open(&path)?
+                }
+                Err(e) => return Err(e),
+            };
+            file.seek(SeekFrom::End(0))?;
+            state.repair_journal = Some(file);
+        }
+        Ok(state.failed.clone())
+    }
+
+    /// A [`TraceSink`] adapter routing re-executions of failed indices into
+    /// the repair path (journal append + staged record) instead of the
+    /// watermark-ordered commit path. Call [`CheckpointSink::begin_repair`]
+    /// first.
+    pub fn repair_sink(&self) -> RepairSink<'_> {
+        RepairSink { sink: self }
+    }
+
+    fn repair_accept(&self, index: usize, trace: Trace) {
+        let rec = TraceRecord::from_trace(&trace, self.layout.pruned);
+        let mut state = self.state.lock();
+        if state.error.is_some() {
+            return;
+        }
+        let idx = index as u64;
+        if state.repaired.contains_key(&idx) {
+            return;
+        }
+        let result = (|| -> io::Result<()> {
+            let Some(journal) = state.repair_journal.as_mut() else {
+                return Err(io::Error::other(
+                    "repair delivery before begin_repair (healing pass not started)",
+                ));
+            };
+            let buf = encode_record(&rec, None);
+            journal.write_all(&idx.to_le_bytes())?;
+            journal.write_all(&(buf.len() as u32).to_le_bytes())?;
+            journal.write_all(&buf)?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                if let Ok(pos) = state.failed.binary_search(&idx) {
+                    state.failed.remove(pos);
+                }
+                state.repaired.insert(idx, rec);
+            }
+            Err(e) => state.error = Some(e),
+        }
+    }
+
     /// Flush everything, write no further manifests, delete the manifest
     /// and journals, and return the final shard paths (partition order,
-    /// then roll order) — the run is complete.
+    /// then roll order, healed `repair_*` shards last) — the run is
+    /// complete.
     pub fn finalize(self) -> io::Result<Vec<PathBuf>> {
         let state = self.state.into_inner();
         if let Some(e) = state.error {
@@ -439,10 +577,12 @@ impl CheckpointSink {
             )));
         }
         // Ordering matters for crash consistency: flush every shard while
-        // keeping the journals, delete the manifest, and only then delete
-        // the journals it referenced. A crash before the manifest removal
-        // resumes cleanly (journals intact); a crash after it degrades to
-        // a fresh deterministic re-run, never an unresumable state.
+        // keeping the journals, write the repair shards, delete the
+        // manifest, and only then delete the journals it referenced. A
+        // crash before the manifest removal resumes cleanly (journals
+        // intact; the repair journal replays the healed records without
+        // re-execution); a crash after it degrades to a fresh
+        // deterministic re-run, never an unresumable state.
         let mut paths = Vec::new();
         let mut journals = Vec::new();
         for w in state.writers {
@@ -450,6 +590,26 @@ impl CheckpointSink {
             paths.extend(shards);
             journals.extend(js);
         }
+        let mut repair_kept = 0usize;
+        if !state.repaired.is_empty() {
+            let mut rw = RollingShardWriter::new(
+                &self.dir,
+                "repair",
+                self.layout.traces_per_shard.max(1),
+                true,
+            );
+            for rec in state.repaired.values() {
+                rw.push(rec.clone())?;
+            }
+            let repair_paths = rw.finish()?;
+            repair_kept = repair_paths.len();
+            paths.extend(repair_paths);
+        }
+        // Unconditional: a crash-degraded fresh re-run stages no repairs
+        // itself but can still find a previous life's repair_* shards on
+        // disk — every healed record is re-committed into the part shards
+        // by the re-run, so stale repair shards would be duplicates.
+        remove_stale_rolls(&self.dir, "repair", repair_kept)?;
         std::fs::remove_file(self.dir.join(MANIFEST_NAME)).or_else(|e| {
             if e.kind() == io::ErrorKind::NotFound {
                 Ok(())
@@ -460,18 +620,51 @@ impl CheckpointSink {
         for j in journals {
             let _ = std::fs::remove_file(j);
         }
+        drop(state.repair_journal);
+        let _ = std::fs::remove_file(self.dir.join(REPAIR_JOURNAL_NAME));
         Ok(paths)
     }
 
     /// The failed indices recorded so far (including ones inherited from
-    /// the manifest a resumed run started from).
+    /// the manifest a resumed run started from, minus any the healing pass
+    /// has recovered).
     pub fn failed(&self) -> Vec<u64> {
         self.state.lock().failed.clone()
+    }
+
+    /// Indices the healing pass has recovered so far.
+    pub fn repaired(&self) -> usize {
+        self.state.lock().repaired.len()
     }
 
     /// The current commit watermark (test/diagnostic hook).
     pub fn watermark(&self) -> usize {
         self.state.lock().watermark
+    }
+}
+
+/// Truncate `f` to `len` bytes (free function so the borrow on the locked
+/// state stays simple at the call site).
+fn file_truncate_to(f: &File, len: u64) -> io::Result<()> {
+    f.set_len(len)
+}
+
+/// The healing pass's [`TraceSink`]: successful re-executions of
+/// permanently failed indices are staged for repair shards; re-failures
+/// keep the index on the failed list. See [`CheckpointSink::begin_repair`].
+pub struct RepairSink<'a> {
+    sink: &'a CheckpointSink,
+}
+
+impl TraceSink for RepairSink<'_> {
+    fn accept(&self, index: usize, trace: Trace) {
+        self.sink.repair_accept(index, trace);
+    }
+
+    fn reject(&self, index: usize, _error: &str) {
+        // Still failed: the index is already on the failed list (healing
+        // only removes it on a successful re-run), nothing to record.
+        let _ = index;
     }
 }
 
@@ -539,6 +732,7 @@ mod tests {
         let ck = Checkpoint {
             n: 15_000_000,
             seed: 0xDEAD_BEEF,
+            base: 3_000_000,
             partitions: 4,
             traces_per_shard: 100_000,
             pruned: true,
@@ -571,6 +765,7 @@ mod tests {
         let ck = Checkpoint {
             n: 100,
             seed: 7,
+            base: 0,
             partitions: 2,
             traces_per_shard: 10,
             pruned: true,
@@ -594,8 +789,14 @@ mod tests {
         use etalumis_simulators::BranchingModel;
         let dir = std::env::temp_dir().join(format!("etalumis_ck_heal_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let layout =
-            ShardLayout { n: 6, seed: 1, partitions: 1, traces_per_shard: 10, pruned: true };
+        let layout = ShardLayout {
+            n: 6,
+            seed: 1,
+            base: 0,
+            partitions: 1,
+            traces_per_shard: 10,
+            pruned: true,
+        };
         let sink = CheckpointSink::new(&dir, layout, &CheckpointConfig::default());
         let mut m = BranchingModel::standard();
         // Index 5 fails while the prefix is still open (watermark 0), then a
@@ -617,14 +818,27 @@ mod tests {
     fn resume_rejects_mismatched_layout() {
         let dir = std::env::temp_dir().join(format!("etalumis_ck_mm_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let layout =
-            ShardLayout { n: 50, seed: 3, partitions: 2, traces_per_shard: 10, pruned: true };
+        let layout = ShardLayout {
+            n: 50,
+            seed: 3,
+            base: 0,
+            partitions: 2,
+            traces_per_shard: 10,
+            pruned: true,
+        };
         let sink = CheckpointSink::new(&dir, layout, &CheckpointConfig::default());
         // Force a manifest to disk.
         sink.manifest_of(&sink.state.lock()).save(&dir).unwrap();
         let wrong_seed = ShardLayout { seed: 4, ..layout };
         let manifest = Checkpoint::load(&dir).unwrap().unwrap();
         let err = CheckpointSink::resume(&dir, wrong_seed, &CheckpointConfig::default(), &manifest)
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // An equal-length slice at a different global placement is a
+        // different run: base is part of the identity.
+        let wrong_base = ShardLayout { base: 1, ..layout };
+        let err = CheckpointSink::resume(&dir, wrong_base, &CheckpointConfig::default(), &manifest)
             .map(|_| ())
             .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);

@@ -43,11 +43,15 @@ pub use batch::{
     mix_seed, BatchRunner, KillSwitch, PriorProposerFactory, ProposerFactory, RetryPolicy,
     RunStats, RuntimeConfig, WorkerReport,
 };
-pub use checkpoint::{Checkpoint, CheckpointConfig, CheckpointSink, ShardLayout, MANIFEST_NAME};
-pub use dataset::{
-    generate_dataset_mux, generate_dataset_mux_resumable, generate_dataset_parallel,
-    generate_dataset_resumable, DatasetGenConfig,
+pub use checkpoint::{
+    Checkpoint, CheckpointConfig, CheckpointSink, RepairSink, ShardLayout, MANIFEST_NAME,
+    REPAIR_JOURNAL_NAME,
 };
+pub use dataset::{
+    generate_dataset_distributed, generate_dataset_mux, generate_dataset_mux_resumable,
+    generate_dataset_parallel, generate_dataset_resumable, rank_dir, DatasetGenConfig, RankOutput,
+};
+pub use etalumis_data::{merge_ranks, rank_slice};
 pub use oversub::{MuxSimulatorPool, ReconnectPolicy};
 pub use pool::SimulatorPool;
 pub use scheduler::TaskQueues;

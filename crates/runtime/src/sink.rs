@@ -106,15 +106,19 @@ pub struct ShardedTraceSink {
 }
 
 impl ShardedTraceSink {
-    /// The partition a trace type hashes to — the single definition shared
-    /// by the streaming sink and ordered dataset generation.
+    /// The partition a trace type hashes to — delegates to the canonical
+    /// rule in `etalumis_data` ([`etalumis_data::partition_of`]), which the
+    /// cross-process merge also uses: record placement must be identical
+    /// whether one process writes the whole batch or a fleet writes slices
+    /// that are merged later.
     pub fn partition_of(trace_type: u64, partitions: usize) -> usize {
-        (trace_type % partitions.max(1) as u64) as usize
+        etalumis_data::partition_of(trace_type, partitions)
     }
 
-    /// Shard-file prefix of a partition (`part{p:02}`).
+    /// Shard-file prefix of a partition (`part{p:02}`); delegates to
+    /// [`etalumis_data::partition_prefix`].
     pub fn partition_prefix(partition: usize) -> String {
-        format!("part{partition:02}")
+        etalumis_data::partition_prefix(partition)
     }
 
     /// Sink writing `partitions` independent shard streams under `dir`

@@ -183,11 +183,20 @@ fn allreduce_network(
 
 /// Run Algorithm 2: returns the rank-0 network (all replicas are identical)
 /// and the run report.
+///
+/// A shard I/O error on any rank (truncated file, corrupt record — see
+/// `etalumis_data::DecodeError`) aborts training with `Err` instead of
+/// panicking the rank thread. Error propagation must not deadlock the
+/// collectives: a rank whose minibatch read fails still participates in
+/// that iteration's allreduce with zero gradients, and the failure bit
+/// rides the existing loss reduction — so every rank learns of the failure
+/// at the same synchronization point and they all leave the loop together,
+/// replicas still bit-identical (the failed iteration applies no update).
 pub fn train_distributed(
     dataset: &TraceDataset,
     net_config: IcConfig,
     dist: &DistConfig,
-) -> (IcNetwork, DistReport) {
+) -> std::io::Result<(IcNetwork, DistReport)> {
     let ranks = dist.ranks;
     let meta: Vec<(u64, u32)> = (0..dataset.len()).map(|i| dataset.meta(i)).collect();
     let sampler = DistributedSampler::new(
@@ -201,13 +210,14 @@ pub fn train_distributed(
     );
     // Every rank pre-generates the same network from the same dataset.
     let all_indices: Vec<usize> = (0..dataset.len()).collect();
-    let pregen_records = dataset.get_many(&all_indices).expect("dataset read");
+    let pregen_records = dataset.get_many(&all_indices)?;
     let ctx = AllReduceCtx::new(ranks);
     let losses: Mutex<Vec<Vec<f64>>> = Mutex::new(vec![Vec::new(); ranks]);
     let timings: Mutex<Vec<Vec<PhaseTimings>>> = Mutex::new(vec![Vec::new(); ranks]);
     let traces_total = std::sync::atomic::AtomicUsize::new(0);
     let comm_elems = std::sync::atomic::AtomicUsize::new(0);
     let nets: Mutex<Vec<Option<IcNetwork>>> = Mutex::new((0..ranks).map(|_| None).collect());
+    let read_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
     let start = Instant::now();
     std::thread::scope(|s| {
         for rank in 0..ranks {
@@ -219,6 +229,7 @@ pub fn train_distributed(
             let traces_total = &traces_total;
             let comm_elems = &comm_elems;
             let nets = &nets;
+            let read_error = &read_error;
             let net_config = net_config.clone();
             s.spawn(move || {
                 let mut net = IcNetwork::new(net_config);
@@ -239,22 +250,41 @@ pub fn train_distributed(
                         }
                         let mut t = PhaseTimings::default();
                         let t0 = Instant::now();
-                        let records =
-                            dataset.get_many(&plan.per_rank[rank][it]).expect("minibatch read");
+                        // A failed read cannot simply break here: the other
+                        // ranks are already committed to this iteration's
+                        // collectives and would block forever. Participate
+                        // with an empty minibatch (zero gradients) and
+                        // raise the failure flag through the reduction.
+                        let (records, failed) = match dataset.get_many(&plan.per_rank[rank][it]) {
+                            Ok(r) => (r, 0.0),
+                            Err(e) => {
+                                read_error.lock().get_or_insert(e);
+                                (Vec::new(), 1.0)
+                            }
+                        };
                         t.batch_read = t0.elapsed().as_secs_f64();
                         let res = accumulate_minibatch(&mut net, &records);
                         t.forward = res.timings.forward;
                         t.backward = res.timings.backward;
-                        // Gradient + loss allreduce (the sync phase).
+                        // Gradient + loss + failure-bit allreduce (the sync
+                        // phase).
                         let ts = Instant::now();
                         let elems = allreduce_network(ctx, &mut net, dist.strategy);
-                        let mut stats = [res.loss * res.used as f64, res.used as f64];
+                        let mut stats = [res.loss * res.used as f64, res.used as f64, failed];
                         {
-                            let mut f32buf = [stats[0] as f32, stats[1] as f32];
+                            let mut f32buf = [stats[0] as f32, stats[1] as f32, stats[2] as f32];
                             ctx.reduce_sum(&mut f32buf);
-                            stats = [f32buf[0] as f64, f32buf[1] as f64];
+                            stats = [f32buf[0] as f64, f32buf[1] as f64, f32buf[2] as f64];
                         }
                         t.sync = ts.elapsed().as_secs_f64();
+                        if stats[2] > 0.0 {
+                            // Some rank failed its read this iteration:
+                            // every rank sees the same reduced bit and
+                            // leaves here, before the optimizer step, so
+                            // the replicas stay identical and nobody is
+                            // left waiting at the next collective.
+                            break 'outer;
+                        }
                         let topt = Instant::now();
                         opt.begin_step();
                         net.visit_params("", &mut |n, p| opt.update(n, p));
@@ -272,6 +302,9 @@ pub fn train_distributed(
             });
         }
     });
+    if let Some(e) = read_error.into_inner() {
+        return Err(e);
+    }
     let wall = start.elapsed().as_secs_f64();
     let losses = losses.into_inner();
     let timings = timings.into_inner();
@@ -288,7 +321,7 @@ pub fn train_distributed(
         },
     };
     let net = nets.into_inner().remove(0).expect("rank 0 network");
-    (net, report)
+    Ok((net, report))
 }
 
 #[cfg(test)]
@@ -322,7 +355,7 @@ mod tests {
             lr: LrSchedule::Constant(2e-3),
             ..Default::default()
         };
-        let (_net, report) = train_distributed(&ds, small_ic(), &dist);
+        let (_net, report) = train_distributed(&ds, small_ic(), &dist).unwrap();
         assert!(!report.losses.is_empty());
         let n = report.losses.len();
         let head: f64 = report.losses[..3].iter().sum::<f64>() / 3.0;
@@ -349,7 +382,7 @@ mod tests {
             seed: 4,
             ..Default::default()
         };
-        let (dnet, report) = train_distributed(&ds, small_ic(), &dist);
+        let (dnet, report) = train_distributed(&ds, small_ic(), &dist).unwrap();
         // Reconstruct the union of both ranks' first minibatches.
         let meta: Vec<(u64, u32)> = (0..ds.len()).map(|i| ds.meta(i)).collect();
         let sampler = DistributedSampler::new(
@@ -393,6 +426,29 @@ mod tests {
     }
 
     #[test]
+    fn distributed_training_surfaces_shard_errors_instead_of_panicking() {
+        let dir = tmp("err");
+        let mut m = BranchingModel::standard();
+        let ds = generate_dataset(&mut m, 64, 32, &dir, 8, true).unwrap();
+        let ds = sort_dataset(&ds, &dir.join("sorted"), 32).unwrap();
+        // Truncate a shard under the open dataset: every rank's read path
+        // must surface the error as Err — no panicking rank threads, no
+        // rank left blocking in a collective.
+        let bytes = std::fs::read(&ds.shards[0]).unwrap();
+        std::fs::write(&ds.shards[0], &bytes[..bytes.len() / 2]).unwrap();
+        let dist = DistConfig {
+            ranks: 2,
+            minibatch_per_rank: 8,
+            epochs: 1,
+            lr: LrSchedule::Constant(1e-3),
+            ..Default::default()
+        };
+        let res = train_distributed(&ds, small_ic(), &dist).map(|_| ());
+        assert!(res.is_err(), "a truncated shard must surface as Err, not a panic");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn all_strategies_produce_identical_training() {
         let dir = tmp("strat");
         let mut m = BranchingModel::standard();
@@ -413,7 +469,7 @@ mod tests {
                 seed: 9,
                 ..Default::default()
             };
-            let (_, report) = train_distributed(&ds, small_ic(), &dist);
+            let (_, report) = train_distributed(&ds, small_ic(), &dist).unwrap();
             final_losses.push(report.losses.clone());
         }
         assert_eq!(final_losses[0], final_losses[1], "dense vs sparse");

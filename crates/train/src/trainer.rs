@@ -175,13 +175,18 @@ impl<O: Optimizer> Trainer<O> {
 
     /// Train for `epochs` epochs over a dataset with the given sampler
     /// parameters (single rank).
+    ///
+    /// A shard I/O error (truncated file, corrupt record — see
+    /// `etalumis_data::DecodeError`) surfaces as the `Err` instead of
+    /// aborting the process; the log accumulated so far is lost with it,
+    /// so callers that care should checkpoint externally.
     pub fn train_epochs(
         &mut self,
         dataset: &TraceDataset,
         minibatch: usize,
         epochs: usize,
         seed: u64,
-    ) -> TrainLog {
+    ) -> std::io::Result<TrainLog> {
         let meta: Vec<(u64, u32)> = (0..dataset.len()).map(|i| dataset.meta(i)).collect();
         let sampler = DistributedSampler::new(
             meta,
@@ -193,7 +198,7 @@ impl<O: Optimizer> Trainer<O> {
         for e in 0..epochs {
             let plan = sampler.epoch(e);
             for mb in &plan.per_rank[0] {
-                let records = dataset.get_many(mb).expect("dataset read");
+                let records = dataset.get_many(mb)?;
                 let res = self.step(&records);
                 log.losses.push((iter, res.loss));
                 log.traces_seen += res.used;
@@ -201,7 +206,7 @@ impl<O: Optimizer> Trainer<O> {
             }
         }
         log.wall_secs = start.elapsed().as_secs_f64();
-        log
+        Ok(log)
     }
 }
 
@@ -251,6 +256,31 @@ mod tests {
             last = res.loss;
         }
         assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn train_epochs_surfaces_shard_errors_instead_of_panicking() {
+        use etalumis_data::generate_dataset;
+        use etalumis_simulators::BranchingModel;
+        let dir = std::env::temp_dir().join(format!("etalumis_tr_err_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut m = BranchingModel::standard();
+        let ds = generate_dataset(&mut m, 24, 12, &dir, 5, true).unwrap();
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let pregen = ds.get_many(&all).unwrap();
+        let mut net = IcNetwork::new(IcConfig::small([1, 1, 1], 1));
+        net.pregenerate(pregen.iter());
+        let mut trainer = Trainer::new(net, Adam::new(LrSchedule::Constant(1e-3)));
+        // Healthy dataset trains fine.
+        assert!(trainer.train_epochs(&ds, 8, 1, 0).is_ok());
+        // Truncate a shard under the open dataset: the next epoch's reads
+        // must return the I/O error, not abort the process.
+        let bytes = std::fs::read(&ds.shards[0]).unwrap();
+        std::fs::write(&ds.shards[0], &bytes[..bytes.len() / 2]).unwrap();
+        let res = trainer.train_epochs(&ds, 8, 1, 0);
+        assert!(res.is_err(), "a truncated shard must surface as Err, not a panic");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

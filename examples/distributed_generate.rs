@@ -1,0 +1,184 @@
+//! Distributed dataset generation across worker processes, with a crash.
+//!
+//! The fleet-shaped form of `resume_dataset`: the parent process plays the
+//! job scheduler, spawning `WORLD` worker processes that each generate one
+//! contiguous rank slice of the global batch
+//! ([`generate_dataset_distributed`]) into a rank-private directory. One
+//! worker is killed mid-run (a [`KillSwitch`] stops its workers dead —
+//! exactly the on-disk state `SIGKILL` leaves), the parent re-spawns it,
+//! and the worker resumes from its checkpoint manifest. Once every rank's
+//! manifest is on disk, [`merge_ranks`] folds the rank outputs back into
+//! the canonical partition-by-trace-type layout and the parent verifies
+//! the merged shards are **byte-identical** to a single-process
+//! `generate_dataset_resumable` run of the whole batch.
+//!
+//! ```text
+//! cargo run --release --example distributed_generate
+//! ```
+//!
+//! (the binary re-executes itself with `--rank R` for the worker
+//! processes, mirroring `ppx_mux_clients`).
+//!
+//! [`generate_dataset_distributed`]: etalumis_runtime::generate_dataset_distributed
+//! [`KillSwitch`]: etalumis_runtime::KillSwitch
+//! [`merge_ranks`]: etalumis_data::merge_ranks
+
+use etalumis_data::{discover_rank_dirs, merge_ranks};
+use etalumis_runtime::{
+    generate_dataset_distributed, generate_dataset_resumable, CheckpointConfig, DatasetGenConfig,
+    KillSwitch,
+};
+use etalumis_simulators::BranchingModel;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+
+const WORLD: usize = 3;
+const KILLED_RANK: usize = 1;
+const KILL_AT: usize = 300;
+/// Worker exit code signalling "killed mid-run, resume me".
+const EXIT_KILLED: i32 = 9;
+
+fn config() -> (DatasetGenConfig, CheckpointConfig) {
+    (
+        DatasetGenConfig {
+            n: 2400,
+            traces_per_shard: 100,
+            partitions: 3,
+            workers: 2,
+            seed: 2019,
+            ..Default::default()
+        },
+        CheckpointConfig { interval: 50 },
+    )
+}
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--rank") {
+        let rank: usize = args[pos + 1].parse().expect("--rank N");
+        let root = PathBuf::from(
+            args.iter().position(|a| a == "--root").map(|p| &args[p + 1]).expect("--root DIR"),
+        );
+        let kill = args
+            .iter()
+            .position(|a| a == "--kill")
+            .map(|p| args[p + 1].parse::<usize>().expect("--kill N"));
+        return worker_main(rank, &root, kill);
+    }
+
+    let root = std::env::temp_dir().join(format!("etalumis_dist_gen_demo_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root)?;
+    let (cfg, ckpt) = config();
+
+    // Reference: one process generating the whole batch.
+    let ref_dir = root.join("reference");
+    let reference =
+        generate_dataset_resumable(|_| BranchingModel::standard(), &cfg, &ref_dir, &ckpt, None)?;
+    println!(
+        "[parent] single-process reference: {} traces -> {} shards",
+        reference.len(),
+        reference.shards.len()
+    );
+
+    // Phase 1: one worker process per rank; rank {KILLED_RANK} dies mid-run.
+    let exe = std::env::current_exe()?;
+    let mut children = Vec::new();
+    for rank in 0..WORLD {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--rank").arg(rank.to_string()).arg("--root").arg(&root);
+        if rank == KILLED_RANK {
+            cmd.arg("--kill").arg(KILL_AT.to_string());
+        }
+        children.push((rank, cmd.spawn()?));
+    }
+    for (rank, child) in &mut children {
+        let status = child.wait()?;
+        if *rank == KILLED_RANK {
+            assert_eq!(
+                status.code(),
+                Some(EXIT_KILLED),
+                "rank {rank} should have died mid-run, got {status}"
+            );
+            println!("[parent] rank {rank} died mid-run as planned ({status})");
+        } else {
+            assert!(status.success(), "rank {rank} failed: {status}");
+        }
+    }
+
+    // Phase 2: re-spawn the dead rank; it resumes from its manifest.
+    println!("[parent] re-spawning rank {KILLED_RANK} to resume from its checkpoint");
+    let status = Command::new(&exe)
+        .arg("--rank")
+        .arg(KILLED_RANK.to_string())
+        .arg("--root")
+        .arg(&root)
+        .status()?;
+    assert!(status.success(), "resumed rank failed: {status}");
+
+    // Phase 3: merge the rank outputs into the canonical layout.
+    let rank_dirs = discover_rank_dirs(&root)?;
+    assert_eq!(rank_dirs.len(), WORLD, "every rank must have completed");
+    let merged_dir = root.join("merged");
+    let merged = merge_ranks(&rank_dirs, &merged_dir)?;
+    println!(
+        "[parent] merged {} ranks -> {} shards, {} records, {} permanent failure(s)",
+        merged.manifest.world_size,
+        merged.shards.len(),
+        merged.manifest.records,
+        merged.manifest.failed().len()
+    );
+
+    // Phase 4: the merged dataset must be byte-identical to the reference.
+    assert_eq!(merged.shards.len(), reference.shards.len(), "shard count differs");
+    let mut bytes = 0u64;
+    for (a, b) in merged.shards.iter().zip(&reference.shards) {
+        assert_eq!(a.file_name(), b.file_name(), "shard names differ");
+        let (da, db) = (std::fs::read(a)?, std::fs::read(b)?);
+        assert_eq!(da, db, "merged shard {a:?} differs from the single-process reference");
+        bytes += da.len() as u64;
+    }
+    println!(
+        "[parent] verified: {} shards / {bytes} bytes byte-identical to the \
+         single-process run",
+        merged.shards.len()
+    );
+    std::fs::remove_dir_all(&root)?;
+    println!("OK");
+    Ok(())
+}
+
+/// One worker process: generate (or resume) this rank's slice.
+fn worker_main(rank: usize, root: &Path, kill_after: Option<usize>) -> std::io::Result<()> {
+    let (cfg, ckpt) = config();
+    let kill = kill_after.map(|n| Arc::new(KillSwitch::after(n)));
+    match generate_dataset_distributed(
+        |_| BranchingModel::standard(),
+        &cfg,
+        root,
+        rank,
+        WORLD,
+        &ckpt,
+        kill,
+    ) {
+        Ok(out) => {
+            println!(
+                "[rank {rank}] slice {}..{} complete: {} traces -> {} shards \
+                 ({} executed this process, {} retries)",
+                out.slice.start,
+                out.slice.end,
+                out.dataset.len(),
+                out.dataset.shards.len(),
+                out.stats.total_executed(),
+                out.stats.retries
+            );
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+            println!("[rank {rank}] killed: {e}");
+            std::process::exit(EXIT_KILLED);
+        }
+        Err(e) => Err(e),
+    }
+}

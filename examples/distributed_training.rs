@@ -37,7 +37,8 @@ fn main() {
         max_iterations: None,
     };
     println!("\ntraining on {} rank threads (Adam-LARC, polynomial decay)...", dist.ranks);
-    let (net, report) = train_distributed(&ds, IcConfig::small([1, 1, 1], 3), &dist);
+    let (net, report) =
+        train_distributed(&ds, IcConfig::small([1, 1, 1], 3), &dist).expect("dataset read");
     println!(
         "done: {} iterations, {} traces, {:.0} traces/s, loss {:.3} -> {:.3}",
         report.losses.len(),

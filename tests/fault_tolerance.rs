@@ -9,10 +9,11 @@
 //!    with content bit-identical to the blocking single-connection path.
 
 use etalumis::prelude::*;
+use etalumis_data::{discover_rank_dirs, merge_ranks};
 use etalumis_ppx::{InProcMuxEndpoint, MuxEndpoint, PpxError, SimulatorServer};
 use etalumis_runtime::{
-    generate_dataset_resumable, BatchRunner, CheckpointConfig, CollectSink, DatasetGenConfig,
-    KillSwitch, MuxSimulatorPool, RuntimeConfig,
+    generate_dataset_distributed, generate_dataset_resumable, BatchRunner, CheckpointConfig,
+    CollectSink, DatasetGenConfig, KillSwitch, MuxSimulatorPool, RuntimeConfig,
 };
 use etalumis_simulators::BranchingModel;
 use proptest::prelude::*;
@@ -109,6 +110,73 @@ proptest! {
 
         std::fs::remove_dir_all(&dir_ref).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Distributed generation + merge is byte-identical to the
+    /// single-process run for arbitrary fleet shapes: any `world_size`,
+    /// any per-rank worker count, and one rank killed at an arbitrary
+    /// trace index and resumed before the merge.
+    #[test]
+    fn prop_distributed_merge_matches_single_process(
+        world in 1usize..4,
+        workers in 1usize..4,
+        kill_at in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        let cfg = DatasetGenConfig {
+            n: 40,
+            traces_per_shard: 6,
+            partitions: 2,
+            workers,
+            seed,
+            ..Default::default()
+        };
+        let ckpt = CheckpointConfig { interval: 4 };
+
+        let dir_ref = tmpdir(&format!("dref_{world}_{workers}_{kill_at}_{seed}"));
+        let reference = generate_dataset_resumable(
+            |_| BranchingModel::standard(), &cfg, &dir_ref, &ckpt, None,
+        ).unwrap();
+
+        let root = tmpdir(&format!("droot_{world}_{workers}_{kill_at}_{seed}"));
+        let killed_rank = kill_at % world;
+        for rank in 0..world {
+            let kill = (rank == killed_rank).then(|| Arc::new(KillSwitch::after(kill_at)));
+            let result = generate_dataset_distributed(
+                |_| BranchingModel::standard(), &cfg, &root, rank, world, &ckpt, kill,
+            );
+            match result {
+                Ok(out) => prop_assert_eq!(out.dataset.len(), out.slice.len()),
+                Err(e) => {
+                    // The kill fired before the slice finished: resume the
+                    // "dead" rank with the same call, no kill switch.
+                    prop_assert_eq!(e.kind(), std::io::ErrorKind::Interrupted);
+                    prop_assert_eq!(rank, killed_rank);
+                    let out = generate_dataset_distributed(
+                        |_| BranchingModel::standard(), &cfg, &root, rank, world, &ckpt, None,
+                    ).unwrap();
+                    prop_assert_eq!(out.dataset.len(), out.slice.len());
+                }
+            }
+        }
+
+        let merged_dir = root.join("merged");
+        let merged = merge_ranks(&discover_rank_dirs(&root).unwrap(), &merged_dir).unwrap();
+        prop_assert_eq!(merged.manifest.records, cfg.n as u64);
+        prop_assert!(merged.manifest.failed().is_empty());
+        prop_assert_eq!(merged.shards.len(), reference.shards.len());
+        for (a, b) in merged.shards.iter().zip(&reference.shards) {
+            prop_assert_eq!(a.file_name(), b.file_name());
+            prop_assert_eq!(
+                std::fs::read(a).unwrap(),
+                std::fs::read(b).unwrap(),
+                "merged shard {:?} differs from the single-process run \
+                 (world={}, workers={}, kill_at={}, seed={})",
+                a, world, workers, kill_at, seed
+            );
+        }
+        std::fs::remove_dir_all(&dir_ref).unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     /// Kill one mux session at an arbitrary frame boundary; session respawn

@@ -65,7 +65,8 @@ fn distributed_pipeline_runs_end_to_end_on_disk() {
         seed: 3,
         ..Default::default()
     };
-    let (mut net, report) = train_distributed(&sorted, IcConfig::small([1, 1, 1], 21), &dist);
+    let (mut net, report) =
+        train_distributed(&sorted, IcConfig::small([1, 1, 1], 21), &dist).unwrap();
     let n = report.losses.len();
     assert!(n >= 8);
     assert!(
