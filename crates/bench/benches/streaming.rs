@@ -1,0 +1,152 @@
+//! Offline staged pipeline vs the streaming generate→train pipeline.
+//!
+//! The offline mode pays for a full materialized dataset (generate every
+//! trace to shards, then train over them); the streaming mode overlaps the
+//! two phases through the bounded trace channel, so end-to-end wall time
+//! approaches max(generate, train) instead of their sum. The criterion
+//! group times the two pipelines; the final "bench" writes a
+//! `BENCH_streaming.json` snapshot at the workspace root (traces/sec for
+//! both modes plus channel back-pressure counters) for CI to archive and
+//! gate on.
+//!
+//! Run: `cargo bench -p etalumis-bench --bench streaming` (add `-- --quick`
+//! for the CI smoke mode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etalumis_data::{ChannelStats, TraceChannel};
+use etalumis_nn::{Adam, LrSchedule};
+use etalumis_runtime::{
+    generate_dataset_parallel, stream_prior_traces, DatasetGenConfig, RuntimeConfig,
+};
+use etalumis_simulators::BranchingModel;
+use etalumis_train::{
+    train_stream, train_stream_offline, IcConfig, IcNetwork, StreamTrainConfig, Trainer,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const CAPACITY: usize = 128;
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+fn n_traces() -> usize {
+    if quick() {
+        1500
+    } else {
+        8000
+    }
+}
+
+fn gen_cfg(n: usize, workers: usize) -> DatasetGenConfig {
+    DatasetGenConfig {
+        n,
+        traces_per_shard: 500,
+        partitions: 1,
+        workers,
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+fn train_cfg() -> StreamTrainConfig {
+    StreamTrainConfig { batch: 32, spill_after: 256, warmup: 128, ..Default::default() }
+}
+
+fn new_trainer() -> Trainer<Adam> {
+    Trainer::new(
+        IcNetwork::new(IcConfig::small([1, 1, 1], 11)),
+        Adam::new(LrSchedule::Constant(1e-3)),
+    )
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d =
+        std::env::temp_dir().join(format!("etalumis_bench_stream_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Offline staged pipeline: materialize every trace to shards, then train
+/// over the dataset. Returns (generate secs, train secs).
+fn run_offline(n: usize, workers: usize) -> (f64, f64) {
+    let dir = tmpdir("offline");
+    let t0 = Instant::now();
+    let ds = generate_dataset_parallel(|_| BranchingModel::standard(), &gen_cfg(n, workers), &dir)
+        .expect("offline generation");
+    let gen_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let mut trainer = new_trainer();
+    train_stream_offline(&mut trainer, &ds, &train_cfg(), CAPACITY).expect("offline training");
+    let train_secs = t1.elapsed().as_secs_f64();
+    drop(ds);
+    let _ = std::fs::remove_dir_all(&dir);
+    (gen_secs, train_secs)
+}
+
+/// Streaming pipeline: generation and training overlap through the bounded
+/// channel. Returns (total secs, channel stats).
+fn run_streaming(n: usize, workers: usize) -> (f64, ChannelStats) {
+    let chan = TraceChannel::bounded(CAPACITY);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            stream_prior_traces(|_| BranchingModel::standard(), &gen_cfg(n, workers), &chan)
+                .expect("streaming generation");
+        });
+        let mut trainer = new_trainer();
+        train_stream(&mut trainer, &chan, &train_cfg());
+    });
+    (t0.elapsed().as_secs_f64(), chan.stats())
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let n = if quick() { 400 } else { 1500 };
+    let workers = RuntimeConfig::default().resolved_workers();
+    let mut group = c.benchmark_group("generate_train_pipeline");
+    group.sample_size(10);
+    group.bench_function("offline_staged", |b| b.iter(|| run_offline(n, workers)));
+    group.bench_function("streaming_overlapped", |b| b.iter(|| run_streaming(n, workers)));
+    group.finish();
+}
+
+/// Not a timing loop: one calibrated run of each pipeline, snapshotted to
+/// `BENCH_streaming.json` at the workspace root so CI can archive the
+/// numbers and fail if the suite stops producing them.
+fn emit_snapshot(_c: &mut Criterion) {
+    let n = n_traces();
+    let workers = RuntimeConfig::default().resolved_workers();
+    let (gen_secs, train_secs) = run_offline(n, workers);
+    let (stream_secs, stats) = run_streaming(n, workers);
+    let offline_total = gen_secs + train_secs;
+    let json = format!(
+        "{{\n  \"bench\": \"streaming\",\n  \"model\": \"branching\",\n  \"n_traces\": {n},\n  \
+         \"workers\": {workers},\n  \"quick\": {},\n  \"offline\": {{\n    \
+         \"generate_secs\": {gen_secs:.6},\n    \"train_secs\": {train_secs:.6},\n    \
+         \"total_secs\": {offline_total:.6},\n    \"traces_per_sec\": {:.1}\n  }},\n  \
+         \"streaming\": {{\n    \"total_secs\": {stream_secs:.6},\n    \
+         \"traces_per_sec\": {:.1},\n    \"channel_capacity\": {CAPACITY},\n    \
+         \"max_occupancy\": {},\n    \"blocked_sends\": {},\n    \"blocked_recvs\": {}\n  }},\n  \
+         \"end_to_end_speedup\": {:.3}\n}}\n",
+        quick(),
+        n as f64 / offline_total,
+        n as f64 / stream_secs,
+        stats.max_occupancy,
+        stats.blocked_sends,
+        stats.blocked_recvs,
+        offline_total / stream_secs,
+    );
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_streaming.json");
+    std::fs::write(&path, &json).expect("write BENCH_streaming.json");
+    println!(
+        "snapshot -> {} (offline {:.2}s, streaming {:.2}s, speedup {:.2}x)",
+        path.display(),
+        offline_total,
+        stream_secs,
+        offline_total / stream_secs
+    );
+}
+
+criterion_group!(benches, bench_pipelines, emit_snapshot);
+criterion_main!(benches);

@@ -56,9 +56,20 @@ impl TraceDataset {
         self.meta[i]
     }
 
+    /// Location of record `i`, with an out-of-range index surfacing as a
+    /// typed error instead of a panic (sampler plans are data, not code).
+    fn location(&self, i: usize) -> std::io::Result<(u32, u32)> {
+        self.locations.get(i).copied().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("record index {i} is out of range for a dataset of {}", self.len()),
+            )
+        })
+    }
+
     /// Load a single record (random access).
     pub fn get(&self, i: usize) -> std::io::Result<TraceRecord> {
-        let (si, ri) = self.locations[i];
+        let (si, ri) = self.location(i)?;
         let mut r = ShardReader::open(&self.shards[si as usize])?;
         r.get(ri as usize)
     }
@@ -69,7 +80,7 @@ impl TraceDataset {
         // Group requests per shard to open each file once.
         let mut by_shard: HashMap<u32, Vec<(usize, u32)>> = HashMap::new();
         for (pos, &i) in indices.iter().enumerate() {
-            let (si, ri) = self.locations[i];
+            let (si, ri) = self.location(i)?;
             by_shard.entry(si).or_default().push((pos, ri));
         }
         let mut out: Vec<Option<TraceRecord>> = vec![None; indices.len()];
@@ -80,7 +91,19 @@ impl TraceDataset {
                 out[pos] = Some(r.get(ri as usize)?);
             }
         }
-        Ok(out.into_iter().map(|o| o.unwrap()).collect())
+        // Every slot was grouped into exactly one shard above; an empty slot
+        // here would be a location-table bug. Surface it as a typed error —
+        // a training loop must not panic on a corrupt index.
+        out.into_iter()
+            .map(|o| {
+                o.ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "dataset location table produced an unfilled slot in get_many",
+                    )
+                })
+            })
+            .collect()
     }
 
     /// Count of distinct trace types.

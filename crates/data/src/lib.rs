@@ -19,12 +19,17 @@
 //!   manifests, mutual validation, and the k-way merge that folds a fleet's
 //!   rank-private shard sets back into the canonical single-process layout,
 //!   byte for byte.
+//! * [`stream`] — the streaming generate→train seam: a bounded,
+//!   back-pressured [`TraceChannel`] and the online [`TraceBucketer`] that
+//!   replaces the offline sort with on-the-fly address-homogeneous
+//!   sub-minibatch release.
 
 pub mod dataset;
 pub mod merge;
 pub mod record;
 pub mod sampler;
 pub mod shard;
+pub mod stream;
 
 pub use dataset::{generate_dataset, sort_dataset, TraceDataset};
 pub use merge::{
@@ -39,4 +44,7 @@ pub use shard::{
     atomic_save, deny_stale_partials, partition_of, partition_prefix, read_journal, regroup_shards,
     remove_stale_rolls, RollingShardWriter, ShardReader, ShardWriter, WriterProgress,
     CHECKPOINT_MANIFEST_NAME, PARTIAL_EXT,
+};
+pub use stream::{
+    stream_dataset_into, BucketerConfig, ChannelClosed, ChannelStats, TraceBucketer, TraceChannel,
 };

@@ -243,9 +243,19 @@ impl AddressDictionary {
         id
     }
 
-    /// Look up the string for an id.
+    /// Look up the string for an id the caller knows is interned; panics on
+    /// a dangling id (programmer error). Decoders working on untrusted
+    /// bytes use [`AddressDictionary::get`] instead.
     pub fn resolve(&self, id: u32) -> &str {
         &self.strings[id as usize]
+    }
+
+    /// Checked lookup: `None` for an id this dictionary never assigned.
+    /// The decode path routes every stored id through here, so a shard
+    /// whose dictionary was truncated (or whose record references a future
+    /// id) surfaces as [`DecodeError::MissingDictEntry`], never a panic.
+    pub fn get(&self, id: u32) -> Option<&str> {
+        self.strings.get(id as usize).map(String::as_str)
     }
 
     /// Number of interned addresses.
@@ -512,10 +522,7 @@ pub fn decode_record(
         let address = if uses_dict {
             let id = r.u32()?;
             let dict = dict.ok_or(DecodeError::MissingDictionary)?;
-            if id as usize >= dict.len() {
-                return Err(DecodeError::MissingDictEntry(id));
-            }
-            dict.resolve(id).to_string()
+            dict.get(id).ok_or(DecodeError::MissingDictEntry(id))?.to_string()
         } else {
             r.string()?
         };

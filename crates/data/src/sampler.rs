@@ -54,10 +54,31 @@ pub struct DistributedSampler {
 }
 
 impl DistributedSampler {
-    /// New sampler over the dataset metadata.
+    /// New sampler over the dataset metadata; panics on a degenerate config
+    /// (programmer error). Callers holding *user-supplied* configuration —
+    /// the training loops that load sampler metadata from a dataset —
+    /// should use [`DistributedSampler::try_new`] so a zero minibatch in a
+    /// config file surfaces as an error, not a process abort.
     pub fn new(meta: Vec<(u64, u32)>, config: SamplerConfig) -> Self {
-        assert!(config.minibatch > 0 && config.num_ranks > 0 && config.buckets > 0);
-        Self { meta, config }
+        match Self::try_new(meta, config) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: a degenerate config (zero minibatch, ranks, or
+    /// buckets) is a typed `InvalidInput` error.
+    pub fn try_new(meta: Vec<(u64, u32)>, config: SamplerConfig) -> std::io::Result<Self> {
+        if config.minibatch == 0 || config.num_ranks == 0 || config.buckets == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "sampler config must be non-degenerate: minibatch={} num_ranks={} buckets={}",
+                    config.minibatch, config.num_ranks, config.buckets
+                ),
+            ));
+        }
+        Ok(Self { meta, config })
     }
 
     /// Build the plan for one epoch.

@@ -599,7 +599,16 @@ impl RollingShardWriter {
         if let Some(j) = self.journal.as_mut() {
             j.append(&rec)?;
         }
-        self.current.as_mut().unwrap().1.push(rec);
+        // `roll` just guaranteed an open shard; if it is somehow gone the
+        // push must fail as I/O, not panic a worker thread mid-batch.
+        match self.current.as_mut() {
+            Some((_, w)) => w.push(rec),
+            None => {
+                return Err(std::io::Error::other(
+                    "rolling shard writer has no open shard after roll",
+                ))
+            }
+        }
         Ok(())
     }
 

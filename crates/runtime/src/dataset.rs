@@ -129,7 +129,7 @@ fn generate_with(
     }
 }
 
-fn fail_on_failures(stats: &RunStats) -> std::io::Result<()> {
+pub(crate) fn fail_on_failures(stats: &RunStats) -> std::io::Result<()> {
     if let Some((i, e)) = stats.failures.first() {
         return Err(std::io::Error::other(format!(
             "{} trace(s) failed during dataset generation (first: trace {i}: {e})",

@@ -26,7 +26,12 @@
 //!   the latency of many slow simulators while batch content stays
 //!   bit-identical to the blocking path,
 //! * [`dataset`] — parallel dataset generation wired through all of the
-//!   above (local pools or multiplexed remote pools).
+//!   above (local pools or multiplexed remote pools),
+//! * [`stream`] — the streaming generate→train seam: an ordered
+//!   [`StreamSink`] feeding a bounded `etalumis-data` trace channel, plus
+//!   the checkpoint-teed [`stream_dataset_resumable`] whose shards stay
+//!   byte-identical to the batch pipeline while training consumes the
+//!   live stream.
 //!
 //! [`RemoteModel`]: etalumis_ppx::RemoteModel
 //! [`ProbProgram`]: etalumis_core::ProbProgram
@@ -38,6 +43,7 @@ pub mod oversub;
 pub mod pool;
 pub mod scheduler;
 pub mod sink;
+pub mod stream;
 
 pub use batch::{
     mix_seed, BatchRunner, KillSwitch, PriorProposerFactory, ProposerFactory, RetryPolicy,
@@ -56,6 +62,10 @@ pub use oversub::{MuxSimulatorPool, ReconnectPolicy};
 pub use pool::SimulatorPool;
 pub use scheduler::TaskQueues;
 pub use sink::{CollectSink, CountingSink, ShardedTraceSink, TraceSink};
+pub use stream::{
+    stream_dataset_mux_resumable, stream_dataset_resumable, stream_prior_traces, StreamSink,
+    TeeSink,
+};
 
 #[cfg(test)]
 mod ppx_pool_tests {

@@ -1,0 +1,605 @@
+//! Streaming trace delivery: the runtime side of the generate→train
+//! pipeline.
+//!
+//! The offline pipeline (§4) stages everything through the filesystem:
+//! generate shards, sort shards, train on shards. The streaming mode
+//! replaces that seam with a bounded [`TraceChannel`] the worker pool
+//! feeds directly:
+//!
+//! * [`StreamSink`] — a [`TraceSink`] that reorders worker completions
+//!   into strict batch-index order and pushes them into the channel. Order
+//!   matters: it makes the stream's content *and sequence* a pure function
+//!   of `(factory, seed, n)` — invariant over worker count and channel
+//!   capacity — which is what lets a streaming training run be reproduced
+//!   bit-identically from its teed shards.
+//! * [`TeeSink`] — fans one delivery out to two sinks, used to tee the
+//!   live stream through a [`CheckpointSink`] so a streaming run stays
+//!   durable, resumable, and byte-identical to the batch pipeline's
+//!   output.
+//! * [`stream_dataset_resumable`] — the teed streaming generator: the
+//!   full checkpoint/resume protocol of
+//!   [`generate_dataset_resumable`](crate::generate_dataset_resumable),
+//!   with the stream re-fed on resume by **prefix replay** (committed
+//!   shards + the partial-shard journal are pushed into the channel before
+//!   live generation of the remainder starts), so a consumer restarted
+//!   after a crash sees exactly the stream an uninterrupted run produces.
+//!
+//! Back-pressure discipline: when the trainer falls behind, `channel.send`
+//! blocks inside the sink; workers then block either on the send or on the
+//! sink's mutex. Nothing is dropped, memory stays bounded by
+//! `capacity + reorder window`, and the pipeline cannot deadlock — the
+//! consumer draining (or closing) the channel always unblocks the chain.
+
+use crate::batch::{BatchRunner, KillSwitch, RunStats, RuntimeConfig};
+use crate::checkpoint::{Checkpoint, CheckpointConfig, CheckpointSink};
+use crate::dataset::{fail_on_failures, DatasetGenConfig};
+use crate::oversub::MuxSimulatorPool;
+use crate::pool::SimulatorPool;
+use crate::sink::TraceSink;
+use etalumis_core::{ObserveMap, ProbProgram, Trace};
+use etalumis_data::{
+    partition_prefix, read_journal, ShardReader, TraceChannel, TraceDataset, TraceRecord,
+};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Reorder-buffer wait bounds, mirroring [`CheckpointSink`]'s: a worker
+/// whose index is too far ahead of the contiguous prefix parks briefly so
+/// the buffer cannot balloon, but never forever — after the budget it
+/// proceeds, trading bounded memory growth for guaranteed progress.
+const MAX_WAITS: usize = 4000;
+const WAIT_STEP_MICROS: u64 = 50;
+
+struct StreamState {
+    /// Next batch index owed to the channel.
+    next: usize,
+    /// Completed (Some) or permanently failed (None) indices beyond
+    /// `next`, waiting for the prefix to close.
+    pending: BTreeMap<usize, Option<TraceRecord>>,
+}
+
+/// A [`TraceSink`] that feeds a [`TraceChannel`] in strict batch-index
+/// order.
+///
+/// Workers deliver completions in whatever order execution finishes; the
+/// sink holds them in a reorder buffer and releases the contiguous prefix.
+/// A failed index (see [`TraceSink::reject`]) is a hole the prefix skips —
+/// consumers see one record fewer, callers see the failure in
+/// [`RunStats::failures`].
+///
+/// If the consumer closes the channel mid-run, delivery degrades to a
+/// no-op drain: workers complete the batch (so teed shards stay whole)
+/// without anyone blocking on the dead consumer.
+pub struct StreamSink<'a> {
+    channel: &'a TraceChannel,
+    pruned: bool,
+    /// Max distance an accepted index may run ahead of the contiguous
+    /// prefix before its worker parks (bounds buffer memory).
+    window: usize,
+    state: Mutex<StreamState>,
+}
+
+impl<'a> StreamSink<'a> {
+    /// Sink delivering batch indices `start..` into `channel`. `start` is 0
+    /// for a fresh run, the checkpoint watermark for a resumed one (the
+    /// prefix below it is replayed from shards, not re-generated).
+    pub fn new(channel: &'a TraceChannel, pruned: bool, start: usize) -> Self {
+        Self {
+            channel,
+            pruned,
+            window: channel.capacity() * 2 + 64,
+            state: Mutex::new(StreamState { next: start, pending: BTreeMap::new() }),
+        }
+    }
+
+    /// Next batch index the channel is owed (`n` after a complete run).
+    pub fn watermark(&self) -> usize {
+        self.state.lock().next
+    }
+
+    fn deliver(&self, index: usize, rec: Option<TraceRecord>) {
+        let mut waits = 0usize;
+        loop {
+            let mut st = self.state.lock();
+            if index <= st.next + self.window || waits >= MAX_WAITS || self.channel.is_closed() {
+                st.pending.insert(index, rec);
+                while let Some(entry) = {
+                    let next = st.next;
+                    st.pending.remove(&next)
+                } {
+                    if let Some(r) = entry {
+                        // A closed channel (consumer finished early) turns
+                        // the remaining stream into a drain, not an error:
+                        // the run itself — and any tee — must still finish.
+                        let _ = self.channel.send(r);
+                    }
+                    st.next += 1;
+                }
+                return;
+            }
+            drop(st);
+            waits += 1;
+            std::thread::sleep(std::time::Duration::from_micros(WAIT_STEP_MICROS));
+        }
+    }
+}
+
+impl TraceSink for StreamSink<'_> {
+    fn accept(&self, index: usize, trace: Trace) {
+        let rec = TraceRecord::from_trace(&trace, self.pruned);
+        self.deliver(index, Some(rec));
+    }
+
+    fn reject(&self, index: usize, _error: &str) {
+        self.deliver(index, None);
+    }
+}
+
+/// Fan one trace delivery out to two sinks (checkpoint tee): `first`
+/// receives the delivery before `second`, so when `first` is the durable
+/// [`CheckpointSink`] a record is journaled before the trainer can see it.
+pub struct TeeSink<'a, A: TraceSink, B: TraceSink> {
+    first: &'a A,
+    second: &'a B,
+}
+
+impl<'a, A: TraceSink, B: TraceSink> TeeSink<'a, A, B> {
+    /// Tee deliveries to `first`, then `second`.
+    pub fn new(first: &'a A, second: &'a B) -> Self {
+        Self { first, second }
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<'_, A, B> {
+    fn accept(&self, index: usize, trace: Trace) {
+        self.first.accept(index, trace.clone());
+        self.second.accept(index, trace);
+    }
+
+    fn reject(&self, index: usize, error: &str) {
+        self.first.reject(index, error);
+        self.second.reject(index, error);
+    }
+}
+
+/// Stream `cfg.n` prior traces into `channel` in batch-index order, with
+/// no durable tee (pure online mode: nothing touches disk). Closes the
+/// channel when the batch completes — including on error, so a consumer
+/// never hangs on a producer that gave up. Failed traces are an error, as
+/// in dataset generation: a training stream must not silently miss
+/// records.
+pub fn stream_prior_traces<P, F>(
+    factory: F,
+    cfg: &DatasetGenConfig,
+    channel: &TraceChannel,
+) -> io::Result<RunStats>
+where
+    P: ProbProgram + Send + 'static,
+    F: Fn(usize) -> P,
+{
+    let workers = RuntimeConfig { workers: cfg.workers, ..Default::default() }.resolved_workers();
+    let mut pool = SimulatorPool::from_factory(workers, factory);
+    // Interleaved ascending task order (not the default block fill, which
+    // workers drain back-to-front): the stream sink releases the contiguous
+    // index prefix, so completions must track it or every delivery parks
+    // against the reorder window.
+    let runner = BatchRunner::new(RuntimeConfig { workers, stealing: true })
+        .with_tasks((0..cfg.n).collect());
+    let observes = ObserveMap::new();
+    let sink = StreamSink::new(channel, cfg.pruned, 0);
+    let stats = runner.run_prior(&mut pool, &observes, cfg.n, cfg.seed, &sink);
+    channel.close();
+    fail_on_failures(&stats)?;
+    Ok(stats)
+}
+
+/// Replay the committed prefix of a single-partition checkpointed run into
+/// the channel: finished shards in roll order, then the in-progress
+/// shard's journal up to its durable byte count. Returns the number of
+/// records replayed (== the manifest watermark for a fault-free run).
+fn replay_committed_prefix(
+    dir: &Path,
+    manifest: &Checkpoint,
+    channel: &TraceChannel,
+) -> io::Result<usize> {
+    let prefix = partition_prefix(0);
+    let progress = &manifest.parts[0];
+    let mut replayed = 0usize;
+    let mut closed = false;
+    for seq in 0..progress.finished {
+        let path = dir.join(format!("{prefix}_{seq:05}.etlm"));
+        for rec in ShardReader::open(&path)?.read_all()? {
+            replayed += 1;
+            if !closed && channel.send(rec).is_err() {
+                closed = true;
+            }
+        }
+    }
+    if progress.partial_records > 0 {
+        let journal = dir.join(format!("{prefix}_{:05}.partial", progress.finished));
+        for rec in read_journal(&journal, progress.partial_bytes)? {
+            replayed += 1;
+            if !closed && channel.send(rec).is_err() {
+                closed = true;
+            }
+        }
+    }
+    Ok(replayed)
+}
+
+/// Checkpointed streaming generation: the tee mode.
+///
+/// Runs the same manifest/journal protocol as
+/// [`generate_dataset_resumable`](crate::generate_dataset_resumable) —
+/// the produced shard files are **byte-identical** to it — while
+/// simultaneously feeding every record into `channel` in batch-index
+/// order. The channel is closed when the run ends (complete, killed, or
+/// failed), so the consumer always terminates.
+///
+/// **Reproducibility contract** (see DESIGN.md): the layout is pinned to a
+/// single partition. With one partition, commit order *is* batch-index
+/// order, so the teed shards read back in dataset order reproduce the live
+/// stream record-for-record — and on resume the committed prefix is
+/// replayed into the channel from those shards (plus the partial-shard
+/// journal) before live generation of `watermark..n` continues. A consumer
+/// that restarts from scratch on resume therefore consumes exactly the
+/// stream of an uninterrupted run. Multi-partition layouts interleave
+/// partitions in an order the shards do not record, so they cannot honor
+/// this contract and are rejected with `InvalidInput`.
+///
+/// Kill/resume semantics match the batch pipeline: a fired `kill` switch
+/// returns `ErrorKind::Interrupted` with the manifest and journals intact;
+/// the same call resumes. Permanent trace failures error out (manifest
+/// kept, resume retries them); the batch pipeline's healing pass is not
+/// run here because repair shards append records out of stream order —
+/// heal with `generate_dataset_resumable` first if a run needs it.
+pub fn stream_dataset_resumable<P, F>(
+    factory: F,
+    cfg: &DatasetGenConfig,
+    dir: &Path,
+    ckpt: &CheckpointConfig,
+    kill: Option<Arc<KillSwitch>>,
+    channel: &TraceChannel,
+) -> io::Result<TraceDataset>
+where
+    P: ProbProgram + Send + 'static,
+    F: Fn(usize) -> P,
+{
+    let workers = RuntimeConfig { workers: cfg.workers, ..Default::default() }.resolved_workers();
+    let mut pool = SimulatorPool::from_factory(workers, factory);
+    let observes = ObserveMap::new();
+    stream_resumable_with(
+        |runner, sink| runner.run_prior(&mut pool, &observes, cfg.n, cfg.seed, sink),
+        BatchRunner::new(RuntimeConfig { workers, stealing: true }),
+        cfg,
+        dir,
+        ckpt,
+        kill,
+        channel,
+    )
+}
+
+/// [`stream_dataset_resumable`] over a multiplexed remote-session pool:
+/// the oversubscribed reactor feeds the same tee, so out-of-process
+/// simulator fleets stream straight into training too.
+pub fn stream_dataset_mux_resumable(
+    pool: &mut MuxSimulatorPool,
+    cfg: &DatasetGenConfig,
+    dir: &Path,
+    ckpt: &CheckpointConfig,
+    kill: Option<Arc<KillSwitch>>,
+    channel: &TraceChannel,
+) -> io::Result<TraceDataset> {
+    let workers = if cfg.workers == 0 { pool.len() } else { cfg.workers.min(pool.len()) };
+    let observes = ObserveMap::new();
+    stream_resumable_with(
+        |runner, sink| runner.run_mux_prior(pool, &observes, cfg.n, cfg.seed, sink),
+        BatchRunner::new(RuntimeConfig { workers, stealing: true }),
+        cfg,
+        dir,
+        ckpt,
+        kill,
+        channel,
+    )
+}
+
+fn stream_resumable_with(
+    mut run: impl FnMut(&BatchRunner, &dyn TraceSink) -> RunStats,
+    runner: BatchRunner,
+    cfg: &DatasetGenConfig,
+    dir: &Path,
+    ckpt: &CheckpointConfig,
+    kill: Option<Arc<KillSwitch>>,
+    channel: &TraceChannel,
+) -> io::Result<TraceDataset> {
+    // On any exit path the consumer must observe end-of-stream.
+    let result = stream_resumable_inner(&mut run, runner, cfg, dir, ckpt, kill, channel);
+    channel.close();
+    result
+}
+
+fn stream_resumable_inner(
+    run: &mut impl FnMut(&BatchRunner, &dyn TraceSink) -> RunStats,
+    runner: BatchRunner,
+    cfg: &DatasetGenConfig,
+    dir: &Path,
+    ckpt: &CheckpointConfig,
+    kill: Option<Arc<KillSwitch>>,
+    channel: &TraceChannel,
+) -> io::Result<TraceDataset> {
+    if cfg.partitions.max(1) != 1 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "streaming tee requires a single-partition layout (got {}): with multiple \
+                 partitions the shards do not record the cross-partition stream order, so the \
+                 teed run could not be replayed",
+                cfg.partitions
+            ),
+        ));
+    }
+    let layout = cfg.layout();
+    let (sink, remaining, watermark) = match Checkpoint::load(dir)? {
+        Some(manifest) => {
+            if !manifest.failed.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "cannot stream-resume a run with {} permanently failed trace(s): heal \
+                         it with generate_dataset_resumable first",
+                        manifest.failed.len()
+                    ),
+                ));
+            }
+            let replayed = replay_committed_prefix(dir, &manifest, channel)?;
+            if replayed as u64 != manifest.watermark {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "prefix replay produced {replayed} record(s) but the manifest watermark \
+                         is {} — shards and manifest disagree",
+                        manifest.watermark
+                    ),
+                ));
+            }
+            let watermark = manifest.watermark as usize;
+            let sink = CheckpointSink::resume(dir, layout, ckpt, &manifest)?;
+            (sink, manifest.remaining(), watermark)
+        }
+        None => (CheckpointSink::new(dir, layout, ckpt), (0..cfg.n).collect(), 0),
+    };
+    let stream = StreamSink::new(channel, cfg.pruned, watermark);
+    let tee = TeeSink::new(&sink, &stream);
+    let mut main_runner = runner.with_tasks(remaining);
+    if let Some(k) = &kill {
+        main_runner = main_runner.with_kill_switch(k.clone());
+    }
+    let stats = run(&main_runner, &tee);
+    if stats.killed {
+        return Err(io::Error::new(
+            io::ErrorKind::Interrupted,
+            format!(
+                "streaming generation killed at watermark {} of 0..{} (resume with the same \
+                 call; the committed prefix will be replayed into the channel)",
+                sink.watermark(),
+                cfg.n
+            ),
+        ));
+    }
+    // No healing pass in stream mode (repair shards would break stream
+    // order); failures keep the manifest alive so the same call retries.
+    if !sink.failed().is_empty() || !stats.failures.is_empty() {
+        fail_on_failures(&stats)?;
+        return Err(io::Error::other(format!(
+            "{} trace(s) failed permanently during streaming generation (resume with the \
+             same call to retry)",
+            sink.failed().len()
+        )));
+    }
+    TraceDataset::open(sink.finalize()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::generate_dataset_resumable;
+    use crate::sink::CollectSink;
+    use etalumis_simulators::BranchingModel;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("etalumis_stream_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn cfg(n: usize, seed: u64, workers: usize) -> DatasetGenConfig {
+        DatasetGenConfig {
+            n,
+            traces_per_shard: 8,
+            partitions: 1,
+            workers,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Drain a channel on a thread, returning the records in arrival order.
+    fn drain(channel: Arc<TraceChannel>) -> std::thread::JoinHandle<Vec<TraceRecord>> {
+        std::thread::spawn(move || {
+            let mut out = Vec::new();
+            while let Some(r) = channel.recv() {
+                out.push(r);
+            }
+            out
+        })
+    }
+
+    #[test]
+    fn stream_sink_orders_out_of_order_deliveries() {
+        use etalumis_core::Executor;
+        let chan = TraceChannel::bounded(16);
+        let sink = StreamSink::new(&chan, true, 0);
+        let mut m = BranchingModel::standard();
+        let traces: Vec<Trace> = (0..5).map(|s| Executor::sample_prior(&mut m, s)).collect();
+        for i in [3usize, 0, 4, 1, 2] {
+            sink.accept(i, traces[i].clone());
+        }
+        chan.close();
+        let mut got = Vec::new();
+        while let Some(r) = chan.recv() {
+            got.push(r);
+        }
+        let expect: Vec<TraceRecord> =
+            traces.iter().map(|t| TraceRecord::from_trace(t, true)).collect();
+        assert_eq!(got, expect, "stream must be in batch-index order");
+    }
+
+    #[test]
+    fn stream_is_worker_count_invariant() {
+        let run = |workers: usize| {
+            let chan = Arc::new(TraceChannel::bounded(7));
+            let consumer = drain(chan.clone());
+            stream_prior_traces(|_| BranchingModel::standard(), &cfg(60, 12, workers), &chan)
+                .unwrap();
+            consumer.join().unwrap()
+        };
+        let one = run(1);
+        assert_eq!(one.len(), 60);
+        assert_eq!(one, run(4), "stream content+order must not depend on worker count");
+    }
+
+    #[test]
+    fn streaming_tasks_run_ascending_so_the_reorder_window_never_stalls() {
+        // n far beyond the reorder window (capacity·2 + 64) on one worker:
+        // under the default block fill (drained back-to-front) every
+        // delivery would park against the window for its full wait budget
+        // (~0.2 s each, minutes total); the explicit ascending task order
+        // keeps the contiguous prefix advancing instead.
+        let chan = Arc::new(TraceChannel::bounded(4));
+        let consumer = drain(chan.clone());
+        let t0 = std::time::Instant::now();
+        stream_prior_traces(|_| BranchingModel::standard(), &cfg(500, 9, 1), &chan).unwrap();
+        let got = consumer.join().unwrap();
+        assert_eq!(got.len(), 500);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(20),
+            "stream stalled against the reorder window"
+        );
+    }
+
+    #[test]
+    fn teed_stream_matches_batch_pipeline_bytes_and_replays_on_resume() {
+        let c = cfg(50, 77, 3);
+        let ckpt = CheckpointConfig { interval: 6 };
+
+        // Reference: the plain batch pipeline.
+        let dir_ref = tmpdir("tee_ref");
+        let reference =
+            generate_dataset_resumable(|_| BranchingModel::standard(), &c, &dir_ref, &ckpt, None)
+                .unwrap();
+
+        // Teed streaming run, killed partway.
+        let dir = tmpdir("tee_run");
+        let chan = Arc::new(TraceChannel::bounded(4));
+        let consumer = drain(chan.clone());
+        let kill = Arc::new(KillSwitch::after(23));
+        let err = stream_dataset_resumable(
+            |_| BranchingModel::standard(),
+            &c,
+            &dir,
+            &ckpt,
+            Some(kill),
+            &chan,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        let partial = consumer.join().unwrap();
+        assert!(partial.len() < 50, "the kill must cut the stream short");
+
+        // Resume with a fresh channel: prefix replay + live remainder must
+        // reproduce the full stream, and shards must match the reference.
+        let chan = Arc::new(TraceChannel::bounded(4));
+        let consumer = drain(chan.clone());
+        let ds =
+            stream_dataset_resumable(|_| BranchingModel::standard(), &c, &dir, &ckpt, None, &chan)
+                .unwrap();
+        let full = consumer.join().unwrap();
+        assert_eq!(full.len(), 50);
+        assert_eq!(ds.len(), 50);
+        assert_eq!(ds.shards.len(), reference.shards.len());
+        for (a, b) in ds.shards.iter().zip(&reference.shards) {
+            assert_eq!(a.file_name(), b.file_name());
+            assert_eq!(
+                std::fs::read(a).unwrap(),
+                std::fs::read(b).unwrap(),
+                "teed shard {a:?} differs from the batch pipeline"
+            );
+        }
+        // The stream equals the teed shards read back in dataset order.
+        let all: Vec<usize> = (0..ds.len()).collect();
+        assert_eq!(full, ds.get_many(&all).unwrap(), "stream must equal shard replay");
+        std::fs::remove_dir_all(&dir_ref).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn multi_partition_tee_is_rejected() {
+        let chan = TraceChannel::bounded(4);
+        let c = DatasetGenConfig { partitions: 2, ..cfg(10, 1, 1) };
+        let err = stream_dataset_resumable(
+            |_| BranchingModel::standard(),
+            &c,
+            &tmpdir("multi"),
+            &CheckpointConfig::default(),
+            None,
+            &chan,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(chan.is_closed(), "even a rejected run must close the channel");
+    }
+
+    #[test]
+    fn closed_channel_does_not_stall_the_tee() {
+        // Consumer walks away immediately: the teed run must still finish
+        // and produce complete shards.
+        let dir = tmpdir("walkaway");
+        let chan = TraceChannel::bounded(2);
+        chan.close();
+        let ds = stream_dataset_resumable(
+            |_| BranchingModel::standard(),
+            &cfg(30, 5, 2),
+            &dir,
+            &CheckpointConfig { interval: 5 },
+            None,
+            &chan,
+        )
+        .unwrap();
+        assert_eq!(ds.len(), 30);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tee_sink_forwards_accept_and_reject_to_both() {
+        use etalumis_core::Executor;
+        let a = CollectSink::new(3);
+        let b = CollectSink::new(3);
+        let tee = TeeSink::new(&a, &b);
+        let mut m = BranchingModel::standard();
+        tee.accept(0, Executor::sample_prior(&mut m, 0));
+        tee.reject(1, "dead");
+        tee.accept(2, Executor::sample_prior(&mut m, 2));
+        let (da, ma) = a.into_results();
+        let (db, mb) = b.into_results();
+        assert_eq!(da.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(db.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(ma, vec![1]);
+        assert_eq!(mb, vec![1]);
+    }
+}

@@ -113,7 +113,7 @@ impl DistReport {
     }
 }
 
-fn allreduce_network(
+pub(crate) fn allreduce_network(
     ctx: &AllReduceCtx,
     net: &mut IcNetwork,
     strategy: AllReduceStrategy,
@@ -199,7 +199,7 @@ pub fn train_distributed(
 ) -> std::io::Result<(IcNetwork, DistReport)> {
     let ranks = dist.ranks;
     let meta: Vec<(u64, u32)> = (0..dataset.len()).map(|i| dataset.meta(i)).collect();
-    let sampler = DistributedSampler::new(
+    let sampler = DistributedSampler::try_new(
         meta,
         SamplerConfig {
             minibatch: dist.minibatch_per_rank,
@@ -207,7 +207,7 @@ pub fn train_distributed(
             buckets: dist.buckets,
             seed: dist.seed,
         },
-    );
+    )?;
     // Every rank pre-generates the same network from the same dataset.
     let all_indices: Vec<usize> = (0..dataset.len()).collect();
     let pregen_records = dataset.get_many(&all_indices)?;

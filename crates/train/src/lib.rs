@@ -16,6 +16,11 @@
 //!   → concatenated single-buffer.
 //! * [`distributed`] — Algorithm 2: synchronous data-parallel training on
 //!   rank threads with bit-identical replicas and Figure 4 instrumentation.
+//! * [`streaming`] — the pull side of the streaming generate→train
+//!   pipeline: train off a live bounded trace channel with online
+//!   trace-type bucketing (no offline sort), an offline-replay comparator
+//!   for teed runs, and the rank-parallel variant with the same
+//!   leave-together collective discipline as [`distributed`].
 //! * [`perfmodel`] — Table 1 platform registry and the calibrated analytic
 //!   model standing in for Cori/Edison at 64–1,024 nodes (see DESIGN.md
 //!   substitution table).
@@ -24,12 +29,17 @@ pub mod allreduce;
 pub mod distributed;
 pub mod network;
 pub mod perfmodel;
+pub mod streaming;
 pub mod trainer;
 
 pub use allreduce::{AllReduceCtx, AllReduceStrategy};
 pub use distributed::{train_distributed, DistConfig, DistReport};
 pub use network::{IcConfig, IcNetwork};
 pub use perfmodel::{platforms, PhaseModel, Platform, ScalingModel, ScalingPoint};
+pub use streaming::{
+    train_stream, train_stream_distributed, train_stream_offline, StreamDistConfig,
+    StreamTrainConfig, StreamTrainReport,
+};
 pub use trainer::{
     accumulate_minibatch, sub_minibatches, PhaseTimings, StepResult, TrainLog, Trainer,
 };

@@ -188,10 +188,10 @@ impl<O: Optimizer> Trainer<O> {
         seed: u64,
     ) -> std::io::Result<TrainLog> {
         let meta: Vec<(u64, u32)> = (0..dataset.len()).map(|i| dataset.meta(i)).collect();
-        let sampler = DistributedSampler::new(
+        let sampler = DistributedSampler::try_new(
             meta,
             SamplerConfig { minibatch, num_ranks: 1, buckets: 1, seed },
-        );
+        )?;
         let mut log = TrainLog::default();
         let start = Instant::now();
         let mut iter = 0usize;

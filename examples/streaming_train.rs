@@ -1,0 +1,154 @@
+//! The streaming generate→train pipeline end to end, crash included.
+//!
+//! The offline pipeline stages generate → sort → train through the
+//! filesystem; here the worker pool feeds a bounded, back-pressured
+//! [`TraceChannel`] directly and training starts immediately: records are
+//! bucketed by trace type online (no offline sort) and every released
+//! sub-minibatch takes one optimizer step while the simulators are still
+//! running. The run is teed through a [`CheckpointSink`], so when it is
+//! killed mid-stream ([`KillSwitch`], SIGKILL-style) the resumed run
+//! replays the committed shard prefix into a fresh channel and finishes
+//! the remainder live — and the trainer that consumed that resumed stream
+//! is verified **bit-identical** (losses and weights) to a trainer that
+//! replays the final teed shards offline.
+//!
+//! ```text
+//! cargo run --release --example streaming_train
+//! ```
+//!
+//! [`TraceChannel`]: etalumis_data::TraceChannel
+//! [`CheckpointSink`]: etalumis_runtime::CheckpointSink
+//! [`KillSwitch`]: etalumis_runtime::KillSwitch
+
+use etalumis_data::TraceChannel;
+use etalumis_nn::{Adam, LrSchedule, Module};
+use etalumis_runtime::{stream_dataset_resumable, CheckpointConfig, DatasetGenConfig, KillSwitch};
+use etalumis_simulators::BranchingModel;
+use etalumis_train::{
+    train_stream, train_stream_offline, IcConfig, IcNetwork, StreamTrainConfig, Trainer,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("etalumis_stream_demo_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn new_trainer() -> Trainer<Adam> {
+    Trainer::new(
+        IcNetwork::new(IcConfig::small([1, 1, 1], 2019)),
+        Adam::new(LrSchedule::Constant(2e-3)),
+    )
+}
+
+fn params(net: &mut IcNetwork) -> Vec<Vec<f32>> {
+    let mut out = Vec::new();
+    net.visit_params("", &mut |_, p| out.push(p.value.data().to_vec()));
+    out
+}
+
+fn main() {
+    let cfg = DatasetGenConfig {
+        n: 2000,
+        traces_per_shard: 200,
+        partitions: 1, // the streaming tee contract: stream order == shard order
+        workers: 4,
+        seed: 2019,
+        ..Default::default()
+    };
+    let ckpt = CheckpointConfig { interval: 100 };
+    let train_cfg =
+        StreamTrainConfig { batch: 32, spill_after: 128, warmup: 200, ..Default::default() };
+    let kill_at = 900;
+    let capacity = 64;
+    let dir = fresh_dir("run");
+
+    // Phase 1: stream-generate with the tee, and kill the producer
+    // mid-stream. The consumer here just drains — a real deployment could
+    // train on the partial stream too, but reproducibility is only
+    // guaranteed for a stream consumed end to end.
+    let chan = Arc::new(TraceChannel::bounded(capacity));
+    let drain = {
+        let chan = chan.clone();
+        std::thread::spawn(move || {
+            let mut n = 0usize;
+            while chan.recv().is_some() {
+                n += 1;
+            }
+            n
+        })
+    };
+    let kill = Arc::new(KillSwitch::after(kill_at));
+    let err = stream_dataset_resumable(
+        |_| BranchingModel::standard(),
+        &cfg,
+        &dir,
+        &ckpt,
+        Some(kill),
+        &chan,
+    )
+    .map(|_| ())
+    .expect_err("the kill switch must abort the streaming run");
+    assert_eq!(err.kind(), std::io::ErrorKind::Interrupted, "unexpected error: {err}");
+    let partial = drain.join().unwrap();
+    println!("killed mid-stream : {err}");
+    println!("partial stream    : consumer saw {partial} of {} records before the crash", cfg.n);
+
+    // Phase 2: resume with a trainer attached. The committed prefix is
+    // replayed from the teed shards into the fresh channel, then the
+    // remaining traces are generated live — the consumer can't tell where
+    // the seam is.
+    let chan = Arc::new(TraceChannel::bounded(capacity));
+    let trainer_thread = {
+        let chan = chan.clone();
+        std::thread::spawn(move || {
+            let mut trainer = new_trainer();
+            let report = train_stream(&mut trainer, &chan, &train_cfg);
+            (report, params(&mut trainer.net))
+        })
+    };
+    let ds =
+        stream_dataset_resumable(|_| BranchingModel::standard(), &cfg, &dir, &ckpt, None, &chan)
+            .expect("resumed streaming run");
+    let (live, live_params) = trainer_thread.join().unwrap();
+    let occupancy = chan.stats();
+    println!(
+        "resumed + trained : {} traces -> {} shards while training took {} steps \
+         ({} full releases, {} spills/flushes)",
+        ds.len(),
+        ds.shards.len(),
+        live.log.losses.len(),
+        live.fills,
+        live.spills
+    );
+    println!(
+        "channel           : capacity {capacity}, max occupancy {}, {} blocked sends \
+         (back-pressure events)",
+        occupancy.max_occupancy, occupancy.blocked_sends
+    );
+    let n_losses = live.log.losses.len();
+    println!(
+        "loss              : {:.4} (first step) -> {:.4} (last step) over {} traces",
+        live.log.losses[0].1,
+        live.log.losses[n_losses - 1].1,
+        live.log.traces_seen
+    );
+
+    // Phase 3: reproducibility. A fresh trainer replaying the teed shards
+    // offline must match the live run bit for bit.
+    let mut offline = new_trainer();
+    let off = train_stream_offline(&mut offline, &ds, &train_cfg, capacity)
+        .expect("offline replay over the teed shards");
+    assert_eq!(live.log.losses, off.log.losses, "loss trajectories must be bit-identical");
+    assert_eq!(live_params, params(&mut offline.net), "weights must be bit-identical");
+    println!(
+        "verified          : offline replay of the teed shards reproduces all {} losses and \
+         every weight bit-identically",
+        off.log.losses.len()
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    println!("OK");
+}

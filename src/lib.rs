@@ -37,13 +37,17 @@ pub mod prelude {
     pub use etalumis_core::{
         Executor, FnProgram, ObserveMap, PriorProposer, ProbProgram, SimCtx, SimCtxExt, Trace,
     };
+    pub use etalumis_data::{BucketerConfig, TraceBucketer, TraceChannel};
     pub use etalumis_distributions::{Distribution, TensorValue, Value};
     pub use etalumis_inference::{
         ic_importance_sampling, importance_sampling, rmh, RmhConfig, WeightedTraces,
     };
     pub use etalumis_runtime::{
-        BatchRunner, CollectSink, RuntimeConfig, ShardedTraceSink, SimulatorPool, TraceSink,
+        stream_dataset_resumable, stream_prior_traces, BatchRunner, CollectSink, RuntimeConfig,
+        ShardedTraceSink, SimulatorPool, StreamSink, TraceSink,
     };
     pub use etalumis_simulators::{GaussianUnknownMean, TauDecayModel};
-    pub use etalumis_train::{IcConfig, IcNetwork, Trainer};
+    pub use etalumis_train::{
+        train_stream, train_stream_offline, IcConfig, IcNetwork, StreamTrainConfig, Trainer,
+    };
 }
