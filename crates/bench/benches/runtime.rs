@@ -5,14 +5,23 @@
 //! on a single core it shows the scheduler's overhead is within noise.
 //!
 //! Run: `cargo bench -p etalumis-bench --bench runtime` (add `-- --quick`
-//! for the CI smoke mode).
+//! for the CI smoke mode). The final "bench" writes a `BENCH_runtime.json`
+//! snapshot at the workspace root (serial vs pooled vs multiplexed
+//! traces/sec) for CI to archive and gate on.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use etalumis_bench::bench_tau_model;
 use etalumis_core::{Executor, ObserveMap};
-use etalumis_runtime::{BatchRunner, CountingSink, RuntimeConfig, SimulatorPool};
+use etalumis_ppx::{InProcMuxEndpoint, MuxEndpoint, SimulatorServer};
+use etalumis_runtime::{BatchRunner, CountingSink, MuxSimulatorPool, RuntimeConfig, SimulatorPool};
+use std::path::PathBuf;
+use std::time::Instant;
 
 const TRACES_PER_ITER: usize = 16;
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
 
 fn bench_trace_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_generation");
@@ -55,5 +64,74 @@ fn bench_trace_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trace_generation);
+fn spawn_mux_server() -> InProcMuxEndpoint {
+    let (ep, sim_side) = InProcMuxEndpoint::pair();
+    std::thread::spawn(move || {
+        let mut server = SimulatorServer::new("bench-runtime", bench_tau_model());
+        let mut t = sim_side;
+        let _ = server.serve(&mut t);
+    });
+    ep
+}
+
+/// Not a timing loop: one calibrated run of each execution mode,
+/// snapshotted to `BENCH_runtime.json` at the workspace root so CI can
+/// archive the numbers and fail if the suite stops producing them.
+fn emit_snapshot(_c: &mut Criterion) {
+    let n = if quick() { 256 } else { 2048 };
+    let workers = RuntimeConfig::default().resolved_workers();
+    let observes = ObserveMap::new();
+
+    let t0 = Instant::now();
+    let mut model = bench_tau_model();
+    for seed in 0..n {
+        let _ = Executor::sample_prior(&mut model, seed as u64);
+    }
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    let mut pool = SimulatorPool::from_factory(workers, |_| bench_tau_model());
+    let runner = BatchRunner::new(RuntimeConfig { workers, stealing: true });
+    let t0 = Instant::now();
+    let sink = CountingSink::default();
+    runner.run_prior(&mut pool, &observes, n, 1, &sink);
+    let pooled_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(sink.count(), n);
+
+    let sessions = (workers * 2).max(4);
+    let mut mux = MuxSimulatorPool::connect(sessions, "bench-runtime", |_| {
+        Ok(Box::new(spawn_mux_server()) as Box<dyn MuxEndpoint>)
+    })
+    .expect("mux pool connect");
+    let t0 = Instant::now();
+    let sink = CountingSink::default();
+    runner.run_mux_prior(&mut mux, &observes, n, 1, &sink);
+    let mux_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(sink.count(), n);
+
+    let json = format!(
+        "{{\n  \"bench\": \"runtime\",\n  \"model\": \"tau_decay\",\n  \"n_traces\": {n},\n  \
+         \"workers\": {workers},\n  \"mux_sessions\": {sessions},\n  \"quick\": {},\n  \
+         \"serial\": {{\n    \"total_secs\": {serial_secs:.6},\n    \
+         \"traces_per_sec\": {:.1}\n  }},\n  \"pooled\": {{\n    \
+         \"total_secs\": {pooled_secs:.6},\n    \"traces_per_sec\": {:.1}\n  }},\n  \
+         \"mux\": {{\n    \"total_secs\": {mux_secs:.6},\n    \
+         \"traces_per_sec\": {:.1}\n  }},\n  \"pooled_speedup\": {:.3}\n}}\n",
+        quick(),
+        n as f64 / serial_secs,
+        n as f64 / pooled_secs,
+        n as f64 / mux_secs,
+        serial_secs / pooled_secs,
+    );
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_runtime.json");
+    std::fs::write(&path, &json).expect("write BENCH_runtime.json");
+    println!(
+        "snapshot -> {} (serial {:.2}s, pooled {:.2}s, mux {:.2}s)",
+        path.display(),
+        serial_secs,
+        pooled_secs,
+        mux_secs
+    );
+}
+
+criterion_group!(benches, bench_trace_generation, emit_snapshot);
 criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Telemetry overhead: the disabled handle must cost ~nothing.
+//!
+//! The instrumented hot paths (scheduler task loop, trainer step, channel
+//! send/recv) call into [`Telemetry`] unconditionally; a disabled handle
+//! turns each call into a single `Option` branch. Two measurements bound
+//! that claim:
+//!
+//! * `disabled_calls` vs `enabled_calls` — the raw per-call cost of the
+//!   recording primitives themselves.
+//! * `runner_disabled` vs `runner_enabled` — a real pooled trace-generation
+//!   batch with the scheduler instrumentation off and on; disabled must
+//!   match the pre-instrumentation baseline (the call sites reduce to
+//!   branches), and enabled shows the worst-case recording cost.
+//!
+//! Run: `cargo bench -p etalumis-bench --bench telemetry` (add `-- --quick`
+//! for the CI smoke mode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etalumis_bench::bench_tau_model;
+use etalumis_core::ObserveMap;
+use etalumis_runtime::{BatchRunner, CountingSink, RuntimeConfig, SimulatorPool};
+use etalumis_telemetry::Telemetry;
+use std::hint::black_box;
+use std::time::Duration;
+
+const TRACES_PER_ITER: usize = 16;
+const CALLS_PER_ITER: usize = 1000;
+
+fn bench_raw_calls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_calls");
+    group.sample_size(20);
+    group.bench_function("disabled_calls", |b| {
+        let tel = Telemetry::disabled();
+        b.iter(|| {
+            for i in 0..CALLS_PER_ITER {
+                let _sp = tel.span("bench.span");
+                tel.count("bench.count", black_box(i as u64));
+                tel.gauge("bench.gauge", black_box(i as f64));
+            }
+        });
+    });
+    group.bench_function("enabled_calls", |b| {
+        let tel = Telemetry::enabled();
+        b.iter(|| {
+            for i in 0..CALLS_PER_ITER {
+                let _sp = tel.span("bench.span");
+                tel.count("bench.count", black_box(i as u64));
+                tel.gauge("bench.gauge", black_box(i as f64));
+            }
+            // Keep the buffers bounded across criterion's iterations.
+            black_box(tel.drain().len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_runner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_runner");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let workers = RuntimeConfig::default().resolved_workers().min(4);
+    let observes = ObserveMap::new();
+
+    group.bench_function("runner_disabled", |b| {
+        let mut pool = SimulatorPool::from_factory(workers, |_| bench_tau_model());
+        let runner = BatchRunner::new(RuntimeConfig { workers, stealing: true });
+        let mut seed = 0u64;
+        b.iter(|| {
+            let sink = CountingSink::default();
+            let stats = runner.run_prior(&mut pool, &observes, TRACES_PER_ITER, seed, &sink);
+            seed += 1;
+            stats.total_executed()
+        });
+    });
+
+    group.bench_function("runner_enabled", |b| {
+        let mut pool = SimulatorPool::from_factory(workers, |_| bench_tau_model());
+        let tel = Telemetry::enabled();
+        let runner =
+            BatchRunner::new(RuntimeConfig { workers, stealing: true }).with_telemetry(tel.clone());
+        let mut seed = 0u64;
+        b.iter(|| {
+            let sink = CountingSink::default();
+            let stats = runner.run_prior(&mut pool, &observes, TRACES_PER_ITER, seed, &sink);
+            seed += 1;
+            black_box(tel.drain().len());
+            stats.total_executed()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_calls, bench_runner);
+criterion_main!(benches);

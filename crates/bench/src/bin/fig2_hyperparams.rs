@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run -p etalumis-bench --release --bin fig2_hyperparams`
 
-use etalumis_bench::{rule, tau_records, BENCH_OBS_DIMS};
+use etalumis_bench::{tau_records, Field, Logger, BENCH_OBS_DIMS};
 use etalumis_nn::{Adam, Cnn3dConfig, LrSchedule};
 use etalumis_train::{IcConfig, IcNetwork, Trainer};
 
@@ -48,35 +48,47 @@ fn run_config(
 }
 
 fn main() {
-    rule("Figure 2: hyperparameter search loss curves (scaled down)");
+    let log = Logger::from_args();
+    log.section("Figure 2: hyperparameter search loss curves (scaled down)");
     let records = tau_records(512, 2000);
-    println!("dataset: {} tau traces\n", records.len());
+    log.info("dataset", &[("tau_traces", Field::U64(records.len() as u64))]);
     let mut finals = Vec::new();
+    let sweep = |units: usize, stacks: usize, mix: usize, finals: &mut Vec<(String, f64)>| {
+        let series = run_config(units, stacks, mix, &records);
+        for (traces, loss) in &series {
+            log.info(
+                "loss_curve",
+                &[
+                    ("units", Field::U64(units as u64)),
+                    ("stacks", Field::U64(stacks as u64)),
+                    ("prop_mix", Field::U64(mix as u64)),
+                    ("traces", Field::U64(*traces as u64)),
+                    ("loss", Field::F64(*loss)),
+                ],
+            );
+        }
+        finals.push((format!("u{units}/s{stacks}/m{mix}"), series.last().unwrap().1));
+    };
     // Units × stacks sweep at fixed mixture (paper's left sweep).
     for &units in &[32usize, 64] {
         for &stacks in &[1usize, 2] {
-            let series = run_config(units, stacks, 5, &records);
-            println!("LSTM Units={units} Stacks={stacks} PropMix=5");
-            for (traces, loss) in &series {
-                println!("  traces {traces:>6}  loss {loss:.4}");
-            }
-            finals.push((format!("u{units}/s{stacks}/m5"), series.last().unwrap().1));
+            sweep(units, stacks, 5, &mut finals);
         }
     }
     // Mixture sweep at the largest capacity (paper's right sweep).
     for &mix in &[3usize, 10] {
-        let series = run_config(64, 1, mix, &records);
-        println!("LSTM Units=64 Stacks=1 PropMix={mix}");
-        for (traces, loss) in &series {
-            println!("  traces {traces:>6}  loss {loss:.4}");
-        }
-        finals.push((format!("u64/s1/m{mix}"), series.last().unwrap().1));
+        sweep(64, 1, mix, &mut finals);
     }
-    rule("final losses");
+    log.section("final losses");
     finals.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     for (name, loss) in &finals {
-        println!("  {name:<14} {loss:.4}");
+        log.info("final_loss", &[("config", Field::Str(name)), ("loss", Field::F64(*loss))]);
     }
-    let best = &finals[0];
-    println!("\nbest configuration: {} (paper settles on its largest LSTM, 1 stack)", best.0);
+    log.info(
+        "best_configuration",
+        &[
+            ("config", Field::Str(&finals[0].0)),
+            ("paper", Field::Str("settles on its largest LSTM, 1 stack")),
+        ],
+    );
 }

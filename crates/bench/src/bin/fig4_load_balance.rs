@@ -12,7 +12,7 @@
 //! Run: `cargo run -p etalumis-bench --release --bin fig4_load_balance`
 //! (`-- --quick` shrinks the batch for CI smoke runs).
 
-use etalumis_bench::{bench_tau_model, rule};
+use etalumis_bench::{bench_tau_model, Field, Logger};
 use etalumis_core::{FnProgram, ObserveMap, SimCtx, SimCtxExt};
 use etalumis_distributions::{Distribution, Value};
 use etalumis_runtime::{BatchRunner, CountingSink, RunStats, RuntimeConfig, SimulatorPool};
@@ -34,18 +34,24 @@ fn skewed_program() -> FnProgram<impl FnMut(&mut dyn SimCtx) -> Value> {
     })
 }
 
-fn report(label: &str, stats: &RunStats) {
+fn report(log: &Logger, label: &str, workers: usize, stats: &RunStats) {
     let executed: Vec<usize> = stats.per_worker.iter().map(|w| w.executed).collect();
     let busy_ms: Vec<f64> = stats.per_worker.iter().map(|w| w.busy.as_secs_f64() * 1e3).collect();
     let actual = busy_ms.iter().cloned().fold(0.0f64, f64::max);
     let best = busy_ms.iter().sum::<f64>() / busy_ms.len().max(1) as f64;
-    println!(
-        "  {label:<14} wall {:>8.1} ms  actual {actual:>8.1} ms  best {best:>8.1} ms  \
-         imbalance {:>5.1}%  steals {:>4}  traces/worker {:?}",
-        stats.elapsed.as_secs_f64() * 1e3,
-        stats.imbalance() * 100.0,
-        stats.steals,
-        executed,
+    let executed = format!("{executed:?}");
+    log.info(
+        "load_balance",
+        &[
+            ("mode", Field::Str(label)),
+            ("workers", Field::U64(workers as u64)),
+            ("wall_ms", Field::F64(stats.elapsed.as_secs_f64() * 1e3)),
+            ("actual_ms", Field::F64(actual)),
+            ("best_ms", Field::F64(best)),
+            ("imbalance_pct", Field::F64(stats.imbalance() * 100.0)),
+            ("steals", Field::U64(stats.steals)),
+            ("traces_per_worker", Field::Str(&executed)),
+        ],
     );
 }
 
@@ -67,6 +73,7 @@ where
 }
 
 fn main() {
+    let log = Logger::from_args();
     let quick = std::env::args().any(|a| a == "--quick");
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     // Cap at the core count: oversubscribed workers timeshare cores, and the
@@ -76,31 +83,52 @@ fn main() {
     worker_counts.sort_unstable();
     worker_counts.dedup();
 
-    rule("Figure 4 (measured): work-stealing vs static partitioning, skewed workload");
+    log.section("Figure 4 (measured): work-stealing vs static partitioning, skewed workload");
     let n = if quick { 120 } else { 600 };
-    println!("(heavy-tailed synthetic program, {n} traces; 'actual' = max-worker busy,");
-    println!(" 'best' = mean-worker busy; imbalance = actual/best - 1)");
+    log.info(
+        "workload",
+        &[
+            ("program", Field::Str("heavy-tailed synthetic")),
+            ("traces", Field::U64(n as u64)),
+            (
+                "metric",
+                Field::Str("actual = max-worker busy, best = mean; imbalance = actual/best - 1"),
+            ),
+        ],
+    );
     for &workers in &worker_counts {
-        println!("\n{workers} worker(s):");
         let (stat, steal) = measure(|_| skewed_program(), n, workers, 4);
-        report("static", &stat);
-        report("stealing", &steal);
+        report(&log, "static", workers, &stat);
+        report(&log, "stealing", workers, &steal);
         if workers > 1 {
             let gain = (stat.imbalance() - steal.imbalance()) * 100.0;
-            println!("  stealing removed {gain:.1} imbalance points");
+            log.info(
+                "stealing_gain",
+                &[("workers", Field::U64(workers as u64)), ("imbalance_points", Field::F64(gain))],
+            );
         }
     }
 
-    rule("Figure 4 (measured): mini-Sherpa tau model");
+    log.section("Figure 4 (measured): mini-Sherpa tau model");
     let n_tau = if quick { 256 } else { 1024 };
-    println!("({n_tau} traces; the tau model's natural cost spread is milder)");
+    log.info(
+        "workload",
+        &[("program", Field::Str("mini-Sherpa tau")), ("traces", Field::U64(n_tau as u64))],
+    );
     for &workers in &worker_counts {
-        println!("\n{workers} worker(s):");
         let (stat, steal) = measure(|_| bench_tau_model(), n_tau, workers, 17);
-        report("static", &stat);
-        report("stealing", &steal);
+        report(&log, "static", workers, &stat);
+        report(&log, "stealing", workers, &steal);
     }
 
-    println!("\npaper reference (Fig. 4): dynamic load balancing holds imbalance near ~5%");
-    println!("at 2 sockets where a static split degrades as worker counts grow (~19% at 64).");
+    log.info(
+        "paper_reference",
+        &[(
+            "fig4",
+            Field::Str(
+                "dynamic load balancing holds imbalance near ~5% at 2 sockets where a \
+                 static split degrades as worker counts grow (~19% at 64)",
+            ),
+        )],
+    );
 }

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run -p etalumis-bench --release --bin fig5_stability`
 
-use etalumis_bench::{bench_ic_config, rule, tau_records};
+use etalumis_bench::{bench_ic_config, tau_records, Field, Logger};
 use etalumis_nn::{Adam, LrSchedule, Optimizer};
 use etalumis_train::{IcNetwork, Trainer};
 
@@ -32,30 +32,39 @@ fn run_once<O: Optimizer>(
 }
 
 fn main() {
-    rule("Figure 5: five-run mean and std of the training loss");
+    let log = Logger::from_args();
+    log.section("Figure 5: five-run mean and std of the training loss");
     let records = tau_records(512, 3100);
     let steps = 50;
     let runs: Vec<Vec<f64>> = (0..5)
         .map(|seed| run_once(seed, &records, Adam::new(LrSchedule::Constant(1e-3)), steps))
         .collect();
-    println!("{:<8} {:>10} {:>10}", "iter", "mean", "std");
     for it in (0..steps).step_by(5).chain([steps - 1]) {
         let vals: Vec<f64> = runs.iter().map(|r| r[it]).collect();
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         let std = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt();
-        let bar = "#".repeat((mean.max(0.0) * 8.0) as usize);
-        println!("{it:<8} {mean:>10.4} {std:>10.4}  {bar}");
+        log.info(
+            "loss_band",
+            &[
+                ("iter", Field::U64(it as u64)),
+                ("mean", Field::F64(mean)),
+                ("std", Field::F64(std)),
+            ],
+        );
     }
     let first: Vec<f64> = runs.iter().map(|r| r[0]).collect();
     let last: Vec<f64> = runs.iter().map(|r| r[steps - 1]).collect();
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!(
-        "\nmean loss {:.3} -> {:.3}; all five runs converge (paper: stable convergence at 128k)",
-        mean(&first),
-        mean(&last)
+    log.info(
+        "convergence",
+        &[
+            ("mean_first", Field::F64(mean(&first))),
+            ("mean_final", Field::F64(mean(&last))),
+            ("paper", Field::Str("all five runs converge stably at 128k")),
+        ],
     );
 
-    rule("§7.1.2: optimizer and LR-schedule comparison");
+    log.section("§7.1.2: optimizer and LR-schedule comparison");
     let steps = 50;
     let configs: Vec<(&str, Box<dyn Fn() -> Adam>)> = vec![
         ("Adam, constant lr", Box::new(|| Adam::new(LrSchedule::Constant(1e-3)))),
@@ -96,11 +105,25 @@ fn main() {
             }),
         ),
     ];
-    println!("{:<28} {:>12} {:>12}", "configuration", "first loss", "final loss");
     for (name, mk) in &configs {
         let losses = run_once(42, &records, mk(), steps);
-        println!("{name:<28} {:>12.4} {:>12.4}", losses[0], losses[steps - 1]);
+        log.info(
+            "optimizer_comparison",
+            &[
+                ("config", Field::Str(name)),
+                ("first_loss", Field::F64(losses[0])),
+                ("final_loss", Field::F64(losses[steps - 1])),
+            ],
+        );
     }
-    println!("\npaper: Adam-LARC with polynomial order-2 decay was best at 128k;");
-    println!("plain Adam matches it at small minibatch (as seen here).");
+    log.info(
+        "paper_reference",
+        &[(
+            "s7_1_2",
+            Field::Str(
+                "Adam-LARC with polynomial order-2 decay was best at 128k; plain Adam \
+                 matches it at small minibatch (as seen here)",
+            ),
+        )],
+    );
 }

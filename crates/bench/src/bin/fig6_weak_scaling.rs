@@ -9,12 +9,13 @@
 //!
 //! Run: `cargo run -p etalumis-bench --release --bin fig6_weak_scaling`
 
-use etalumis_bench::{bench_ic_config, rule, tau_dataset};
+use etalumis_bench::{bench_ic_config, tau_dataset, Field, Logger};
 use etalumis_nn::LrSchedule;
 use etalumis_train::{train_distributed, AllReduceStrategy, DistConfig, ScalingModel};
 
 fn main() {
-    rule("measured: this machine, 1 -> 2 ranks (weak scaling)");
+    let log = Logger::from_args();
+    log.section("measured: this machine, 1 -> 2 ranks (weak scaling)");
     let (ds, dir) = tau_dataset(256, 256, "fig6");
     let mut rates = Vec::new();
     for ranks in [1usize, 2] {
@@ -30,32 +31,44 @@ fn main() {
             seed: 5,
         };
         let (_, report) = train_distributed(&ds, bench_ic_config(6), &dist).expect("dataset read");
-        println!("  {ranks} rank(s): {:>8.1} traces/s", report.traces_per_sec());
+        log.info(
+            "measured_scaling",
+            &[
+                ("ranks", Field::U64(ranks as u64)),
+                ("traces_per_sec", Field::F64(report.traces_per_sec())),
+            ],
+        );
         rates.push(report.traces_per_sec());
     }
-    println!("  2-rank efficiency vs ideal: {:.2}", rates[1] / (2.0 * rates[0]));
+    log.info("measured_efficiency", &[("two_rank", Field::F64(rates[1] / (2.0 * rates[0])))]);
     let _ = std::fs::remove_dir_all(&dir);
 
     for model in [ScalingModel::cori(), ScalingModel::edison()] {
-        rule(&format!("modeled: weak scaling on {}", model.system));
-        println!(
-            "{:>7} {:>12} {:>12} {:>12} {:>11}",
-            "nodes", "avg tr/s", "peak tr/s", "ideal tr/s", "efficiency"
-        );
+        log.section(&format!("modeled: weak scaling on {}", model.system));
         for &nodes in &[1usize, 64, 128, 256, 512, 1024] {
             let iters = if nodes >= 512 { 100 } else { 200 };
             let p = model.simulate(nodes, iters);
-            println!(
-                "{:>7} {:>12.0} {:>12.0} {:>12.0} {:>11.2}",
-                p.nodes,
-                p.avg_traces_per_sec,
-                p.peak_traces_per_sec,
-                p.ideal,
-                p.efficiency()
+            log.info(
+                "modeled_scaling",
+                &[
+                    ("system", Field::Str(model.system)),
+                    ("nodes", Field::U64(p.nodes as u64)),
+                    ("avg_traces_per_sec", Field::F64(p.avg_traces_per_sec)),
+                    ("peak_traces_per_sec", Field::F64(p.peak_traces_per_sec)),
+                    ("ideal_traces_per_sec", Field::F64(p.ideal)),
+                    ("efficiency", Field::F64(p.efficiency())),
+                ],
             );
         }
     }
-    println!("\npaper reference at 1,024 nodes: Cori avg 28,000 / peak 42,000 tr/s");
-    println!("(efficiency ~0.5); Edison avg 22,000 / peak 28,000 tr/s (~0.79).");
-    println!("Max sustained: 450 Tflop/s (Cori), 325 Tflop/s (Edison).");
+    log.info(
+        "paper_reference",
+        &[(
+            "fig6",
+            Field::Str(
+                "at 1,024 nodes: Cori avg 28,000 / peak 42,000 tr/s (~0.5 efficiency); \
+                 Edison avg 22,000 / peak 28,000 tr/s (~0.79); max sustained 450/325 Tflop/s",
+            ),
+        )],
+    );
 }

@@ -6,15 +6,22 @@
 //!
 //! Run: `cargo run -p etalumis-bench --release --bin fig7_train_valid`
 
-use etalumis_bench::{bench_ic_config, rule, tau_records};
+use etalumis_bench::{bench_ic_config, tau_records, Field, Logger};
 use etalumis_nn::{Adam, LrSchedule};
 use etalumis_train::{IcNetwork, Trainer};
 
 fn main() {
-    rule("Figure 7: training and validation loss");
+    let log = Logger::from_args();
+    log.section("Figure 7: training and validation loss");
     let all = tau_records(768, 5000);
     let (train, valid) = all.split_at(512);
-    println!("train: {} traces, validation: {} traces\n", train.len(), valid.len());
+    log.info(
+        "dataset",
+        &[
+            ("train_traces", Field::U64(train.len() as u64)),
+            ("valid_traces", Field::U64(valid.len() as u64)),
+        ],
+    );
     let mut net = IcNetwork::new(bench_ic_config(7));
     net.pregenerate(all.iter()); // layers must cover validation addresses too
     let mut trainer = Trainer::new(
@@ -27,7 +34,6 @@ fn main() {
         }),
     );
     trainer.grad_clip = Some(10.0);
-    println!("{:<8} {:>12} {:>12}", "iter", "train loss", "valid loss");
     let bsz = 32;
     let steps = 80;
     let mut last = (0.0, 0.0);
@@ -37,15 +43,29 @@ fn main() {
         let res = trainer.step(&train[lo..hi]);
         if step % 8 == 0 || step == steps - 1 {
             let vloss = trainer.evaluate(&valid[..128.min(valid.len())]);
-            println!("{step:<8} {:>12.4} {:>12.4}", res.loss, vloss);
+            log.info(
+                "loss",
+                &[
+                    ("iter", Field::U64(step as u64)),
+                    ("train_loss", Field::F64(res.loss)),
+                    ("valid_loss", Field::F64(vloss)),
+                ],
+            );
             last = (res.loss, vloss);
         }
     }
-    println!(
-        "\nfinal: train {:.4}, valid {:.4} (gap {:+.4}); paper shape: both fall",
-        last.0,
-        last.1,
-        last.1 - last.0
+    log.info(
+        "final",
+        &[
+            ("train_loss", Field::F64(last.0)),
+            ("valid_loss", Field::F64(last.1)),
+            ("gap", Field::F64(last.1 - last.0)),
+            (
+                "paper",
+                Field::Str(
+                    "both fall together and track each other, validation slightly above train",
+                ),
+            ),
+        ],
     );
-    println!("together and track each other, validation slightly above train.");
 }

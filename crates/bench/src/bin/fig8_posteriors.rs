@@ -10,7 +10,7 @@
 //! Run: `cargo run -p etalumis-bench --release --bin fig8_posteriors`
 //! (several minutes).
 
-use etalumis_bench::{bench_ic_config, bench_tau_model, rule, tau_records};
+use etalumis_bench::{bench_ic_config, bench_tau_model, tau_records, Field, Logger};
 use etalumis_core::{Executor, ObserveMap, Trace};
 use etalumis_inference::total_variation;
 use etalumis_inference::{ic_importance_sampling, rmh_with_callback, Histogram, RmhConfig};
@@ -87,7 +87,8 @@ fn panels() -> Vec<Panel> {
 }
 
 fn main() {
-    rule("Figure 8: ground-truth event");
+    let log = Logger::from_args();
+    log.section("Figure 8: ground-truth event");
     let mut model = bench_tau_model();
     let truth = Executor::sample_prior(&mut model, 20190621);
     let obs = truth.first_observed().unwrap().clone();
@@ -96,12 +97,16 @@ fn main() {
     let ps = panels();
     let gt: Vec<f64> = ps.iter().map(|p| (p.extract)(&truth)).collect();
     for (p, g) in ps.iter().zip(gt.iter()) {
-        println!("  {:<22} {g:.3}", p.name);
+        log.info("ground_truth", &[("latent", Field::Str(p.name)), ("value", Field::F64(*g))]);
     }
-    println!("  channel name: {}", truth.value_by_name("channel_name").unwrap());
+    let channel = truth.value_by_name("channel_name").unwrap().to_string();
+    log.info(
+        "ground_truth",
+        &[("latent", Field::Str("channel name")), ("value", Field::Str(&channel))],
+    );
 
     // --- RMH baseline (two chains for Gelman-Rubin) ---
-    rule(&format!("RMH baseline ({RMH_ITERS} iterations x 2 chains)"));
+    log.section(&format!("RMH baseline ({RMH_ITERS} iterations x 2 chains)"));
     let mut rmh_hists: Vec<Histogram> =
         ps.iter().map(|p| Histogram::new(p.lo, p.hi, p.bins)).collect();
     let mut chain_means: Vec<Vec<f64>> = vec![Vec::new(); 2];
@@ -125,7 +130,13 @@ fn main() {
         });
         rmh_calls += stats.simulator_calls;
         chain_means[chain] = px_series;
-        println!("  chain {chain}: acceptance {:.2}", stats.acceptance_rate());
+        log.info(
+            "rmh_chain",
+            &[
+                ("chain", Field::U64(chain as u64)),
+                ("acceptance", Field::F64(stats.acceptance_rate())),
+            ],
+        );
     }
     let rmh_secs = t0.elapsed().as_secs_f64();
     let n = chain_means[0].len().min(chain_means[1].len());
@@ -135,12 +146,20 @@ fn main() {
     ]);
     let tau_int = etalumis_inference::diagnostics::integrated_autocorr_time(&chain_means[0]);
     let rmh_ess = 2.0 * n as f64 / tau_int;
-    println!("  wall {rmh_secs:.1}s, {rmh_calls} simulator calls");
-    println!("  Gelman-Rubin R-hat (px): {rhat:.3}  (paper: two chains certify convergence)");
-    println!("  autocorrelation time {tau_int:.0} iters -> chain ESS ~{rmh_ess:.0}");
+    log.info(
+        "rmh_baseline",
+        &[
+            ("wall_s", Field::F64(rmh_secs)),
+            ("simulator_calls", Field::U64(rmh_calls as u64)),
+            ("gelman_rubin_rhat_px", Field::F64(rhat)),
+            ("autocorr_time_iters", Field::F64(tau_int)),
+            ("chain_ess", Field::F64(rmh_ess)),
+            ("paper", Field::Str("two chains certify convergence")),
+        ],
+    );
 
     // --- IC: train then infer ---
-    rule(&format!("IC: train on {TRAIN_TRACES} prior traces, {TRAIN_STEPS} steps"));
+    log.section(&format!("IC: train on {TRAIN_TRACES} prior traces, {TRAIN_STEPS} steps"));
     let records = tau_records(TRAIN_TRACES, 40_000);
     let mut net = IcNetwork::new(bench_ic_config(8));
     net.pregenerate(records.iter());
@@ -161,10 +180,19 @@ fn main() {
         let hi = (lo + bsz).min(records.len());
         let res = trainer.step(&records[lo..hi]);
         if step % 50 == 0 {
-            println!("  step {step:>4}: loss {:.3}", res.loss);
+            log.info(
+                "train_step",
+                &[("step", Field::U64(step as u64)), ("loss", Field::F64(res.loss))],
+            );
         }
     }
-    println!("  training wall {:.1}s (amortized: done once per model)", t0.elapsed().as_secs_f64());
+    log.info(
+        "train_done",
+        &[
+            ("wall_s", Field::F64(t0.elapsed().as_secs_f64())),
+            ("note", Field::Str("amortized: done once per model")),
+        ],
+    );
 
     let t0 = Instant::now();
     let post_ic = ic_importance_sampling(
@@ -177,12 +205,17 @@ fn main() {
     );
     let ic_secs = t0.elapsed().as_secs_f64();
     let ic_ess = post_ic.effective_sample_size();
-    println!(
-        "  IC inference: {IC_SAMPLES} guided simulator calls in {ic_secs:.1}s, ESS {ic_ess:.0}"
+    log.info(
+        "ic_inference",
+        &[
+            ("guided_simulator_calls", Field::U64(IC_SAMPLES as u64)),
+            ("wall_s", Field::F64(ic_secs)),
+            ("ess", Field::F64(ic_ess)),
+        ],
     );
 
     // --- panels ---
-    rule("posterior comparison (normalized histograms)");
+    log.section("posterior comparison (normalized histograms)");
     let mut tvs = Vec::new();
     for (pi, p) in ps.iter().enumerate() {
         let ic_hist = post_ic.histogram(p.extract, p.lo, p.hi, p.bins);
@@ -190,44 +223,57 @@ fn main() {
         let i = ic_hist.normalized();
         let tv = total_variation(&r, &i);
         tvs.push(tv);
-        println!("\n--- {} (ground truth {:.3}, TV(RMH,IC) = {tv:.3}) ---", p.name, gt[pi]);
+        log.info(
+            "panel",
+            &[
+                ("latent", Field::Str(p.name)),
+                ("ground_truth", Field::F64(gt[pi])),
+                ("tv_rmh_ic", Field::F64(tv)),
+            ],
+        );
+        // Bin-level histogram comparison at debug level (`--log-debug`).
         let centers = r.centers();
-        let max = r.counts.iter().chain(i.counts.iter()).cloned().fold(0.0f64, f64::max).max(1e-9);
         for b in 0..p.bins {
             if r.counts[b] < 1e-4 && i.counts[b] < 1e-4 {
                 continue;
             }
-            let rbar = "R".repeat((r.counts[b] / max * 30.0).round() as usize);
-            let ibar = "I".repeat((i.counts[b] / max * 30.0).round() as usize);
-            println!("  {:>8.2} | {rbar:<31}| {ibar}", centers[b]);
+            log.debug(
+                "panel_bin",
+                &[
+                    ("latent", Field::Str(p.name)),
+                    ("center", Field::F64(centers[b])),
+                    ("rmh", Field::F64(r.counts[b])),
+                    ("ic", Field::F64(i.counts[b])),
+                ],
+            );
         }
     }
 
-    rule("speedup accounting (the paper's 230x)");
+    log.section("speedup accounting (the paper's 230x)");
     let rmh_cost_per_ess = rmh_secs / rmh_ess.max(1.0);
     let ic_cost_per_ess = ic_secs / ic_ess.max(1.0);
-    println!(
-        "  RMH: {rmh_secs:.1}s / ESS {rmh_ess:.0} = {rmh_cost_per_ess:.4} s per effective sample"
-    );
-    println!(
-        "  IC:  {ic_secs:.1}s / ESS {ic_ess:.0} = {ic_cost_per_ess:.4} s per effective sample"
-    );
-    println!(
-        "  wall-clock speedup to equal ESS on this host: {:.1}x",
-        rmh_cost_per_ess / ic_cost_per_ess
-    );
+    log.speedup("seconds per effective sample", rmh_cost_per_ess, ic_cost_per_ess, "230x");
     // The paper's 230x is dominated by *simulator* cost (Sherpa is ~10^6x
     // more expensive per call than our mini simulator, so there NN overhead
     // vanishes). The scale-free comparison is simulator calls per effective
     // sample:
     let rmh_calls_per_ess = rmh_calls as f64 / rmh_ess.max(1.0);
     let ic_calls_per_ess = IC_SAMPLES as f64 / ic_ess.max(1.0);
-    println!(
-        "  simulator calls per effective sample: RMH {rmh_calls_per_ess:.0} vs IC {ic_calls_per_ess:.0} -> {:.0}x fewer",
-        rmh_calls_per_ess / ic_calls_per_ess
-    );
-    println!("  (with an expensive simulator like Sherpa this ratio IS the wall-clock");
-    println!("  speedup; IC is additionally embarrassingly parallel and amortized)");
     let mean_tv = tvs.iter().sum::<f64>() / tvs.len() as f64;
-    println!("  mean total-variation distance RMH vs IC over panels: {mean_tv:.3}");
+    log.info(
+        "calls_per_effective_sample",
+        &[
+            ("rmh", Field::F64(rmh_calls_per_ess)),
+            ("ic", Field::F64(ic_calls_per_ess)),
+            ("ratio", Field::F64(rmh_calls_per_ess / ic_calls_per_ess)),
+            (
+                "note",
+                Field::Str(
+                    "with an expensive simulator like Sherpa this ratio IS the wall-clock \
+                     speedup; IC is additionally embarrassingly parallel and amortized",
+                ),
+            ),
+        ],
+    );
+    log.info("posterior_agreement", &[("mean_tv", Field::F64(mean_tv))]);
 }

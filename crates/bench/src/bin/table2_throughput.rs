@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run -p etalumis-bench --release --bin table2_throughput`
 
-use etalumis_bench::{bench_ic_config, rule, tau_dataset};
+use etalumis_bench::{bench_ic_config, tau_dataset, Field, Logger};
 use etalumis_nn::LrSchedule;
 use etalumis_tensor::flops::training_flops;
 use etalumis_train::{platforms, train_distributed, AllReduceStrategy, DistConfig, IcConfig};
@@ -38,41 +38,59 @@ fn measure(ranks: usize, ds: &etalumis_data::TraceDataset, cfg: IcConfig) -> (f6
 }
 
 fn main() {
-    rule("Table 1: Intel Xeon CPU models and codes (paper)");
-    println!("{:<42} {:>5} {:>8}", "Model", "Code", "peak SP");
+    let log = Logger::from_args();
+    log.section("Table 1: Intel Xeon CPU models and codes (paper)");
     for p in platforms() {
-        println!("{:<42} {:>5} {:>7.0}G", p.model, p.code, p.peak_sp_gflops);
-    }
-
-    rule("Table 2 (paper): single-node training throughput");
-    println!(
-        "{:<16} {:>14} {:>14} {:>18}",
-        "Platform", "1-socket tr/s", "2-socket tr/s", "1-socket Gflop/s"
-    );
-    for p in platforms() {
-        println!(
-            "{:<16} {:>14.1} {:>14.1} {:>11.0} ({:.0}%)",
-            format!("{} ", p.code),
-            p.paper_traces_1s,
-            p.paper_traces_2s,
-            p.paper_gflops,
-            p.paper_gflops / p.peak_sp_gflops * 100.0
+        log.info(
+            "platform",
+            &[
+                ("model", Field::Str(p.model)),
+                ("code", Field::Str(p.code)),
+                ("peak_sp_gflops", Field::F64(p.peak_sp_gflops)),
+            ],
         );
     }
 
-    rule("Table 2 (ours): this machine, scaled-down tau model");
+    log.section("Table 2 (paper): single-node training throughput");
+    for p in platforms() {
+        log.info(
+            "paper_throughput",
+            &[
+                ("code", Field::Str(p.code)),
+                ("traces_per_sec_1socket", Field::F64(p.paper_traces_1s)),
+                ("traces_per_sec_2socket", Field::F64(p.paper_traces_2s)),
+                ("gflops_1socket", Field::F64(p.paper_gflops)),
+                ("peak_pct", Field::F64(p.paper_gflops / p.peak_sp_gflops * 100.0)),
+            ],
+        );
+    }
+
+    log.section("Table 2 (ours): this machine, scaled-down tau model");
     let (ds, dir) = tau_dataset(384, 384, "table2");
     let (tps1, gf1) = measure(1, &ds, bench_ic_config(1));
     let (tps2, gf2) = measure(2, &ds, bench_ic_config(1));
-    println!(
-        "{:<16} {:>14} {:>14} {:>18}",
-        "Platform", "1-rank tr/s", "2-rank tr/s", "1-rank Gflop/s"
+    log.info(
+        "measured_throughput",
+        &[
+            ("platform", Field::Str("this-host")),
+            ("traces_per_sec_1rank", Field::F64(tps1)),
+            ("traces_per_sec_2rank", Field::F64(tps2)),
+            ("gflops_1rank", Field::F64(gf1)),
+            ("gflops_2rank", Field::F64(gf2)),
+            ("socket_speedup", Field::F64(tps2 / tps1)),
+            ("paper_range", Field::Str("1.62x-1.90x")),
+        ],
     );
-    println!("{:<16} {:>14.1} {:>14.1} {:>18.2}", "this-host", tps1, tps2, gf1);
-    println!("\n2-rank / 1-rank speedup: {:.2}x (paper range: 1.62x-1.90x)", tps2 / tps1);
-    println!("2-rank Gflop/s: {gf2:.2}");
-    println!("\nNote: absolute numbers reflect this machine and the reduced model;");
-    println!("the reproduced *shape* is the near-2x socket scaling and the flop");
-    println!("accounting methodology (analytic flops / measured wall time).");
+    log.info(
+        "note",
+        &[(
+            "text",
+            Field::Str(
+                "absolute numbers reflect this machine and the reduced model; the \
+                 reproduced shape is the near-2x socket scaling and the flop accounting \
+                 methodology (analytic flops / measured wall time)",
+            ),
+        )],
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

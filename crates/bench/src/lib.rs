@@ -79,20 +79,12 @@ pub fn tau_dataset(n: usize, per_shard: usize, tag: &str) -> (TraceDataset, Path
     (sorted, dir)
 }
 
-/// Pretty horizontal rule for harness output.
-pub fn rule(title: &str) {
-    println!("\n================ {title} ================");
-}
-
-/// Format a speedup comparison line.
-pub fn speedup_line(what: &str, baseline: f64, optimized: f64, paper: &str) {
-    println!(
-        "{what:<44} baseline {:>10.4}s  optimized {:>10.4}s  speedup {:>6.2}x  (paper: {paper})",
-        baseline,
-        optimized,
-        baseline / optimized
-    );
-}
+/// The bench binaries' structured logger (re-exported from
+/// `etalumis-telemetry`): human-readable progress on stderr, one JSON
+/// object per event on stdout when the binary is invoked with `--json`.
+/// `Logger::section` and `Logger::speedup` replace the old free-form
+/// `rule` / `speedup_line` println helpers.
+pub use etalumis_telemetry::{Field, Level, Logger};
 
 #[cfg(test)]
 mod tests {

@@ -29,6 +29,7 @@
 
 use crate::dataset::TraceDataset;
 use crate::record::TraceRecord;
+use etalumis_telemetry::Telemetry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -67,6 +68,24 @@ pub struct ChannelStats {
     pub max_occupancy: usize,
 }
 
+impl ChannelStats {
+    /// Fold the snapshot into a telemetry handle: `stream.sends`,
+    /// `stream.recvs`, `stream.blocked_sends`, `stream.blocked_recvs`
+    /// counters plus a `stream.max_occupancy` gauge. Counter merging in the
+    /// collector makes repeated snapshots additive, so call this once per
+    /// channel at end of run.
+    pub fn record_to(&self, tel: &Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.count("stream.sends", self.sends);
+        tel.count("stream.recvs", self.recvs);
+        tel.count("stream.blocked_sends", self.blocked_sends);
+        tel.count("stream.blocked_recvs", self.blocked_recvs);
+        tel.gauge("stream.max_occupancy", self.max_occupancy as f64);
+    }
+}
+
 struct ChannelState {
     queue: VecDeque<TraceRecord>,
     closed: bool,
@@ -89,6 +108,7 @@ pub struct TraceChannel {
     blocked_sends: AtomicU64,
     blocked_recvs: AtomicU64,
     max_occupancy: AtomicUsize,
+    tel: Telemetry,
 }
 
 impl TraceChannel {
@@ -104,7 +124,18 @@ impl TraceChannel {
             blocked_sends: AtomicU64::new(0),
             blocked_recvs: AtomicU64::new(0),
             max_occupancy: AtomicUsize::new(0),
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle (call before sharing the channel). Each
+    /// accepted `send` emits a `stream.occupancy` gauge (the queue depth
+    /// time series); blocked sends and receives emit
+    /// `stream.blocked_send` / `stream.blocked_recv` counters as the
+    /// back-pressure is felt.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
     }
 
     /// The configured bound.
@@ -143,6 +174,7 @@ impl TraceChannel {
         while state.queue.len() >= self.capacity && !state.closed {
             if !counted_block {
                 self.blocked_sends.fetch_add(1, Ordering::Relaxed);
+                self.tel.count("stream.blocked_send", 1);
                 counted_block = true;
             }
             state = self.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
@@ -153,6 +185,7 @@ impl TraceChannel {
         state.queue.push_back(rec);
         self.sends.fetch_add(1, Ordering::Relaxed);
         self.max_occupancy.fetch_max(state.queue.len(), Ordering::Relaxed);
+        self.tel.gauge("stream.occupancy", state.queue.len() as f64);
         drop(state);
         self.not_empty.notify_one();
         Ok(())
@@ -166,6 +199,7 @@ impl TraceChannel {
         while state.queue.is_empty() && !state.closed {
             if !counted_block {
                 self.blocked_recvs.fetch_add(1, Ordering::Relaxed);
+                self.tel.count("stream.blocked_recv", 1);
                 counted_block = true;
             }
             state = self.not_empty.wait(state).unwrap_or_else(|e| e.into_inner());
@@ -276,6 +310,7 @@ pub struct TraceBucketer {
     fills: u64,
     /// Buckets released by the spill policy.
     spills: u64,
+    tel: Telemetry,
 }
 
 impl TraceBucketer {
@@ -286,7 +321,24 @@ impl TraceBucketer {
     pub fn new(config: BucketerConfig) -> Self {
         let config =
             BucketerConfig { batch: config.batch.max(1), spill_after: config.spill_after.max(1) };
-        Self { config, buckets: HashMap::new(), since_release: 0, pending: 0, fills: 0, spills: 0 }
+        Self {
+            config,
+            buckets: HashMap::new(),
+            since_release: 0,
+            pending: 0,
+            fills: 0,
+            spills: 0,
+            tel: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry handle. Releases emit `stream.fill` /
+    /// `stream.spill` counters — both are deterministic events (a pure
+    /// function of the input record sequence), so their totals must match
+    /// across a live run and its teed-shard replay.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
     }
 
     /// Records currently held back in partial buckets.
@@ -316,6 +368,7 @@ impl TraceBucketer {
             let out = self.take_bucket(key);
             self.fills += 1;
             self.since_release = 0;
+            self.tel.count("stream.fill", 1);
             return Some(out);
         }
         if self.since_release >= self.config.spill_after {
@@ -323,6 +376,7 @@ impl TraceBucketer {
             let out = self.take_bucket(key);
             self.spills += 1;
             self.since_release = 0;
+            self.tel.count("stream.spill", 1);
             return Some(out);
         }
         None
@@ -336,6 +390,7 @@ impl TraceBucketer {
         let key = self.largest_bucket()?;
         // An end-of-stream flush is an undersized release, like a spill.
         self.spills += 1;
+        self.tel.count("stream.spill", 1);
         Some(self.take_bucket(key))
     }
 

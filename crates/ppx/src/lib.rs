@@ -40,7 +40,7 @@ pub use error::PpxError;
 pub use message::Message;
 pub use mux::{
     BlockingMux, FragmentingEndpoint, FrameBuffer, InProcMuxEndpoint, Mux, MuxEndpoint, MuxEvent,
-    TcpMuxEndpoint,
+    MuxStats, TcpMuxEndpoint,
 };
 pub use server::{serve_listener, SimulatorServer};
 pub use session::{Awaiting, Serviced, Session, SessionAction, SessionState};

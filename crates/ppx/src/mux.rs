@@ -393,6 +393,24 @@ struct MuxConn {
     dead: bool,
 }
 
+/// Reactor activity counters, accumulated across the mux's lifetime and
+/// exported through [`Mux::stats`] so drivers can fold them into their
+/// telemetry without the protocol crate knowing about any metrics layer.
+/// `polls` is a meter of real-time behavior (idle sweeps count); frame and
+/// failure counts are a pure function of the protocol exchange.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MuxStats {
+    /// Poll sweeps executed ([`Mux::poll`] calls).
+    pub polls: u64,
+    /// Complete frames ingested and decoded across all connections.
+    pub frames_in: u64,
+    /// Frames encoded and queued for sending ([`Mux::send`] successes).
+    pub frames_out: u64,
+    /// Connections that transitioned to dead (transport error, frame or
+    /// protocol violation) while registered with this reactor.
+    pub conn_failures: u64,
+}
+
 /// The poll reactor: one thread drives any number of PPX sessions.
 ///
 /// The reactor owns endpoint + [`Session`] pairs. Each [`Mux::poll`] sweep
@@ -403,6 +421,7 @@ struct MuxConn {
 #[derive(Default)]
 pub struct Mux {
     conns: Vec<MuxConn>,
+    stats: MuxStats,
 }
 
 impl Mux {
@@ -466,6 +485,11 @@ impl Mux {
         self.conns[conn].dead || self.conns[conn].session.is_dead()
     }
 
+    /// Lifetime activity counters of this reactor.
+    pub fn stats(&self) -> MuxStats {
+        self.stats
+    }
+
     /// The session of `conn`.
     pub fn session(&self, conn: usize) -> &Session {
         &self.conns[conn].session
@@ -483,10 +507,14 @@ impl Mux {
             return Err(PpxError::Disconnected);
         };
         match endpoint.send_frame(encode(msg).into()) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.stats.frames_out += 1;
+                Ok(())
+            }
             Err(e) => {
                 c.dead = true;
                 c.session.fail();
+                self.stats.conn_failures += 1;
                 Err(e)
             }
         }
@@ -505,6 +533,7 @@ impl Mux {
     /// connection failed, or queued bytes moved) — callers back off briefly
     /// when a sweep reports no progress.
     pub fn poll(&mut self, events: &mut Vec<MuxEvent>) -> bool {
+        self.stats.polls += 1;
         let mut progress = false;
         for (i, c) in self.conns.iter_mut().enumerate() {
             if c.dead {
@@ -525,6 +554,7 @@ impl Mux {
                 Err(e) => {
                     c.dead = true;
                     c.session.fail();
+                    self.stats.conn_failures += 1;
                     events.push(MuxEvent::ConnFailed { conn: i, error: e });
                     progress = true;
                     continue;
@@ -533,16 +563,19 @@ impl Mux {
             // At most one action per connection per sweep: PPX is
             // request-reply, so after an action the simulator is waiting on
             // us, not sending.
+            let mut frame_seen = false;
             let step = endpoint
                 .poll_frame()
                 .and_then(|opt| match opt {
                     None => Ok(None),
                     Some(payload) => {
+                        frame_seen = true;
                         let msg = decode(&payload)?;
                         c.session.on_message(msg).map(Some)
                     }
                 })
                 .transpose();
+            self.stats.frames_in += frame_seen as u64;
             match step {
                 None => {}
                 Some(Ok(action)) => {
@@ -552,6 +585,7 @@ impl Mux {
                 Some(Err(e)) => {
                     c.dead = true;
                     c.session.fail();
+                    self.stats.conn_failures += 1;
                     events.push(MuxEvent::ConnFailed { conn: i, error: e });
                     progress = true;
                 }

@@ -13,6 +13,7 @@ use crate::pool::SimulatorPool;
 use crate::scheduler::TaskQueues;
 use crate::sink::TraceSink;
 use etalumis_core::{Executor, ObserveMap, PriorProposer, Proposer};
+use etalumis_telemetry::Telemetry;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
@@ -271,6 +272,32 @@ impl RunStats {
         }
         total
     }
+
+    /// Export this run's statistics into the telemetry snapshot: one
+    /// `runtime.*` counter per field (so [`RunStats::absorb`]-style merges
+    /// fall out of counter summation), a `runtime.imbalance` gauge, and a
+    /// per-worker `runtime.worker_busy` span + `runtime.worker_executed`
+    /// gauge attributed via [`Telemetry::worker_scope`]. Event counts are
+    /// deterministic (one bundle per recorded run); steal/retry *values*
+    /// are meters of the actual schedule.
+    pub fn record_to(&self, tel: &Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.count("runtime.executed", self.total_executed() as u64);
+        tel.count("runtime.steals", self.steals);
+        tel.count("runtime.failures", self.failures.len() as u64);
+        tel.count("runtime.retries", self.retries);
+        tel.count("runtime.respawns", self.respawns);
+        tel.count("runtime.killed", self.killed as u64);
+        tel.gauge("runtime.imbalance", self.imbalance());
+        tel.gauge("runtime.throughput", self.throughput());
+        for (w, r) in self.per_worker.iter().enumerate() {
+            let _scope = tel.worker_scope(w as u32);
+            tel.span_record("runtime.worker_busy", r.busy);
+            tel.gauge("runtime.worker_executed", r.executed as f64);
+        }
+    }
 }
 
 /// Executes batches of traces over a [`SimulatorPool`].
@@ -282,12 +309,19 @@ pub struct BatchRunner {
     /// Explicit task list (a resumed batch's remaining indices). `None`
     /// means the full range `0..n`, block-partitioned.
     tasks: Option<Vec<usize>>,
+    tel: Telemetry,
 }
 
 impl BatchRunner {
     /// Runner with the given scheduling configuration.
     pub fn new(config: RuntimeConfig) -> Self {
-        Self { config, policy: RetryPolicy::default(), kill: None, tasks: None }
+        Self {
+            config,
+            policy: RetryPolicy::default(),
+            kill: None,
+            tasks: None,
+            tel: Telemetry::disabled(),
+        }
     }
 
     /// Runner with default scheduling (all cores, stealing on).
@@ -316,6 +350,22 @@ impl BatchRunner {
     pub fn with_kill_switch(mut self, kill: Arc<KillSwitch>) -> Self {
         self.kill = Some(kill);
         self
+    }
+
+    /// Attach a [`Telemetry`] handle. Workers then record one
+    /// `runtime.task` span per trace execution (worker-attributed, nested
+    /// steals counted as `runtime.steal`) and the run records its
+    /// [`RunStats`] into the snapshot. Instrumentation only observes — the
+    /// batch's content stays bit-identical to an uninstrumented run.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
+    }
+
+    /// The runner's telemetry handle (disabled unless
+    /// [`BatchRunner::with_telemetry`] was used).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Run only these trace indices of the batch (the remaining work of a
@@ -389,14 +439,20 @@ impl BatchRunner {
                     let retries = &retries;
                     let kill = self.kill.as_deref();
                     let threshold = self.policy.worker_failure_threshold;
+                    let tel = self.tel.clone();
                     s.spawn(move || {
+                        let _tel_scope = tel.worker_scope(w as u32);
                         let mut proposer = proposers.make_proposer(w);
                         let mut report = WorkerReport::default();
                         let mut failed: Vec<(usize, String)> = Vec::new();
                         let mut requeued = 0u64;
                         let mut consecutive = 0u32;
                         while !kill.is_some_and(|k| k.killed()) {
-                            let Some(i) = queues.pop(w, stealing) else { break };
+                            let Some((i, stolen)) = queues.pop_traced(w, stealing) else { break };
+                            if stolen {
+                                tel.count("runtime.steal", 1);
+                            }
+                            let task_span = tel.span("runtime.task");
                             let t0 = Instant::now();
                             let result = Executor::try_execute_seeded(
                                 program,
@@ -404,6 +460,7 @@ impl BatchRunner {
                                 observes,
                                 mix_seed(seed, i),
                             );
+                            drop(task_span);
                             report.busy += t0.elapsed();
                             match result {
                                 Ok(trace) => {
@@ -460,7 +517,7 @@ impl BatchRunner {
             }
         }
         failures.sort_by_key(|(i, _)| *i);
-        RunStats {
+        let stats = RunStats {
             elapsed: start.elapsed(),
             per_worker,
             steals: queues.steals(),
@@ -468,7 +525,9 @@ impl BatchRunner {
             retries: total_retries,
             respawns: 0,
             killed,
-        }
+        };
+        stats.record_to(&self.tel);
+        stats
     }
 
     /// [`BatchRunner::run`] with prior proposals — plain trace generation.

@@ -41,6 +41,7 @@ use etalumis_data::{
     atomic_save, decode_record, encode_record, remove_stale_rolls, Reader, RollingShardWriter,
     TraceRecord, WriterProgress,
 };
+use etalumis_telemetry::Telemetry;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fs::File;
@@ -262,6 +263,7 @@ pub struct CheckpointSink {
     /// thousands of indices ahead of the commit watermark.
     window: usize,
     state: Mutex<CkState>,
+    tel: Telemetry,
 }
 
 impl CheckpointSink {
@@ -295,7 +297,18 @@ impl CheckpointSink {
                 repair_journal: None,
                 error: None,
             }),
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle. The sink emits `ckpt.commit` spans
+    /// (journal fsync + manifest save latency), a `ckpt.journal_bytes`
+    /// counter, a `ckpt.pending` gauge (reorder-buffer depth at each
+    /// delivery), and a `ckpt.backpressure_waits` counter (bounded waits
+    /// taken by workers racing ahead of the commit watermark).
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
     }
 
     /// Rebuild a sink from a loaded [`Checkpoint`] manifest (see
@@ -385,6 +398,7 @@ impl CheckpointSink {
                 repair_journal: None,
                 error: None,
             }),
+            tel: Telemetry::disabled(),
         })
     }
 
@@ -408,11 +422,17 @@ impl CheckpointSink {
         if state.error.is_some() {
             return;
         }
+        let mut journal_bytes = 0u64;
         let result = (|| -> io::Result<()> {
             while let Some(entry) = state.pending.remove(&state.watermark) {
                 if let Some(rec) = entry {
                     let p = ShardedTraceSink::partition_of(rec.trace_type, self.layout.partitions);
+                    let before = state.writers[p].progress().partial_bytes;
                     state.writers[p].push(rec)?;
+                    let after = state.writers[p].progress().partial_bytes;
+                    // A roll resets the journal; the post-roll residue is
+                    // still bytes appended by this push.
+                    journal_bytes += if after >= before { after - before } else { after };
                 }
                 state.watermark += 1;
                 state.since_manifest += 1;
@@ -423,12 +443,14 @@ impl CheckpointSink {
                 .zip(&state.finished_counts)
                 .any(|(w, &f)| w.progress().finished != f);
             if rolled || state.since_manifest >= self.interval {
+                let commit_started = std::time::Instant::now();
                 // The manifest must not reference journal bytes the disk
                 // has not acknowledged: fsync dirty journals first.
                 for w in state.writers.iter_mut() {
                     w.sync_journal()?;
                 }
                 self.manifest_of(state).save(&self.dir)?;
+                self.tel.span_record("ckpt.commit", commit_started.elapsed());
                 state.since_manifest = 0;
                 for (p, w) in state.writers.iter_mut().enumerate() {
                     state.finished_counts[p] = w.progress().finished;
@@ -441,6 +463,9 @@ impl CheckpointSink {
             }
             Ok(())
         })();
+        if journal_bytes > 0 {
+            self.tel.count("ckpt.journal_bytes", journal_bytes);
+        }
         if let Err(e) = result {
             state.error = Some(e);
         }
@@ -693,7 +718,11 @@ impl TraceSink for CheckpointSink {
                     state.failed.remove(pos);
                 }
                 state.pending.insert(index, Some(rec));
+                self.tel.gauge("ckpt.pending", state.pending.len() as f64);
                 self.advance(&mut state);
+                if waits > 0 {
+                    self.tel.count("ckpt.backpressure_waits", u64::from(waits));
+                }
                 return;
             }
             drop(state);
@@ -711,6 +740,7 @@ impl TraceSink for CheckpointSink {
         state.failed.sort_unstable();
         state.failed.dedup();
         state.pending.insert(index, None);
+        self.tel.gauge("ckpt.pending", state.pending.len() as f64);
         self.advance(&mut state);
     }
 }

@@ -63,8 +63,8 @@ pub use pool::SimulatorPool;
 pub use scheduler::TaskQueues;
 pub use sink::{CollectSink, CountingSink, ShardedTraceSink, TraceSink};
 pub use stream::{
-    stream_dataset_mux_resumable, stream_dataset_resumable, stream_prior_traces, StreamSink,
-    TeeSink,
+    stream_dataset_mux_resumable, stream_dataset_mux_resumable_traced, stream_dataset_resumable,
+    stream_dataset_resumable_traced, stream_prior_traces, StreamSink, TeeSink,
 };
 
 #[cfg(test)]

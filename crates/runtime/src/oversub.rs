@@ -208,8 +208,10 @@ struct Slot {
     respawn_attempts: u32,
     /// The session's proposer, parked between traces.
     proposer: Option<Box<dyn etalumis_core::Proposer + Send>>,
-    /// The in-flight trace: `(batch index, executor)`.
-    active: Option<(usize, StepExecutor)>,
+    /// The in-flight trace: `(batch index, executor, launch time)`. The
+    /// launch time becomes the trace's `runtime.task` span on completion
+    /// (wall latency across reactor sweeps, not exclusive CPU time).
+    active: Option<(usize, StepExecutor, Instant)>,
     /// The last dead `(endpoint, session)` pair, kept so a retired slot can
     /// still hand *something* back for pool reassembly.
     graveyard: Option<(Box<dyn MuxEndpoint>, Session)>,
@@ -302,6 +304,7 @@ impl BatchRunner {
                             policy: pool.policy,
                         },
                         kill: self.kill_handle(),
+                        tel: self.telemetry().clone(),
                     };
                     s.spawn(move || worker_reactor(ctx, share, observes, queues, retries, sink))
                 })
@@ -328,7 +331,7 @@ impl BatchRunner {
         recovered.sort_by_key(|(g, _)| *g);
         pool.sessions = recovered.into_iter().map(|(_, part)| part).collect();
         failures.sort_by_key(|(i, _)| *i);
-        RunStats {
+        let stats = RunStats {
             elapsed: start.elapsed(),
             per_worker,
             steals: queues.steals(),
@@ -336,7 +339,9 @@ impl BatchRunner {
             retries: total_retries,
             respawns: total_respawns,
             killed,
-        }
+        };
+        stats.record_to(self.telemetry());
+        stats
     }
 
     /// [`BatchRunner::run_mux`] with prior proposals.
@@ -367,6 +372,7 @@ struct ReactorCtx<'a> {
     stealing: bool,
     respawn: RespawnCtx,
     kill: Option<Arc<crate::batch::KillSwitch>>,
+    tel: etalumis_telemetry::Telemetry,
 }
 
 /// The per-worker event loop: a poll reactor over this worker's session
@@ -407,6 +413,11 @@ fn worker_reactor(
         requeued: 0,
         respawns: 0,
         drained: false,
+        sweeps: 0,
+        actions: 0,
+        conn_deaths: 0,
+        respawn_attempts: 0,
+        handshake_timeouts: 0,
     }
     .run(share)
 }
@@ -429,6 +440,14 @@ struct Reactor<'a> {
     /// True while the shared queues have come up empty; a requeued trace
     /// clears it (the deque holds work again).
     drained: bool,
+    /// Telemetry meters, accumulated locally (one event bundle per reactor
+    /// at exit, not one event per sweep): poll sweeps, serviced session
+    /// actions, and the respawn/backoff state machine's transitions.
+    sweeps: u64,
+    actions: u64,
+    conn_deaths: u64,
+    respawn_attempts: u64,
+    handshake_timeouts: u64,
 }
 
 impl Reactor<'_> {
@@ -503,10 +522,11 @@ impl Reactor<'_> {
     /// Handle the death of a slot's connection: salvage the dead pair for
     /// reassembly, requeue the in-flight trace, schedule a respawn.
     fn on_conn_death(&mut self, s_idx: usize, conn: usize, error: &str) {
+        self.conn_deaths += 1;
         if let Some(pair) = self.mux.detach(conn) {
             self.slots[s_idx].graveyard = Some(pair);
         }
-        if let Some((i, _)) = self.slots[s_idx].active.take() {
+        if let Some((i, _, _)) = self.slots[s_idx].active.take() {
             if self.retries.try_consume(i) {
                 // Requeue onto this worker's own deque: its surviving
                 // sessions (or a stealing neighbor) rerun it
@@ -532,6 +552,7 @@ impl Reactor<'_> {
                 continue;
             }
             self.slots[s_idx].respawn_attempts += 1;
+            self.respawn_attempts += 1;
             progress = true;
             let attempt = (self.ctx.respawn.factory)(self.slots[s_idx].global)
                 .map_err(PpxError::from)
@@ -571,6 +592,7 @@ impl Reactor<'_> {
                 continue;
             }
             self.mux.session_mut(conn).fail();
+            self.handshake_timeouts += 1;
             self.on_conn_death(s_idx, conn, "handshake timed out");
         }
     }
@@ -606,11 +628,11 @@ impl Reactor<'_> {
             };
             progress = true;
             match started {
-                Ok(()) => self.slots[s_idx].active = Some((i, exec)),
+                Ok(()) => self.slots[s_idx].active = Some((i, exec, Instant::now())),
                 Err(e) => {
                     // Died between traces: the popped index goes through the
                     // same requeue path as an in-flight one.
-                    self.slots[s_idx].active = Some((i, exec));
+                    self.slots[s_idx].active = Some((i, exec, Instant::now()));
                     self.on_conn_death(s_idx, conn, &e.to_string());
                 }
             }
@@ -643,9 +665,10 @@ impl Reactor<'_> {
                     );
                     return true;
                 }
+                self.actions += 1;
                 let t0 = Instant::now();
                 let serviced = {
-                    let (_, exec) = self.slots[s_idx].active.as_mut().unwrap();
+                    let (_, exec, _) = self.slots[s_idx].active.as_mut().unwrap();
                     self.mux.session_mut(conn).service(action, exec)
                 };
                 self.report.busy += t0.elapsed();
@@ -656,10 +679,14 @@ impl Reactor<'_> {
                         }
                     }
                     Ok(Serviced::Finished(result)) => {
-                        let (i, exec) = self.slots[s_idx].active.take().unwrap();
+                        let (i, exec, launched) = self.slots[s_idx].active.take().unwrap();
                         let (trace, proposer) = exec.finish(result);
                         self.slots[s_idx].proposer = Some(proposer);
                         self.report.executed += 1;
+                        if self.ctx.tel.is_enabled() {
+                            let _scope = self.ctx.tel.worker_scope(self.ctx.worker as u32);
+                            self.ctx.tel.span_record("runtime.task", launched.elapsed());
+                        }
                         self.sink.accept(i, trace);
                         if let Some(k) = self.ctx.kill.as_ref() {
                             k.tick();
@@ -687,6 +714,7 @@ impl Reactor<'_> {
             if self.ctx.kill.as_ref().is_some_and(|k| k.killed()) {
                 break;
             }
+            self.sweeps += 1;
             let mut progress = self.respawn_due();
             self.expire_handshakes();
             progress |= self.launch_ready();
@@ -710,6 +738,28 @@ impl Reactor<'_> {
             if !progress {
                 std::thread::sleep(IDLE_BACKOFF);
             }
+        }
+
+        // Record this reactor's telemetry as one worker-attributed bundle:
+        // the respawn/backoff state machine's transitions, the sweep/action
+        // meters, and the underlying mux's frame accounting. Doing it once
+        // at exit (instead of one event per sweep) keeps the event log
+        // proportional to the batch, not to idle polling.
+        if self.ctx.tel.is_enabled() {
+            let tel = &self.ctx.tel;
+            let _scope = tel.worker_scope(self.ctx.worker as u32);
+            let mstats = self.mux.stats();
+            tel.count("mux.sweeps", self.sweeps);
+            tel.count("mux.polls", mstats.polls);
+            tel.count("mux.frames_in", mstats.frames_in);
+            tel.count("mux.frames_out", mstats.frames_out);
+            tel.count("mux.conn_failures", mstats.conn_failures);
+            tel.count("mux.actions", self.actions);
+            tel.count("mux.conn_deaths", self.conn_deaths);
+            tel.count("mux.respawn_attempts", self.respawn_attempts);
+            tel.count("mux.respawns", self.respawns);
+            tel.count("mux.handshake_timeouts", self.handshake_timeouts);
+            tel.span_record("mux.service_busy", self.report.busy);
         }
 
         // Reassemble the pool's session pairs: live conns come back out of

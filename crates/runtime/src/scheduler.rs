@@ -90,8 +90,15 @@ impl TaskQueues {
     /// `stealing` — the fronts of the other workers' deques, scanning from
     /// its right-hand neighbor. `None` means the batch is drained.
     pub fn pop(&self, worker: usize, stealing: bool) -> Option<usize> {
+        self.pop_traced(worker, stealing).map(|(t, _)| t)
+    }
+
+    /// Like [`pop`](Self::pop), but also reports whether the task was
+    /// stolen from another worker's deque — the per-task attribution the
+    /// telemetry layer records as `runtime.steal` counters.
+    pub fn pop_traced(&self, worker: usize, stealing: bool) -> Option<(usize, bool)> {
         if let Some(t) = self.deques[worker].lock().pop_back() {
-            return Some(t);
+            return Some((t, false));
         }
         if !stealing {
             return None;
@@ -101,7 +108,7 @@ impl TaskQueues {
             let victim = (worker + k) % w;
             if let Some(t) = self.deques[victim].lock().pop_front() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
-                return Some(t);
+                return Some((t, true));
             }
         }
         None

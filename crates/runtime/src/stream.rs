@@ -40,6 +40,7 @@ use etalumis_core::{ObserveMap, ProbProgram, Trace};
 use etalumis_data::{
     partition_prefix, read_journal, ShardReader, TraceChannel, TraceDataset, TraceRecord,
 };
+use etalumis_telemetry::Telemetry;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::io;
@@ -268,12 +269,36 @@ where
     P: ProbProgram + Send + 'static,
     F: Fn(usize) -> P,
 {
+    stream_dataset_resumable_traced(factory, cfg, dir, ckpt, kill, channel, Telemetry::disabled())
+}
+
+/// [`stream_dataset_resumable`] with a telemetry handle threaded through
+/// every seam it crosses: the worker pool (`runtime.*` spans/counters), the
+/// checkpoint tee (`ckpt.*`), and the run summary ([`RunStats::record_to`]).
+/// Attach the same handle to the channel
+/// ([`TraceChannel::with_telemetry`](etalumis_data::TraceChannel::with_telemetry))
+/// and the trainer for whole-pipeline coverage. Telemetry only observes:
+/// the stream content and shard bytes are bit-identical to the untraced
+/// call.
+pub fn stream_dataset_resumable_traced<P, F>(
+    factory: F,
+    cfg: &DatasetGenConfig,
+    dir: &Path,
+    ckpt: &CheckpointConfig,
+    kill: Option<Arc<KillSwitch>>,
+    channel: &TraceChannel,
+    tel: Telemetry,
+) -> io::Result<TraceDataset>
+where
+    P: ProbProgram + Send + 'static,
+    F: Fn(usize) -> P,
+{
     let workers = RuntimeConfig { workers: cfg.workers, ..Default::default() }.resolved_workers();
     let mut pool = SimulatorPool::from_factory(workers, factory);
     let observes = ObserveMap::new();
     stream_resumable_with(
         |runner, sink| runner.run_prior(&mut pool, &observes, cfg.n, cfg.seed, sink),
-        BatchRunner::new(RuntimeConfig { workers, stealing: true }),
+        BatchRunner::new(RuntimeConfig { workers, stealing: true }).with_telemetry(tel),
         cfg,
         dir,
         ckpt,
@@ -293,11 +318,27 @@ pub fn stream_dataset_mux_resumable(
     kill: Option<Arc<KillSwitch>>,
     channel: &TraceChannel,
 ) -> io::Result<TraceDataset> {
+    stream_dataset_mux_resumable_traced(pool, cfg, dir, ckpt, kill, channel, Telemetry::disabled())
+}
+
+/// [`stream_dataset_mux_resumable`] with a telemetry handle threaded
+/// through the reactor (`mux.*` counters), the worker pool (`runtime.*`),
+/// and the checkpoint tee (`ckpt.*`). See
+/// [`stream_dataset_resumable_traced`].
+pub fn stream_dataset_mux_resumable_traced(
+    pool: &mut MuxSimulatorPool,
+    cfg: &DatasetGenConfig,
+    dir: &Path,
+    ckpt: &CheckpointConfig,
+    kill: Option<Arc<KillSwitch>>,
+    channel: &TraceChannel,
+    tel: Telemetry,
+) -> io::Result<TraceDataset> {
     let workers = if cfg.workers == 0 { pool.len() } else { cfg.workers.min(pool.len()) };
     let observes = ObserveMap::new();
     stream_resumable_with(
         |runner, sink| runner.run_mux_prior(pool, &observes, cfg.n, cfg.seed, sink),
-        BatchRunner::new(RuntimeConfig { workers, stealing: true }),
+        BatchRunner::new(RuntimeConfig { workers, stealing: true }).with_telemetry(tel),
         cfg,
         dir,
         ckpt,
@@ -371,6 +412,7 @@ fn stream_resumable_inner(
         }
         None => (CheckpointSink::new(dir, layout, ckpt), (0..cfg.n).collect(), 0),
     };
+    let sink = sink.with_telemetry(runner.telemetry().clone());
     let stream = StreamSink::new(channel, cfg.pruned, watermark);
     let tee = TeeSink::new(&sink, &stream);
     let mut main_runner = runner.with_tasks(remaining);

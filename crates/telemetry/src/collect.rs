@@ -1,0 +1,281 @@
+//! Draining recorded events into timeline logs and aggregated snapshots.
+
+use crate::json::{json_f64, JsonObject};
+use crate::{Event, EventKind, NO_WORKER};
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A drained batch of events, ready to be rendered as a JSONL timeline
+/// (`write_jsonl`) or folded into a [`RunMetrics`] snapshot (`snapshot`).
+pub struct Collector {
+    pub events: Vec<Event>,
+}
+
+impl Collector {
+    pub fn new(events: Vec<Event>) -> Self {
+        Collector { events }
+    }
+
+    /// One JSON object per line, in sequence order. Span lines carry
+    /// `span`/`parent`/`start_us`/`dur_us`; counters carry `delta`;
+    /// gauges carry `value`. `worker` is `null` for unattributed events.
+    pub fn write_jsonl(&self, path: &Path) -> io::Result<()> {
+        let mut buf = String::new();
+        for e in &self.events {
+            buf.push_str(&event_json(e));
+            buf.push('\n');
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(buf.as_bytes())?;
+        f.flush()
+    }
+
+    /// Aggregate into per-name span/counter/gauge statistics.
+    pub fn snapshot(&self) -> RunMetrics {
+        let mut span_durs: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+        let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<&'static str, GaugeStats> = BTreeMap::new();
+        for e in &self.events {
+            match e.kind {
+                EventKind::Span { dur_us, .. } => span_durs.entry(e.name).or_default().push(dur_us),
+                EventKind::Counter { delta } => *counters.entry(e.name).or_insert(0) += delta,
+                EventKind::Gauge { value } => {
+                    let g = gauges.entry(e.name).or_insert(GaugeStats {
+                        count: 0,
+                        last: value,
+                        min: value,
+                        max: value,
+                    });
+                    g.count += 1;
+                    g.last = value;
+                    g.min = g.min.min(value);
+                    g.max = g.max.max(value);
+                }
+            }
+        }
+        RunMetrics {
+            spans: span_durs
+                .into_iter()
+                .map(|(name, durs)| (name.to_string(), SpanStats::from_durations(durs)))
+                .collect(),
+            counters: counters.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            gauges: gauges.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        }
+    }
+
+    /// `snapshot()` serialized to `path` as `RUN_METRICS.json`.
+    pub fn write_metrics(&self, path: &Path) -> io::Result<()> {
+        self.snapshot().write(path)
+    }
+}
+
+fn worker_json(worker: u32) -> String {
+    if worker == NO_WORKER {
+        "null".to_string()
+    } else {
+        worker.to_string()
+    }
+}
+
+/// Render one event as a single-line JSON object.
+pub fn event_json(e: &Event) -> String {
+    let base = JsonObject::new()
+        .string(
+            "kind",
+            match e.kind {
+                EventKind::Span { .. } => "span",
+                EventKind::Counter { .. } => "counter",
+                EventKind::Gauge { .. } => "gauge",
+            },
+        )
+        .string("name", e.name)
+        .raw("worker", &worker_json(e.worker))
+        .u64("seq", e.seq);
+    match e.kind {
+        EventKind::Span { span_id, parent, start_us, dur_us } => base
+            .u64("span", span_id)
+            .u64("parent", parent)
+            .u64("start_us", start_us)
+            .u64("dur_us", dur_us)
+            .done(),
+        EventKind::Counter { delta } => base.u64("delta", delta).done(),
+        EventKind::Gauge { value } => base.f64("value", value).done(),
+    }
+}
+
+/// Aggregated duration statistics for one span name (microseconds).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanStats {
+    pub count: u64,
+    pub total_us: u64,
+    pub min_us: u64,
+    pub max_us: u64,
+    pub p50_us: u64,
+    pub p90_us: u64,
+    pub p99_us: u64,
+}
+
+impl SpanStats {
+    fn from_durations(mut durs: Vec<u64>) -> Self {
+        durs.sort_unstable();
+        let count = durs.len() as u64;
+        let total: u64 = durs.iter().sum();
+        SpanStats {
+            count,
+            total_us: total,
+            min_us: durs[0],
+            max_us: *durs.last().unwrap(),
+            p50_us: percentile(&durs, 0.50),
+            p90_us: percentile(&durs, 0.90),
+            p99_us: percentile(&durs, 0.99),
+        }
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Aggregated samples of one gauge name.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaugeStats {
+    pub count: u64,
+    pub last: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+/// The aggregated `RUN_METRICS.json` snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunMetrics {
+    pub spans: BTreeMap<String, SpanStats>,
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, GaugeStats>,
+}
+
+impl RunMetrics {
+    pub fn to_json(&self) -> String {
+        let mut spans = String::from("{");
+        for (i, (name, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                spans.push(',');
+            }
+            let obj = JsonObject::new()
+                .u64("count", s.count)
+                .u64("total_us", s.total_us)
+                .u64("min_us", s.min_us)
+                .u64("max_us", s.max_us)
+                .u64("p50_us", s.p50_us)
+                .u64("p90_us", s.p90_us)
+                .u64("p99_us", s.p99_us)
+                .done();
+            spans.push_str(&format!("\"{}\":{}", crate::escape_json(name), obj));
+        }
+        spans.push('}');
+
+        let mut counters = String::from("{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                counters.push(',');
+            }
+            counters.push_str(&format!("\"{}\":{}", crate::escape_json(name), v));
+        }
+        counters.push('}');
+
+        let mut gauges = String::from("{");
+        for (i, (name, g)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                gauges.push(',');
+            }
+            let obj = JsonObject::new()
+                .u64("count", g.count)
+                .raw("last", &json_f64(g.last))
+                .raw("min", &json_f64(g.min))
+                .raw("max", &json_f64(g.max))
+                .done();
+            gauges.push_str(&format!("\"{}\":{}", crate::escape_json(name), obj));
+        }
+        gauges.push('}');
+
+        format!(
+            "{{\n  \"spans\": {spans},\n  \"counters\": {counters},\n  \"gauges\": {gauges}\n}}\n"
+        )
+    }
+
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+    use std::time::Duration;
+
+    #[test]
+    fn snapshot_aggregates_all_three_kinds() {
+        let tel = Telemetry::enabled();
+        tel.span_record("s", Duration::from_micros(10));
+        tel.span_record("s", Duration::from_micros(30));
+        tel.count("c", 2);
+        tel.count("c", 3);
+        tel.gauge("g", 5.0);
+        tel.gauge("g", 2.0);
+        let m = tel.collect().snapshot();
+        let s = &m.spans["s"];
+        assert_eq!((s.count, s.total_us, s.min_us, s.max_us), (2, 40, 10, 30));
+        assert_eq!(m.counters["c"], 5);
+        let g = &m.gauges["g"];
+        assert_eq!((g.count, g.last, g.min, g.max), (2, 2.0, 2.0, 5.0));
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let durs: Vec<u64> = (1..=100).collect();
+        let s = SpanStats::from_durations(durs);
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p90_us, 90);
+        assert_eq!(s.p99_us, 99);
+        let one = SpanStats::from_durations(vec![7]);
+        assert_eq!((one.p50_us, one.p90_us, one.p99_us), (7, 7, 7));
+    }
+
+    #[test]
+    fn jsonl_lines_parse_shapes() {
+        let tel = Telemetry::enabled();
+        {
+            let _w = tel.worker_scope(3);
+            let _s = tel.span("outer.work");
+            tel.count("n", 1);
+        }
+        let dir = std::env::temp_dir().join(format!("etalumis_tel_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        tel.collect().write_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"counter\"") && lines[0].contains("\"worker\":3"));
+        assert!(
+            lines[1].contains("\"kind\":\"span\"") && lines[1].contains("\"name\":\"outer.work\"")
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn metrics_json_is_stable_shape() {
+        let tel = Telemetry::enabled();
+        tel.count("b", 1);
+        tel.count("a", 1);
+        let j = tel.collect().snapshot().to_json();
+        // BTreeMap ordering: "a" before "b"; all three sections present.
+        assert!(j.contains("\"counters\": {\"a\":1,\"b\":1}"), "got: {j}");
+        assert!(j.contains("\"spans\": {}"));
+        assert!(j.contains("\"gauges\": {}"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Minimal hand-rolled JSON emission (the workspace has no serde; compat
+//! shims only stand in for crates the sources already used).
+
+/// Escape `s` for inclusion inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Emit an `f64` as JSON (JSON has no NaN/Infinity; map them to null).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An incremental `{...}` builder: `JsonObject::new().field("k", "1").done()`.
+#[derive(Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    pub fn new() -> Self {
+        JsonObject { buf: String::from("{") }
+    }
+
+    /// Append `"key": <raw>` where `raw` is already-valid JSON.
+    pub fn raw(mut self, key: &str, raw: &str) -> Self {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape_json(key));
+        self.buf.push_str("\":");
+        self.buf.push_str(raw);
+        self
+    }
+
+    pub fn string(self, key: &str, value: &str) -> Self {
+        let quoted = format!("\"{}\"", escape_json(value));
+        self.raw(key, &quoted)
+    }
+
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        self.raw(key, &value.to_string())
+    }
+
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        self.raw(key, &json_f64(value))
+    }
+
+    pub fn done(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_chars() {
+        assert_eq!(escape_json("a\"b\\c\nd\te\u{1}"), "a\\\"b\\\\c\\nd\\te\\u0001");
+        assert_eq!(escape_json("plain"), "plain");
+    }
+
+    #[test]
+    fn object_builder_produces_valid_shapes() {
+        let o = JsonObject::new().string("name", "x\"y").u64("n", 3).f64("v", 1.5).done();
+        assert_eq!(o, "{\"name\":\"x\\\"y\",\"n\":3,\"v\":1.5}");
+        assert_eq!(JsonObject::new().done(), "{}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(2.25), "2.25");
+    }
+}

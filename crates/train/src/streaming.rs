@@ -31,8 +31,9 @@ use etalumis_data::{
     stream_dataset_into, BucketerConfig, TraceBucketer, TraceChannel, TraceDataset, TraceRecord,
 };
 use etalumis_nn::{Adam, LrSchedule, Module, Optimizer};
+use etalumis_telemetry::Telemetry;
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Knobs for the single-rank streaming loop.
 #[derive(Clone, Copy, Debug)]
@@ -108,7 +109,8 @@ pub fn train_stream<O: Optimizer>(
     }
     let mut report = StreamTrainReport { warmup_used: warmup.len(), ..Default::default() };
     let mut bucketer =
-        TraceBucketer::new(BucketerConfig { batch: cfg.batch, spill_after: cfg.spill_after });
+        TraceBucketer::new(BucketerConfig { batch: cfg.batch, spill_after: cfg.spill_after })
+            .with_telemetry(trainer.tel.clone());
     let mut steps = 0usize;
     let mut capped = false;
     fn take_step<O: Optimizer>(
@@ -215,6 +217,12 @@ pub struct StreamDistConfig {
     pub lr: LrSchedule,
     /// Optional LARC trust coefficient (Adam-LARC when set).
     pub larc_trust: Option<f64>,
+    /// Telemetry handle (disabled by default). When enabled, each rank
+    /// emits worker-scoped `train.step` spans with nested `train.batch_read`
+    /// / `train.forward` / `train.backward` / `train.allreduce_wait` /
+    /// `train.optimizer` phases, plus `train.steps` counters and a
+    /// `train.sub_minibatches` gauge per iteration.
+    pub tel: Telemetry,
 }
 
 impl Default for StreamDistConfig {
@@ -228,6 +236,7 @@ impl Default for StreamDistConfig {
             strategy: AllReduceStrategy::SparseConcat,
             lr: LrSchedule::Constant(1e-3),
             larc_trust: None,
+            tel: Telemetry::disabled(),
         }
     }
 }
@@ -324,11 +333,13 @@ pub fn train_stream_distributed(
         // single-rank loop), then the live stream, then the flush.
         let warmup_for_feed = warmup.clone();
         let feed_ref = &feed;
+        let feed_tel = cfg.tel.clone();
         s.spawn(move || {
             let mut bucketer = TraceBucketer::new(BucketerConfig {
                 batch: cfg.batch,
                 spill_after: cfg.spill_after,
-            });
+            })
+            .with_telemetry(feed_tel);
             for rec in warmup_for_feed {
                 if let Some(release) = bucketer.push(rec) {
                     feed_ref.push(release);
@@ -355,6 +366,7 @@ pub fn train_stream_distributed(
             let nets = &nets;
             let net_config = net_config.clone();
             s.spawn(move || {
+                let _tel_scope = cfg.tel.worker_scope(rank as u32);
                 let mut net = IcNetwork::new(net_config);
                 net.pregenerate(warmup.iter());
                 // Frozen replicas: live address discovery would grow each
@@ -372,6 +384,10 @@ pub fn train_stream_distributed(
                         }
                     }
                     let mut t = PhaseTimings::default();
+                    // Dropped at end-of-iteration (or at the exhausted
+                    // break, where it covers the final collective round) so
+                    // the phase records below nest under it.
+                    let step_span = cfg.tel.span("train.step");
                     let t0 = Instant::now();
                     // An exhausted rank cannot simply leave: the others are
                     // already committed to this iteration's collectives.
@@ -405,6 +421,17 @@ pub fn train_stream_distributed(
                     opt.begin_step();
                     net.visit_params("", &mut |n, p| opt.update(n, p));
                     t.optimizer = topt.elapsed().as_secs_f64();
+                    if cfg.tel.is_enabled() {
+                        let tel = &cfg.tel;
+                        tel.span_record("train.batch_read", Duration::from_secs_f64(t.batch_read));
+                        tel.span_record("train.forward", Duration::from_secs_f64(t.forward));
+                        tel.span_record("train.backward", Duration::from_secs_f64(t.backward));
+                        tel.span_record("train.allreduce_wait", Duration::from_secs_f64(t.sync));
+                        tel.span_record("train.optimizer", Duration::from_secs_f64(t.optimizer));
+                        tel.gauge("train.sub_minibatches", res.sub_minibatches as f64);
+                        tel.count("train.steps", 1);
+                    }
+                    drop(step_span);
                     let global_loss = if stats[1] > 0.0 { stats[0] / stats[1] } else { f64::NAN };
                     losses.lock().unwrap_or_else(|e| e.into_inner())[rank].push(global_loss);
                     timings.lock().unwrap_or_else(|e| e.into_inner())[rank].push(t);

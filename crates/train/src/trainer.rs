@@ -7,8 +7,9 @@
 use crate::network::IcNetwork;
 use etalumis_data::{DistributedSampler, SamplerConfig, TraceDataset, TraceRecord};
 use etalumis_nn::{clip_grad_norm, Module, Optimizer};
+use etalumis_telemetry::Telemetry;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Per-iteration wall-time breakdown (the phases of Figure 4).
 #[derive(Clone, Copy, Debug, Default)]
@@ -144,16 +145,28 @@ pub struct Trainer<O: Optimizer> {
     pub opt: O,
     /// Optional global-norm gradient clip.
     pub grad_clip: Option<f64>,
+    /// Telemetry handle (disabled by default). When enabled, each
+    /// [`Trainer::step`] emits a `train.step` span with nested
+    /// `train.forward` / `train.backward` / `train.optimizer` phase spans,
+    /// a `train.sub_minibatches` gauge, and a `train.steps` counter.
+    pub tel: Telemetry,
 }
 
 impl<O: Optimizer> Trainer<O> {
     /// New trainer.
     pub fn new(net: IcNetwork, opt: O) -> Self {
-        Self { net, opt, grad_clip: None }
+        Self { net, opt, grad_clip: None, tel: Telemetry::disabled() }
+    }
+
+    /// Attach a telemetry handle (builder form of setting [`Trainer::tel`]).
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
     }
 
     /// One synchronous step on a minibatch; returns the step result.
     pub fn step(&mut self, records: &[TraceRecord]) -> StepResult {
+        let step_span = self.tel.span("train.step");
         let mut res = accumulate_minibatch(&mut self.net, records);
         if let Some(c) = self.grad_clip {
             clip_grad_norm(&mut self.net, c);
@@ -163,6 +176,14 @@ impl<O: Optimizer> Trainer<O> {
         let opt = &mut self.opt;
         self.net.visit_params("", &mut |n, p| opt.update(n, p));
         res.timings.optimizer = t.elapsed().as_secs_f64();
+        if self.tel.is_enabled() {
+            self.tel.span_record("train.forward", Duration::from_secs_f64(res.timings.forward));
+            self.tel.span_record("train.backward", Duration::from_secs_f64(res.timings.backward));
+            self.tel.span_record("train.optimizer", Duration::from_secs_f64(res.timings.optimizer));
+            self.tel.gauge("train.sub_minibatches", res.sub_minibatches as f64);
+            self.tel.count("train.steps", 1);
+        }
+        drop(step_span);
         res
     }
 
@@ -198,7 +219,9 @@ impl<O: Optimizer> Trainer<O> {
         for e in 0..epochs {
             let plan = sampler.epoch(e);
             for mb in &plan.per_rank[0] {
+                let read_started = Instant::now();
                 let records = dataset.get_many(mb)?;
+                self.tel.span_record("train.batch_read", read_started.elapsed());
                 let res = self.step(&records);
                 log.losses.push((iter, res.loss));
                 log.traces_seen += res.used;

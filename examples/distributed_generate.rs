@@ -29,6 +29,7 @@ use etalumis_runtime::{
     KillSwitch,
 };
 use etalumis_simulators::BranchingModel;
+use etalumis_telemetry::{Field, Logger};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::sync::Arc;
@@ -67,6 +68,7 @@ fn main() -> std::io::Result<()> {
         return worker_main(rank, &root, kill);
     }
 
+    let log = Logger::from_args();
     let root = std::env::temp_dir().join(format!("etalumis_dist_gen_demo_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     std::fs::create_dir_all(&root)?;
@@ -76,10 +78,12 @@ fn main() -> std::io::Result<()> {
     let ref_dir = root.join("reference");
     let reference =
         generate_dataset_resumable(|_| BranchingModel::standard(), &cfg, &ref_dir, &ckpt, None)?;
-    println!(
-        "[parent] single-process reference: {} traces -> {} shards",
-        reference.len(),
-        reference.shards.len()
+    log.info(
+        "reference_run",
+        &[
+            ("traces", Field::U64(reference.len() as u64)),
+            ("shards", Field::U64(reference.shards.len() as u64)),
+        ],
     );
 
     // Phase 1: one worker process per rank; rank {KILLED_RANK} dies mid-run.
@@ -101,14 +105,18 @@ fn main() -> std::io::Result<()> {
                 Some(EXIT_KILLED),
                 "rank {rank} should have died mid-run, got {status}"
             );
-            println!("[parent] rank {rank} died mid-run as planned ({status})");
+            let status_text = status.to_string();
+            log.info(
+                "rank_died_as_planned",
+                &[("rank", Field::U64(*rank as u64)), ("status", Field::Str(&status_text))],
+            );
         } else {
             assert!(status.success(), "rank {rank} failed: {status}");
         }
     }
 
     // Phase 2: re-spawn the dead rank; it resumes from its manifest.
-    println!("[parent] re-spawning rank {KILLED_RANK} to resume from its checkpoint");
+    log.info("respawning_rank", &[("rank", Field::U64(KILLED_RANK as u64))]);
     let status = Command::new(&exe)
         .arg("--rank")
         .arg(KILLED_RANK.to_string())
@@ -122,12 +130,14 @@ fn main() -> std::io::Result<()> {
     assert_eq!(rank_dirs.len(), WORLD, "every rank must have completed");
     let merged_dir = root.join("merged");
     let merged = merge_ranks(&rank_dirs, &merged_dir)?;
-    println!(
-        "[parent] merged {} ranks -> {} shards, {} records, {} permanent failure(s)",
-        merged.manifest.world_size,
-        merged.shards.len(),
-        merged.manifest.records,
-        merged.manifest.failed().len()
+    log.info(
+        "merged",
+        &[
+            ("ranks", Field::U64(merged.manifest.world_size as u64)),
+            ("shards", Field::U64(merged.shards.len() as u64)),
+            ("records", Field::U64(merged.manifest.records as u64)),
+            ("permanent_failures", Field::U64(merged.manifest.failed().len() as u64)),
+        ],
     );
 
     // Phase 4: the merged dataset must be byte-identical to the reference.
@@ -139,10 +149,13 @@ fn main() -> std::io::Result<()> {
         assert_eq!(da, db, "merged shard {a:?} differs from the single-process reference");
         bytes += da.len() as u64;
     }
-    println!(
-        "[parent] verified: {} shards / {bytes} bytes byte-identical to the \
-         single-process run",
-        merged.shards.len()
+    log.info(
+        "verified",
+        &[
+            ("shards", Field::U64(merged.shards.len() as u64)),
+            ("bytes", Field::U64(bytes)),
+            ("byte_identical", Field::Bool(true)),
+        ],
     );
     std::fs::remove_dir_all(&root)?;
     println!("OK");
@@ -151,6 +164,7 @@ fn main() -> std::io::Result<()> {
 
 /// One worker process: generate (or resume) this rank's slice.
 fn worker_main(rank: usize, root: &Path, kill_after: Option<usize>) -> std::io::Result<()> {
+    let log = Logger::from_args();
     let (cfg, ckpt) = config();
     let kill = kill_after.map(|n| Arc::new(KillSwitch::after(n)));
     match generate_dataset_distributed(
@@ -163,20 +177,26 @@ fn worker_main(rank: usize, root: &Path, kill_after: Option<usize>) -> std::io::
         kill,
     ) {
         Ok(out) => {
-            println!(
-                "[rank {rank}] slice {}..{} complete: {} traces -> {} shards \
-                 ({} executed this process, {} retries)",
-                out.slice.start,
-                out.slice.end,
-                out.dataset.len(),
-                out.dataset.shards.len(),
-                out.stats.total_executed(),
-                out.stats.retries
+            log.info(
+                "rank_slice_complete",
+                &[
+                    ("rank", Field::U64(rank as u64)),
+                    ("slice_start", Field::U64(out.slice.start as u64)),
+                    ("slice_end", Field::U64(out.slice.end as u64)),
+                    ("traces", Field::U64(out.dataset.len() as u64)),
+                    ("shards", Field::U64(out.dataset.shards.len() as u64)),
+                    ("executed_this_process", Field::U64(out.stats.total_executed() as u64)),
+                    ("retries", Field::U64(out.stats.retries as u64)),
+                ],
             );
             Ok(())
         }
         Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
-            println!("[rank {rank}] killed: {e}");
+            let err_text = e.to_string();
+            log.info(
+                "rank_killed",
+                &[("rank", Field::U64(rank as u64)), ("error", Field::Str(&err_text))],
+            );
             std::process::exit(EXIT_KILLED);
         }
         Err(e) => Err(e),

@@ -16,6 +16,7 @@ use etalumis_core::{Executor, FnProgram, ObserveMap, PriorProposer, SimCtx, SimC
 use etalumis_distributions::{Distribution, Value};
 use etalumis_ppx::{InProcMuxEndpoint, MuxEndpoint, PpxError, SimulatorServer};
 use etalumis_runtime::{mix_seed, BatchRunner, CollectSink, MuxSimulatorPool, RuntimeConfig};
+use etalumis_telemetry::{Field, Logger};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -69,6 +70,7 @@ fn spawn_server() -> InProcMuxEndpoint {
 }
 
 fn main() {
+    let log = Logger::from_args();
     const SESSIONS: usize = 4;
     const WORKERS: usize = 2;
     const TRACES: usize = 200;
@@ -104,26 +106,34 @@ fn main() {
         Ok(ep)
     })
     .expect("pool connect");
-    println!(
-        "pool              : {} sessions ({}), one rigged to crash mid-batch",
-        pool.len(),
-        pool.model_name()
+    let model_name = pool.model_name().to_string();
+    log.info(
+        "pool",
+        &[
+            ("sessions", Field::U64(pool.len() as u64)),
+            ("model", Field::Str(&model_name)),
+            ("rigged_to_crash", Field::U64(1)),
+        ],
     );
 
     let runner = BatchRunner::new(RuntimeConfig { workers: WORKERS, stealing: true });
     let sink = CollectSink::new(TRACES);
     let stats = runner.run_mux_prior(&mut pool, &observes, TRACES, SEED, &sink);
-    println!(
-        "batch             : {} traces on {} workers in {:.1?}",
-        stats.total_executed(),
-        WORKERS,
-        stats.elapsed
+    log.info(
+        "batch",
+        &[
+            ("traces", Field::U64(stats.total_executed() as u64)),
+            ("workers", Field::U64(WORKERS as u64)),
+            ("wall_s", Field::F64(stats.elapsed.as_secs_f64())),
+        ],
     );
-    println!(
-        "fault tolerance   : {} session respawn(s), {} trace retry(ies), {} failure(s)",
-        stats.respawns,
-        stats.retries,
-        stats.failures.len()
+    log.info(
+        "fault_tolerance",
+        &[
+            ("respawns", Field::U64(stats.respawns as u64)),
+            ("retries", Field::U64(stats.retries as u64)),
+            ("failures", Field::U64(stats.failures.len() as u64)),
+        ],
     );
 
     assert!(stats.failures.is_empty(), "respawn must absorb the crash: {:?}", stats.failures);
@@ -142,6 +152,6 @@ fn main() {
         }
         assert_eq!(a.result, b.result, "trace {i}: result");
     }
-    println!("verified          : batch content bit-identical to the undisturbed local reference");
+    log.info("verified", &[("bit_identical_to_reference", Field::Bool(true))]);
     println!("OK");
 }

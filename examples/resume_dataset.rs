@@ -19,6 +19,7 @@ use etalumis_runtime::{
     generate_dataset_resumable, CheckpointConfig, DatasetGenConfig, KillSwitch, MANIFEST_NAME,
 };
 use etalumis_simulators::BranchingModel;
+use etalumis_telemetry::{Field, Logger};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -29,6 +30,7 @@ fn fresh_dir(tag: &str) -> PathBuf {
 }
 
 fn main() {
+    let log = Logger::from_args();
     let cfg = DatasetGenConfig {
         n: 4000,
         traces_per_shard: 250,
@@ -45,10 +47,12 @@ fn main() {
     let reference =
         generate_dataset_resumable(|_| BranchingModel::standard(), &cfg, &dir_ref, &ckpt, None)
             .expect("reference run");
-    println!(
-        "reference run     : {} traces -> {} shards (uninterrupted)",
-        reference.len(),
-        reference.shards.len()
+    log.info(
+        "reference_run",
+        &[
+            ("traces", Field::U64(reference.len() as u64)),
+            ("shards", Field::U64(reference.shards.len() as u64)),
+        ],
     );
 
     // Phase 1: start the run and kill it after ~{kill_at} deliveries.
@@ -64,14 +68,21 @@ fn main() {
         .unwrap()
         .filter(|e| e.as_ref().unwrap().path().extension().map(|x| x == "partial").unwrap_or(false))
         .count();
-    println!("killed mid-run    : {err}");
-    println!("crash state       : manifest + {partials} partial shard journal(s) on disk");
+    let err_text = err.to_string();
+    log.info("killed_mid_run", &[("error", Field::Str(&err_text))]);
+    log.info("crash_state", &[("partial_journals", Field::U64(partials as u64))]);
 
     // Phase 2: resume — same call, no kill switch.
     let resumed =
         generate_dataset_resumable(|_| BranchingModel::standard(), &cfg, &dir, &ckpt, None)
             .expect("resumed run");
-    println!("resumed run       : {} traces -> {} shards", resumed.len(), resumed.shards.len());
+    log.info(
+        "resumed_run",
+        &[
+            ("traces", Field::U64(resumed.len() as u64)),
+            ("shards", Field::U64(resumed.shards.len() as u64)),
+        ],
+    );
 
     // Phase 3: the resumed dataset must be byte-identical to the reference.
     assert_eq!(resumed.shards.len(), reference.shards.len(), "shard count differs");
@@ -83,9 +94,13 @@ fn main() {
         bytes += da.len() as u64;
     }
     assert!(!dir.join(MANIFEST_NAME).exists(), "manifest must be gone after completion");
-    println!(
-        "verified          : {} shards / {bytes} bytes byte-identical to the uninterrupted run",
-        resumed.shards.len()
+    log.info(
+        "verified",
+        &[
+            ("shards", Field::U64(resumed.shards.len() as u64)),
+            ("bytes", Field::U64(bytes)),
+            ("byte_identical", Field::Bool(true)),
+        ],
     );
 
     std::fs::remove_dir_all(&dir_ref).unwrap();

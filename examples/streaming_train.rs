@@ -24,6 +24,7 @@ use etalumis_data::TraceChannel;
 use etalumis_nn::{Adam, LrSchedule, Module};
 use etalumis_runtime::{stream_dataset_resumable, CheckpointConfig, DatasetGenConfig, KillSwitch};
 use etalumis_simulators::BranchingModel;
+use etalumis_telemetry::{Field, Logger};
 use etalumis_train::{
     train_stream, train_stream_offline, IcConfig, IcNetwork, StreamTrainConfig, Trainer,
 };
@@ -50,6 +51,7 @@ fn params(net: &mut IcNetwork) -> Vec<Vec<f32>> {
 }
 
 fn main() {
+    let log = Logger::from_args();
     let cfg = DatasetGenConfig {
         n: 2000,
         traces_per_shard: 200,
@@ -93,8 +95,15 @@ fn main() {
     .expect_err("the kill switch must abort the streaming run");
     assert_eq!(err.kind(), std::io::ErrorKind::Interrupted, "unexpected error: {err}");
     let partial = drain.join().unwrap();
-    println!("killed mid-stream : {err}");
-    println!("partial stream    : consumer saw {partial} of {} records before the crash", cfg.n);
+    let err_text = err.to_string();
+    log.info("killed_mid_stream", &[("error", Field::Str(&err_text))]);
+    log.info(
+        "partial_stream",
+        &[
+            ("records_seen", Field::U64(partial as u64)),
+            ("records_total", Field::U64(cfg.n as u64)),
+        ],
+    );
 
     // Phase 2: resume with a trainer attached. The committed prefix is
     // replayed from the teed shards into the fresh channel, then the
@@ -114,26 +123,32 @@ fn main() {
             .expect("resumed streaming run");
     let (live, live_params) = trainer_thread.join().unwrap();
     let occupancy = chan.stats();
-    println!(
-        "resumed + trained : {} traces -> {} shards while training took {} steps \
-         ({} full releases, {} spills/flushes)",
-        ds.len(),
-        ds.shards.len(),
-        live.log.losses.len(),
-        live.fills,
-        live.spills
+    log.info(
+        "resumed_and_trained",
+        &[
+            ("traces", Field::U64(ds.len() as u64)),
+            ("shards", Field::U64(ds.shards.len() as u64)),
+            ("train_steps", Field::U64(live.log.losses.len() as u64)),
+            ("full_releases", Field::U64(live.fills as u64)),
+            ("spills", Field::U64(live.spills as u64)),
+        ],
     );
-    println!(
-        "channel           : capacity {capacity}, max occupancy {}, {} blocked sends \
-         (back-pressure events)",
-        occupancy.max_occupancy, occupancy.blocked_sends
+    log.info(
+        "channel",
+        &[
+            ("capacity", Field::U64(capacity as u64)),
+            ("max_occupancy", Field::U64(occupancy.max_occupancy as u64)),
+            ("blocked_sends", Field::U64(occupancy.blocked_sends)),
+        ],
     );
     let n_losses = live.log.losses.len();
-    println!(
-        "loss              : {:.4} (first step) -> {:.4} (last step) over {} traces",
-        live.log.losses[0].1,
-        live.log.losses[n_losses - 1].1,
-        live.log.traces_seen
+    log.info(
+        "loss",
+        &[
+            ("first_step", Field::F64(live.log.losses[0].1)),
+            ("last_step", Field::F64(live.log.losses[n_losses - 1].1)),
+            ("traces_seen", Field::U64(live.log.traces_seen as u64)),
+        ],
     );
 
     // Phase 3: reproducibility. A fresh trainer replaying the teed shards
@@ -143,10 +158,12 @@ fn main() {
         .expect("offline replay over the teed shards");
     assert_eq!(live.log.losses, off.log.losses, "loss trajectories must be bit-identical");
     assert_eq!(live_params, params(&mut offline.net), "weights must be bit-identical");
-    println!(
-        "verified          : offline replay of the teed shards reproduces all {} losses and \
-         every weight bit-identically",
-        off.log.losses.len()
+    log.info(
+        "verified",
+        &[
+            ("losses_bit_identical", Field::U64(off.log.losses.len() as u64)),
+            ("weights_bit_identical", Field::Bool(true)),
+        ],
     );
 
     std::fs::remove_dir_all(&dir).unwrap();

@@ -17,6 +17,7 @@
 //! | [`data`] | `etalumis-data` | trace datasets, shards, samplers |
 //! | [`runtime`] | `etalumis-runtime` | work-stealing parallel trace generation, simulator pools, sharded sinks |
 //! | [`train`] | `etalumis-train` | dynamic IC networks, distributed training |
+//! | [`telemetry`] | `etalumis-telemetry` | spans/counters/gauges, JSONL event logs, run metrics, leveled logger |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
 //! the crate-to-paper map and the reproduced-experiments index.
@@ -29,6 +30,7 @@ pub use etalumis_nn as nn;
 pub use etalumis_ppx as ppx;
 pub use etalumis_runtime as runtime;
 pub use etalumis_simulators as simulators;
+pub use etalumis_telemetry as telemetry;
 pub use etalumis_tensor as tensor;
 pub use etalumis_train as train;
 
@@ -47,6 +49,7 @@ pub mod prelude {
         ShardedTraceSink, SimulatorPool, StreamSink, TraceSink,
     };
     pub use etalumis_simulators::{GaussianUnknownMean, TauDecayModel};
+    pub use etalumis_telemetry::{Collector, Logger, RunMetrics, Telemetry};
     pub use etalumis_train::{
         train_stream, train_stream_offline, IcConfig, IcNetwork, StreamTrainConfig, Trainer,
     };

@@ -1,0 +1,170 @@
+//! Observability-layer contracts across the pipeline seams.
+//!
+//! 1. **Event-structure determinism**: the count of deterministic events
+//!    (one `runtime.task` span per executed trace, the `runtime.executed`
+//!    counter) is a pure function of the batch — invariant across worker
+//!    counts and schedules — and instrumentation never perturbs the batch
+//!    content (traces stay bit-identical to a serial reference).
+//! 2. **Stats unification**: the `stream.occupancy` gauge time series the
+//!    channel records agrees exactly with the [`ChannelStats`] counters
+//!    exported through [`ChannelStats::record_to`].
+//! 3. **Snapshot round-trip**: a traced streaming run's `RunMetrics`
+//!    carries the scheduler, checkpoint, channel, and trainer sections the
+//!    `run_report`/CI gate consume.
+
+use etalumis_core::{Executor, ObserveMap};
+use etalumis_data::{TraceChannel, TraceRecord};
+use etalumis_runtime::{mix_seed, BatchRunner, CollectSink, RuntimeConfig, SimulatorPool};
+use etalumis_simulators::BranchingModel;
+use etalumis_telemetry::{Event, EventKind, Telemetry};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn span_count(events: &[Event], name: &str) -> usize {
+    events.iter().filter(|e| e.name == name && matches!(e.kind, EventKind::Span { .. })).count()
+}
+
+fn counter_sum(events: &[Event], name: &str) -> u64 {
+    events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Counter { delta } if e.name == name => Some(delta),
+            _ => None,
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Deterministic event counts are invariant across worker counts, and
+    /// the instrumented batch stays bit-identical to a serial reference.
+    #[test]
+    fn event_structure_invariant_across_worker_counts(
+        n in 8usize..32,
+        seed in 0u64..500,
+    ) {
+        let observes = ObserveMap::new();
+        let mut reference: Vec<_> = Vec::new();
+        {
+            let mut model = BranchingModel::standard();
+            for i in 0..n {
+                reference.push(
+                    Executor::try_execute_seeded(
+                        &mut model,
+                        &mut etalumis_core::PriorProposer,
+                        &observes,
+                        mix_seed(seed, i),
+                    )
+                    .expect("serial reference"),
+                );
+            }
+        }
+        for workers in [1usize, 2, 4] {
+            let tel = Telemetry::enabled();
+            let mut pool = SimulatorPool::from_factory(workers, |_| BranchingModel::standard());
+            let runner = BatchRunner::new(RuntimeConfig { workers, stealing: true })
+                .with_telemetry(tel.clone());
+            let sink = CollectSink::new(n);
+            let stats = runner.run_prior(&mut pool, &observes, n, seed, &sink);
+            let events = tel.drain();
+            // One runtime.task span per executed trace, any worker count.
+            prop_assert_eq!(span_count(&events, "runtime.task"), n);
+            prop_assert_eq!(counter_sum(&events, "runtime.executed"), n as u64);
+            // The steal meter agrees with the scheduler's own accounting.
+            prop_assert_eq!(counter_sum(&events, "runtime.steal"), stats.steals);
+            // One worker_busy span and one worker_executed gauge per worker.
+            prop_assert_eq!(span_count(&events, "runtime.worker_busy"), workers);
+            // Instrumentation observes only: content matches the reference.
+            let traces = sink.into_traces();
+            prop_assert_eq!(traces.len(), n);
+            for (a, b) in traces.iter().zip(&reference) {
+                prop_assert_eq!(&a.result, &b.result);
+                prop_assert_eq!(a.log_joint(), b.log_joint());
+                prop_assert_eq!(a.entries.len(), b.entries.len());
+            }
+        }
+    }
+
+    /// The channel's occupancy gauge time series and its `ChannelStats`
+    /// describe the same run: one sample per send, identical maxima, and
+    /// identical counters after `record_to`.
+    #[test]
+    fn channel_occupancy_gauge_matches_stats(
+        n in 1usize..60,
+        capacity in 1usize..16,
+        seed in 0u64..100,
+    ) {
+        let mut model = BranchingModel::standard();
+        let rec = TraceRecord::from_trace(&Executor::sample_prior(&mut model, seed), true);
+        let tel = Telemetry::enabled();
+        let chan = Arc::new(TraceChannel::bounded(capacity).with_telemetry(tel.clone()));
+        std::thread::scope(|s| {
+            let producer = {
+                let chan = chan.clone();
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for _ in 0..n {
+                        chan.send(rec.clone()).expect("open channel");
+                    }
+                    chan.close();
+                })
+            };
+            let mut got = 0usize;
+            while chan.recv().is_some() {
+                got += 1;
+            }
+            producer.join().unwrap();
+            assert_eq!(got, n);
+        });
+        let stats = chan.stats();
+        stats.record_to(&tel);
+        let events = tel.drain();
+        let occupancy: Vec<f64> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Gauge { value } if e.name == "stream.occupancy" => Some(value),
+                _ => None,
+            })
+            .collect();
+        // One gauge sample per accepted send, recorded under the queue lock.
+        prop_assert_eq!(occupancy.len(), n);
+        prop_assert_eq!(occupancy.iter().cloned().fold(0.0, f64::max),
+                        stats.max_occupancy as f64);
+        prop_assert!(occupancy.iter().all(|&v| v >= 1.0 && v <= capacity as f64));
+        // The unified snapshot re-exports the same counters.
+        prop_assert_eq!(stats.sends, n as u64);
+        prop_assert_eq!(stats.recvs, n as u64);
+        prop_assert_eq!(counter_sum(&events, "stream.sends"), stats.sends);
+        prop_assert_eq!(counter_sum(&events, "stream.recvs"), stats.recvs);
+        prop_assert_eq!(counter_sum(&events, "stream.blocked_send"), stats.blocked_sends);
+        prop_assert_eq!(counter_sum(&events, "stream.blocked_recv"), stats.blocked_recvs);
+    }
+}
+
+/// A traced pooled batch folds into a snapshot with the sections the CI
+/// gate and `run_report` consume, and a disabled handle records nothing.
+#[test]
+fn snapshot_sections_present_and_disabled_is_silent() {
+    let observes = ObserveMap::new();
+    let n = 24;
+    let tel = Telemetry::enabled();
+    let mut pool = SimulatorPool::from_factory(2, |_| BranchingModel::standard());
+    let runner =
+        BatchRunner::new(RuntimeConfig { workers: 2, stealing: true }).with_telemetry(tel.clone());
+    let sink = CollectSink::new(n);
+    runner.run_prior(&mut pool, &observes, n, 3, &sink);
+    let metrics = tel.collect().snapshot();
+    assert_eq!(metrics.spans["runtime.task"].count, n as u64);
+    assert_eq!(metrics.counters["runtime.executed"], n as u64);
+    assert!(metrics.gauges.contains_key("runtime.imbalance"));
+    assert!(metrics.gauges.contains_key("runtime.throughput"));
+
+    let disabled = Telemetry::disabled();
+    let mut pool = SimulatorPool::from_factory(2, |_| BranchingModel::standard());
+    let runner = BatchRunner::new(RuntimeConfig { workers: 2, stealing: true })
+        .with_telemetry(disabled.clone());
+    let sink = CollectSink::new(n);
+    runner.run_prior(&mut pool, &observes, n, 3, &sink);
+    assert!(disabled.drain().is_empty());
+}
