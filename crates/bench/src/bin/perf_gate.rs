@@ -1,0 +1,93 @@
+//! CI perf-regression gate: compare fresh BENCH_*.json snapshots against
+//! the committed baselines in `ci/baselines/` and fail on large drops.
+//!
+//! Every throughput metric (keys ending in `per_sec` or `gflops`, flattened
+//! by [`etalumis_bench::perf`]) must stay above `baseline / 2` — a deliberate
+//! 2× margin so CI-runner jitter never trips the gate but a real regression
+//! in the kernel/training spine does. Non-throughput numbers (wall seconds,
+//! shape metadata) are reported but never gated.
+//!
+//! ```text
+//! cargo run -p etalumis-bench --release --bin perf_gate            # check
+//! cargo run -p etalumis-bench --release --bin perf_gate -- --update-baselines
+//! ```
+//!
+//! `--update-baselines` copies the fresh snapshots over the committed
+//! baselines; run it (and commit the result) whenever a PR intentionally
+//! changes the perf trajectory. Snapshots missing from the workspace root
+//! are skipped with a note — run the corresponding bench first (CI runs the
+//! `--quick` benches before this gate; compare quick to quick).
+
+use etalumis_bench::perf::{flatten_numbers, is_throughput_key};
+use std::path::PathBuf;
+
+/// Fresh snapshot must reach at least this fraction of the baseline.
+const MIN_RATIO: f64 = 0.5;
+
+const SNAPSHOTS: &[&str] = &["BENCH_runtime.json", "BENCH_train.json", "BENCH_kernels.json"];
+
+fn main() {
+    let update = std::env::args().any(|a| a == "--update-baselines");
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline_dir = root.join("ci/baselines");
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    for name in SNAPSHOTS {
+        let fresh_path = root.join(name);
+        let Ok(fresh_text) = std::fs::read_to_string(&fresh_path) else {
+            println!("perf_gate: {name} not present in workspace root, skipping (run its bench)");
+            continue;
+        };
+        if update {
+            std::fs::create_dir_all(&baseline_dir).expect("create ci/baselines");
+            std::fs::write(baseline_dir.join(name), &fresh_text).expect("write baseline");
+            println!("perf_gate: baseline updated <- {name}");
+            continue;
+        }
+        let Some(fresh) = flatten_numbers(&fresh_text) else {
+            failures.push(format!("{name}: fresh snapshot is not parseable JSON"));
+            continue;
+        };
+        let base_path = baseline_dir.join(name);
+        let Ok(base_text) = std::fs::read_to_string(&base_path) else {
+            println!("perf_gate: no committed baseline for {name}, skipping");
+            println!("           (seed it with --update-baselines and commit ci/baselines/)");
+            continue;
+        };
+        let Some(base) = flatten_numbers(&base_text) else {
+            failures.push(format!("{name}: committed baseline is not parseable JSON"));
+            continue;
+        };
+        for (key, &b) in base.iter().filter(|(k, _)| is_throughput_key(k)) {
+            let Some(&f) = fresh.get(key) else {
+                failures.push(format!("{name}: throughput key {key} missing from fresh snapshot"));
+                continue;
+            };
+            compared += 1;
+            let ratio = if b > 0.0 { f / b } else { 1.0 };
+            let verdict = if ratio < MIN_RATIO { "FAIL" } else { "ok" };
+            println!("  [{verdict}] {name} {key}: fresh {f:.3} vs baseline {b:.3} ({ratio:.2}x)");
+            if ratio < MIN_RATIO {
+                failures.push(format!(
+                    "{name}: {key} regressed {ratio:.2}x (fresh {f:.3}, baseline {b:.3}, \
+                     floor {MIN_RATIO}x)"
+                ));
+            }
+        }
+    }
+    if update {
+        return;
+    }
+    if failures.is_empty() {
+        println!("perf_gate: {compared} throughput metrics within bounds");
+    } else {
+        eprintln!("perf_gate: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!("If the change is an intentional perf trade-off, refresh the baselines with");
+        eprintln!("  cargo run -p etalumis-bench --release --bin perf_gate -- --update-baselines");
+        eprintln!("and commit ci/baselines/.");
+        std::process::exit(1);
+    }
+}

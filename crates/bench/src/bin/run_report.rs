@@ -196,6 +196,27 @@ fn main() {
         if skipped > 0 { format!(", {skipped} unparseable lines skipped") } else { String::new() },
         fmt_us(wall_us)
     );
+    // Kernel backend header: last kernel.* gauges + total dispatch counts.
+    let last_gauge = |name: &str| {
+        events.iter().rev().find(|e| e.kind == "gauge" && e.name == name).map(|e| e.value)
+    };
+    let counter_sum = |name: &str| {
+        events
+            .iter()
+            .filter(|e| e.kind == "counter" && e.name == name)
+            .map(|e| e.delta)
+            .sum::<u64>()
+    };
+    if let Some(avx2) = last_gauge("kernel.backend_avx2") {
+        let threads = last_gauge("kernel.pool_threads").unwrap_or(1.0);
+        println!(
+            "  kernel backend {} | pool threads {} | dispatches avx2 {} / scalar {}",
+            if avx2 > 0.5 { "avx2_fma" } else { "scalar" },
+            threads as u64,
+            counter_sum("kernel.dispatch_avx2"),
+            counter_sum("kernel.dispatch_scalar"),
+        );
+    }
 
     // --- per-worker timeline ---
     let mut workers: BTreeMap<u32, WorkerRow> = BTreeMap::new();

@@ -11,7 +11,10 @@
 //! * Binaries (`cargo run -p etalumis-bench --release --bin <name>`)
 //!   regenerate Table 2 and Figures 2, 4, 5, 6, 7 and 8.
 //!
-//! This library holds the shared workload builders.
+//! This library holds the shared workload builders, plus [`perf`] — the
+//! snapshot flattener behind the `perf_gate` CI regression check.
+
+pub mod perf;
 
 use etalumis_core::Executor;
 use etalumis_data::{sort_dataset, TraceDataset, TraceRecord};

@@ -1,0 +1,211 @@
+//! Flatten BENCH_*.json snapshots into dotted-path → number maps for the
+//! `perf_gate` regression check.
+//!
+//! The repo's snapshots are hand-rolled JSON with nested objects of numbers
+//! (plus a few strings/bools that the gate ignores). This is a minimal
+//! recursive parser — no external JSON dependency — that extracts every
+//! numeric leaf under a dotted key path, e.g.
+//! `gemm.gflops.avx2_gflops` or `phases.forward_secs`.
+
+use std::collections::BTreeMap;
+
+/// Parse a JSON document and return all numeric leaves keyed by dotted path.
+/// Array elements get their index as a path segment. Returns `None` on
+/// malformed input.
+pub fn flatten_numbers(text: &str) -> Option<BTreeMap<String, f64>> {
+    let mut out = BTreeMap::new();
+    let mut p = Parser { s: text.as_bytes(), i: 0 };
+    p.skip_ws();
+    p.value("", &mut out)?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return None;
+    }
+    Some(out)
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self, path: &str, out: &mut BTreeMap<String, f64>) -> Option<()> {
+        self.skip_ws();
+        match self.peek()? {
+            b'{' => self.object(path, out),
+            b'[' => self.array(path, out),
+            b'"' => {
+                self.string()?;
+                Some(())
+            }
+            b't' => self.literal(b"true"),
+            b'f' => self.literal(b"false"),
+            b'n' => self.literal(b"null"),
+            _ => {
+                let v = self.number()?;
+                if !path.is_empty() {
+                    out.insert(path.to_string(), v);
+                }
+                Some(())
+            }
+        }
+    }
+
+    fn object(&mut self, path: &str, out: &mut BTreeMap<String, f64>) -> Option<()> {
+        self.eat(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Some(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let child = if path.is_empty() { key } else { format!("{path}.{key}") };
+            self.value(&child, out)?;
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Some(());
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self, path: &str, out: &mut BTreeMap<String, f64>) -> Option<()> {
+        self.eat(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Some(());
+        }
+        let mut idx = 0usize;
+        loop {
+            let child = format!("{path}.{idx}");
+            self.value(&child, out)?;
+            self.skip_ws();
+            match self.peek()? {
+                b',' => {
+                    self.i += 1;
+                    idx += 1;
+                }
+                b']' => {
+                    self.i += 1;
+                    return Some(());
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut v = String::new();
+        loop {
+            let c = self.peek()?;
+            self.i += 1;
+            match c {
+                b'"' => return Some(v),
+                b'\\' => {
+                    let e = self.peek()?;
+                    self.i += 1;
+                    v.push(match e {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        c => c as char,
+                    });
+                }
+                c => v.push(c as char),
+            }
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Option<()> {
+        if self.s[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn number(&mut self) -> Option<f64> {
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.s[start..self.i]).ok()?.parse().ok()
+    }
+}
+
+/// True when a flattened key names a higher-is-better throughput metric the
+/// gate should compare (steps/traces per second, GFLOP/s).
+pub fn is_throughput_key(key: &str) -> bool {
+    key.ends_with("per_sec") || key.ends_with("gflops") || key.contains("_gflops")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_nested_snapshot() {
+        let doc = r#"{
+            "bench": "train", "quick": true, "steps_per_sec": 12.5,
+            "phases": {"forward_secs": 0.31, "backward_secs": 5e-1},
+            "dims": [20, 35, 35], "empty": {}, "nothing": null
+        }"#;
+        let m = flatten_numbers(doc).unwrap();
+        assert_eq!(m["steps_per_sec"], 12.5);
+        assert_eq!(m["phases.forward_secs"], 0.31);
+        assert_eq!(m["phases.backward_secs"], 0.5);
+        assert_eq!(m["dims.1"], 35.0);
+        assert!(!m.contains_key("bench"));
+        assert_eq!(m.len(), 6);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(flatten_numbers("{\"a\": }").is_none());
+        assert!(flatten_numbers("{\"a\": 1").is_none());
+        assert!(flatten_numbers("{} trailing").is_none());
+    }
+
+    #[test]
+    fn throughput_keys() {
+        assert!(is_throughput_key("steps_per_sec"));
+        assert!(is_throughput_key("gemm.gflops.avx2_gflops"));
+        assert!(!is_throughput_key("phases.forward_secs"));
+        assert!(!is_throughput_key("wall_secs"));
+    }
+}

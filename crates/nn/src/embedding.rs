@@ -72,9 +72,16 @@ impl Embedding {
     /// Backward: scatter-add `grad` rows into the table gradient.
     pub fn backward(&mut self, grad: &Tensor) {
         let indices = self.cache.pop().expect("Embedding::backward without forward");
+        self.scatter_grad(&indices, grad);
+    }
+
+    /// Cache-free scatter-add of `grad` rows into the table gradient, one
+    /// row per index. Used by batched callers that looked up with
+    /// [`Embedding::forward_inference`] and manage step order themselves.
+    pub fn scatter_grad(&mut self, indices: &[usize], grad: &Tensor) {
         assert_eq!(grad.rows(), indices.len());
+        let dim = self.dim();
         for (r, &ix) in indices.iter().enumerate() {
-            let dim = self.dim();
             let dst = &mut self.table.grad.data_mut()[ix * dim..(ix + 1) * dim];
             for (d, &g) in dst.iter_mut().zip(grad.row(r).iter()) {
                 *d += g;

@@ -1,27 +1,61 @@
-//! Stacked LSTM with full backpropagation-through-time.
+//! Stacked LSTM with full backpropagation-through-time, time-batched for
+//! training.
 //!
 //! The IC architecture (paper §4.3) is built around an LSTM core "executed
 //! as many time steps as the simulator's probabilistic trace length". Since
-//! trace lengths vary per trace type, the API is step-wise: the trainer calls
-//! [`Lstm::step`] once per sample statement and [`Lstm::backward_sequence`]
-//! once per sub-minibatch with the per-step output gradients.
+//! trace lengths vary per trace type, the *inference* API is step-wise:
+//! [`Lstm::step_inference`] once per sample statement. Training, however, is
+//! teacher-forced (§4.4.3) — all `T` step inputs are known upfront — so
+//! [`Lstm::forward_sequence`] fuses the input projection of a whole sequence
+//! into one `[T·B, in]·[in, 4H]` GEMM per layer and only iterates the
+//! (inherently sequential) recurrent update per step. Because GEMM results
+//! are row-independent and the per-element accumulation chains depend only
+//! on shape, the batched path is **bit-identical** to calling [`Lstm::step`]
+//! `T` times (tested).
+//!
+//! Activations are recorded in a per-layer [`SeqArena`] — flat, reused
+//! buffers — instead of per-step cloned tensors; the backward pass walks the
+//! arena t-descending for the elementwise gate gradients, then computes all
+//! weight gradients with fused GEMMs over the stacked sequence. Backward
+//! assumes the sequence started from the zero state that
+//! [`Lstm::begin_sequence`] always creates.
 
 use crate::param::{xavier_uniform, Module, Parameter};
-use etalumis_tensor::activations::{sigmoid, tanh};
-use etalumis_tensor::gemm::{add_bias_rows, col_sums, matmul, matmul_a_bt, matmul_at_b};
+use etalumis_tensor::gemm::{
+    add_bias_rows_slice, col_sums_acc_slice, matmul_a_bt_into, matmul_acc_into,
+    matmul_at_b_acc_into, matmul_into,
+};
+use etalumis_tensor::simd::Kernels;
 use etalumis_tensor::Tensor;
 use rand::Rng;
 
-/// Per-step cached activations of one layer.
-struct StepCache {
-    x: Tensor,
-    h_prev: Tensor,
-    c_prev: Tensor,
-    i: Tensor,
-    f: Tensor,
-    g: Tensor,
-    o: Tensor,
-    tanh_c: Tensor,
+/// Flat per-layer activation storage for one recorded sequence. One growing
+/// buffer per quantity, `[T, B, ·]` row-major, cleared (capacity kept) at
+/// `begin_sequence` — replaces the per-step cloned `StepCache` tensors.
+#[derive(Default)]
+struct SeqArena {
+    /// Layer inputs `[T, B, in]`.
+    x: Vec<f32>,
+    /// Activated gates `[T, B, 4H]` in i|f|g|o order.
+    gates: Vec<f32>,
+    /// Cell states after each step `[T, B, H]`.
+    c: Vec<f32>,
+    /// Hidden outputs `[T, B, H]` (layer `l`'s `h` is layer `l+1`'s input).
+    h: Vec<f32>,
+    /// `tanh(c)` per step `[T, B, H]`.
+    tanh_c: Vec<f32>,
+    steps: usize,
+}
+
+impl SeqArena {
+    fn clear(&mut self) {
+        self.x.clear();
+        self.gates.clear();
+        self.c.clear();
+        self.h.clear();
+        self.tanh_c.clear();
+        self.steps = 0;
+    }
 }
 
 /// One LSTM layer with fused gate weights (gate order: i, f, g, o).
@@ -30,7 +64,11 @@ struct LstmLayer {
     w_hh: Parameter, // [H, 4H]
     b: Parameter,    // [4H]
     hidden: usize,
-    caches: Vec<StepCache>,
+    arena: SeqArena,
+    /// Gate pre-activation scratch `[T, B, 4H]`, reused across calls.
+    zbuf: Vec<f32>,
+    /// `tanh(c)` scratch for one step `[B, H]`.
+    tanh_buf: Vec<f32>,
 }
 
 impl LstmLayer {
@@ -45,71 +83,156 @@ impl LstmLayer {
             w_hh: Parameter::new(xavier_uniform(rng, &[hidden, 4 * hidden])),
             b,
             hidden,
-            caches: Vec::new(),
+            arena: SeqArena::default(),
+            zbuf: Vec::new(),
+            tanh_buf: Vec::new(),
         }
     }
 
-    /// One step over a [B, input] batch; updates (h, c) in place.
-    fn step(&mut self, x: &Tensor, h: &mut Tensor, c: &mut Tensor, train: bool) -> Tensor {
+    fn input_size(&self) -> usize {
+        self.w_ih.value.rows()
+    }
+
+    /// Run `t_steps` teacher-forced steps over `xs` (`[t_steps·B, in]`
+    /// row-major, step-major), updating `(h, c)` in place. The input
+    /// projection for all steps is one GEMM; the recurrent projection,
+    /// activations and state update run per step. With `train`, all
+    /// activations append to the arena.
+    fn forward_batch(
+        &mut self,
+        xs: &[f32],
+        t_steps: usize,
+        batch: usize,
+        h: &mut Tensor,
+        c: &mut Tensor,
+        train: bool,
+    ) {
         let hsz = self.hidden;
-        let mut z = matmul(x, &self.w_ih.value);
-        z.add_assign(&matmul(h, &self.w_hh.value));
-        add_bias_rows(&mut z, self.b.value.data());
-        let parts = z.split_cols(&[hsz, hsz, hsz, hsz]);
-        let i = sigmoid(&parts[0]);
-        let f = sigmoid(&parts[1]);
-        let g = tanh(&parts[2]);
-        let o = sigmoid(&parts[3]);
-        let c_new = f.mul(c).add(&i.mul(&g));
-        let tanh_c = tanh(&c_new);
-        let h_new = o.mul(&tanh_c);
+        let in_sz = self.input_size();
+        let g4 = 4 * hsz;
+        debug_assert_eq!(xs.len(), t_steps * batch * in_sz);
+        let kern = Kernels::get();
+        self.zbuf.clear();
+        self.zbuf.resize(t_steps * batch * g4, 0.0);
+        // Fused input projection: [T·B, in]·[in, 4H] in one GEMM.
+        matmul_into(xs, self.w_ih.value.data(), &mut self.zbuf, t_steps * batch, in_sz, g4);
         if train {
-            self.caches.push(StepCache {
-                x: x.clone(),
-                h_prev: h.clone(),
-                c_prev: c.clone(),
-                i,
-                f,
-                g,
-                o,
-                tanh_c,
-            });
+            self.arena.x.extend_from_slice(xs);
         }
-        *h = h_new.clone();
-        *c = c_new;
-        h_new
+        for t in 0..t_steps {
+            let z_t = &mut self.zbuf[t * batch * g4..(t + 1) * batch * g4];
+            matmul_acc_into(h.data(), self.w_hh.value.data(), z_t, batch, hsz, g4);
+            add_bias_rows_slice(z_t, self.b.value.data(), g4);
+            // Activate in place per row: sigmoid over i|f, tanh over g,
+            // sigmoid over o.
+            for row in z_t.chunks_mut(g4) {
+                kern.sigmoid(&mut row[..2 * hsz]);
+                kern.tanh(&mut row[2 * hsz..3 * hsz]);
+                kern.sigmoid(&mut row[3 * hsz..]);
+            }
+            // c ← f ⊙ c + i ⊙ g (fused per element).
+            let cd = c.data_mut();
+            for (r, row) in z_t.chunks(g4).enumerate() {
+                for j in 0..hsz {
+                    let idx = r * hsz + j;
+                    cd[idx] = row[hsz + j].mul_add(cd[idx], row[j] * row[2 * hsz + j]);
+                }
+            }
+            self.tanh_buf.clear();
+            self.tanh_buf.extend_from_slice(cd);
+            kern.tanh(&mut self.tanh_buf);
+            // h ← o ⊙ tanh(c).
+            let hd = h.data_mut();
+            for (r, row) in z_t.chunks(g4).enumerate() {
+                for j in 0..hsz {
+                    hd[r * hsz + j] = row[3 * hsz + j] * self.tanh_buf[r * hsz + j];
+                }
+            }
+            if train {
+                self.arena.gates.extend_from_slice(z_t);
+                self.arena.c.extend_from_slice(cd);
+                self.arena.tanh_c.extend_from_slice(&self.tanh_buf);
+                self.arena.h.extend_from_slice(hd);
+            }
+        }
+        if train {
+            self.arena.steps += t_steps;
+        }
     }
 
-    /// Backward one step (pops the newest cache). `dh` is the gradient w.r.t.
-    /// this step's hidden output (upstream + carry); `dc_carry` is the carry
-    /// from the step after. Returns (dx, dh_prev, dc_prev).
-    fn backward_step(&mut self, dh: &Tensor, dc_carry: &Tensor) -> (Tensor, Tensor, Tensor) {
-        let cache = self.caches.pop().expect("LSTM backward without forward");
-        let StepCache { x, h_prev, c_prev, i, f, g, o, tanh_c } = cache;
-        // dc = dc_carry + dh ⊙ o ⊙ (1 − tanh²(c))
-        let dtanh = dh.mul(&o).zip_map(&tanh_c, |d, t| d * (1.0 - t * t));
-        let dc = dc_carry.add(&dtanh);
-        let d_o = dh.mul(&tanh_c);
-        let d_i = dc.mul(&g);
-        let d_f = dc.mul(&c_prev);
-        let d_g = dc.mul(&i);
-        let dc_prev = dc.mul(&f);
-        // Through the gate nonlinearities.
-        let dz_i = d_i.zip_map(&i, |d, y| d * y * (1.0 - y));
-        let dz_f = d_f.zip_map(&f, |d, y| d * y * (1.0 - y));
-        let dz_g = d_g.zip_map(&g, |d, y| d * (1.0 - y * y));
-        let dz_o = d_o.zip_map(&o, |d, y| d * y * (1.0 - y));
-        let dz = Tensor::concat_cols(&[&dz_i, &dz_f, &dz_g, &dz_o]);
-        // Parameter gradients.
-        self.w_ih.grad.add_assign(&matmul_at_b(&x, &dz));
-        self.w_hh.grad.add_assign(&matmul_at_b(&h_prev, &dz));
-        for (gr, d) in self.b.grad.data_mut().iter_mut().zip(col_sums(&dz)) {
-            *gr += d;
+    /// BPTT over the recorded arena. `d_top` is `[T·B, H]`, the gradient
+    /// w.r.t. this layer's hidden outputs (upstream + cross-layer). Returns
+    /// `[T·B, in]`, the gradient w.r.t. the layer inputs. The elementwise
+    /// gate gradients run t-descending (the `dh`/`dc` carries are inherently
+    /// sequential); all weight gradients are fused GEMMs over the stacked
+    /// sequence. Assumes the zero initial state `begin_sequence` creates.
+    fn backward_batch(&mut self, d_top: &[f32], t_steps: usize, batch: usize) -> Vec<f32> {
+        let hsz = self.hidden;
+        let g4 = 4 * hsz;
+        let bh = batch * hsz;
+        debug_assert_eq!(self.arena.steps, t_steps);
+        debug_assert_eq!(d_top.len(), t_steps * bh);
+        let mut dz = vec![0.0f32; t_steps * batch * g4];
+        let mut dh = vec![0.0f32; bh];
+        let mut dh_carry = vec![0.0f32; bh];
+        let mut dc_carry = vec![0.0f32; bh];
+        for t in (0..t_steps).rev() {
+            for (idx, d) in dh.iter_mut().enumerate() {
+                *d = d_top[t * bh + idx] + dh_carry[idx];
+            }
+            let gates = &self.arena.gates[t * batch * g4..(t + 1) * batch * g4];
+            let tanh_c = &self.arena.tanh_c[t * bh..(t + 1) * bh];
+            let c_prev = (t > 0).then(|| &self.arena.c[(t - 1) * bh..t * bh]);
+            let dz_t = &mut dz[t * batch * g4..(t + 1) * batch * g4];
+            for r in 0..batch {
+                let grow = &gates[r * g4..(r + 1) * g4];
+                let zrow = &mut dz_t[r * g4..(r + 1) * g4];
+                for j in 0..hsz {
+                    let idx = r * hsz + j;
+                    let (iv, fv, gv, ov) =
+                        (grow[j], grow[hsz + j], grow[2 * hsz + j], grow[3 * hsz + j]);
+                    let tc = tanh_c[idx];
+                    let dhv = dh[idx];
+                    // dc = dc_carry + dh ⊙ o ⊙ (1 − tanh²(c))
+                    let dc = dc_carry[idx] + dhv * ov * (1.0 - tc * tc);
+                    let cp = c_prev.map_or(0.0, |c| c[idx]);
+                    zrow[j] = dc * gv * iv * (1.0 - iv);
+                    zrow[hsz + j] = dc * cp * fv * (1.0 - fv);
+                    zrow[2 * hsz + j] = dc * iv * (1.0 - gv * gv);
+                    zrow[3 * hsz + j] = dhv * tc * ov * (1.0 - ov);
+                    dc_carry[idx] = dc * fv;
+                }
+            }
+            // dh_prev = dz_t · W_hhᵀ.
+            matmul_a_bt_into(dz_t, self.w_hh.value.data(), &mut dh_carry, batch, g4, hsz);
         }
-        // Input-side gradients.
-        let dx = matmul_a_bt(&dz, &self.w_ih.value);
-        let dh_prev = matmul_a_bt(&dz, &self.w_hh.value);
-        (dx, dh_prev, dc_prev)
+        // Fused parameter gradients over the stacked sequence:
+        // dW_ih += Xᵀ·DZ, dW_hh += H_prevᵀ·DZ, db += column sums of DZ.
+        let in_sz = self.input_size();
+        matmul_at_b_acc_into(
+            &self.arena.x,
+            &dz,
+            self.w_ih.grad.data_mut(),
+            t_steps * batch,
+            in_sz,
+            g4,
+        );
+        if t_steps > 1 {
+            // H_prev is H shifted one step (zero rows at t = 0 drop out).
+            matmul_at_b_acc_into(
+                &self.arena.h[..(t_steps - 1) * bh],
+                &dz[batch * g4..],
+                self.w_hh.grad.data_mut(),
+                (t_steps - 1) * batch,
+                hsz,
+                g4,
+            );
+        }
+        col_sums_acc_slice(&dz, self.b.grad.data_mut(), g4);
+        // DX = DZ · W_ihᵀ.
+        let mut dx = vec![0.0f32; t_steps * batch * in_sz];
+        matmul_a_bt_into(&dz, self.w_ih.value.data(), &mut dx, t_steps * batch, g4, in_sz);
+        dx
     }
 }
 
@@ -159,10 +282,10 @@ impl Lstm {
         self.layers.len()
     }
 
-    /// Fresh zero state for a batch; also clears any stale caches.
+    /// Fresh zero state for a batch; also clears any recorded sequence.
     pub fn begin_sequence(&mut self, batch: usize) -> LstmState {
         for l in &mut self.layers {
-            l.caches.clear();
+            l.arena.clear();
         }
         self.steps = 0;
         LstmState {
@@ -183,14 +306,51 @@ impl Lstm {
 
     fn step_impl(&mut self, x: &Tensor, state: &mut LstmState, train: bool) -> Tensor {
         assert_eq!(x.cols(), self.input_size, "LSTM input size");
-        let mut cur = x.clone();
+        let batch = x.rows();
+        let mut cur: Vec<f32> = x.data().to_vec();
         for (l, layer) in self.layers.iter_mut().enumerate() {
-            cur = layer.step(&cur, &mut state.h[l], &mut state.c[l], train);
+            layer.forward_batch(&cur, 1, batch, &mut state.h[l], &mut state.c[l], train);
+            cur.clear();
+            cur.extend_from_slice(state.h[l].data());
         }
         if train {
             self.steps += 1;
         }
-        cur
+        Tensor::from_vec(&[batch, self.hidden], cur)
+    }
+
+    /// Teacher-forced training forward over a whole sequence: `xs` is
+    /// `[t_steps·B, input]`, step-major (step `t` occupies rows
+    /// `t·B..(t+1)·B`). Returns the top-layer outputs `[t_steps·B, hidden]`.
+    /// Bit-identical to `t_steps` calls of [`Lstm::step`], but each layer's
+    /// input projection is one fused GEMM over all steps.
+    pub fn forward_sequence(
+        &mut self,
+        xs: &Tensor,
+        t_steps: usize,
+        state: &mut LstmState,
+    ) -> Tensor {
+        assert_eq!(xs.cols(), self.input_size, "LSTM input size");
+        assert_eq!(xs.rows() % t_steps.max(1), 0, "rows must be t_steps × batch");
+        let batch = xs.rows() / t_steps.max(1);
+        let nl = self.layers.len();
+        for l in 0..nl {
+            let (head, tail) = self.layers.split_at_mut(l);
+            let layer = &mut tail[0];
+            // Layer l's input is layer l−1's arena-recorded hidden outputs
+            // for this call (no copy).
+            let input: &[f32] = if l == 0 {
+                xs.data()
+            } else {
+                let ha = &head[l - 1].arena.h;
+                &ha[ha.len() - t_steps * batch * self.hidden..]
+            };
+            layer.forward_batch(input, t_steps, batch, &mut state.h[l], &mut state.c[l], true);
+        }
+        self.steps += t_steps;
+        let ha = &self.layers[nl - 1].arena.h;
+        let out = ha[ha.len() - t_steps * batch * self.hidden..].to_vec();
+        Tensor::from_vec(&[t_steps * batch, self.hidden], out)
     }
 
     /// Full BPTT over the recorded sequence.
@@ -203,26 +363,29 @@ impl Lstm {
         assert_eq!(grad_tops.len(), steps, "one output grad per recorded step");
         assert!(steps > 0, "backward on empty sequence");
         let batch = grad_tops[0].rows();
-        let nl = self.layers.len();
-        let zero = Tensor::zeros(&[batch, self.hidden]);
-        let mut dh_carry: Vec<Tensor> = vec![zero.clone(); nl];
-        let mut dc_carry: Vec<Tensor> = vec![zero; nl];
-        let mut dx_per_step: Vec<Tensor> = Vec::with_capacity(steps);
-        for t in (0..steps).rev() {
-            // Top layer receives the external gradient plus its carry.
-            let mut from_above = grad_tops[t].clone();
-            for l in (0..nl).rev() {
-                let dh = from_above.add(&dh_carry[l]);
-                let (dx, dh_prev, dc_prev) = self.layers[l].backward_step(&dh, &dc_carry[l]);
-                dh_carry[l] = dh_prev;
-                dc_carry[l] = dc_prev;
-                from_above = dx;
-            }
-            dx_per_step.push(from_above);
+        // Stack the per-step top gradients into [T·B, H].
+        let mut d_above: Vec<f32> = Vec::with_capacity(steps * batch * self.hidden);
+        for g in grad_tops {
+            assert_eq!(g.rows(), batch);
+            d_above.extend_from_slice(g.data());
+        }
+        for l in (0..self.layers.len()).rev() {
+            d_above = self.layers[l].backward_batch(&d_above, steps, batch);
+        }
+        for l in &mut self.layers {
+            l.arena.clear();
         }
         self.steps = 0;
-        dx_per_step.reverse();
-        dx_per_step
+        // Split layer-0 DX back into per-step tensors.
+        let in_sz = self.input_size;
+        (0..steps)
+            .map(|t| {
+                Tensor::from_vec(
+                    &[batch, in_sz],
+                    d_above[t * batch * in_sz..(t + 1) * batch * in_sz].to_vec(),
+                )
+            })
+            .collect()
     }
 }
 
@@ -359,5 +522,49 @@ mod tests {
         let diff: f32 =
             y_with_history.data().iter().zip(y_fresh.data()).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 1e-4);
+    }
+
+    #[test]
+    fn time_batched_forward_backward_matches_stepwise_exactly() {
+        let (t_steps, batch, in_sz, hidden, layers) = (5usize, 3usize, 4, 6, 2);
+        let mk = || Lstm::new(&mut StdRng::seed_from_u64(7), in_sz, hidden, layers);
+        let mut data_rng = StdRng::seed_from_u64(8);
+        let xs: Vec<Tensor> = (0..t_steps)
+            .map(|_| Tensor::from_fn(&[batch, in_sz], |_| data_rng.gen_range(-1.0..1.0)))
+            .collect();
+        let grads: Vec<Tensor> = (0..t_steps)
+            .map(|_| Tensor::from_fn(&[batch, hidden], |_| data_rng.gen_range(-1.0..1.0)))
+            .collect();
+
+        // Step-wise path.
+        let mut a = mk();
+        let mut st = a.begin_sequence(batch);
+        let step_outs: Vec<Tensor> = xs.iter().map(|x| a.step(x, &mut st)).collect();
+        let dxs_a = a.backward_sequence(&grads);
+
+        // Time-batched path.
+        let mut b = mk();
+        let mut stacked = Vec::new();
+        for x in &xs {
+            stacked.extend_from_slice(x.data());
+        }
+        let stacked = Tensor::from_vec(&[t_steps * batch, in_sz], stacked);
+        let mut st_b = b.begin_sequence(batch);
+        let out_b = b.forward_sequence(&stacked, t_steps, &mut st_b);
+        let dxs_b = b.backward_sequence(&grads);
+
+        // Outputs, input gradients, and parameter gradients: bitwise equal.
+        for (t, yo) in step_outs.iter().enumerate() {
+            let rows = &out_b.data()[t * batch * hidden..(t + 1) * batch * hidden];
+            assert_eq!(yo.data(), rows, "step {t} output");
+            assert_eq!(dxs_a[t].data(), dxs_b[t].data(), "step {t} dx");
+        }
+        let mut grads_a = Vec::new();
+        a.visit_params("lstm", &mut |_, p| grads_a.push(p.grad.clone()));
+        let mut i = 0;
+        b.visit_params("lstm", &mut |name, p| {
+            assert_eq!(grads_a[i].data(), p.grad.data(), "param grad {name}");
+            i += 1;
+        });
     }
 }

@@ -1,5 +1,11 @@
 //! Elementwise activations and row-wise softmax with their derivatives.
+//!
+//! The sigmoid/tanh sweeps route through [`crate::simd`]: a shared
+//! polynomial exp evaluated lane-identically by the AVX2 and scalar
+//! backends, so activation outputs are bit-identical across dispatch
+//! choices (and within ~1e-7 of libm).
 
+use crate::simd::Kernels;
 use crate::tensor::Tensor;
 
 /// ReLU forward.
@@ -14,7 +20,9 @@ pub fn relu_backward(x: &Tensor, grad: &Tensor) -> Tensor {
 
 /// Logistic sigmoid forward.
 pub fn sigmoid(x: &Tensor) -> Tensor {
-    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+    let mut y = x.clone();
+    Kernels::get().sigmoid(y.data_mut());
+    y
 }
 
 /// Sigmoid derivative expressed in terms of the forward *output* y: y(1-y).
@@ -24,7 +32,9 @@ pub fn sigmoid_backward_from_output(y: &Tensor, grad: &Tensor) -> Tensor {
 
 /// tanh forward.
 pub fn tanh(x: &Tensor) -> Tensor {
-    x.map(|v| v.tanh())
+    let mut y = x.clone();
+    Kernels::get().tanh(y.data_mut());
+    y
 }
 
 /// tanh derivative in terms of the output: 1 - y².

@@ -13,8 +13,9 @@
 //! Both compute identical results (tested); the training stack uses the
 //! blocked path. Backward kernels (data + weight gradients) are shared.
 
+use crate::pool::{self, SendPtr};
+use crate::simd::Kernels;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
 
 /// Channel block size of the packed layout (matches AVX2 8×f32 vectors).
 pub const CBLK: usize = 8;
@@ -91,9 +92,15 @@ pub fn conv3d_naive(x: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv3dSpec
     let xd = xp.data();
     let wd = weight.data();
     let o_spatial = od * oh * ow;
-    out.data_mut().par_chunks_mut(o_spatial).enumerate().for_each(|(chunk_idx, ochunk)| {
-        let ni = chunk_idx / spec.out_c;
-        let oc = chunk_idx % spec.out_c;
+    let out_c = spec.out_c;
+    let op = SendPtr::new(out.data_mut().as_mut_ptr());
+    pool::run(n * out_c, &|chunk_idx| {
+        // SAFETY: each task owns one disjoint [OD, OH, OW] output chunk.
+        let ochunk = unsafe {
+            std::slice::from_raw_parts_mut(op.get().add(chunk_idx * o_spatial), o_spatial)
+        };
+        let ni = chunk_idx / out_c;
+        let oc = chunk_idx % out_c;
         for zo in 0..od {
             for yo in 0..oh {
                 for xo in 0..ow {
@@ -219,7 +226,13 @@ pub fn conv3d_blocked(x: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv3dSp
     let xd = xb.data();
     let wd = wp.data();
     let block_spatial = od * oh * ow * CBLK;
-    out_b.data_mut().par_chunks_mut(block_spatial).enumerate().for_each(|(chunk_idx, ochunk)| {
+    let kern = Kernels::get();
+    let op = SendPtr::new(out_b.data_mut().as_mut_ptr());
+    pool::run(n * ob, &|chunk_idx| {
+        // SAFETY: each task owns one disjoint [OD, OH, OW, 8] output chunk.
+        let ochunk = unsafe {
+            std::slice::from_raw_parts_mut(op.get().add(chunk_idx * block_spatial), block_spatial)
+        };
         let ni = chunk_idx / ob;
         let obi = chunk_idx % ob;
         // Initialize with bias.
@@ -240,19 +253,13 @@ pub fn conv3d_blocked(x: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv3dSp
                             for yo in 0..oh {
                                 let xrow = ((zrow + yo + ky) * pw + kx) * CBLK;
                                 let orow = (zo * oh + yo) * ow * CBLK;
-                                for xo in 0..ow {
-                                    let iv = &xd[xrow + xo * CBLK..xrow + (xo + 1) * CBLK];
-                                    let ov = &mut ochunk[orow + xo * CBLK..orow + (xo + 1) * CBLK];
-                                    // 8x8 micro-kernel: ov[o] += iv[i] * wtile[i*8+o]
-                                    for (i, &ivv) in iv.iter().enumerate() {
-                                        if ivv != 0.0 {
-                                            let wrow = &wtile[i * CBLK..(i + 1) * CBLK];
-                                            for (o, &wv) in wrow.iter().enumerate() {
-                                                ov[o] += ivv * wv;
-                                            }
-                                        }
-                                    }
-                                }
+                                // 8×8 micro-kernel over the whole output row:
+                                // ov[xo*8+o] += iv[xo*8+i] * wtile[i*8+o].
+                                kern.conv_row(
+                                    &mut ochunk[orow..orow + ow * CBLK],
+                                    &xd[xrow..xrow + ow * CBLK],
+                                    wtile,
+                                );
                             }
                         }
                     }
@@ -286,7 +293,11 @@ pub fn conv3d_backward_data(
     // Accumulate into a padded gradient, then crop.
     let mut gpad = Tensor::zeros(&[n, c, pd, ph, pw]);
     let per_image = c * pd * ph * pw;
-    gpad.data_mut().par_chunks_mut(per_image).enumerate().for_each(|(ni, gimg)| {
+    let gp = SendPtr::new(gpad.data_mut().as_mut_ptr());
+    pool::run(n, &|ni| {
+        // SAFETY: each task owns one disjoint per-image gradient chunk.
+        let gimg =
+            unsafe { std::slice::from_raw_parts_mut(gp.get().add(ni * per_image), per_image) };
         for oc in 0..o {
             for zo in 0..od {
                 for yo in 0..oh {
@@ -355,21 +366,22 @@ pub fn conv3d_backward_weights(
     let wlen = c * k * k * k;
     let mut gw = Tensor::zeros(&[o, c, k, k, k]);
     let mut gb = vec![0.0f32; o];
-    let gb_chunks: Vec<f32> = (0..o)
-        .into_par_iter()
-        .map(|oc| {
-            let mut acc = 0.0f32;
-            for ni in 0..n {
-                let base = (((ni * o + oc) * od) * oh) * ow;
-                for idx in 0..od * oh * ow {
-                    acc += gd[base + idx];
-                }
+    let gbp = SendPtr::new(gb.as_mut_ptr());
+    pool::run(o, &|oc| {
+        let mut acc = 0.0f32;
+        for ni in 0..n {
+            let base = (((ni * o + oc) * od) * oh) * ow;
+            for idx in 0..od * oh * ow {
+                acc += gd[base + idx];
             }
-            acc
-        })
-        .collect();
-    gb.copy_from_slice(&gb_chunks);
-    gw.data_mut().par_chunks_mut(wlen).enumerate().for_each(|(oc, wslab)| {
+        }
+        // SAFETY: each task writes one distinct element.
+        unsafe { *gbp.get().add(oc) = acc };
+    });
+    let gwp = SendPtr::new(gw.data_mut().as_mut_ptr());
+    pool::run(o, &|oc| {
+        // SAFETY: each task owns one disjoint per-channel weight slab.
+        let wslab = unsafe { std::slice::from_raw_parts_mut(gwp.get().add(oc * wlen), wlen) };
         for ni in 0..n {
             for zo in 0..od {
                 for yo in 0..oh {

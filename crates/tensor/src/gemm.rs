@@ -1,4 +1,5 @@
-//! Blocked, parallel GEMM kernels.
+//! Blocked, runtime-dispatched GEMM built on the [`crate::simd`] micro-kernels
+//! and the resident [`crate::pool`] kernel threads.
 //!
 //! The LSTM core and all fully connected layers reduce to these three
 //! products (forward, input-gradient, weight-gradient):
@@ -7,16 +8,33 @@
 //! * `matmul_a_bt` — C = A·Bᵀ          ([M,K]·[N,K] → [M,N])
 //! * `matmul_at_b` — C = Aᵀ·B          ([K,M]·[K,N] → [M,N])
 //!
-//! The inner loops are written j-innermost over contiguous rows so that LLVM
-//! auto-vectorizes them (AVX2 on the paper's platforms); work is split over
-//! rows with rayon above a size threshold.
+//! B is packed once per call into 8-wide column panels and shared by all
+//! worker chunks; `matmul_at_b` transposes A into a scratch buffer and
+//! reuses the same packed kernel (which is what removes the historical
+//! `if av != 0.0` sparsity skip — that skip silently turned `0 × inf` into
+//! `0` instead of NaN). Parallel runs split M into fixed 32-row chunks, a
+//! pure function of shape, so results are bit-identical for any thread
+//! count.
 
+use crate::pool::{self, SendPtr};
+use crate::simd::Kernels;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
+use std::cell::RefCell;
 
-/// Below this many multiply-adds we stay single-threaded: thread wakeup costs
-/// more than the arithmetic.
+/// Below this many multiply-adds we stay single-threaded: thread wakeup
+/// costs more than the arithmetic.
 const PAR_THRESHOLD: usize = 64 * 1024;
+
+/// Fixed rows-per-task for parallel splits — part of the determinism
+/// contract (chunking depends on shape only, never on thread count).
+const ROWS_PER_TASK: usize = 32;
+
+thread_local! {
+    /// Packed-B panel scratch, reused across calls on this thread.
+    static PACK_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Transpose scratch for `matmul_at_b`.
+    static TRANS_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// C = A·B for 2D tensors.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
@@ -24,8 +42,25 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
     let mut out = Tensor::zeros(&[m, n]);
-    matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    gemm_driver(a.data(), b.data(), out.data_mut(), m, k, n, false);
     out
+}
+
+/// Raw GEMM into a preallocated buffer: C[M,N] = A[M,K]·B[K,N].
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    gemm_driver(a, b, c, m, k, n, false);
+}
+
+/// Accumulating GEMM: C[M,N] += A[M,K]·B[K,N] (LSTM recurrent projection,
+/// gradient accumulation).
+pub fn matmul_acc_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    gemm_driver(a, b, c, m, k, n, true);
 }
 
 /// C = A·Bᵀ where A is [M,K], B is [N,K].
@@ -34,26 +69,33 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, k2) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul_a_bt inner dims: {k} vs {k2}");
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    let run_row = |i: usize, orow: &mut [f32]| {
-        let arow = &ad[i * k..(i + 1) * k];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for t in 0..k {
-                acc += arow[t] * brow[t];
-            }
-            *o = acc;
-        }
-    };
-    if m * n * k >= PAR_THRESHOLD {
-        out.data_mut().par_chunks_mut(n).enumerate().for_each(|(i, orow)| run_row(i, orow));
-    } else {
-        for (i, orow) in out.data_mut().chunks_mut(n).enumerate() {
-            run_row(i, orow);
-        }
-    }
+    matmul_a_bt_into(a.data(), b.data(), out.data_mut(), m, k, n);
     out
+}
+
+/// Raw C[M,N] = A[M,K]·B[N,K]ᵀ into a preallocated buffer.
+pub fn matmul_a_bt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let kern = Kernels::get();
+    if m * n * k >= PAR_THRESHOLD && pool::parallel_enabled() {
+        let tasks = m.div_ceil(ROWS_PER_TASK);
+        let cp = SendPtr::new(c.as_mut_ptr());
+        pool::run(tasks, &|t| {
+            let i0 = t * ROWS_PER_TASK;
+            let i1 = (i0 + ROWS_PER_TASK).min(m);
+            // SAFETY: tasks write disjoint row ranges of C.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut(cp.get().add(i0 * n), (i1 - i0) * n) };
+            kern.gemm_a_bt_rows(chunk, &a[i0 * k..i1 * k], b, k, n);
+        });
+    } else {
+        kern.gemm_a_bt_rows(c, a, b, k, n);
+    }
 }
 
 /// C = Aᵀ·B where A is [K,M], B is [K,N] (used for weight gradients).
@@ -62,57 +104,60 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul_at_b inner dims: {k} vs {k2}");
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    // out[i,j] = sum_t a[t,i] * b[t,j]; accumulate row-wise over t so the
-    // inner loop runs over contiguous b rows.
-    let run_row = |i: usize, orow: &mut [f32]| {
-        for t in 0..k {
-            let av = ad[t * m + i];
-            if av != 0.0 {
-                let brow = &bd[t * n..(t + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                    *o += av * bv;
-                }
-            }
-        }
-    };
-    if m * n * k >= PAR_THRESHOLD {
-        out.data_mut().par_chunks_mut(n).enumerate().for_each(|(i, orow)| run_row(i, orow));
-    } else {
-        for (i, orow) in out.data_mut().chunks_mut(n).enumerate() {
-            run_row(i, orow);
-        }
-    }
+    matmul_at_b_acc_into(a.data(), b.data(), out.data_mut(), k, m, n);
     out
 }
 
-/// Raw GEMM into a preallocated buffer: C[M,N] = A[M,K]·B[K,N].
-///
-/// i-k-j loop order: the innermost j loop streams through contiguous rows of
-/// B and C, which auto-vectorizes cleanly.
-pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(a.len(), m * k);
+/// Accumulating raw Aᵀ·B: C[M,N] += A[K,M]ᵀ·B[K,N] (fused weight-gradient
+/// updates). A is transposed into scratch, then the packed GEMM runs — no
+/// sparsity skip, so non-finite values in B propagate correctly.
+pub fn matmul_at_b_acc_into(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usize) {
+    assert_eq!(a.len(), k * m);
     assert_eq!(b.len(), k * n);
     assert_eq!(c.len(), m * n);
-    let run_row = |i: usize, crow: &mut [f32]| {
-        crow.iter_mut().for_each(|x| *x = 0.0);
-        let arow = &a[i * k..(i + 1) * k];
-        for (t, &av) in arow.iter().enumerate() {
-            if av != 0.0 {
-                let brow = &b[t * n..(t + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                    *cv += av * bv;
-                }
+    TRANS_BUF.with(|buf| {
+        let mut at = buf.borrow_mut();
+        at.clear();
+        at.resize(m * k, 0.0);
+        for t in 0..k {
+            let arow = &a[t * m..(t + 1) * m];
+            for (i, &v) in arow.iter().enumerate() {
+                at[i * k + t] = v;
             }
         }
-    };
-    if m * n * k >= PAR_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| run_row(i, crow));
-    } else {
-        for (i, crow) in c.chunks_mut(n).enumerate() {
-            run_row(i, crow);
-        }
+        gemm_driver(&at, b, c, m, k, n, true);
+    });
+}
+
+/// Shared driver: pack B, then run the micro-kernel serially or over fixed
+/// row chunks on the resident pool. `acc = false` zeroes C first.
+fn gemm_driver(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, acc: bool) {
+    if !acc {
+        c.fill(0.0);
     }
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let kern = Kernels::get();
+    PACK_BUF.with(|buf| {
+        let mut bp = buf.borrow_mut();
+        kern.pack_b(b, k, n, &mut bp);
+        if m * n * k >= PAR_THRESHOLD && pool::parallel_enabled() {
+            let tasks = m.div_ceil(ROWS_PER_TASK);
+            let cp = SendPtr::new(c.as_mut_ptr());
+            let bp: &[f32] = &bp;
+            pool::run(tasks, &|t| {
+                let i0 = t * ROWS_PER_TASK;
+                let i1 = (i0 + ROWS_PER_TASK).min(m);
+                // SAFETY: tasks write disjoint row ranges of C.
+                let chunk =
+                    unsafe { std::slice::from_raw_parts_mut(cp.get().add(i0 * n), (i1 - i0) * n) };
+                kern.gemm_rows_packed(chunk, &a[i0 * k..i1 * k], bp, k, n);
+            });
+        } else {
+            kern.gemm_rows_packed(c, a, &bp, k, n);
+        }
+    });
 }
 
 /// y = A·x + y for a matrix [M,N] and vectors x[N], y[M] (gemv accumulate).
@@ -120,21 +165,22 @@ pub fn gemv_acc(a: &Tensor, x: &[f32], y: &mut [f32]) {
     let (m, n) = (a.rows(), a.cols());
     assert_eq!(x.len(), n);
     assert_eq!(y.len(), m);
+    let kern = Kernels::get();
     for i in 0..m {
-        let row = a.row(i);
-        let mut acc = 0.0f32;
-        for t in 0..n {
-            acc += row[t] * x[t];
-        }
-        y[i] += acc;
+        y[i] += kern.dot(a.row(i), x);
     }
 }
 
 /// Add a bias row vector to every row of a 2D tensor.
 pub fn add_bias_rows(x: &mut Tensor, bias: &[f32]) {
     let n = x.cols();
+    add_bias_rows_slice(x.data_mut(), bias, n);
+}
+
+/// Slice form of [`add_bias_rows`] for arena buffers.
+pub fn add_bias_rows_slice(x: &mut [f32], bias: &[f32], n: usize) {
     assert_eq!(bias.len(), n);
-    for row in x.data_mut().chunks_mut(n) {
+    for row in x.chunks_mut(n) {
         for (v, &b) in row.iter_mut().zip(bias.iter()) {
             *v += b;
         }
@@ -145,17 +191,28 @@ pub fn add_bias_rows(x: &mut Tensor, bias: &[f32]) {
 pub fn col_sums(x: &Tensor) -> Vec<f32> {
     let n = x.cols();
     let mut out = vec![0.0f32; n];
-    for row in x.data().chunks(n) {
+    col_sums_acc_slice(x.data(), &mut out, n);
+    out
+}
+
+/// Accumulate column sums of a row-major `[rows, n]` slice into `out`.
+pub fn col_sums_acc_slice(x: &[f32], out: &mut [f32], n: usize) {
+    assert_eq!(out.len(), n);
+    for row in x.chunks(n) {
         for (o, &v) in out.iter_mut().zip(row.iter()) {
             *o += v;
         }
     }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simd::{avx2_available, set_backend_override, Backend};
+    use std::sync::Mutex;
+
+    /// Backend overrides are process-global; identity tests serialize.
+    static BACKEND_LOCK: Mutex<()> = Mutex::new(());
 
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
@@ -217,6 +274,86 @@ mod tests {
     }
 
     #[test]
+    fn parallel_split_is_bit_identical_to_serial() {
+        let a = rand_tensor(&[100, 70], 7);
+        let b = rand_tensor(&[70, 90], 8);
+        crate::pool::set_parallel(false);
+        let serial = matmul(&a, &b);
+        let serial_bt = matmul_a_bt(&a, &b.transpose2());
+        crate::pool::set_parallel(true);
+        let parallel = matmul(&a, &b);
+        let parallel_bt = matmul_a_bt(&a, &b.transpose2());
+        assert_eq!(serial.data(), parallel.data());
+        assert_eq!(serial_bt.data(), parallel_bt.data());
+    }
+
+    #[test]
+    fn scalar_and_simd_backends_bit_identical() {
+        if !avx2_available() {
+            return;
+        }
+        let _g = BACKEND_LOCK.lock().unwrap();
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (5, 300, 17), (33, 64, 8), (2, 9, 260)] {
+            let a = rand_tensor(&[m, k], 11);
+            let b = rand_tensor(&[k, n], 12);
+            set_backend_override(Some(Backend::Scalar));
+            let cs = matmul(&a, &b);
+            let cs_bt = matmul_a_bt(&a, &b.transpose2());
+            let cs_at = matmul_at_b(&a.transpose2(), &b);
+            set_backend_override(Some(Backend::Avx2Fma));
+            let cv = matmul(&a, &b);
+            let cv_bt = matmul_a_bt(&a, &b.transpose2());
+            let cv_at = matmul_at_b(&a.transpose2(), &b);
+            set_backend_override(None);
+            assert_eq!(cs.data(), cv.data(), "{m}x{k}x{n}");
+            assert_eq!(cs_bt.data(), cv_bt.data(), "{m}x{k}x{n} bt");
+            assert_eq!(cs_at.data(), cv_at.data(), "{m}x{k}x{n} at");
+        }
+    }
+
+    #[test]
+    fn non_finite_inputs_propagate() {
+        // Regression: the old kernels skipped `av == 0.0` terms, silently
+        // turning 0×inf (= NaN) into 0. The canonical kernels must not.
+        let a = Tensor::from_vec(&[1, 2], vec![0.0, 1.0]);
+        let b = Tensor::from_vec(&[2, 2], vec![f32::INFINITY, 1.0, 2.0, 3.0]);
+        let c = matmul(&a, &b);
+        assert!(c.data()[0].is_nan(), "0×inf must produce NaN, got {}", c.data()[0]);
+        assert_eq!(c.data()[1], 3.0);
+
+        // Same shape through the Aᵀ·B path (old gemm.rs:71 skip).
+        let at = Tensor::from_vec(&[2, 1], vec![0.0, 1.0]);
+        let c2 = matmul_at_b(&at, &b);
+        assert!(c2.data()[0].is_nan(), "matmul_at_b must propagate NaN");
+        assert_eq!(c2.data()[1], 3.0);
+
+        let mut c3 = vec![0.0f32; 2];
+        matmul_into(a.data(), b.data(), &mut c3, 1, 2, 2);
+        assert!(c3[0].is_nan(), "matmul_into must propagate NaN");
+    }
+
+    #[test]
+    fn accumulating_variants_accumulate() {
+        let a = rand_tensor(&[4, 6], 21);
+        let b = rand_tensor(&[6, 5], 22);
+        let base = rand_tensor(&[4, 5], 23);
+        let mut c = base.data().to_vec();
+        matmul_acc_into(a.data(), b.data(), &mut c, 4, 6, 5);
+        let expect = matmul(&a, &b);
+        for i in 0..c.len() {
+            assert!((c[i] - (base.data()[i] + expect.data()[i])).abs() < 1e-5);
+        }
+
+        let mut cw = vec![0.5f32; 6 * 5];
+        let g = rand_tensor(&[4, 5], 24);
+        matmul_at_b_acc_into(a.data(), g.data(), &mut cw, 4, 6, 5);
+        let expect_w = matmul_at_b(&a, &g);
+        for i in 0..cw.len() {
+            assert!((cw[i] - (0.5 + expect_w.data()[i])).abs() < 1e-5);
+        }
+    }
+
+    #[test]
     fn bias_and_colsum() {
         let mut x = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         add_bias_rows(&mut x, &[10.0, 20.0, 30.0]);
@@ -230,5 +367,17 @@ mod tests {
         let mut y = vec![1.0, 1.0];
         gemv_acc(&a, &[1.0, 1.0], &mut y);
         assert_eq!(y, vec![4.0, 8.0]);
+    }
+
+    #[test]
+    fn empty_dims_are_safe() {
+        let a = Tensor::zeros(&[0, 4]);
+        let b = Tensor::zeros(&[4, 3]);
+        assert_eq!(matmul(&a, &b).shape(), &[0, 3]);
+        let a2 = Tensor::zeros(&[3, 0]);
+        let b2 = Tensor::zeros(&[0, 2]);
+        let c = matmul(&a2, &b2);
+        assert!(c.data().iter().all(|&v| v == 0.0));
+        assert_eq!(matmul_a_bt(&a2, &Tensor::zeros(&[5, 0])).shape(), &[3, 5]);
     }
 }

@@ -13,6 +13,10 @@
 //!   MKL-DNN vectorization strategy (the paper's 8× Conv3D kernel win),
 //!   plus max pooling and all backward kernels.
 //! * [`activations`] — ReLU/sigmoid/tanh/softmax/softplus with derivatives.
+//! * [`simd`] — the runtime-dispatched micro-kernel backend: AVX2+FMA via
+//!   `std::arch` with a bit-identical 8-lane scalar fallback.
+//! * [`pool`] — resident kernel threads with deterministic fixed chunking
+//!   (parallel results are a pure function of shape, never thread count).
 //! * [`flops`] — analytic flop accounting used to report Gflop/s in the
 //!   Table 2 reproduction.
 
@@ -20,6 +24,8 @@ pub mod activations;
 pub mod conv;
 pub mod flops;
 pub mod gemm;
+pub mod pool;
+pub mod simd;
 pub mod tensor;
 
 pub use conv::Conv3dSpec;

@@ -1,0 +1,112 @@
+//! Property tests: kernel results are bit-identical across dispatch choice
+//! (AVX2 vs scalar fallback) and across serial vs pooled-parallel execution,
+//! over arbitrary shapes — including non-multiples of 8 and empty dims.
+
+use etalumis_tensor::gemm::{matmul, matmul_a_bt, matmul_at_b};
+use etalumis_tensor::simd::{avx2_available, set_backend_override, Backend};
+use etalumis_tensor::{activations, conv, pool, Conv3dSpec, Tensor};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Backend/pool toggles are process-global; tests that flip them serialize.
+static KERNEL_CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+    let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+    Tensor::from_fn(shape, |_| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        ((s >> 11) as f64 / (1u64 << 53) as f64) as f32 * 4.0 - 2.0
+    })
+}
+
+/// Run `f` once per backend (scalar always, AVX2 where available) and
+/// assert the returned buffers are bitwise equal.
+fn assert_backend_identical<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T, ctx: &str) {
+    set_backend_override(Some(Backend::Scalar));
+    let scalar = f();
+    if avx2_available() {
+        set_backend_override(Some(Backend::Avx2Fma));
+        let simd = f();
+        set_backend_override(None);
+        assert_eq!(scalar, simd, "scalar vs avx2: {ctx}");
+    } else {
+        set_backend_override(None);
+    }
+    pool::set_parallel(false);
+    let serial = f();
+    pool::set_parallel(true);
+    let parallel = f();
+    assert_eq!(serial, parallel, "serial vs parallel: {ctx}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gemm_bit_identical_across_backends(
+        m in 0usize..40,
+        k in 0usize..70,
+        n in 0usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let _g = KERNEL_CONFIG_LOCK.lock().unwrap();
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[k, n], seed ^ 0xABCD);
+        assert_backend_identical(
+            || matmul(&a, &b).into_data(),
+            &format!("matmul {m}x{k}x{n}"),
+        );
+        assert_backend_identical(
+            || matmul_a_bt(&a, &b.transpose2()).into_data(),
+            &format!("matmul_a_bt {m}x{k}x{n}"),
+        );
+        assert_backend_identical(
+            || matmul_at_b(&a.transpose2(), &b).into_data(),
+            &format!("matmul_at_b {m}x{k}x{n}"),
+        );
+    }
+
+    #[test]
+    fn large_gemm_crosses_parallel_threshold(seed in 0u64..1_000_000) {
+        // 96·80·96 > the 64k parallel threshold: exercises pooled chunking.
+        let _g = KERNEL_CONFIG_LOCK.lock().unwrap();
+        let a = rand_tensor(&[96, 80], seed);
+        let b = rand_tensor(&[80, 96], seed ^ 0x77);
+        assert_backend_identical(|| matmul(&a, &b).into_data(), "large matmul");
+    }
+
+    #[test]
+    fn conv3d_bit_identical_across_backends(
+        c in 1usize..10,
+        o in 1usize..12,
+        pad in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let _g = KERNEL_CONFIG_LOCK.lock().unwrap();
+        let spec = Conv3dSpec { in_c: c, out_c: o, k: 3, pad };
+        let x = rand_tensor(&[2, c, 5, 6, 7], seed);
+        let wt = rand_tensor(&[o, c, 3, 3, 3], seed ^ 0x55);
+        let bias: Vec<f32> = (0..o).map(|i| i as f32 * 0.1).collect();
+        assert_backend_identical(
+            || conv::conv3d_blocked(&x, &wt, &bias, &spec).into_data(),
+            &format!("conv3d_blocked c={c} o={o} pad={pad}"),
+        );
+    }
+
+    #[test]
+    fn activation_sweeps_bit_identical(len in 0usize..100, seed in 0u64..1_000_000) {
+        let _g = KERNEL_CONFIG_LOCK.lock().unwrap();
+        let mut x = rand_tensor(&[1, len], seed);
+        x.scale(4.0);
+        assert_backend_identical(
+            || activations::sigmoid(&x).into_data(),
+            &format!("sigmoid len={len}"),
+        );
+        assert_backend_identical(
+            || activations::tanh(&x).into_data(),
+            &format!("tanh len={len}"),
+        );
+    }
+}

@@ -41,5 +41,6 @@ pub use streaming::{
     StreamTrainConfig, StreamTrainReport,
 };
 pub use trainer::{
-    accumulate_minibatch, sub_minibatches, PhaseTimings, StepResult, TrainLog, Trainer,
+    accumulate_minibatch, record_kernel_telemetry, sub_minibatches, PhaseTimings, StepResult,
+    TrainLog, Trainer,
 };

@@ -50,6 +50,11 @@ pub struct IcConfig {
     pub mixture_components: usize,
     /// Weight-init RNG seed (all ranks must share it).
     pub seed: u64,
+    /// Fuse each training sub-minibatch into one time-batched LSTM pass
+    /// (one `[T·B, in]·[in, 4H]` input GEMM per layer) with batched
+    /// address-embedding lookups. Bit-identical to the step-wise path;
+    /// inference always steps. Default on.
+    pub time_batched_lstm: bool,
 }
 
 impl IcConfig {
@@ -65,6 +70,7 @@ impl IcConfig {
             proposal_hidden: 64,
             mixture_components: 10,
             seed: 0,
+            time_batched_lstm: true,
         }
     }
 
@@ -85,6 +91,7 @@ impl IcConfig {
             proposal_hidden: 32,
             mixture_components: 5,
             seed,
+            time_batched_lstm: true,
         }
     }
 
@@ -334,32 +341,63 @@ impl IcNetwork {
             .collect();
         let t_steps = steps.len();
         let mut state = self.lstm.begin_sequence(b);
-        let mut hs: Vec<Tensor> = Vec::with_capacity(t_steps);
-        let mut sample_inputs: Vec<Option<Tensor>> = Vec::with_capacity(t_steps);
-        for (t, addr) in steps.iter().enumerate() {
-            let embed_id = self.layers[*addr].embed_id;
-            let addr_embed = self.address_table.forward(&vec![embed_id; b]);
-            // Previous-sample embedding (zeros at t = 0).
-            let samp_embed = if t == 0 {
-                sample_inputs.push(None);
-                Tensor::zeros(&[b, self.config.sample_embed_dim])
-            } else {
-                let prev_addr = steps[t - 1];
-                let width = self.layers[prev_addr].sample_embed.in_dim();
-                let mut feats = Tensor::zeros(&[b, width]);
-                for (bi, entries) in per_trace_entries.iter().enumerate() {
-                    let (dist, value) = entries[t - 1];
-                    feats.row_mut(bi).copy_from_slice(&value_features(dist, value, width));
-                }
-                let layers = self.layers.get_mut(prev_addr).unwrap();
-                let out = layers.sample_embed.forward(&feats);
-                sample_inputs.push(Some(feats));
-                out
-            };
-            let x = Tensor::concat_cols(&[&obs_embed, &addr_embed, &samp_embed]);
-            let h = self.lstm.step(&x, &mut state);
-            hs.push(h);
+        // Per-step previous-sample embeddings (zeros at t = 0). Shared by
+        // both LSTM paths; the per-address modules cache for backward.
+        let mut samp_embeds: Vec<Tensor> = Vec::with_capacity(t_steps);
+        samp_embeds.push(Tensor::zeros(&[b, self.config.sample_embed_dim]));
+        for t in 1..t_steps {
+            let prev_addr = steps[t - 1];
+            let width = self.layers[prev_addr].sample_embed.in_dim();
+            let mut feats = Tensor::zeros(&[b, width]);
+            for (bi, entries) in per_trace_entries.iter().enumerate() {
+                let (dist, value) = entries[t - 1];
+                feats.row_mut(bi).copy_from_slice(&value_features(dist, value, width));
+            }
+            let layers = self.layers.get_mut(prev_addr).unwrap();
+            samp_embeds.push(layers.sample_embed.forward(&feats));
         }
+        let embed_ids: Vec<usize> = steps.iter().map(|a| self.layers[*a].embed_id).collect();
+        let batched = self.config.time_batched_lstm;
+        let hs: Vec<Tensor> = if batched {
+            // Time-batched path (§4.4.3): one address lookup for all T·B
+            // rows, one stacked input tensor, one fused LSTM pass. The
+            // batched LSTM forward is bit-identical to stepping, and the
+            // backward below scatters address grads in step-wise order, so
+            // both paths produce identical losses and gradients.
+            let all_ids: Vec<usize> =
+                embed_ids.iter().flat_map(|&id| std::iter::repeat(id).take(b)).collect();
+            let addr_embed = self.address_table.forward_inference(&all_ids);
+            let (w_obs, w_addr) = (self.config.cnn.embedding_dim, self.config.address_embed_dim);
+            let in_w = self.config.lstm_input();
+            let mut xs = vec![0.0f32; t_steps * b * in_w];
+            for t in 0..t_steps {
+                for bi in 0..b {
+                    let r = t * b + bi;
+                    let row = &mut xs[r * in_w..(r + 1) * in_w];
+                    row[..w_obs].copy_from_slice(obs_embed.row(bi));
+                    row[w_obs..w_obs + w_addr].copy_from_slice(addr_embed.row(r));
+                    row[w_obs + w_addr..].copy_from_slice(samp_embeds[t].row(bi));
+                }
+            }
+            let xs = Tensor::from_vec(&[t_steps * b, in_w], xs);
+            let out = self.lstm.forward_sequence(&xs, t_steps, &mut state);
+            let hid = self.config.lstm_hidden;
+            (0..t_steps)
+                .map(|t| {
+                    Tensor::from_vec(&[b, hid], out.data()[t * b * hid..(t + 1) * b * hid].to_vec())
+                })
+                .collect()
+        } else {
+            steps
+                .iter()
+                .enumerate()
+                .map(|(t, _)| {
+                    let addr_embed = self.address_table.forward(&vec![embed_ids[t]; b]);
+                    let x = Tensor::concat_cols(&[&obs_embed, &addr_embed, &samp_embeds[t]]);
+                    self.lstm.step(&x, &mut state)
+                })
+                .collect()
+        };
         let forward_secs = fwd_start.elapsed().as_secs_f64();
         let bwd_start = Instant::now();
         // Proposal losses per step (heads fuse forward+backward).
@@ -415,7 +453,11 @@ impl IcNetwork {
                 let layers = self.layers.get_mut(prev_addr).unwrap();
                 let _dfeats = layers.sample_embed.backward(&parts[2]);
             }
-            self.address_table.backward(&parts[1]);
+            if batched {
+                self.address_table.scatter_grad(&vec![embed_ids[t]; b], &parts[1]);
+            } else {
+                self.address_table.backward(&parts[1]);
+            }
         }
         self.cnn.backward(&d_obs_total);
         let backward_secs = bwd_start.elapsed().as_secs_f64();

@@ -430,6 +430,7 @@ pub fn train_stream_distributed(
                         tel.span_record("train.optimizer", Duration::from_secs_f64(t.optimizer));
                         tel.gauge("train.sub_minibatches", res.sub_minibatches as f64);
                         tel.count("train.steps", 1);
+                        crate::trainer::record_kernel_telemetry(tel);
                     }
                     drop(step_span);
                     let global_loss = if stats[1] > 0.0 { stats[0] / stats[1] } else { f64::NAN };

@@ -137,6 +137,30 @@ impl TrainLog {
     }
 }
 
+/// Emit the active kernel backend, pool size, and dispatch counters into a
+/// telemetry stream: `kernel.backend_avx2` / `kernel.pool_threads` gauges
+/// (which land in `RUN_METRICS.json` and the run-report header) plus
+/// `kernel.dispatch_avx2` / `kernel.dispatch_scalar` counters drained from
+/// the process-wide dispatch tally.
+pub fn record_kernel_telemetry(tel: &Telemetry) {
+    if !tel.is_enabled() {
+        return;
+    }
+    use etalumis_tensor::simd;
+    tel.gauge(
+        "kernel.backend_avx2",
+        if simd::active_backend() == simd::Backend::Avx2Fma { 1.0 } else { 0.0 },
+    );
+    tel.gauge("kernel.pool_threads", etalumis_tensor::pool::num_threads() as f64);
+    let (avx2, scalar) = simd::take_dispatch_counts();
+    if avx2 > 0 {
+        tel.count("kernel.dispatch_avx2", avx2);
+    }
+    if scalar > 0 {
+        tel.count("kernel.dispatch_scalar", scalar);
+    }
+}
+
 /// Single-process trainer.
 pub struct Trainer<O: Optimizer> {
     /// The network being trained.
@@ -182,6 +206,7 @@ impl<O: Optimizer> Trainer<O> {
             self.tel.span_record("train.optimizer", Duration::from_secs_f64(res.timings.optimizer));
             self.tel.gauge("train.sub_minibatches", res.sub_minibatches as f64);
             self.tel.count("train.steps", 1);
+            record_kernel_telemetry(&self.tel);
         }
         drop(step_span);
         res
