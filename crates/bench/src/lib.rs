@@ -58,7 +58,7 @@ pub fn tau_records(n: usize, seed0: u64) -> Vec<TraceRecord> {
 pub fn scratch_dir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("etalumis_bench_{tag}_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).expect("scratch dir");
+    std::fs::create_dir_all(&d).expect("scratch dir"); // etalumis: allow(panic-freedom, reason = "bench harness setup; abort on scratch-dir failure is the harness contract")
     d
 }
 
@@ -77,8 +77,8 @@ pub fn tau_dataset(n: usize, per_shard: usize, tag: &str) -> (TraceDataset, Path
         ordered: true,
         ..Default::default()
     };
-    let ds = generate_dataset_parallel(|_| bench_tau_model(), &cfg, &dir).expect("generate");
-    let sorted = sort_dataset(&ds, &dir.join("sorted"), per_shard).expect("sort");
+    let ds = generate_dataset_parallel(|_| bench_tau_model(), &cfg, &dir).expect("generate"); // etalumis: allow(panic-freedom, reason = "bench harness setup; abort on generation failure is the harness contract")
+    let sorted = sort_dataset(&ds, &dir.join("sorted"), per_shard).expect("sort"); // etalumis: allow(panic-freedom, reason = "bench harness setup; abort on sort failure is the harness contract")
     (sorted, dir)
 }
 

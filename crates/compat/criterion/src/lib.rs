@@ -114,7 +114,7 @@ impl SampleStats {
             return SampleStats { min: 0.0, mean: 0.0, max: 0.0, median: 0.0, std_dev: 0.0 };
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let mean = sorted.iter().sum::<f64>() / n as f64;
         let median =
@@ -155,6 +155,7 @@ fn run_one<F>(
         samples_ns.push(b.elapsed.as_secs_f64() * 1e9 / iters_per_sample as f64);
     }
     let stats = SampleStats::from_samples(&samples_ns);
+    // etalumis: allow(logging, reason = "criterion-style console reporter output")
     println!(
         "{label:<40} time: [{} {} {}]  median {} ± {}  ({} samples x {} iters)",
         fmt_ns(stats.min),

@@ -222,6 +222,7 @@ impl<'a> Executor<'a> {
         rng: &mut StdRng,
     ) -> Trace {
         Self::try_execute(program, proposer, observes, rng)
+            // etalumis: allow(panic-freedom, reason = "documented infallible wrapper; try_execute is the fallible API")
             .unwrap_or_else(|e| panic!("{e} (use Executor::try_execute to handle failures)"))
     }
 

@@ -11,7 +11,7 @@ use crate::shard::{deny_stale_partials, remove_stale_rolls, RollingShardWriter, 
 use etalumis_core::{Executor, ObserveMap, PriorProposer, ProbProgram};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// A dataset of trace records stored across shard files.
@@ -78,7 +78,9 @@ impl TraceDataset {
     /// access (the fast path the paper's sorting enables).
     pub fn get_many(&self, indices: &[usize]) -> std::io::Result<Vec<TraceRecord>> {
         // Group requests per shard to open each file once.
-        let mut by_shard: HashMap<u32, Vec<(usize, u32)>> = HashMap::new();
+        // BTreeMap: shards are visited in ascending index order, so read order
+        // (and any IO error surfaced first) is stable run-to-run.
+        let mut by_shard: BTreeMap<u32, Vec<(usize, u32)>> = BTreeMap::new();
         for (pos, &i) in indices.iter().enumerate() {
             let (si, ri) = self.location(i)?;
             by_shard.entry(si).or_default().push((pos, ri));
@@ -116,7 +118,7 @@ impl TraceDataset {
 
     /// Histogram of trace-type frequencies (type → count), most common first.
     pub fn trace_type_counts(&self) -> Vec<(u64, usize)> {
-        let mut counts: HashMap<u64, usize> = HashMap::new();
+        let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
         for &(t, _) in &self.meta {
             *counts.entry(t).or_insert(0) += 1;
         }

@@ -62,7 +62,7 @@ impl DistributedSampler {
     pub fn new(meta: Vec<(u64, u32)>, config: SamplerConfig) -> Self {
         match Self::try_new(meta, config) {
             Ok(s) => s,
-            Err(e) => panic!("{e}"),
+            Err(e) => panic!("{e}"), // etalumis: allow(panic-freedom, reason = "documented panicking constructor; try_new is the fallible API")
         }
     }
 

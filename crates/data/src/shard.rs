@@ -696,7 +696,9 @@ pub fn read_journal(path: &Path, committed: u64) -> std::io::Result<Vec<TraceRec
                 DecodeError::Truncated { needed: 4, available: buf.len() - off },
             ));
         }
-        let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+        let mut len4 = [0u8; 4];
+        len4.copy_from_slice(&buf[off..off + 4]);
+        let len = u32::from_le_bytes(len4) as usize;
         off += 4;
         if off + len > buf.len() {
             return Err(decode_err(

@@ -30,7 +30,7 @@
 use crate::dataset::TraceDataset;
 use crate::record::TraceRecord;
 use etalumis_telemetry::Telemetry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
@@ -301,7 +301,9 @@ impl Default for BucketerConfig {
 /// identical sub-minibatches in identical order.
 pub struct TraceBucketer {
     config: BucketerConfig,
-    buckets: HashMap<u64, Vec<TraceRecord>>,
+    /// BTreeMap keyed by trace type: iteration (and therefore flush order
+    /// and tie-breaks) is structurally deterministic, not hash-seeded.
+    buckets: BTreeMap<u64, Vec<TraceRecord>>,
     /// Pushes since the last release (fill or spill).
     since_release: usize,
     /// Total records currently bucketed.
@@ -323,7 +325,7 @@ impl TraceBucketer {
             BucketerConfig { batch: config.batch.max(1), spill_after: config.spill_after.max(1) };
         Self {
             config,
-            buckets: HashMap::new(),
+            buckets: BTreeMap::new(),
             since_release: 0,
             pending: 0,
             fills: 0,
@@ -534,6 +536,45 @@ mod tests {
         assert_eq!(fills, in_stream_releases);
         assert_eq!(spills, released.len() as u64 - in_stream_releases);
         assert!(fills > 0);
+    }
+
+    #[test]
+    fn bucketer_release_order_is_structurally_deterministic() {
+        // Regression test for the lint determinism contract: the release
+        // sequence (fills, spill tie-breaks, flush order) must be a pure
+        // function of the input record sequence. A hash-ordered bucket map
+        // would make the spill/flush victim depend on per-instance hasher
+        // seeds — two bucketers fed the identical stream would disagree.
+        let recs = records(300, 23);
+        let run = |recs: &[TraceRecord]| {
+            let mut b = TraceBucketer::new(BucketerConfig { batch: 9, spill_after: 7 });
+            let mut out = Vec::new();
+            for r in recs.iter().cloned() {
+                if let Some(sub) = b.push(r) {
+                    out.push(sub);
+                }
+            }
+            while let Some(sub) = b.flush() {
+                out.push(sub);
+            }
+            out
+        };
+        let first = run(&recs);
+        let second = run(&recs);
+        assert_eq!(first, second, "release sequence must be identical run-to-run");
+        // Flush drains largest-first with ties broken by the lower trace
+        // type — pin the tie-break direction, not just self-consistency.
+        let mut tail = TraceBucketer::new(BucketerConfig { batch: 1000, spill_after: 1000 });
+        for r in records(40, 31) {
+            assert!(tail.push(r).is_none(), "no release may fire below both thresholds");
+        }
+        let mut flushed = Vec::new();
+        while let Some(sub) = tail.flush() {
+            flushed.push((sub.len(), sub[0].trace_type));
+        }
+        let mut expect = flushed.clone();
+        expect.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        assert_eq!(flushed, expect, "flush must drain largest-first, lowest type on ties");
     }
 
     #[test]

@@ -72,7 +72,7 @@ impl Value {
                     0.0
                 }
             }
-            other => panic!("Value::as_f64 on non-numeric value {other:?}"),
+            other => panic!("Value::as_f64 on non-numeric value {other:?}"), // etalumis: allow(panic-freedom, reason = "documented panicking accessor on variant mismatch")
         }
     }
 
@@ -85,7 +85,7 @@ impl Value {
                 assert!(x.fract() == 0.0, "Value::as_i64 on non-integral real {x}");
                 *x as i64
             }
-            other => panic!("Value::as_i64 on non-integer value {other:?}"),
+            other => panic!("Value::as_i64 on non-integer value {other:?}"), // etalumis: allow(panic-freedom, reason = "documented panicking accessor on variant mismatch")
         }
     }
 
@@ -93,7 +93,7 @@ impl Value {
     pub fn as_tensor(&self) -> &TensorValue {
         match self {
             Value::Tensor(t) => t,
-            other => panic!("Value::as_tensor on {other:?}"),
+            other => panic!("Value::as_tensor on {other:?}"), // etalumis: allow(panic-freedom, reason = "documented panicking accessor on variant mismatch")
         }
     }
 

@@ -1,0 +1,239 @@
+//! Suppression: inline `// etalumis: allow(rule, reason = "…")` directives
+//! and the committed `ci/lint_allow.toml` baseline.
+//!
+//! Both forms require a reason, and both are ratcheted: a directive or
+//! baseline entry that no longer suppresses anything is itself an error, so
+//! the allowlist can only shrink.
+
+use crate::lexer::Token;
+use crate::rules::RULES;
+
+/// An inline allow directive found in a comment.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    pub rule: String,
+    pub reason: Option<String>,
+    /// Line the directive comment starts on.
+    pub line: u32,
+    /// Line of code the directive applies to (same line for trailing
+    /// comments, otherwise the next line carrying code).
+    pub target_line: u32,
+    pub used: bool,
+}
+
+/// Extract `etalumis: allow(...)` directives from a token stream.
+///
+/// A trailing directive (`code(); // etalumis: allow(...)`) targets its own
+/// line; a directive on a line of its own targets the next line that carries
+/// a non-comment token.
+pub fn extract_directives(toks: &[Token]) -> Vec<Directive> {
+    // Lines that carry at least one non-comment token.
+    let code_lines: Vec<u32> = {
+        let mut v: Vec<u32> = toks.iter().filter(|t| !t.is_comment()).map(|t| t.line).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut out = Vec::new();
+    for t in toks {
+        if !t.is_comment() {
+            continue;
+        }
+        // A directive must BE the comment, not merely appear in one: a plain
+        // `//` (not a `///` / `//!` doc comment) whose body starts with
+        // `etalumis:`. Prose that mentions the grammar stays inert.
+        let Some(body) = t.text.strip_prefix("//") else {
+            continue;
+        };
+        if body.starts_with('/') || body.starts_with('!') {
+            continue;
+        }
+        let Some(rest) = body.trim_start().strip_prefix("etalumis:") else {
+            continue;
+        };
+        let (rule, reason) = parse_allow(rest);
+        let own_line = code_lines.binary_search(&t.line).is_ok();
+        let end_line = t.line + t.extra_lines();
+        let target_line = if own_line {
+            t.line
+        } else {
+            match code_lines.iter().find(|&&l| l > end_line) {
+                Some(&l) => l,
+                None => t.line, // dangling; will report as unused
+            }
+        };
+        out.push(Directive { rule, reason, line: t.line, target_line, used: false });
+    }
+    out
+}
+
+/// Parse the `allow(rule, reason = "…")` tail of a directive comment.
+/// Returns the rule name (possibly empty/garbage — validated by the engine)
+/// and the reason string if present and non-empty.
+fn parse_allow(rest: &str) -> (String, Option<String>) {
+    let rest = rest.trim_start();
+    let Some(body) = rest.strip_prefix("allow") else {
+        return (String::new(), None);
+    };
+    let body = body.trim_start();
+    let Some(body) = body.strip_prefix('(') else {
+        return (String::new(), None);
+    };
+    let rule: String =
+        body.chars().take_while(|c| *c != ',' && *c != ')').collect::<String>().trim().to_string();
+    let reason = body.find("reason").and_then(|i| {
+        let after = body[i + "reason".len()..].trim_start();
+        let after = after.strip_prefix('=')?.trim_start();
+        let after = after.strip_prefix('"')?;
+        let end = after.find('"')?;
+        let r = &after[..end];
+        if r.trim().is_empty() {
+            None
+        } else {
+            Some(r.to_string())
+        }
+    });
+    (rule, reason)
+}
+
+/// True if `rule` names one of the engine's rules.
+pub fn known_rule(rule: &str) -> bool {
+    RULES.contains(&rule)
+}
+
+/// One `[[allow]]` entry from `ci/lint_allow.toml`.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    /// Optional substring the finding message must contain.
+    pub contains: Option<String>,
+    pub reason: String,
+    /// Line in the baseline file where the entry starts.
+    pub line: u32,
+    pub hits: usize,
+}
+
+/// Problems found while reading the baseline itself.
+#[derive(Debug, Clone)]
+pub struct BaselineIssue {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Parse the minimal TOML subset used by `ci/lint_allow.toml`:
+/// `[[allow]]` table headers followed by `key = "value"` pairs, with `#`
+/// comments. Anything else is reported as an issue.
+pub fn parse_baseline(src: &str) -> (Vec<BaselineEntry>, Vec<BaselineIssue>) {
+    let mut entries: Vec<BaselineEntry> = Vec::new();
+    let mut issues: Vec<BaselineIssue> = Vec::new();
+    let mut current: Option<BaselineEntry> = None;
+
+    let finish = |cur: Option<BaselineEntry>,
+                  entries: &mut Vec<BaselineEntry>,
+                  issues: &mut Vec<BaselineIssue>| {
+        if let Some(e) = cur {
+            if e.rule.is_empty() || e.file.is_empty() {
+                issues.push(BaselineIssue {
+                    line: e.line,
+                    message: "baseline entry missing `rule` or `file`".to_string(),
+                });
+            } else if e.reason.trim().is_empty() {
+                issues.push(BaselineIssue {
+                    line: e.line,
+                    message: format!(
+                        "baseline entry for `{}` in `{}` has no reason",
+                        e.rule, e.file
+                    ),
+                });
+            } else if !known_rule(&e.rule) {
+                issues.push(BaselineIssue {
+                    line: e.line,
+                    message: format!("baseline entry names unknown rule `{}`", e.rule),
+                });
+            } else {
+                entries.push(e);
+            }
+        }
+    };
+
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = (i + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(current.take(), &mut entries, &mut issues);
+            current = Some(BaselineEntry {
+                rule: String::new(),
+                file: String::new(),
+                contains: None,
+                reason: String::new(),
+                line: line_no,
+                hits: 0,
+            });
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            issues.push(BaselineIssue {
+                line: line_no,
+                message: format!("unparseable baseline line: `{line}`"),
+            });
+            continue;
+        };
+        let key = line[..eq].trim();
+        let val = line[eq + 1..].trim();
+        let val = match unquote(val) {
+            Some(v) => v,
+            None => {
+                issues.push(BaselineIssue {
+                    line: line_no,
+                    message: format!("baseline value for `{key}` is not a quoted string"),
+                });
+                continue;
+            }
+        };
+        match current.as_mut() {
+            None => issues.push(BaselineIssue {
+                line: line_no,
+                message: "key/value outside any [[allow]] table".to_string(),
+            }),
+            Some(e) => match key {
+                "rule" => e.rule = val,
+                "file" => e.file = val,
+                "contains" => e.contains = Some(val),
+                "reason" => e.reason = val,
+                other => issues.push(BaselineIssue {
+                    line: line_no,
+                    message: format!("unknown baseline key `{other}`"),
+                }),
+            },
+        }
+    }
+    finish(current.take(), &mut entries, &mut issues);
+    (entries, issues)
+}
+
+/// Strip surrounding quotes and unescape `\"` / `\\`.
+fn unquote(val: &str) -> Option<String> {
+    let inner = val.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}

@@ -1,0 +1,426 @@
+//! Hand-rolled Rust lexer.
+//!
+//! Std-only (the build has no registry access, so no `syn`/`proc-macro2`).
+//! Produces a flat token stream with line numbers — enough structure for the
+//! lexical rules in [`crate::rules`], which never need a full parse tree.
+//!
+//! The tricky corners this lexer must get right (exercised by the fixture
+//! corpus under `tests/fixtures/lexer/`):
+//!
+//! * raw strings `r"…"`, `r#"…"#` with arbitrary hash depth, and raw byte
+//!   strings `br#"…"#`
+//! * raw identifiers `r#match`
+//! * nested block comments `/* /* */ */`
+//! * char literal vs lifetime disambiguation (`'a'` vs `'a`, `'\n'`, `'_`)
+//! * numeric literals with suffixes, underscores, exponents, and the
+//!   `x.0` tuple-access / `1..2` range ambiguities
+
+/// Kind of a single token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, stored without `r#`).
+    Ident,
+    /// Lifetime such as `'a` (text stored without the leading quote).
+    Lifetime,
+    /// Char or byte-char literal, e.g. `'x'`, `b'\n'`.
+    CharLit,
+    /// String, byte-string, raw-string, or raw-byte-string literal.
+    StrLit,
+    /// Numeric literal; `is_float` is true for literals like `1.0`, `2e3`, `1f32`.
+    Num { is_float: bool },
+    /// Any single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// `// …` comment (text includes the slashes).
+    LineComment,
+    /// `/* … */` comment, possibly nested and multi-line.
+    BlockComment,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Source text of the token.
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if the token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for this punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// Number of lines this token spans beyond its first (0 for single-line).
+    pub fn extra_lines(&self) -> u32 {
+        self.text.bytes().filter(|&b| b == b'\n').count() as u32
+    }
+}
+
+/// Lexer failure: the file could not be tokenized.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn err(&self, message: &str) -> LexError {
+        LexError { line: self.line, message: message.to_string() }
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, start_line: u32) {
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.push(Token { kind, text, line: start_line });
+    }
+
+    /// Advance one char, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.peek(0) == Some('\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn run(&mut self) -> Result<(), LexError> {
+        while let Some(c) = self.peek(0) {
+            let start = self.pos;
+            let start_line = self.line;
+            match c {
+                c if c.is_whitespace() => self.bump(),
+                '/' if self.peek(1) == Some('/') => {
+                    while let Some(c) = self.peek(0) {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    self.push(TokKind::LineComment, start, start_line);
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    loop {
+                        match (self.peek(0), self.peek(1)) {
+                            (Some('/'), Some('*')) => {
+                                depth += 1;
+                                self.bump();
+                                self.bump();
+                            }
+                            (Some('*'), Some('/')) => {
+                                depth -= 1;
+                                self.bump();
+                                self.bump();
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some(_), _) => self.bump(),
+                            (None, _) => return Err(self.err("unterminated block comment")),
+                        }
+                    }
+                    self.push(TokKind::BlockComment, start, start_line);
+                }
+                '"' => {
+                    self.string_body()?;
+                    self.push(TokKind::StrLit, start, start_line);
+                }
+                '\'' => self.quote(start, start_line)?,
+                'r' if matches!(self.peek(1), Some('"') | Some('#')) => {
+                    self.raw_prefixed(start, start_line)?
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump(); // b
+                    self.char_body()?;
+                    self.push(TokKind::CharLit, start, start_line);
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump(); // b
+                    self.string_body()?;
+                    self.push(TokKind::StrLit, start, start_line);
+                }
+                'b' if self.peek(1) == Some('r')
+                    && matches!(self.peek(2), Some('"') | Some('#')) =>
+                {
+                    self.bump(); // b
+                    self.raw_prefixed(start, start_line)?
+                }
+                c if is_ident_start(c) => {
+                    while let Some(c) = self.peek(0) {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    self.push(TokKind::Ident, start, start_line);
+                }
+                c if c.is_ascii_digit() => {
+                    let is_float = self.number();
+                    self.push(TokKind::Num { is_float }, start, start_line);
+                }
+                c => {
+                    self.bump();
+                    self.out.push(Token {
+                        kind: TokKind::Punct(c),
+                        text: c.to_string(),
+                        line: start_line,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// At `r` (a `b` prefix, if any, is already consumed): raw string
+    /// `r#*"…"#*` or raw identifier `r#ident`.
+    fn raw_prefixed(&mut self, start: usize, start_line: u32) -> Result<(), LexError> {
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        match self.peek(0) {
+            Some('"') => {
+                self.bump();
+                // Scan for `"` followed by `hashes` hash marks.
+                'outer: loop {
+                    match self.peek(0) {
+                        Some('"') => {
+                            self.bump();
+                            let mut seen = 0usize;
+                            while seen < hashes && self.peek(0) == Some('#') {
+                                seen += 1;
+                                self.bump();
+                            }
+                            if seen == hashes {
+                                break 'outer;
+                            }
+                        }
+                        Some(_) => self.bump(),
+                        None => return Err(self.err("unterminated raw string")),
+                    }
+                }
+                self.push(TokKind::StrLit, start, start_line);
+            }
+            Some(c) if hashes == 1 && is_ident_start(c) => {
+                // Raw identifier `r#match` — stored without the `r#` prefix
+                // so rule-side ident comparisons see the plain name.
+                let body = self.pos;
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    self.bump();
+                }
+                self.push(TokKind::Ident, body, start_line);
+            }
+            _ => return Err(self.err("malformed raw string or raw identifier")),
+        }
+        Ok(())
+    }
+
+    /// At `"` of an ordinary (escaped) string; consumes through the closing quote.
+    fn string_body(&mut self) -> Result<(), LexError> {
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                Some('\\') => {
+                    self.bump();
+                    if self.peek(0).is_none() {
+                        return Err(self.err("unterminated string escape"));
+                    }
+                    self.bump();
+                }
+                Some('"') => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(_) => self.bump(),
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+    }
+
+    /// At `'` of a char literal body; consumes through the closing quote.
+    fn char_body(&mut self) -> Result<(), LexError> {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                self.bump();
+                if self.peek(0).is_none() {
+                    return Err(self.err("unterminated char escape"));
+                }
+                self.bump();
+                // Escapes like \x7f or \u{1F600} have extra chars before the quote.
+                while let Some(c) = self.peek(0) {
+                    if c == '\'' {
+                        break;
+                    }
+                    self.bump();
+                }
+            }
+            Some(_) => self.bump(),
+            None => return Err(self.err("unterminated char literal")),
+        }
+        if self.peek(0) != Some('\'') {
+            return Err(self.err("unterminated char literal"));
+        }
+        self.bump(); // closing quote
+        Ok(())
+    }
+
+    /// At a `'`: disambiguate char literal from lifetime.
+    fn quote(&mut self, start: usize, start_line: u32) -> Result<(), LexError> {
+        match self.peek(1) {
+            // `'\n'` — an escape is always a char literal.
+            Some('\\') => {
+                self.char_body()?;
+                self.push(TokKind::CharLit, start, start_line);
+            }
+            // `'a'` is a char literal; `'a` / `'static` is a lifetime.
+            Some(c) if is_ident_start(c) => {
+                if self.peek(2) == Some('\'') {
+                    self.char_body()?;
+                    self.push(TokKind::CharLit, start, start_line);
+                } else {
+                    self.bump(); // quote
+                    while let Some(c) = self.peek(0) {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    let text: String = self.chars[start + 1..self.pos].iter().collect();
+                    self.out.push(Token { kind: TokKind::Lifetime, text, line: start_line });
+                }
+            }
+            // `'+'`, `'0'`, `'£'` — a non-identifier char must close immediately.
+            Some(_) => {
+                self.char_body()?;
+                self.push(TokKind::CharLit, start, start_line);
+            }
+            None => return Err(self.err("stray quote at end of input")),
+        }
+        Ok(())
+    }
+
+    /// At a digit; consumes the numeric literal and reports float-ness.
+    fn number(&mut self) -> bool {
+        let mut is_float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('b') | Some('o')) {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return false;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part. `1..2` is a range and `x.0.1` is tuple access, so a
+        // dot only begins a fraction when NOT followed by another dot or an
+        // identifier start.
+        if self.peek(0) == Some('.') {
+            match self.peek(1) {
+                Some('.') => {}
+                Some(c) if is_ident_start(c) => {}
+                _ => {
+                    is_float = true;
+                    self.bump(); // dot
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e') | Some('E')) {
+            let (a, b) = (self.peek(1), self.peek(2));
+            let exp = match a {
+                Some(c) if c.is_ascii_digit() => true,
+                Some('+') | Some('-') => matches!(b, Some(c) if c.is_ascii_digit()),
+                _ => false,
+            };
+            if exp {
+                is_float = true;
+                self.bump(); // e
+                if matches!(self.peek(0), Some('+') | Some('-')) {
+                    self.bump();
+                }
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Suffix (`u32`, `f64`, `usize`, …).
+        let suffix_start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let suffix: String = self.chars[suffix_start..self.pos].iter().collect();
+        if suffix.starts_with('f') {
+            is_float = true;
+        }
+        is_float
+    }
+}
+
+/// Tokenize a source file.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Vec::new() };
+    lx.run()?;
+    Ok(lx.out)
+}

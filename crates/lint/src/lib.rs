@@ -1,0 +1,206 @@
+//! `etalumis-lint`: std-only workspace linter enforcing the repo's
+//! determinism, panic-freedom, and unsafe-hygiene contracts.
+//!
+//! See DESIGN.md § "Enforced invariants" for the rule table, the allow
+//! directive grammar, and the ratchet policy. The binary (`src/main.rs`)
+//! walks the workspace, runs every rule on every production file, applies
+//! inline directives plus the committed `ci/lint_allow.toml` baseline, and
+//! exits nonzero on any unsuppressed finding — including *stale*
+//! suppressions, so the allowlist can only shrink.
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+use allow::{extract_directives, known_rule, parse_baseline};
+use walk::FileKind;
+
+/// A diagnostic the tool will print and gate on.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    pub line: u32,
+    /// One of [`rules::RULES`], or the meta-rules `parse` (lexer failure)
+    /// and `allow` (bad/stale suppression). Meta-rules cannot be suppressed.
+    pub rule: String,
+    pub message: String,
+}
+
+impl Finding {
+    fn suppressible(&self) -> bool {
+        known_rule(&self.rule)
+    }
+}
+
+/// Result of linting a tree.
+#[derive(Debug)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by (file, line, rule, message).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// Findings silenced by an inline directive or baseline entry.
+    pub suppressed: usize,
+}
+
+impl Report {
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lint every `.rs` file under `root`. `baseline` is the parsed content of
+/// `ci/lint_allow.toml` (pass `None` to lint without a baseline).
+pub fn lint_root(root: &Path, baseline: Option<(&str, &str)>) -> io::Result<Report> {
+    let files = walk::discover(root)?;
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressed = 0usize;
+
+    for sf in &files {
+        if sf.kind == FileKind::Exempt {
+            continue;
+        }
+        let src = match std::fs::read_to_string(&sf.path) {
+            Ok(s) => s,
+            Err(e) => {
+                findings.push(Finding {
+                    file: sf.rel.clone(),
+                    line: 1,
+                    rule: "parse".to_string(),
+                    message: format!("unreadable file: {e}"),
+                });
+                continue;
+            }
+        };
+        let toks = match lexer::lex(&src) {
+            Ok(t) => t,
+            Err(e) => {
+                findings.push(Finding {
+                    file: sf.rel.clone(),
+                    line: e.line,
+                    rule: "parse".to_string(),
+                    message: format!("lexer error: {}", e.message),
+                });
+                continue;
+            }
+        };
+
+        let raw = rules::run(&sf.rel, sf.crate_name.as_deref(), sf.kind, &toks);
+        let mut directives = extract_directives(&toks);
+
+        // Validate directives up front; malformed ones never suppress.
+        for d in &directives {
+            if !known_rule(&d.rule) {
+                findings.push(Finding {
+                    file: sf.rel.clone(),
+                    line: d.line,
+                    rule: "allow".to_string(),
+                    message: format!(
+                        "allow directive names unknown rule `{}` (known: {})",
+                        d.rule,
+                        rules::RULES.join(", ")
+                    ),
+                });
+            } else if d.reason.is_none() {
+                findings.push(Finding {
+                    file: sf.rel.clone(),
+                    line: d.line,
+                    rule: "allow".to_string(),
+                    message: format!(
+                        "allow directive for `{}` has no reason = \"…\"; every \
+                         suppression must be justified",
+                        d.rule
+                    ),
+                });
+            }
+        }
+
+        for f in raw {
+            let hit = directives
+                .iter_mut()
+                .find(|d| d.rule == f.rule && d.reason.is_some() && d.target_line == f.line);
+            match hit {
+                Some(d) => {
+                    d.used = true;
+                    suppressed += 1;
+                }
+                None => findings.push(Finding {
+                    file: sf.rel.clone(),
+                    line: f.line,
+                    rule: f.rule.to_string(),
+                    message: f.message,
+                }),
+            }
+        }
+
+        // Ratchet: a directive that suppresses nothing is itself an error.
+        for d in &directives {
+            if !d.used && known_rule(&d.rule) && d.reason.is_some() {
+                findings.push(Finding {
+                    file: sf.rel.clone(),
+                    line: d.line,
+                    rule: "allow".to_string(),
+                    message: format!(
+                        "unused allow directive for `{}` (ratchet: remove it)",
+                        d.rule
+                    ),
+                });
+            }
+        }
+    }
+
+    // Baseline pass over whatever survived inline suppression.
+    if let Some((base_rel, base_src)) = baseline {
+        let (mut entries, issues) = parse_baseline(base_src);
+        for i in issues {
+            findings.push(Finding {
+                file: base_rel.to_string(),
+                line: i.line,
+                rule: "allow".to_string(),
+                message: i.message,
+            });
+        }
+        findings.retain(|f| {
+            if !f.suppressible() {
+                return true;
+            }
+            let hit = entries.iter_mut().find(|e| {
+                e.rule == f.rule
+                    && e.file == f.file
+                    && e.contains.as_deref().is_none_or(|c| f.message.contains(c))
+            });
+            match hit {
+                Some(e) => {
+                    e.hits += 1;
+                    suppressed += 1;
+                    false
+                }
+                None => true,
+            }
+        });
+        for e in &entries {
+            if e.hits == 0 {
+                findings.push(Finding {
+                    file: base_rel.to_string(),
+                    line: e.line,
+                    rule: "allow".to_string(),
+                    message: format!(
+                        "stale baseline entry (`{}` in `{}`) matches nothing \
+                         (ratchet: remove it)",
+                        e.rule, e.file
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+    Ok(Report { findings, files: files.len(), suppressed })
+}

@@ -1,0 +1,93 @@
+//! CLI for `etalumis-lint`.
+//!
+//! Usage: `etalumis-lint [ROOT] [--allow PATH | --no-baseline]`
+//!
+//! Exits 0 when the tree is clean, 1 on findings, 2 on usage/IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--allow" => match args.next() {
+                Some(p) => allow_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("etalumis-lint: --allow requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-baseline" => no_baseline = true,
+            "--help" | "-h" => {
+                println!("usage: etalumis-lint [ROOT] [--allow PATH | --no-baseline]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root = PathBuf::from(other),
+            other => {
+                eprintln!("etalumis-lint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let default_baseline = root.join("ci").join("lint_allow.toml");
+    let baseline_path = if no_baseline {
+        None
+    } else {
+        match allow_path {
+            Some(p) => Some(p),
+            None if default_baseline.is_file() => Some(default_baseline),
+            None => None,
+        }
+    };
+    let baseline_src = match &baseline_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("etalumis-lint: cannot read baseline {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let baseline_rel = baseline_path
+        .as_ref()
+        .map(|p| p.strip_prefix(&root).unwrap_or(p).to_string_lossy().replace('\\', "/"))
+        .unwrap_or_default();
+
+    let report = match etalumis_lint::lint_root(
+        &root,
+        baseline_src.as_deref().map(|s| (baseline_rel.as_str(), s)),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("etalumis-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    if report.clean() {
+        println!(
+            "etalumis-lint: clean ({} files scanned, {} suppression(s) in use)",
+            report.files, report.suppressed
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "etalumis-lint: {} violation(s) across {} files scanned \
+             ({} suppression(s) in use)",
+            report.findings.len(),
+            report.files,
+            report.suppressed
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,665 @@
+//! The five lint rules, applied to a lexed token stream.
+//!
+//! All rules are lexical: the engine has no type information, so each rule
+//! trades a little recall for zero-dependency operation (documented per rule
+//! below). Test code — `#[cfg(test)]` modules, `#[test]` fns — is exempt,
+//! as are files under `tests/`, `benches/`, `examples/`, and `fixtures/`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{TokKind, Token};
+use crate::walk::FileKind;
+
+/// Every rule the engine knows. Allow directives and baseline entries must
+/// name one of these.
+pub const RULES: [&str; 5] =
+    ["panic-freedom", "unsafe-hygiene", "determinism", "float-reduction", "logging"];
+
+/// Crates that carry the bit-identity contract (PR 8): results must be
+/// byte-identical across backends, worker counts, and resume points.
+pub const DETERMINISM_CRATES: [&str; 5] = ["core", "tensor", "data", "runtime", "train"];
+
+/// The blessed kernels where float reduction order is pinned by the PR 8
+/// bit-identity tests (`kernel_identity.rs`); `.sum()`/`fold` are legal here.
+pub const BLESSED_FLOAT_FILES: [&str; 2] =
+    ["crates/tensor/src/simd.rs", "crates/tensor/src/pool.rs"];
+
+/// Modules allowed to read wall clocks despite living in a determinism
+/// crate: backoff/deadline state machines whose timing never reaches trace
+/// bytes or model state.
+pub const TIMING_EXEMPT_FILES: [&str; 1] = ["crates/runtime/src/oversub.rs"];
+
+/// One rule violation at a source line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Per-line source facts used by unsafe-hygiene's comment walk.
+struct Lines {
+    /// Lines carrying at least one non-comment token.
+    code: BTreeSet<u32>,
+    /// Lines whose every non-comment token belongs to an attribute.
+    attr_only: BTreeSet<u32>,
+    /// Concatenated comment text covering each line (block comments cover
+    /// every line they span).
+    comment: BTreeMap<u32, String>,
+}
+
+impl Lines {
+    fn has_safety(&self, l: u32) -> bool {
+        self.comment.get(&l).is_some_and(|t| t.contains("SAFETY:"))
+    }
+}
+
+/// Token-stream view: `ts[k]` is the k-th non-comment token.
+struct Code<'a> {
+    ts: Vec<&'a Token>,
+    /// Parallel to `ts`: true when the token sits inside test code.
+    test: Vec<bool>,
+    lines: Lines,
+}
+
+fn is_attr_open(ts: &[&Token], i: usize) -> Option<usize> {
+    if !ts[i].is_punct('#') {
+        return None;
+    }
+    match ts.get(i + 1) {
+        Some(t) if t.is_punct('[') => Some(i + 1),
+        Some(t) if t.is_punct('!') && ts.get(i + 2).is_some_and(|t| t.is_punct('[')) => Some(i + 2),
+        _ => None,
+    }
+}
+
+/// Index of the `]` matching the `[` at `open`, or the last token.
+fn close_bracket(ts: &[&Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < ts.len() {
+        if ts[j].is_punct('[') {
+            depth += 1;
+        } else if ts[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    ts.len() - 1
+}
+
+fn build(toks: &[Token]) -> Code<'_> {
+    let ts: Vec<&Token> = toks.iter().filter(|t| !t.is_comment()).collect();
+    let n = ts.len();
+
+    // Attribute token spans.
+    let mut attr = vec![false; n];
+    let mut i = 0;
+    while i < n {
+        if let Some(open) = is_attr_open(&ts, i) {
+            let j = close_bracket(&ts, open);
+            for f in attr.iter_mut().take(j + 1).skip(i) {
+                *f = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+
+    // Line tables.
+    let mut code_lines: BTreeSet<u32> = BTreeSet::new();
+    let mut non_attr_lines: BTreeSet<u32> = BTreeSet::new();
+    for (k, t) in ts.iter().enumerate() {
+        for l in t.line..=t.line + t.extra_lines() {
+            code_lines.insert(l);
+            if !attr[k] {
+                non_attr_lines.insert(l);
+            }
+        }
+    }
+    let attr_only: BTreeSet<u32> =
+        code_lines.iter().copied().filter(|l| !non_attr_lines.contains(l)).collect();
+    let mut comment: BTreeMap<u32, String> = BTreeMap::new();
+    for t in toks.iter().filter(|t| t.is_comment()) {
+        for l in t.line..=t.line + t.extra_lines() {
+            comment.entry(l).or_default().push_str(&t.text);
+        }
+    }
+
+    // Test-region mask: any item under a `test`/`bench`-carrying attribute
+    // (`#[test]`, `#[cfg(test)]`, `#[cfg_attr(test, …)]`, but not
+    // `#[cfg(not(test))]`) is exempt from every rule, through the item's
+    // closing brace or semicolon.
+    let mut test = vec![false; n];
+    let mut i = 0;
+    while i < n {
+        let Some(open) = is_attr_open(&ts, i) else {
+            i += 1;
+            continue;
+        };
+        let j = close_bracket(&ts, open);
+        let mut is_test = false;
+        for k in i..=j {
+            if ts[k].is_ident("test") || ts[k].is_ident("bench") {
+                let negated = k >= 2 && ts[k - 1].is_punct('(') && ts[k - 2].is_ident("not");
+                if !negated {
+                    is_test = true;
+                    break;
+                }
+            }
+        }
+        if !is_test {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut k = j + 1;
+        while k < n {
+            match is_attr_open(&ts, k) {
+                Some(open) => k = close_bracket(&ts, open) + 1,
+                None => break,
+            }
+        }
+        // Find the item's extent: first `{` at delimiter depth 0 opens the
+        // body (match to its closing brace); a `;` at depth 0 ends it.
+        let mut depth = 0usize;
+        let mut m = k;
+        let mut end = n; // runaway default: mask to EOF
+        while m < n {
+            if ts[m].is_punct('(') || ts[m].is_punct('[') {
+                depth += 1;
+            } else if ts[m].is_punct(')') || ts[m].is_punct(']') {
+                depth = depth.saturating_sub(1);
+            } else if ts[m].is_punct(';') && depth == 0 {
+                end = m + 1;
+                break;
+            } else if ts[m].is_punct('{') && depth == 0 {
+                let mut braces = 1usize;
+                let mut e = m + 1;
+                while e < n && braces > 0 {
+                    if ts[e].is_punct('{') {
+                        braces += 1;
+                    } else if ts[e].is_punct('}') {
+                        braces -= 1;
+                    }
+                    e += 1;
+                }
+                end = e;
+                break;
+            }
+            m += 1;
+        }
+        for f in test.iter_mut().take(end).skip(i) {
+            *f = true;
+        }
+        i = end;
+    }
+
+    Code { ts, test, lines: Lines { code: code_lines, attr_only, comment } }
+}
+
+/// Run every applicable rule over one file.
+pub fn run(rel: &str, crate_name: Option<&str>, kind: FileKind, toks: &[Token]) -> Vec<Finding> {
+    if kind == FileKind::Exempt {
+        return Vec::new();
+    }
+    let code = build(toks);
+    let mut out = Vec::new();
+    panic_freedom(&code, &mut out);
+    unsafe_hygiene(&code, &mut out);
+    if kind == FileKind::Lib {
+        logging(&code, &mut out);
+        let deterministic = crate_name.is_some_and(|c| DETERMINISM_CRATES.contains(&c));
+        if deterministic {
+            determinism(rel, &code, &mut out);
+            if !BLESSED_FLOAT_FILES.contains(&rel) {
+                float_reduction(&code, &mut out);
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: panic-freedom
+// ---------------------------------------------------------------------------
+
+/// No `.unwrap()`/`.expect()` calls or panicking macros in production code.
+/// Lexical limits: a user-defined method named `unwrap` would also be
+/// flagged (none exist in this workspace).
+fn panic_freedom(code: &Code<'_>, out: &mut Vec<Finding>) {
+    const METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+    const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+    let ts = &code.ts;
+    for k in 0..ts.len() {
+        if code.test[k] || ts[k].kind != TokKind::Ident {
+            continue;
+        }
+        let name = ts[k].text.as_str();
+        if METHODS.contains(&name)
+            && k > 0
+            && ts[k - 1].is_punct('.')
+            && ts.get(k + 1).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(Finding {
+                rule: "panic-freedom",
+                line: ts[k].line,
+                message: format!("`.{name}()` in production code; use a typed error path"),
+            });
+        } else if MACROS.contains(&name) && ts.get(k + 1).is_some_and(|t| t.is_punct('!')) {
+            out.push(Finding {
+                rule: "panic-freedom",
+                line: ts[k].line,
+                message: format!("`{name}!` in production code; use a typed error path"),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: unsafe-hygiene
+// ---------------------------------------------------------------------------
+
+/// Every `unsafe` keyword must carry a `// SAFETY:` comment — trailing on
+/// the same line, or directly above it (walking up through comment-only and
+/// attribute-only lines).
+fn unsafe_hygiene(code: &Code<'_>, out: &mut Vec<Finding>) {
+    let ts = &code.ts;
+    for k in 0..ts.len() {
+        if code.test[k] || !ts[k].is_ident("unsafe") {
+            continue;
+        }
+        let line = ts[k].line;
+        let stmt_line = stmt_start_line(ts, k);
+        if safety_ok(&code.lines, line) || (stmt_line < line && safety_ok(&code.lines, stmt_line)) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "unsafe-hygiene",
+            line,
+            message: "`unsafe` without a preceding `// SAFETY:` comment".to_string(),
+        });
+    }
+}
+
+/// Line of the first token of the statement (or match arm) containing token
+/// `k` — so a wrapped `let x =\n    unsafe { … }` accepts a SAFETY comment
+/// above the `let`.
+fn stmt_start_line(ts: &[&Token], k: usize) -> u32 {
+    let mut j = k;
+    while j > 0 {
+        let p = ts[j - 1];
+        if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') || p.is_punct(',') {
+            break;
+        }
+        j -= 1;
+    }
+    ts[j].line
+}
+
+fn safety_ok(lines: &Lines, line: u32) -> bool {
+    if lines.has_safety(line) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if lines.has_safety(l) {
+            return true;
+        }
+        let comment_only = lines.comment.contains_key(&l) && !lines.code.contains(&l);
+        if comment_only || lines.attr_only.contains(&l) {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: determinism
+// ---------------------------------------------------------------------------
+
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+/// Flag HashMap/HashSet iteration, wall-clock reads, and ambient RNG inside
+/// the bit-identity crates.
+///
+/// Map bindings are recovered lexically: type ascriptions
+/// (`name: HashMap<…>`) and initializations (`let name = HashMap::new()`).
+/// A map reached only through a non-ascribed alias escapes the rule — the
+/// fixture corpus pins the supported shapes.
+fn determinism(rel: &str, code: &Code<'_>, out: &mut Vec<Finding>) {
+    let ts = &code.ts;
+    let maps = map_bindings(ts);
+
+    for k in 0..ts.len() {
+        if code.test[k] || ts[k].kind != TokKind::Ident {
+            continue;
+        }
+        let name = ts[k].text.as_str();
+        // `name.iter()` / `self.name.keys()` …
+        if ITER_METHODS.contains(&name)
+            && k >= 2
+            && ts[k - 1].is_punct('.')
+            && ts[k - 2].kind == TokKind::Ident
+            && maps.contains(&ts[k - 2].text)
+            && ts.get(k + 1).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(Finding {
+                rule: "determinism",
+                line: ts[k].line,
+                message: format!(
+                    "iteration over hash-ordered `{}` (`.{name}()`); use BTreeMap/BTreeSet \
+                     or sort before use",
+                    ts[k - 2].text
+                ),
+            });
+        }
+        // `for x in &name { … }`
+        if name == "in" && for_precedes(ts, k) {
+            if let Some(map) = for_operand(ts, k, &maps) {
+                out.push(Finding {
+                    rule: "determinism",
+                    line: ts[k].line,
+                    message: format!(
+                        "`for … in` over hash-ordered `{map}`; use BTreeMap/BTreeSet \
+                         or sort before use"
+                    ),
+                });
+            }
+        }
+        // Wall clocks.
+        let timing_exempt = TIMING_EXEMPT_FILES.contains(&rel);
+        if !timing_exempt
+            && name == "Instant"
+            && ts.get(k + 1).is_some_and(|t| t.is_punct(':'))
+            && ts.get(k + 2).is_some_and(|t| t.is_punct(':'))
+            && ts.get(k + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            out.push(Finding {
+                rule: "determinism",
+                line: ts[k].line,
+                message: "`Instant::now()` in a determinism-contract crate".to_string(),
+            });
+        }
+        if !timing_exempt && name == "SystemTime" {
+            out.push(Finding {
+                rule: "determinism",
+                line: ts[k].line,
+                message: "`SystemTime` in a determinism-contract crate".to_string(),
+            });
+        }
+        // Ambient RNG.
+        if matches!(name, "thread_rng" | "from_entropy" | "OsRng") {
+            out.push(Finding {
+                rule: "determinism",
+                line: ts[k].line,
+                message: format!(
+                    "ambient RNG (`{name}`) breaks replayable inference; \
+                                  seed an explicit StdRng"
+                ),
+            });
+        }
+    }
+}
+
+/// Collect identifiers bound to HashMap/HashSet via type ascription or
+/// `let name = HashMap::new()`-style initialization.
+fn map_bindings(ts: &[&Token]) -> BTreeSet<String> {
+    let mut maps = BTreeSet::new();
+    for k in 0..ts.len() {
+        if !(ts[k].is_ident("HashMap") || ts[k].is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over a `path::` prefix (`std::collections::HashMap`).
+        let mut q = k;
+        while q >= 3
+            && ts[q - 1].is_punct(':')
+            && ts[q - 2].is_punct(':')
+            && ts[q - 3].kind == TokKind::Ident
+        {
+            q -= 3;
+        }
+        if q == 0 {
+            continue;
+        }
+        // `name: [&]['a][mut] HashMap<…>` — type ascription.
+        let mut r = q - 1;
+        while r > 0
+            && (ts[r].is_punct('&') || ts[r].is_ident("mut") || ts[r].kind == TokKind::Lifetime)
+        {
+            r -= 1;
+        }
+        if ts[r].is_punct(':')
+            && (r == 0 || !ts[r - 1].is_punct(':'))
+            && r > 0
+            && ts[r - 1].kind == TokKind::Ident
+        {
+            maps.insert(ts[r - 1].text.clone());
+            continue;
+        }
+        // `let [mut] name = HashMap::new()` — initialization.
+        if ts[q - 1].is_punct('=') && q >= 2 && ts[q - 2].kind == TokKind::Ident {
+            maps.insert(ts[q - 2].text.clone());
+        }
+    }
+    maps
+}
+
+/// Is token `k` (an `in`) part of a `for … in` within the same statement?
+fn for_precedes(ts: &[&Token], k: usize) -> bool {
+    let mut j = k;
+    let mut steps = 0;
+    while j > 0 && steps < 12 {
+        j -= 1;
+        steps += 1;
+        if ts[j].is_ident("for") {
+            return true;
+        }
+        if ts[j].is_punct(';') || ts[j].is_punct('{') || ts[j].is_punct('}') {
+            return false;
+        }
+    }
+    false
+}
+
+/// After `in`, parse `[&][mut] seg(.seg)*` followed by `{`; return the last
+/// segment if it names a known map.
+fn for_operand(ts: &[&Token], k: usize, maps: &BTreeSet<String>) -> Option<String> {
+    let mut j = k + 1;
+    while ts.get(j).is_some_and(|t| t.is_punct('&') || t.is_ident("mut")) {
+        j += 1;
+    }
+    loop {
+        let seg = match ts.get(j) {
+            Some(t) if t.kind == TokKind::Ident => &t.text,
+            _ => return None,
+        };
+        j += 1;
+        match ts.get(j) {
+            Some(t) if t.is_punct('.') => j += 1,
+            Some(t) if t.is_punct('{') => {
+                return if maps.contains(seg.as_str()) { Some(seg.clone()) } else { None };
+            }
+            _ => return None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: float-reduction
+// ---------------------------------------------------------------------------
+
+/// Flag float `.sum()`/`.product()`/`.fold()` accumulation outside the
+/// blessed kernels. Float-ness is decided by a `::<f32|f64>` turbofish, or
+/// — lacking one — by f32/f64/float-literal evidence in the surrounding
+/// statement; integer reductions (`shape.iter().product::<usize>()`) pass.
+fn float_reduction(code: &Code<'_>, out: &mut Vec<Finding>) {
+    let ts = &code.ts;
+    for k in 0..ts.len() {
+        if code.test[k] || ts[k].kind != TokKind::Ident {
+            continue;
+        }
+        let name = ts[k].text.as_str();
+        if !matches!(name, "sum" | "product" | "fold") {
+            continue;
+        }
+        if k == 0 || !ts[k - 1].is_punct('.') {
+            continue;
+        }
+        let float = match turbofish_floatness(ts, k + 1) {
+            Some(explicit) => explicit,
+            None => {
+                if name == "fold" {
+                    args_have_float(ts, k + 1)
+                } else {
+                    stmt_has_float(ts, k)
+                }
+            }
+        };
+        if float {
+            out.push(Finding {
+                rule: "float-reduction",
+                line: ts[k].line,
+                message: format!(
+                    "float `.{name}()` outside the blessed kernels; reduction order is \
+                     part of the bit-identity contract (route through tensor::simd)"
+                ),
+            });
+        }
+    }
+}
+
+/// If `ts[at..]` starts a `::<…>` turbofish, report whether it names a float
+/// type; `None` when there is no turbofish.
+fn turbofish_floatness(ts: &[&Token], at: usize) -> Option<bool> {
+    if !(ts.get(at).is_some_and(|t| t.is_punct(':'))
+        && ts.get(at + 1).is_some_and(|t| t.is_punct(':'))
+        && ts.get(at + 2).is_some_and(|t| t.is_punct('<')))
+    {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut j = at + 2;
+    let mut float = false;
+    while j < ts.len() {
+        if ts[j].is_punct('<') {
+            depth += 1;
+        } else if ts[j].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if ts[j].is_ident("f32") || ts[j].is_ident("f64") {
+            float = true;
+        }
+        j += 1;
+    }
+    Some(float)
+}
+
+/// Scan a call's argument list for float evidence (used for `fold` inits
+/// like `fold(0.0f32, …)` or `fold(f32::NEG_INFINITY, …)`).
+fn args_have_float(ts: &[&Token], at: usize) -> bool {
+    if !ts.get(at).is_some_and(|t| t.is_punct('(')) {
+        return false;
+    }
+    let mut depth = 0usize;
+    let mut j = at;
+    while j < ts.len() {
+        if ts[j].is_punct('(') {
+            depth += 1;
+        } else if ts[j].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return false;
+            }
+        } else if is_float_evidence(ts[j]) {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Back-scan the enclosing statement (through at most two brace boundaries,
+/// so `fn f() -> f32 {` return types count) for type evidence. Nearest
+/// evidence wins: `let n: usize = shape.iter().product()` is integer even
+/// when the enclosing signature mentions `f32`.
+fn stmt_has_float(ts: &[&Token], k: usize) -> bool {
+    const INT_TYPES: [&str; 12] =
+        ["usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128"];
+    let mut braces = 0usize;
+    let mut j = k;
+    let mut steps = 0;
+    while j > 0 && steps < 80 {
+        j -= 1;
+        steps += 1;
+        let t = ts[j];
+        if t.is_punct(';') {
+            return false;
+        }
+        if t.is_punct('{') || t.is_punct('}') {
+            braces += 1;
+            if braces >= 2 {
+                return false;
+            }
+            continue;
+        }
+        if is_float_evidence(t) {
+            return true;
+        }
+        if t.kind == TokKind::Ident && INT_TYPES.contains(&t.text.as_str()) {
+            return false;
+        }
+    }
+    false
+}
+
+fn is_float_evidence(t: &Token) -> bool {
+    matches!(t.kind, TokKind::Num { is_float: true })
+        || t.is_ident("f32")
+        || t.is_ident("f64")
+        || t.is_ident("NEG_INFINITY")
+        || t.is_ident("INFINITY")
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: logging
+// ---------------------------------------------------------------------------
+
+/// No bare stdout/stderr printing in library code; structured output goes
+/// through `telemetry::Logger`, and bin targets own their stdout.
+fn logging(code: &Code<'_>, out: &mut Vec<Finding>) {
+    const MACROS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
+    let ts = &code.ts;
+    for k in 0..ts.len() {
+        if code.test[k] || ts[k].kind != TokKind::Ident {
+            continue;
+        }
+        let name = ts[k].text.as_str();
+        if MACROS.contains(&name) && ts.get(k + 1).is_some_and(|t| t.is_punct('!')) {
+            out.push(Finding {
+                rule: "logging",
+                line: ts[k].line,
+                message: format!("bare `{name}!` in library code; route through telemetry::Logger"),
+            });
+        }
+    }
+}

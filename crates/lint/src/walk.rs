@@ -1,0 +1,96 @@
+//! Workspace file discovery and classification.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What kind of compilation target a file belongs to. Rules only fire on
+/// [`FileKind::Lib`]; tests, benches, examples, and binaries are exempt
+/// (binaries still get `unsafe`-hygiene and panic-freedom via their shared
+/// library code, which is where all real logic lives in this workspace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source under some crate's `src/`.
+    Lib,
+    /// A `src/bin/*.rs` or `src/main.rs` binary target.
+    Bin,
+    /// Integration tests, benches, examples, or fixture files.
+    Exempt,
+}
+
+/// A discovered source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path.
+    pub path: PathBuf,
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+    /// Crate name (directory under `crates/`, or `compat/<name>`), if any.
+    pub crate_name: Option<String>,
+    pub kind: FileKind,
+}
+
+fn classify(rel: &str) -> (Option<String>, FileKind) {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let mut crate_name = None;
+    if parts.first() == Some(&"crates") {
+        if parts.get(1) == Some(&"compat") {
+            if let Some(name) = parts.get(2) {
+                crate_name = Some(format!("compat/{name}"));
+            }
+        } else if let Some(name) = parts.get(1) {
+            crate_name = Some((*name).to_string());
+        }
+    }
+    let kind = if parts.iter().any(|p| matches!(*p, "tests" | "benches" | "examples" | "fixtures"))
+    {
+        FileKind::Exempt
+    } else if parts.iter().any(|p| *p == "bin") || parts.last() == Some(&"main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    };
+    (crate_name, kind)
+}
+
+/// Directories never descended into.
+fn skip_dir(name: &str) -> bool {
+    name.starts_with('.') || matches!(name, "target" | "node_modules")
+}
+
+/// Recursively collect every `.rs` file under `root`, classified.
+pub fn discover(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            entries.push(entry?.path());
+        }
+        // Deterministic traversal regardless of filesystem order.
+        entries.sort();
+        for path in entries {
+            let name = match path.file_name().and_then(|n| n.to_str()) {
+                Some(n) => n,
+                None => continue,
+            };
+            if path.is_dir() {
+                if !skip_dir(name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = match path.strip_prefix(root) {
+                    Ok(r) => r
+                        .components()
+                        .map(|c| c.as_os_str().to_string_lossy())
+                        .collect::<Vec<_>>()
+                        .join("/"),
+                    Err(_) => path.to_string_lossy().into_owned(),
+                };
+                let (crate_name, kind) = classify(&rel);
+                out.push(SourceFile { path, rel, crate_name, kind });
+            }
+        }
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}

@@ -1,0 +1,15 @@
+// Lexer fixture: nested block comments and comment-like string content.
+
+/* level one /* level two /* level three */ back to two */ back to one */
+
+/** doc block comment /* still nested */ done */
+fn commented() -> u32 {
+    let not_a_comment = "// this is a string, not a comment";
+    let also_not = "/* neither is this */";
+    /* a block comment
+       spanning three
+       lines */
+    let x = 1; // trailing line comment with an unterminated-looking /*
+    let _ = (not_a_comment, also_not);
+    x
+}

@@ -1,0 +1,25 @@
+// Lexer fixture: the `'` ambiguity — lifetimes vs char literals.
+
+struct Holder<'a, 'b: 'a> {
+    first: &'a str,
+    second: &'b str,
+}
+
+fn chars<'long>(h: &Holder<'long, 'long>) -> usize {
+    let simple = 'x';
+    let quote = '\'';
+    let backslash = '\\';
+    let unicode = '\u{1F600}';
+    let hex = '\x41';
+    let label_like: char = 'a';
+    'outer: loop {
+        // A labelled loop's `'outer` must lex as a lifetime, not a char.
+        break 'outer;
+    }
+    let _ = (simple, quote, backslash, unicode, hex, label_like);
+    h.first.len() + h.second.len()
+}
+
+fn static_lifetime(s: &'static str) -> &'static str {
+    s
+}

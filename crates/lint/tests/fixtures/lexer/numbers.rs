@@ -1,0 +1,25 @@
+// Lexer fixture: numeric literal edge cases the rules depend on
+// (float-reduction needs `is_float` to be right).
+
+fn numbers() {
+    let int = 42;
+    let under = 1_000_000u64;
+    let hex = 0xDEAD_BEEFu32;
+    let oct = 0o755;
+    let bin = 0b1010_1010;
+    let float = 1.5;
+    let trailing = 2.;
+    let exp = 1e10;
+    let neg_exp = 2.5e-3;
+    let pos_exp = 1E+6;
+    let suffixed = 3f64;
+    let suffixed2 = 4.0f32;
+    let tuple = (1u8, 2u8);
+    let access = tuple.0; // `tuple.0` must not lex as a float
+    let range: Vec<i32> = (1..10).collect(); // `1..10` is int, dot, dot, int
+    let inclusive = 0..=5;
+    let _ = (
+        int, under, hex, oct, bin, float, trailing, exp, neg_exp, pos_exp, suffixed, suffixed2,
+        access, range, inclusive,
+    );
+}

@@ -1,0 +1,20 @@
+// Lexer fixture: raw strings, raw identifiers, and byte literals.
+// Never compiled — only fed to `etalumis_lint::lexer::lex`.
+
+fn strings() {
+    let plain = "an \"escaped\" quote and a \\ backslash";
+    let raw = r"no escapes \n here";
+    let hashed = r#"contains "quotes" and a // fake comment"#;
+    let deep = r##"contains "# one-hash terminator inside"##;
+    let multi = r#"spans
+two lines"#;
+    let bytes = b"byte string with \x7f escape";
+    let raw_bytes = br#"raw byte "string""#;
+    let byte_char = b'\n';
+    let _ = (plain, raw, hashed, deep, multi, bytes, raw_bytes, byte_char);
+}
+
+fn r#match(r#type: u32) -> u32 {
+    // Raw identifiers must not be mistaken for an `r"…"` raw-string prefix.
+    r#type + 1
+}

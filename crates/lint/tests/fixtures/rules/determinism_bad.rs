@@ -1,0 +1,40 @@
+// Rule fixture (positive): every determinism violation class, as seen from
+// a determinism crate (core/tensor/data/runtime/train).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn map_iteration(m: &HashMap<u64, u32>) -> u64 {
+    let mut total = 0u64;
+    for (k, _v) in m.iter() {
+        total += *k;
+    }
+    for k in m.keys() {
+        total += *k;
+    }
+    total
+}
+
+fn for_loop(owned: HashMap<u64, u32>) -> u64 {
+    let mut total = 0u64;
+    for (_k, v) in &owned {
+        total += u64::from(*v);
+    }
+    total
+}
+
+fn local_binding() -> usize {
+    let scratch = HashMap::new();
+    scratch.insert(1u32, 2u32);
+    scratch.values().count()
+}
+
+fn wall_clock() -> std::time::Duration {
+    let start = Instant::now();
+    start.elapsed()
+}
+
+fn ambient_rng() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

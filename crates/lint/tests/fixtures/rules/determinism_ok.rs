@@ -1,0 +1,32 @@
+// Rule fixture (negative): deterministic equivalents — ordered maps, seeded
+// RNG, HashMap lookups (no iteration), and a justified timing allow.
+
+use std::collections::{BTreeMap, HashMap};
+
+fn ordered_iteration(ordered: &BTreeMap<u64, u32>) -> u64 {
+    // Binding recovery is file-global, so the hashed map below must use a
+    // different name than this ordered one.
+    let mut total = 0u64;
+    for (k, _v) in ordered.iter() {
+        total += *k;
+    }
+    total
+}
+
+fn lookup_only(hashed: &HashMap<u64, u32>) -> Option<u32> {
+    // Point lookups are order-free; only iteration is nondeterministic.
+    hashed.get(&7).copied()
+}
+
+fn seeded_rng(seed: u64) -> u64 {
+    // Explicitly-seeded generators are the sanctioned source of randomness.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    state ^= state >> 32;
+    state
+}
+
+fn justified_timing() -> std::time::Duration {
+    // etalumis: allow(determinism, reason = "fixture: telemetry-only timing")
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

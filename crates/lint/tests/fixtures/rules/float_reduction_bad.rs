@@ -1,0 +1,19 @@
+// Rule fixture (positive): unordered float reductions outside the blessed
+// kernels — these must all fire.
+
+fn turbofish_sum(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>()
+}
+
+fn inferred_sum(xs: &[f64]) -> f64 {
+    let total: f64 = xs.iter().copied().sum();
+    total
+}
+
+fn float_fold(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |acc, x| acc + x)
+}
+
+fn max_fold(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}

@@ -1,0 +1,30 @@
+// Rule fixture (negative): integer reductions and explicit sequential
+// accumulation are fine; one justified allow for a fixed-order fold.
+
+fn int_sum(xs: &[u32]) -> u32 {
+    xs.iter().sum::<u32>()
+}
+
+fn count_elements(shape: &[usize]) -> usize {
+    // Integer product next to an f32-bearing signature must not be flagged.
+    let n: usize = shape.iter().product();
+    n
+}
+
+fn sequential_sum(xs: &[f32]) -> f32 {
+    // An explicit loop pins the reduction order, so it is always legal.
+    let mut acc = 0.0f32;
+    for x in xs {
+        acc += *x;
+    }
+    acc
+}
+
+fn justified_fold(xs: &[f32]) -> f32 {
+    // etalumis: allow(float-reduction, reason = "fixture: sequential iterator, order fixed")
+    xs.iter().fold(0.0f32, |acc, x| acc + x)
+}
+
+fn index_count(xs: &[f32], threshold: f32) -> usize {
+    xs.iter().filter(|x| **x > threshold).count()
+}

@@ -1,0 +1,10 @@
+// Rule fixture (positive): bare console output in library code.
+
+fn noisy(x: u32) -> u32 {
+    println!("computing {x}");
+    eprintln!("warning: {x}");
+    print!("partial");
+    eprint!("partial err");
+    let y = dbg!(x + 1);
+    y
+}

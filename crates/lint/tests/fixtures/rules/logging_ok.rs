@@ -1,0 +1,21 @@
+// Rule fixture (negative): structured logging, test prints, and a justified
+// sink allow.
+
+fn quiet(x: u32) -> String {
+    // Library code reports through returned values / the telemetry Logger.
+    format!("computing {x}")
+}
+
+fn sanctioned_sink(line: &str) {
+    // etalumis: allow(logging, reason = "fixture: the console sink itself")
+    println!("{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_are_fine_in_tests() {
+        println!("test diagnostics are exempt");
+        eprintln!("so is stderr");
+    }
+}

@@ -1,0 +1,14 @@
+// Rule fixture (positive): every panic-freedom violation class.
+
+fn violations(opt: Option<u32>, res: Result<u32, String>) -> u32 {
+    let a = opt.unwrap();
+    let b = res.expect("seeded violation");
+    if a > b {
+        panic!("seeded violation");
+    }
+    match a {
+        0 => todo!(),
+        1 => unimplemented!(),
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,21 @@
+// Rule fixture (negative): fallible handling, test-only panics, and a
+// justified inline allow — none of these may fire.
+
+fn handled(opt: Option<u32>, res: Result<u32, String>) -> Result<u32, String> {
+    let a = opt.ok_or_else(|| "missing".to_string())?;
+    let b = res.unwrap_or(0);
+    // etalumis: allow(panic-freedom, reason = "fixture: documented infallible wrapper")
+    let c = Some(1u32).unwrap();
+    Ok(a + b + c)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let r: Result<u32, String> = Ok(4);
+        assert_eq!(r.expect("test"), 4);
+    }
+}

@@ -1,0 +1,9 @@
+// Rule fixture (positive): unsafe without a SAFETY comment.
+
+fn uncommented(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}
+
+struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}

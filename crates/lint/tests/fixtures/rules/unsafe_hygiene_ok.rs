@@ -1,0 +1,31 @@
+// Rule fixture (negative): every accepted SAFETY-comment placement.
+
+fn same_line(ptr: *const u32) -> u32 {
+    unsafe { *ptr } // SAFETY: caller guarantees ptr is valid and aligned.
+}
+
+fn line_above(ptr: *const u32) -> u32 {
+    // SAFETY: caller guarantees ptr is valid and aligned.
+    unsafe { *ptr }
+}
+
+fn above_attr(ptr: *const u32) -> u32 {
+    // SAFETY: caller guarantees ptr is valid and aligned.
+    #[allow(clippy::let_and_return)]
+    let v = unsafe { *ptr };
+    v
+}
+
+fn wrapped_statement(ptr: *const u32) -> u32 {
+    // SAFETY: caller guarantees ptr is valid; the comment sits above the
+    // statement start even though `unsafe` is on a continuation line.
+    let value =
+        unsafe { *ptr };
+    value
+}
+
+struct Wrapper(*mut u8);
+
+// SAFETY: Wrapper owns its pointee exclusively; moving it across threads
+// transfers that ownership.
+unsafe impl Send for Wrapper {}

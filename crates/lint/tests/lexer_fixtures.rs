@@ -1,0 +1,82 @@
+//! Lex the tricky-corner fixture files and pin the token facts the rule
+//! engine depends on: raw strings swallow fake comments, block comments
+//! nest, `'` disambiguates to lifetime vs char, and `is_float` is exact.
+
+use etalumis_lint::lexer::{lex, TokKind, Token};
+
+fn fixture(name: &str) -> Vec<Token> {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lexer").join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    lex(&src).unwrap_or_else(|e| panic!("{name}: lex failed at line {}: {}", e.line, e.message))
+}
+
+fn kinds(toks: &[Token], kind: fn(&TokKind) -> bool) -> Vec<String> {
+    toks.iter().filter(|t| kind(&t.kind)).map(|t| t.text.clone()).collect()
+}
+
+#[test]
+fn raw_strings_and_raw_idents() {
+    let toks = fixture("raw_strings.rs");
+    let strs = kinds(&toks, |k| *k == TokKind::StrLit);
+    // Each string body survives intact — the `//` and `"#"` inside raw
+    // strings must not terminate them or start comments.
+    assert_eq!(strs.len(), 7, "string literals: {strs:?}");
+    assert!(strs.iter().any(|s| s.contains("fake comment")));
+    assert!(strs.iter().any(|s| s.contains("one-hash terminator inside")));
+    assert!(strs.iter().any(|s| s.contains("spans\ntwo lines")));
+    // `r#match` / `r#type` lex as identifiers (stored without `r#`), not as
+    // raw-string openers.
+    assert!(toks.iter().any(|t| t.is_ident("match")));
+    assert!(toks.iter().any(|t| t.is_ident("type")));
+    // The byte-char `b'\n'` is a char literal, not a lifetime.
+    assert_eq!(kinds(&toks, |k| *k == TokKind::CharLit).len(), 1);
+}
+
+#[test]
+fn nested_block_comments() {
+    let toks = fixture("comments.rs");
+    let blocks = kinds(&toks, |k| *k == TokKind::BlockComment);
+    assert_eq!(blocks.len(), 3, "block comments: {blocks:?}");
+    assert!(blocks.iter().any(|c| c.contains("back to one")));
+    // Comment-looking string content stays a string.
+    let strs = kinds(&toks, |k| *k == TokKind::StrLit);
+    assert!(strs.iter().any(|s| s.contains("not a comment")));
+    // The multi-line block comment spans lines, so the token after it must
+    // carry the correct (advanced) line number.
+    let let_x = toks.iter().find(|t| t.is_ident("x")).expect("binding x");
+    assert_eq!(let_x.line, 12, "line tracking across multi-line comments");
+}
+
+#[test]
+fn lifetimes_vs_chars() {
+    let toks = fixture("lifetimes_chars.rs");
+    let lifetimes = kinds(&toks, |k| *k == TokKind::Lifetime);
+    let chars = kinds(&toks, |k| *k == TokKind::CharLit);
+    // 'a ×3, 'b ×2, 'long ×3, 'outer ×2, 'static ×2.
+    assert_eq!(lifetimes.len(), 12, "lifetimes: {lifetimes:?}");
+    assert_eq!(chars.len(), 6, "chars: {chars:?}");
+    assert!(lifetimes.iter().filter(|l| *l == "outer").count() == 2);
+    assert!(chars.iter().any(|c| c.contains("1F600")));
+}
+
+#[test]
+fn numeric_literals() {
+    let toks = fixture("numbers.rs");
+    let floats: Vec<&Token> =
+        toks.iter().filter(|t| t.kind == TokKind::Num { is_float: true }).collect();
+    let ints: Vec<&Token> =
+        toks.iter().filter(|t| t.kind == TokKind::Num { is_float: false }).collect();
+    let float_texts: Vec<&str> = floats.iter().map(|t| t.text.as_str()).collect();
+    // 1.5, 2., 1e10, 2.5e-3, 1E+6, 3f64, 4.0f32 — and nothing else.
+    assert_eq!(
+        float_texts,
+        ["1.5", "2.", "1e10", "2.5e-3", "1E+6", "3f64", "4.0f32"],
+        "float literals"
+    );
+    // `tuple.0` and `1..10` stay integral.
+    assert!(ints.iter().any(|t| t.text == "0"));
+    assert!(ints.iter().any(|t| t.text == "10"));
+    assert!(ints.iter().any(|t| t.text == "0xDEAD_BEEFu32"));
+}

@@ -1,0 +1,130 @@
+//! Run the rule engine over the seeded fixture corpus: every rule must
+//! catch its positive (`*_bad.rs`) fixture and stay silent on its negative
+//! (`*_ok.rs`) fixture, including honoring inline allow directives.
+
+use etalumis_lint::allow::extract_directives;
+use etalumis_lint::lexer::lex;
+use etalumis_lint::rules::{self, Finding};
+use etalumis_lint::walk::FileKind;
+
+/// Mirror the engine's per-file pass for one fixture masquerading as a
+/// determinism-crate library file: run the rules, then apply inline allow
+/// directives. Returns the surviving findings plus any unused directives.
+fn lint_fixture(name: &str) -> (Vec<Finding>, usize) {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/rules").join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let toks = lex(&src)
+        .unwrap_or_else(|e| panic!("{name}: lex failed at line {}: {}", e.line, e.message));
+    let raw = rules::run("crates/core/src/fixture.rs", Some("core"), FileKind::Lib, &toks);
+    let mut directives = extract_directives(&toks);
+    let mut rest = Vec::new();
+    for f in raw {
+        let hit = directives
+            .iter_mut()
+            .find(|d| d.rule == f.rule && d.reason.is_some() && d.target_line == f.line);
+        match hit {
+            Some(d) => d.used = true,
+            None => rest.push(f),
+        }
+    }
+    let unused = directives.iter().filter(|d| !d.used).count();
+    (rest, unused)
+}
+
+/// Positive fixture: every finding carries `rule`, at least `min` fire, and
+/// no other rule produces noise.
+fn assert_catches(name: &str, rule: &str, min: usize) -> Vec<Finding> {
+    let (findings, _) = lint_fixture(name);
+    assert!(findings.len() >= min, "{name}: expected >= {min} `{rule}` findings, got {findings:?}");
+    for f in &findings {
+        assert_eq!(f.rule, rule, "{name}: unexpected finding {f:?}");
+    }
+    findings
+}
+
+/// Negative fixture: nothing fires and every inline allow is exercised.
+fn assert_clean(name: &str) {
+    let (findings, unused) = lint_fixture(name);
+    assert!(findings.is_empty(), "{name}: expected clean, got {findings:?}");
+    assert_eq!(unused, 0, "{name}: fixture has unused allow directives");
+}
+
+#[test]
+fn panic_freedom_catches_seeded_violations() {
+    // unwrap, expect, panic!, todo!, unimplemented!, unreachable!.
+    let findings = assert_catches("panic_freedom_bad.rs", "panic-freedom", 6);
+    assert_eq!(findings.len(), 6);
+}
+
+#[test]
+fn panic_freedom_accepts_handled_code() {
+    assert_clean("panic_freedom_ok.rs");
+}
+
+#[test]
+fn unsafe_hygiene_catches_uncommented_unsafe() {
+    // The bare unsafe block and the bare `unsafe impl Send`.
+    let findings = assert_catches("unsafe_hygiene_bad.rs", "unsafe-hygiene", 2);
+    assert_eq!(findings.len(), 2);
+}
+
+#[test]
+fn unsafe_hygiene_accepts_every_safety_placement() {
+    assert_clean("unsafe_hygiene_ok.rs");
+}
+
+#[test]
+fn determinism_catches_seeded_violations() {
+    let findings = assert_catches("determinism_bad.rs", "determinism", 6);
+    let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains(".iter()")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains(".keys()")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains(".values()")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("for … in")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("Instant::now")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("ambient RNG")), "{msgs:?}");
+}
+
+#[test]
+fn determinism_accepts_ordered_code() {
+    assert_clean("determinism_ok.rs");
+}
+
+#[test]
+fn float_reduction_catches_unordered_reductions() {
+    // Turbofish sum, inferred sum, float fold, NEG_INFINITY max-fold.
+    let findings = assert_catches("float_reduction_bad.rs", "float-reduction", 4);
+    assert_eq!(findings.len(), 4);
+}
+
+#[test]
+fn float_reduction_accepts_integer_and_sequential_code() {
+    assert_clean("float_reduction_ok.rs");
+}
+
+#[test]
+fn logging_catches_bare_console_output() {
+    // println!, eprintln!, print!, eprint!, dbg!.
+    let findings = assert_catches("logging_bad.rs", "logging", 5);
+    assert_eq!(findings.len(), 5);
+}
+
+#[test]
+fn logging_accepts_structured_output() {
+    assert_clean("logging_ok.rs");
+}
+
+#[test]
+fn binaries_skip_lib_only_rules() {
+    // The logging fixture re-linted as a binary: bins may print, so the
+    // logging rule must not fire at all.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/rules/logging_bad.rs");
+    let src = std::fs::read_to_string(&path).expect("read fixture");
+    let toks = lex(&src).expect("lex fixture");
+    let findings =
+        rules::run("crates/bench/src/bin/fixture.rs", Some("bench"), FileKind::Bin, &toks);
+    assert!(findings.is_empty(), "bin kind must skip logging: {findings:?}");
+}

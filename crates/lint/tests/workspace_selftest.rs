@@ -1,0 +1,67 @@
+//! Self-test: the linter must (a) tokenize every `.rs` file in the
+//! workspace — including tests, benches, and fixtures — and (b) report the
+//! production tree clean under the committed baseline, exactly as the CI
+//! gate runs it.
+
+use std::path::PathBuf;
+
+use etalumis_lint::{lexer, lint_root, walk};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn lexer_parses_every_workspace_file() {
+    let root = workspace_root();
+    let files = walk::discover(&root).expect("discover workspace");
+    assert!(files.len() > 100, "suspiciously few files discovered: {}", files.len());
+    let mut failures = Vec::new();
+    for sf in &files {
+        let src = match std::fs::read_to_string(&sf.path) {
+            Ok(s) => s,
+            Err(e) => {
+                failures.push(format!("{}: unreadable: {e}", sf.rel));
+                continue;
+            }
+        };
+        if let Err(e) = lexer::lex(&src) {
+            failures.push(format!("{}:{}: {}", sf.rel, e.line, e.message));
+        }
+    }
+    assert!(failures.is_empty(), "lexer failures:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn workspace_is_clean_under_committed_baseline() {
+    let root = workspace_root();
+    let baseline_path = root.join("ci/lint_allow.toml");
+    let baseline_src = std::fs::read_to_string(&baseline_path).expect("read ci/lint_allow.toml");
+    let report =
+        lint_root(&root, Some(("ci/lint_allow.toml", &baseline_src))).expect("lint workspace");
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(report.clean(), "workspace lint not clean:\n{}", rendered.join("\n"));
+}
+
+#[test]
+fn fixture_corpus_is_exempt_from_workspace_lint() {
+    // The seeded-violation fixtures live under tests/fixtures and must be
+    // classified Exempt, or the gate above could never pass.
+    let root = workspace_root();
+    let files = walk::discover(&root).expect("discover workspace");
+    let fixtures: Vec<&walk::SourceFile> =
+        files.iter().filter(|f| f.rel.contains("tests/fixtures/")).collect();
+    assert!(fixtures.len() >= 14, "fixture corpus missing: {fixtures:?}");
+    for f in fixtures {
+        assert_eq!(f.kind, walk::FileKind::Exempt, "{} must be exempt", f.rel);
+    }
+}

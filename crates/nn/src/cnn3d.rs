@@ -209,7 +209,7 @@ impl Cnn3d {
     /// parameter gradients. The input gradient is not returned (observations
     /// are leaves).
     pub fn backward(&mut self, grad: &Tensor) {
-        let pre = self.fc_relu_cache.pop().expect("Cnn3d::backward without forward");
+        let pre = self.fc_relu_cache.pop().expect("Cnn3d::backward without forward"); // etalumis: allow(panic-freedom, reason = "backward without a matching forward is a call-order contract violation")
         let dpre = relu_backward(&pre, grad);
         let dflat = self.fc.backward(&dpre);
         let (c, dims) = self.config.output_geometry();
@@ -218,8 +218,8 @@ impl Cnn3d {
         for stage in self.stages.iter_mut().rev() {
             match stage {
                 Stage::Conv(cs) => {
-                    let x = cs.x_cache.pop().expect("conv backward without forward");
-                    let pre = cs.pre_cache.pop().expect("conv cache");
+                    let x = cs.x_cache.pop().expect("conv backward without forward"); // etalumis: allow(panic-freedom, reason = "backward without a matching forward is a call-order contract violation")
+                    let pre = cs.pre_cache.pop().expect("conv cache"); // etalumis: allow(panic-freedom, reason = "backward without a matching forward is a call-order contract violation")
                     let dpre = relu_backward(&pre, &cur);
                     let (gw, gb) = conv3d_backward_weights(&x, &dpre, &cs.spec);
                     cs.w.grad.add_assign(&gw);
@@ -234,7 +234,7 @@ impl Cnn3d {
                     );
                 }
                 Stage::Pool(ps) => {
-                    let (arg, in_shape) = ps.arg_cache.pop().expect("pool backward");
+                    let (arg, in_shape) = ps.arg_cache.pop().expect("pool backward"); // etalumis: allow(panic-freedom, reason = "backward without a matching forward is a call-order contract violation")
                     cur = maxpool3d_backward(&cur, &arg, &in_shape);
                 }
             }

@@ -71,7 +71,7 @@ impl Embedding {
 
     /// Backward: scatter-add `grad` rows into the table gradient.
     pub fn backward(&mut self, grad: &Tensor) {
-        let indices = self.cache.pop().expect("Embedding::backward without forward");
+        let indices = self.cache.pop().expect("Embedding::backward without forward"); // etalumis: allow(panic-freedom, reason = "backward without a matching forward is a call-order contract violation")
         self.scatter_grad(&indices, grad);
     }
 
@@ -131,7 +131,7 @@ impl SampleEmbedding {
 
     /// Backward; returns gradient w.r.t. the input features.
     pub fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let h = self.relu_cache.pop().expect("SampleEmbedding::backward without forward");
+        let h = self.relu_cache.pop().expect("SampleEmbedding::backward without forward"); // etalumis: allow(panic-freedom, reason = "backward without a matching forward is a call-order contract violation")
         let dh = relu_backward(&h, grad);
         self.lin.backward(&dh)
     }

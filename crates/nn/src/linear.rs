@@ -57,8 +57,8 @@ impl Linear {
 
     /// Backward: accumulates dW, db; returns dX. Pops the matching cache.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache.pop().expect("Linear::backward without forward");
-        // dW = xᵀ·g
+        let x = self.cache.pop().expect("Linear::backward without forward"); // etalumis: allow(panic-freedom, reason = "backward without a matching forward is a call-order contract violation")
+                                                                             // dW = xᵀ·g
         let dw = matmul_at_b(&x, grad_out);
         self.w.grad.add_assign(&dw);
         // db = column sums of g
@@ -114,7 +114,7 @@ impl Mlp2 {
     /// Backward; returns dX.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let da = self.l2.backward(grad_out);
-        let h = self.relu_cache.pop().expect("Mlp2::backward without forward");
+        let h = self.relu_cache.pop().expect("Mlp2::backward without forward"); // etalumis: allow(panic-freedom, reason = "backward without a matching forward is a call-order contract violation")
         let dh = relu_backward(&h, &da);
         self.l1.backward(&dh)
     }

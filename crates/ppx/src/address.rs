@@ -62,7 +62,7 @@ impl SymbolResolver {
         let mut chars = mangled.chars().peekable();
         while let Some(c) = chars.next() {
             if c.is_ascii_digit() {
-                let mut num = c.to_digit(10).unwrap() as usize;
+                let mut num = (c as u8 - b'0') as usize;
                 while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
                     num = num * 10 + d as usize;
                     chars.next();

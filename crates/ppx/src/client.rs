@@ -38,7 +38,7 @@ impl<T: Transport> RemoteModel<T> {
         let model_name = match action {
             SessionAction::Connected { model_name } => model_name,
             // In `Handshaking` the machine accepts nothing else.
-            _ => unreachable!("session yielded a non-Connected action during handshake"),
+            _ => unreachable!("session yielded a non-Connected action during handshake"), // etalumis: allow(panic-freedom, reason = "session state machine admits no other action while handshaking")
         };
         Ok(Self { transport, session, model_name, run_observation: Value::Unit })
     }
@@ -61,7 +61,7 @@ impl<T: Transport> RemoteModel<T> {
             match self.session.service(action, ctx)? {
                 Serviced::Reply(reply) => self.send(&reply)?,
                 Serviced::Finished(result) => return Ok(result),
-                Serviced::Connected(_) => unreachable!("handshake completed at connect"),
+                Serviced::Connected(_) => unreachable!("handshake completed at connect"), // etalumis: allow(panic-freedom, reason = "session state machine admits no Connected after handshake")
             }
         }
     }
@@ -80,6 +80,7 @@ impl<T: Transport> RemoteModel<T> {
 impl<T: Transport> ProbProgram for RemoteModel<T> {
     fn run(&mut self, ctx: &mut dyn SimCtx) -> Value {
         self.try_run_remote(ctx)
+            // etalumis: allow(panic-freedom, reason = "documented infallible wrapper; try_run is the fallible API")
             .unwrap_or_else(|e| panic!("{e} (use try_run for fallible remote execution)"))
     }
 

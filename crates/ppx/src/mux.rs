@@ -85,7 +85,8 @@ impl FrameBuffer {
             self.compact();
             return Ok(None);
         }
-        let len_bytes: [u8; 4] = self.buf[self.pos..self.pos + 4].try_into().unwrap();
+        let mut len_bytes = [0u8; 4];
+        len_bytes.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
         let len = u32::from_le_bytes(len_bytes) as usize;
         if len > self.max_frame {
             return Err(PpxError::FrameTooLarge { len, max: self.max_frame });

@@ -226,8 +226,8 @@ impl RunStats {
         if busies.is_empty() {
             return 0.0;
         }
-        let max = busies.iter().cloned().fold(0.0f64, f64::max);
-        let mean = busies.iter().sum::<f64>() / busies.len() as f64;
+        let max = busies.iter().cloned().fold(0.0f64, f64::max); // etalumis: allow(float-reduction, reason = "f64 load-imbalance stat; telemetry only, fixed sequential order")
+        let mean = busies.iter().sum::<f64>() / busies.len() as f64; // etalumis: allow(float-reduction, reason = "f64 load-imbalance stat; telemetry only, fixed sequential order")
         if mean <= 0.0 {
             0.0
         } else {
@@ -425,7 +425,7 @@ impl BatchRunner {
         let queues = TaskQueues::new(workers);
         self.fill_queues(&queues, n);
         let retries = RetryTable::new(self.policy.max_trace_retries);
-        let start = Instant::now();
+        let start = Instant::now(); // etalumis: allow(determinism, reason = "wall-clock report timing; telemetry only, never reaches trace bytes")
         let mut per_worker = vec![WorkerReport::default(); workers];
         let mut failures: Vec<(usize, String)> = Vec::new();
         let mut total_retries = 0u64;
@@ -453,7 +453,7 @@ impl BatchRunner {
                                 tel.count("runtime.steal", 1);
                             }
                             let task_span = tel.span("runtime.task");
-                            let t0 = Instant::now();
+                            let t0 = Instant::now(); // etalumis: allow(determinism, reason = "wall-clock busy accounting; telemetry only")
                             let result = Executor::try_execute_seeded(
                                 program,
                                 proposer.as_mut(),
@@ -500,7 +500,7 @@ impl BatchRunner {
                 })
                 .collect();
             for (w, h) in handles.into_iter().enumerate() {
-                let (report, failed, requeued) = h.join().expect("runtime worker panicked");
+                let (report, failed, requeued) = h.join().expect("runtime worker panicked"); // etalumis: allow(panic-freedom, reason = "join Err only repropagates a worker panic")
                 per_worker[w] = report;
                 failures.extend(failed);
                 total_retries += requeued;

@@ -443,9 +443,9 @@ impl CheckpointSink {
                 .zip(&state.finished_counts)
                 .any(|(w, &f)| w.progress().finished != f);
             if rolled || state.since_manifest >= self.interval {
-                let commit_started = std::time::Instant::now();
-                // The manifest must not reference journal bytes the disk
-                // has not acknowledged: fsync dirty journals first.
+                let commit_started = std::time::Instant::now(); // etalumis: allow(determinism, reason = "commit latency metric; telemetry only")
+                                                                // The manifest must not reference journal bytes the disk
+                                                                // has not acknowledged: fsync dirty journals first.
                 for w in state.writers.iter_mut() {
                     w.sync_journal()?;
                 }
@@ -502,9 +502,12 @@ impl CheckpointSink {
                     f2.read_to_end(&mut buf)?;
                     let mut off = 0usize;
                     while buf.len() - off >= 12 {
-                        let idx = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
-                        let len =
-                            u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap()) as usize;
+                        let mut idx8 = [0u8; 8];
+                        idx8.copy_from_slice(&buf[off..off + 8]);
+                        let idx = u64::from_le_bytes(idx8);
+                        let mut len4 = [0u8; 4];
+                        len4.copy_from_slice(&buf[off + 8..off + 12]);
+                        let len = u32::from_le_bytes(len4) as usize;
                         if buf.len() - off - 12 < len {
                             break; // torn tail: the crash interrupted this append
                         }

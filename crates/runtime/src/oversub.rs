@@ -117,7 +117,7 @@ impl MuxSimulatorPool {
                     }
                     // `Handshaking` sessions can only yield `Connected`.
                     MuxEvent::Action { .. } => {
-                        unreachable!("non-handshake action while connecting")
+                        unreachable!("non-handshake action while connecting") // etalumis: allow(panic-freedom, reason = "mux state machine admits no other event while connecting")
                     }
                     MuxEvent::ConnFailed { error, .. } => return Err(error),
                 }
@@ -310,7 +310,7 @@ impl BatchRunner {
                 })
                 .collect();
             for (w, h) in handles.into_iter().enumerate() {
-                let outcome = h.join().expect("mux worker panicked");
+                let outcome = h.join().expect("mux worker panicked"); // etalumis: allow(panic-freedom, reason = "join Err only repropagates a worker panic")
                 per_worker[w] = outcome.report;
                 failures.extend(outcome.failures);
                 total_retries += outcome.retries;
@@ -668,7 +668,7 @@ impl Reactor<'_> {
                 self.actions += 1;
                 let t0 = Instant::now();
                 let serviced = {
-                    let (_, exec, _) = self.slots[s_idx].active.as_mut().unwrap();
+                    let (_, exec, _) = self.slots[s_idx].active.as_mut().unwrap(); // etalumis: allow(panic-freedom, reason = "slot is active for the duration of a serviced action (reactor invariant)")
                     self.mux.session_mut(conn).service(action, exec)
                 };
                 self.report.busy += t0.elapsed();
@@ -679,7 +679,7 @@ impl Reactor<'_> {
                         }
                     }
                     Ok(Serviced::Finished(result)) => {
-                        let (i, exec, launched) = self.slots[s_idx].active.take().unwrap();
+                        let (i, exec, launched) = self.slots[s_idx].active.take().unwrap(); // etalumis: allow(panic-freedom, reason = "slot is active for the duration of a serviced action (reactor invariant)")
                         let (trace, proposer) = exec.finish(result);
                         self.slots[s_idx].proposer = Some(proposer);
                         self.report.executed += 1;
@@ -693,7 +693,7 @@ impl Reactor<'_> {
                         }
                     }
                     Ok(Serviced::Connected(_)) => {
-                        unreachable!("Connected actions are handled above")
+                        unreachable!("Connected actions are handled above") // etalumis: allow(panic-freedom, reason = "mux state machine routes Connected before servicing")
                     }
                     Err(e) => self.on_conn_death(s_idx, conn, &e.to_string()),
                 }

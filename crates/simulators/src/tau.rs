@@ -95,7 +95,7 @@ fn sample_fractions(ctx: &mut dyn SimCtx, n: usize, min_frac: f64, max_tries: us
         let mut cuts: Vec<f64> = (0..n - 1)
             .map(|i| ctx.sample_replaced(&u01, &format!("frac_cut{i}")).as_f64())
             .collect();
-        cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        cuts.sort_by(f64::total_cmp);
         let mut fr = Vec::with_capacity(n);
         let mut prev = 0.0;
         for &c in &cuts {
@@ -170,7 +170,7 @@ impl ProbProgram for TauDecayModel {
         let met = nu_energy * sin_theta;
         ctx.tag("met", Value::Real(met));
         let mut vis_e: Vec<f64> = visibles.iter().map(|v| v.energy).collect();
-        vis_e.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        vis_e.sort_by(|x, y| f64::total_cmp(y, x));
         ctx.tag("fsp_energy1", Value::Real(vis_e.first().copied().unwrap_or(0.0)));
         ctx.tag("fsp_energy2", Value::Real(vis_e.get(1).copied().unwrap_or(0.0)));
         ctx.tag("channel_name", Value::Str(channel.name.to_string()));

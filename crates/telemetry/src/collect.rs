@@ -125,7 +125,7 @@ impl SpanStats {
             count,
             total_us: total,
             min_us: durs[0],
-            max_us: *durs.last().unwrap(),
+            max_us: durs.last().copied().unwrap_or(0),
             p50_us: percentile(&durs, 0.50),
             p90_us: percentile(&durs, 0.90),
             p99_us: percentile(&durs, 0.99),

@@ -227,7 +227,7 @@ impl Telemetry {
         let Some(shared) = &self.inner else { return Vec::new() };
         let mut out = Vec::new();
         for shard in &shared.shards {
-            out.append(&mut shard.lock().expect("telemetry shard poisoned"));
+            out.append(&mut shard.lock().unwrap_or_else(|e| e.into_inner()));
         }
         out.sort_by_key(|e| e.seq);
         out
@@ -250,7 +250,7 @@ impl Telemetry {
 impl Shared {
     fn record(&self, event: Event) {
         let shard = THREAD_SHARD.with(|s| *s);
-        self.shards[shard].lock().expect("telemetry shard poisoned").push(event);
+        self.shards[shard].lock().unwrap_or_else(|e| e.into_inner()).push(event);
     }
 }
 

@@ -99,14 +99,14 @@ impl Logger {
         for (k, v) in fields {
             line.push_str(&format!(" {k}={}", v.human()));
         }
-        eprintln!("{line}");
+        eprintln!("{line}"); // etalumis: allow(logging, reason = "the Logger console sink itself")
         if self.json {
             let mut obj =
                 JsonObject::new().f64("t_s", t).string("level", level.tag()).string("event", event);
             for (k, v) in fields {
                 obj = obj.raw(k, &v.json());
             }
-            println!("{}", obj.done());
+            println!("{}", obj.done()); // etalumis: allow(logging, reason = "the Logger JSON sink itself")
         }
     }
 

@@ -48,7 +48,7 @@ pub fn softmax_rows(x: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(&[m, n]);
     for i in 0..m {
         let row = x.row(i);
-        let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max); // etalumis: allow(float-reduction, reason = "sequential fixed-order reduction over one row; order is shape-invariant")
         let orow = out.row_mut(i);
         let mut total = 0.0f32;
         for (o, &v) in orow.iter_mut().zip(row.iter()) {
@@ -70,8 +70,8 @@ pub fn log_softmax_rows(x: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(&[m, n]);
     for i in 0..m {
         let row = x.row(i);
-        let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let lse = row.iter().map(|&v| (v - mx).exp()).sum::<f32>().ln() + mx;
+        let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max); // etalumis: allow(float-reduction, reason = "sequential fixed-order reduction over one row; order is shape-invariant")
+        let lse = row.iter().map(|&v| (v - mx).exp()).sum::<f32>().ln() + mx; // etalumis: allow(float-reduction, reason = "sequential fixed-order reduction over one row; order is shape-invariant")
         for (o, &v) in out.row_mut(i).iter_mut().zip(row.iter()) {
             *o = v - lse;
         }
@@ -87,7 +87,7 @@ pub fn softmax_backward_from_output(y: &Tensor, grad: &Tensor) -> Tensor {
     for i in 0..m {
         let yr = y.row(i);
         let gr = grad.row(i);
-        let dot: f32 = yr.iter().zip(gr.iter()).map(|(&a, &b)| a * b).sum();
+        let dot: f32 = yr.iter().zip(gr.iter()).map(|(&a, &b)| a * b).sum(); // etalumis: allow(float-reduction, reason = "sequential fixed-order reduction over one row; order is shape-invariant")
         for ((o, &yv), &gv) in out.row_mut(i).iter_mut().zip(yr.iter()).zip(gr.iter()) {
             *o = yv * (gv - dot);
         }

@@ -69,7 +69,10 @@ fn default_threads() -> usize {
 /// Type-erased task closure published to workers. The caller blocks until
 /// every task completes, so the borrow outlives all uses.
 struct RawTask(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` and `Pool::run` blocks until every worker
+// finished with the task, so the pointer never outlives the borrow.
 unsafe impl Send for RawTask {}
+// SAFETY: shared access is `&dyn Fn(usize) + Sync`, which is Sync by bound.
 unsafe impl Sync for RawTask {}
 
 struct Job {
@@ -142,7 +145,7 @@ impl Pool {
                 std::thread::Builder::new()
                     .name(format!("etalumis-kernel-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawn kernel pool worker")
+                    .expect("spawn kernel pool worker") // etalumis: allow(panic-freedom, reason = "OS thread spawn failure at pool construction is unrecoverable resource exhaustion")
             })
             .collect();
         Pool { shared, workers }
@@ -176,7 +179,7 @@ impl Pool {
             panicked: AtomicBool::new(false),
         });
         {
-            let mut slot = self.shared.slot.lock().unwrap();
+            let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
             slot.seq += 1;
             slot.job = Some(Arc::clone(&job));
         }
@@ -185,15 +188,15 @@ impl Pool {
         // cursor drains, so wait for the completion count.
         job.drain();
         if !job.done() {
-            let mut guard = self.shared.done.lock().unwrap();
+            let mut guard = self.shared.done.lock().unwrap_or_else(|e| e.into_inner());
             while !job.done() {
-                guard = self.shared.done_cv.wait(guard).unwrap();
+                guard = self.shared.done_cv.wait(guard).unwrap_or_else(|e| e.into_inner());
             }
         }
         // Drop our slot reference if no newer job replaced it, so the
         // closure borrow can't be observed after `run` returns.
         {
-            let mut slot = self.shared.slot.lock().unwrap();
+            let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(cur) = &slot.job {
                 if Arc::ptr_eq(cur, &job) {
                     slot.job = None;
@@ -201,6 +204,7 @@ impl Pool {
             }
         }
         if job.panicked.load(Ordering::Relaxed) {
+            // etalumis: allow(panic-freedom, reason = "re-raises a worker task panic on the caller thread")
             panic!("kernel pool task panicked");
         }
     }
@@ -209,7 +213,7 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         {
-            let mut slot = self.shared.slot.lock().unwrap();
+            let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
             slot.shutdown = true;
         }
         self.shared.work_cv.notify_all();
@@ -223,7 +227,7 @@ fn worker_loop(shared: &Shared) {
     let mut seen_seq = 0u64;
     loop {
         let job = {
-            let mut slot = shared.slot.lock().unwrap();
+            let mut slot = shared.slot.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if slot.shutdown {
                     return;
@@ -237,14 +241,14 @@ fn worker_loop(shared: &Shared) {
                     }
                     seen_seq = slot.seq;
                 }
-                slot = shared.work_cv.wait(slot).unwrap();
+                slot = shared.work_cv.wait(slot).unwrap_or_else(|e| e.into_inner());
             }
         };
         job.drain();
         if job.done() {
             // Wake the caller under the done lock so the wake can't slip
             // between its `done()` check and its wait.
-            let _guard = shared.done.lock().unwrap();
+            let _guard = shared.done.lock().unwrap_or_else(|e| e.into_inner());
             shared.done_cv.notify_all();
         }
     }
@@ -255,7 +259,10 @@ fn worker_loop(shared: &Shared) {
 /// ranges.
 #[derive(Clone, Copy)]
 pub struct SendPtr<T>(*mut T);
+// SAFETY: callers hand each task a disjoint output range (documented
+// contract above), so no two threads alias the same elements.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: same disjointness contract as Send — the wrapper itself is inert.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {

@@ -185,6 +185,8 @@ impl Kernels {
         debug_assert_eq!(a.len(), rows * k);
         match self.backend {
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Avx2Fma` is only selected when `avx2_available()`
+            // confirmed AVX2+FMA on this CPU (see `active_backend`).
             Backend::Avx2Fma => unsafe { avx2::gemm_rows_packed(c, a, bp, k, n) },
             #[cfg(not(target_arch = "x86_64"))]
             Backend::Avx2Fma => scalar_gemm_rows_packed(self, c, a, bp, k, n),
@@ -203,6 +205,8 @@ impl Kernels {
         debug_assert_eq!(b.len(), n * k);
         match self.backend {
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Avx2Fma` is only selected when `avx2_available()`
+            // confirmed AVX2+FMA on this CPU (see `active_backend`).
             Backend::Avx2Fma => unsafe { avx2::gemm_a_bt_rows(c, a, b, k, n) },
             #[cfg(not(target_arch = "x86_64"))]
             Backend::Avx2Fma => scalar_gemm_a_bt_rows(self, c, a, b, k, n),
@@ -215,6 +219,8 @@ impl Kernels {
         debug_assert_eq!(a.len(), b.len());
         match self.backend {
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Avx2Fma` is only selected when `avx2_available()`
+            // confirmed AVX2+FMA on this CPU (see `active_backend`).
             Backend::Avx2Fma => unsafe { avx2::dot(a, b) },
             #[cfg(not(target_arch = "x86_64"))]
             Backend::Avx2Fma => self.scalar_dot(a, b),
@@ -235,6 +241,8 @@ impl Kernels {
     pub fn sigmoid(&self, xs: &mut [f32]) {
         match self.backend {
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Avx2Fma` is only selected when `avx2_available()`
+            // confirmed AVX2+FMA on this CPU (see `active_backend`).
             Backend::Avx2Fma => unsafe { avx2::sigmoid(xs) },
             #[cfg(not(target_arch = "x86_64"))]
             Backend::Avx2Fma => scalar_sigmoid(xs),
@@ -246,6 +254,8 @@ impl Kernels {
     pub fn tanh(&self, xs: &mut [f32]) {
         match self.backend {
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Avx2Fma` is only selected when `avx2_available()`
+            // confirmed AVX2+FMA on this CPU (see `active_backend`).
             Backend::Avx2Fma => unsafe { avx2::tanh(xs) },
             #[cfg(not(target_arch = "x86_64"))]
             Backend::Avx2Fma => scalar_tanh(xs),
@@ -261,6 +271,8 @@ impl Kernels {
         debug_assert_eq!(ov.len(), iv.len());
         match self.backend {
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Avx2Fma` is only selected when `avx2_available()`
+            // confirmed AVX2+FMA on this CPU (see `active_backend`).
             Backend::Avx2Fma => unsafe { avx2::conv_row(ov, iv, wtile) },
             #[cfg(not(target_arch = "x86_64"))]
             Backend::Avx2Fma => scalar_conv_row_dispatch(ov, iv, wtile),
@@ -305,6 +317,8 @@ fn scalar_dot_impl(a: &[f32], b: &[f32]) -> f32 {
 }
 
 #[cfg(target_arch = "x86_64")]
+// SAFETY: callers must ensure FMA is supported (every call site checks
+// `fma_available` first).
 #[target_feature(enable = "fma")]
 unsafe fn scalar_dot_fma(a: &[f32], b: &[f32]) -> f32 {
     scalar_dot_impl(a, b)
@@ -377,6 +391,8 @@ fn scalar_gemm_rows_packed_impl(c: &mut [f32], a: &[f32], bp: &[f32], k: usize, 
 }
 
 #[cfg(target_arch = "x86_64")]
+// SAFETY: callers must ensure FMA is supported (every call site checks
+// `fma_available` first).
 #[target_feature(enable = "fma")]
 unsafe fn scalar_gemm_rows_packed_fma(c: &mut [f32], a: &[f32], bp: &[f32], k: usize, n: usize) {
     scalar_gemm_rows_packed_impl(c, a, bp, k, n)
@@ -405,6 +421,8 @@ fn scalar_gemm_a_bt_rows_impl(c: &mut [f32], a: &[f32], b: &[f32], k: usize, n: 
 }
 
 #[cfg(target_arch = "x86_64")]
+// SAFETY: callers must ensure FMA is supported (every call site checks
+// `fma_available` first).
 #[target_feature(enable = "fma")]
 unsafe fn scalar_gemm_a_bt_rows_fma(c: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
     scalar_gemm_a_bt_rows_impl(c, a, b, k, n)
@@ -436,6 +454,8 @@ fn scalar_conv_row_impl(ov: &mut [f32], iv: &[f32], wtile: &[f32]) {
 }
 
 #[cfg(target_arch = "x86_64")]
+// SAFETY: callers must ensure FMA is supported (every call site checks
+// `fma_available` first).
 #[target_feature(enable = "fma")]
 unsafe fn scalar_conv_row_fma(ov: &mut [f32], iv: &[f32], wtile: &[f32]) {
     scalar_conv_row_impl(ov, iv, wtile)
@@ -517,12 +537,16 @@ fn scalar_tanh_impl(xs: &mut [f32]) {
 }
 
 #[cfg(target_arch = "x86_64")]
+// SAFETY: callers must ensure FMA is supported (every call site checks
+// `fma_available` first).
 #[target_feature(enable = "fma")]
 unsafe fn scalar_sigmoid_fma(xs: &mut [f32]) {
     scalar_sigmoid_impl(xs)
 }
 
 #[cfg(target_arch = "x86_64")]
+// SAFETY: callers must ensure FMA is supported (every call site checks
+// `fma_available` first).
 #[target_feature(enable = "fma")]
 unsafe fn scalar_tanh_fma(xs: &mut [f32]) {
     scalar_tanh_impl(xs)
@@ -558,6 +582,8 @@ mod avx2 {
     use std::arch::x86_64::*;
 
     /// ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)) — the [`reduce8`] tree.
+    // SAFETY: callers must ensure AVX is supported (all call sites are
+    // `target_feature(avx2,fma)` functions).
     #[inline(always)]
     unsafe fn hreduce(v: __m256) -> f32 {
         let lo = _mm256_castps256_ps128(v);
@@ -567,6 +593,9 @@ mod avx2 {
         _mm_cvtss_f32(_mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0x1)))
     }
 
+    // SAFETY: callers must ensure AVX2+FMA are supported (the dispatch
+    // wrappers gate on `avx2_available`); slice-length preconditions are
+    // checked by the safe `Kernels` entry points.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
         let k = a.len();
@@ -586,6 +615,9 @@ mod avx2 {
         r
     }
 
+    // SAFETY: callers must ensure AVX2+FMA are supported (the dispatch
+    // wrappers gate on `avx2_available`); slice-length preconditions are
+    // checked by the safe `Kernels` entry points.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn gemm_rows_packed(c: &mut [f32], a: &[f32], bp: &[f32], k: usize, n: usize) {
         let rows = c.len() / n;
@@ -655,6 +687,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: callers must ensure AVX2+FMA are supported (the dispatch
+    // wrappers gate on `avx2_available`); slice-length preconditions are
+    // checked by the safe `Kernels` entry points.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn gemm_a_bt_rows(c: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
         let rows = c.len() / n;
@@ -700,6 +735,8 @@ mod avx2 {
         }
     }
 
+    // SAFETY: callers must ensure AVX2+FMA are supported (all call sites
+    // are `target_feature(avx2,fma)` functions).
     #[target_feature(enable = "avx2,fma")]
     unsafe fn exp256(x: __m256) -> __m256 {
         let x = _mm256_min_ps(x, _mm256_set1_ps(EXP_HI));
@@ -722,6 +759,9 @@ mod avx2 {
         _mm256_mul_ps(y, pow2)
     }
 
+    // SAFETY: callers must ensure AVX2+FMA are supported (the dispatch
+    // wrappers gate on `avx2_available`); slice-length preconditions are
+    // checked by the safe `Kernels` entry points.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn sigmoid(xs: &mut [f32]) {
         let len = xs.len();
@@ -741,6 +781,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: callers must ensure AVX2+FMA are supported (the dispatch
+    // wrappers gate on `avx2_available`); slice-length preconditions are
+    // checked by the safe `Kernels` entry points.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn tanh(xs: &mut [f32]) {
         let len = xs.len();
@@ -765,6 +808,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: callers must ensure AVX2+FMA are supported (the dispatch
+    // wrappers gate on `avx2_available`); slice-length preconditions are
+    // checked by the safe `Kernels` entry points.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn conv_row(ov: &mut [f32], iv: &[f32], wtile: &[f32]) {
         let positions = ov.len() / 8;

@@ -167,7 +167,7 @@ impl Tensor {
 
     /// Sum of all elements (f64 accumulator for stability).
     pub fn sum(&self) -> f64 {
-        self.data.iter().map(|&x| x as f64).sum()
+        self.data.iter().map(|&x| x as f64).sum() // etalumis: allow(float-reduction, reason = "sequential fixed-order reduction over the flat buffer; order is shape-invariant")
     }
 
     /// Mean of all elements.
@@ -181,7 +181,7 @@ impl Tensor {
 
     /// Maximum element (NaN-ignoring; -inf on empty).
     pub fn max(&self) -> f32 {
-        self.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+        self.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max) // etalumis: allow(float-reduction, reason = "sequential fixed-order reduction over the flat buffer; order is shape-invariant")
     }
 
     /// Index of the maximum element.
@@ -197,7 +197,7 @@ impl Tensor {
 
     /// L2 norm of all elements.
     pub fn norm(&self) -> f64 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() // etalumis: allow(float-reduction, reason = "sequential fixed-order reduction over the flat buffer; order is shape-invariant")
     }
 
     /// Fill with zeros, keeping the allocation.

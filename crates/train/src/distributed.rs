@@ -320,7 +320,7 @@ pub fn train_distributed(
             0.0
         },
     };
-    let net = nets.into_inner().remove(0).expect("rank 0 network");
+    let net = nets.into_inner().remove(0).expect("rank 0 network"); // etalumis: allow(panic-freedom, reason = "one network per rank by construction")
     Ok((net, report))
 }
 

@@ -317,9 +317,9 @@ impl IcNetwork {
                 }
             }
         }
-        let fwd_start = Instant::now();
-        // Observation embedding, once per trace. Observations are reshaped
-        // to the CNN's configured input volume.
+        let fwd_start = Instant::now(); // etalumis: allow(determinism, reason = "forward-pass timing span; telemetry only")
+                                        // Observation embedding, once per trace. Observations are reshaped
+                                        // to the CNN's configured input volume.
         let dims = self.config.cnn.input_dims;
         let vol = dims[0] * dims[1] * dims[2];
         let mut obs_data = Vec::with_capacity(b * vol);
@@ -353,7 +353,7 @@ impl IcNetwork {
                 let (dist, value) = entries[t - 1];
                 feats.row_mut(bi).copy_from_slice(&value_features(dist, value, width));
             }
-            let layers = self.layers.get_mut(prev_addr).unwrap();
+            let layers = self.layers.get_mut(prev_addr).unwrap(); // etalumis: allow(panic-freedom, reason = "address layers are registered before any step references them (registry invariant)")
             samp_embeds.push(layers.sample_embed.forward(&feats));
         }
         let embed_ids: Vec<usize> = steps.iter().map(|a| self.layers[*a].embed_id).collect();
@@ -399,12 +399,12 @@ impl IcNetwork {
                 .collect()
         };
         let forward_secs = fwd_start.elapsed().as_secs_f64();
-        let bwd_start = Instant::now();
-        // Proposal losses per step (heads fuse forward+backward).
+        let bwd_start = Instant::now(); // etalumis: allow(determinism, reason = "backward-pass timing span; telemetry only")
+                                        // Proposal losses per step (heads fuse forward+backward).
         let mut loss = 0.0f64;
         let mut dhs: Vec<Tensor> = Vec::with_capacity(t_steps);
         for (t, addr) in steps.iter().enumerate() {
-            let layers = self.layers.get_mut(*addr).unwrap();
+            let layers = self.layers.get_mut(*addr).unwrap(); // etalumis: allow(panic-freedom, reason = "address layers are registered before any step references them (registry invariant)")
             let (l, dh) = match &mut layers.head {
                 Head::Categorical(head) => {
                     let targets: Vec<usize> =
@@ -417,7 +417,7 @@ impl IcNetwork {
                     let mut highs = Vec::with_capacity(b);
                     for e in &per_trace_entries {
                         let (dist, value) = e[t];
-                        let (lo, hi) = dist.support().expect("mixture head needs support");
+                        let (lo, hi) = dist.support().expect("mixture head needs support"); // etalumis: allow(panic-freedom, reason = "mixture heads are only constructed for bounded distributions")
                         targets.push(value.as_f64());
                         lows.push(lo);
                         highs.push(hi);
@@ -450,7 +450,7 @@ impl IcNetwork {
             // Sample embedding backward (only forwarded for t >= 1).
             if t > 0 {
                 let prev_addr = steps[t - 1];
-                let layers = self.layers.get_mut(prev_addr).unwrap();
+                let layers = self.layers.get_mut(prev_addr).unwrap(); // etalumis: allow(panic-freedom, reason = "address layers are registered before any step references them (registry invariant)")
                 let _dfeats = layers.sample_embed.backward(&parts[2]);
             }
             if batched {
@@ -498,7 +498,7 @@ impl Module for IcNetwork {
         self.address_table.visit_params(&format!("{prefix}/addr_table"), f);
         // Deterministic registration order gives stable names across ranks.
         for addr in &self.address_order {
-            let layers = self.layers.get_mut(addr).unwrap();
+            let layers = self.layers.get_mut(addr).unwrap(); // etalumis: allow(panic-freedom, reason = "address_order only lists registered addresses (registry invariant)")
             let p = format!("{prefix}/addr/{addr}");
             layers.sample_embed.visit_params(&format!("{p}/sample"), f);
             match &mut layers.head {
@@ -567,7 +567,7 @@ impl ProposalProvider for IcNetwork {
                         Distribution::Categorical { probs: qp },
                         Distribution::Categorical { probs: pp },
                     ) if qp.len() == pp.len() => {
-                        let total: f64 = pp.iter().sum();
+                        let total: f64 = pp.iter().sum(); // etalumis: allow(float-reduction, reason = "f64 prior-mass normalizer; sequential fixed order over one row")
                         Distribution::Categorical {
                             probs: qp
                                 .iter()

@@ -467,7 +467,7 @@ pub fn train_stream_distributed(
             0.0
         },
     };
-    let net = nets.into_inner().unwrap_or_else(|e| e.into_inner()).remove(0).expect("rank 0 net");
+    let net = nets.into_inner().unwrap_or_else(|e| e.into_inner()).remove(0).expect("rank 0 net"); // etalumis: allow(panic-freedom, reason = "one network per rank by construction")
     (net, report)
 }
 

@@ -8,7 +8,7 @@ use crate::network::IcNetwork;
 use etalumis_data::{DistributedSampler, SamplerConfig, TraceDataset, TraceRecord};
 use etalumis_nn::{clip_grad_norm, Module, Optimizer};
 use etalumis_telemetry::Telemetry;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Per-iteration wall-time breakdown (the phases of Figure 4).
@@ -55,7 +55,7 @@ impl PhaseTimings {
 
 /// Split records into sub-minibatches sharing one trace type (Algorithm 1).
 pub fn sub_minibatches(records: &[TraceRecord]) -> Vec<Vec<&TraceRecord>> {
-    let mut by_type: HashMap<u64, Vec<&TraceRecord>> = HashMap::new();
+    let mut by_type: BTreeMap<u64, Vec<&TraceRecord>> = BTreeMap::new();
     for r in records {
         by_type.entry(r.trace_type).or_default().push(r);
     }
