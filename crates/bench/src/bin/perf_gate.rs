@@ -24,7 +24,8 @@ use std::path::PathBuf;
 /// Fresh snapshot must reach at least this fraction of the baseline.
 const MIN_RATIO: f64 = 0.5;
 
-const SNAPSHOTS: &[&str] = &["BENCH_runtime.json", "BENCH_train.json", "BENCH_kernels.json"];
+const SNAPSHOTS: &[&str] =
+    &["BENCH_runtime.json", "BENCH_train.json", "BENCH_kernels.json", "BENCH_streaming.json"];
 
 fn main() {
     let update = std::env::args().any(|a| a == "--update-baselines");

@@ -177,6 +177,7 @@ impl TraceChannel {
                 self.tel.count("stream.blocked_send", 1);
                 counted_block = true;
             }
+            // etalumis: allow(reactor-blocking, reason = "bounded backpressure park: the channel contract is blocking-send, and close() wakes every parked sender")
             state = self.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
         }
         if state.closed {
@@ -186,7 +187,8 @@ impl TraceChannel {
         self.sends.fetch_add(1, Ordering::Relaxed);
         self.max_occupancy.fetch_max(state.queue.len(), Ordering::Relaxed);
         self.tel.gauge("stream.occupancy", state.queue.len() as f64);
-        drop(state);
+        // Notify while the state lock is still held: a receiver that just
+        // failed its predicate cannot slip between our push and this wakeup.
         self.not_empty.notify_one();
         Ok(())
     }
@@ -208,7 +210,8 @@ impl TraceChannel {
         if rec.is_some() {
             self.recvs.fetch_add(1, Ordering::Relaxed);
         }
-        drop(state);
+        // Notify under the lock so a sender checking fullness cannot race
+        // between our pop and the wakeup.
         self.not_full.notify_one();
         rec
     }
@@ -216,10 +219,10 @@ impl TraceChannel {
     /// Close the channel (idempotent). Queued records stay receivable;
     /// blocked senders fail, blocked receivers drain and finish.
     pub fn close(&self) {
-        {
-            let mut state = self.lock_state();
-            state.closed = true;
-        }
+        let mut state = self.lock_state();
+        state.closed = true;
+        // Notify under the lock: a sender/receiver mid-predicate-check
+        // cannot miss the close and park forever.
         self.not_full.notify_all();
         self.not_empty.notify_all();
     }

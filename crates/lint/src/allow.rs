@@ -5,6 +5,7 @@
 //! baseline entry that no longer suppresses anything is itself an error, so
 //! the allowlist can only shrink.
 
+use crate::analyze::ANALYZE_RULES;
 use crate::lexer::Token;
 use crate::rules::RULES;
 
@@ -96,9 +97,9 @@ fn parse_allow(rest: &str) -> (String, Option<String>) {
     (rule, reason)
 }
 
-/// True if `rule` names one of the engine's rules.
+/// True if `rule` names one of the engine's rules (lexical or analyzer).
 pub fn known_rule(rule: &str) -> bool {
-    RULES.contains(&rule)
+    RULES.contains(&rule) || ANALYZE_RULES.contains(&rule)
 }
 
 /// One `[[allow]]` entry from `ci/lint_allow.toml`.

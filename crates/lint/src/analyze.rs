@@ -1,0 +1,416 @@
+//! `etalumis-analyze`: the static concurrency analyzer.
+//!
+//! Drives parse → per-function summaries (two passes, so guard-returning
+//! helpers discovered in pass one resolve as acquisitions in pass two) →
+//! call/lock graph → the four workspace rules:
+//!
+//! * **lock-order** — any cycle in the global lock-acquisition graph
+//!   (held → acquired, direct and call-mediated) is a potential deadlock,
+//!   reported with a witness for every edge of the cycle.
+//! * **condvar-discipline** — `Condvar::wait` must sit in a loop
+//!   re-checking its predicate, and `notify_*` must run while the mutex
+//!   paired with that condvar (by observed waits) is held.
+//! * **reactor-blocking** — nothing reachable from `Mux::poll` or its
+//!   callers may sleep, do file I/O, wait on a condvar, block on a foreign
+//!   `.recv()`, or acquire a lock that other code holds across blocking
+//!   operations.
+//! * **unwind-safety** — code reachable from thread-spawning functions
+//!   must not invoke caller-supplied closures while holding a
+//!   panic-on-poison (`.lock().unwrap()`) lock outside `catch_unwind`.
+//!
+//! Findings are anchored at the offending source line so the shared
+//! `// etalumis: allow(rule, reason = "…")` machinery applies unchanged.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::{self, FnNode, Graph, TraitInfo};
+use crate::lexer::Token;
+use crate::parse::{self, FieldKind};
+use crate::rules;
+use crate::summary::{self, AcqStyle, FnSummary, LockId, Tables};
+use crate::Finding;
+
+/// The analyzer's rule names (suppressible via the same allow machinery as
+/// the lexical rules).
+pub const ANALYZE_RULES: [&str; 4] =
+    ["lock-order", "condvar-discipline", "reactor-blocking", "unwind-safety"];
+
+/// One file handed to the analyzer (already lexed by the lint walk).
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Crate name (used for same-crate-first free-fn resolution).
+    pub krate: String,
+    pub toks: Vec<Token>,
+}
+
+/// Aggregate graph statistics for the CI report.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Stats {
+    pub files: usize,
+    pub functions: usize,
+    pub call_edges: usize,
+    pub lock_nodes: usize,
+    pub lock_edges: usize,
+    pub lock_cycles: usize,
+    pub reactor_roots: usize,
+    pub reactor_reachable: usize,
+    pub long_held_locks: usize,
+}
+
+/// Analyze a set of files and return raw (pre-suppression) findings plus
+/// graph statistics. Findings are sorted by (file, line, rule, message).
+pub fn analyze(files: &[SourceFile]) -> (Vec<Finding>, Stats) {
+    // --- Parse every file -----------------------------------------------
+    let codes: Vec<rules::Code<'_>> = files.iter().map(|f| rules::build(&f.toks)).collect();
+    let items: Vec<parse::Items> = codes.iter().map(parse::parse).collect();
+
+    // --- Symbol tables ---------------------------------------------------
+    let mut tables = Tables::default();
+    let mut ti = TraitInfo::default();
+    for it in &items {
+        for fld in &it.fields {
+            if let FieldKind::Mutex { .. } = fld.kind {
+                let owners = tables.mutex_field_owners.entry(fld.name.clone()).or_default();
+                if !owners.contains(&fld.owner) {
+                    owners.push(fld.owner.clone());
+                }
+            }
+            if fld.kind == FieldKind::Condvar {
+                let owners = tables.cv_field_owners.entry(fld.name.clone()).or_default();
+                if !owners.contains(&fld.owner) {
+                    owners.push(fld.owner.clone());
+                }
+            }
+            tables.fields.insert((fld.owner.clone(), fld.name.clone()), fld.kind.clone());
+        }
+        for st in &it.statics {
+            if st.is_mutex {
+                tables.mutex_statics.insert(st.name.clone());
+            }
+        }
+        for f in &it.fns {
+            if let Some(o) = &f.owner {
+                tables.methods.insert((o.clone(), f.name.clone()));
+            }
+        }
+        for tr in &it.traits {
+            ti.methods.entry(tr.name.clone()).or_default().extend(tr.methods.iter().cloned());
+        }
+        for (tr, ty) in &it.impls {
+            let v = ti.impls.entry(tr.clone()).or_default();
+            if !v.contains(ty) {
+                v.push(ty.clone());
+            }
+        }
+    }
+
+    // --- Function list (skip test fns and bodyless decls for scanning) ---
+    struct FnRef {
+        file: usize,
+        item_idx: usize,
+        nested: Vec<(usize, usize)>,
+    }
+    let mut fn_refs: Vec<FnRef> = Vec::new();
+    for (fi, it) in items.iter().enumerate() {
+        for (k, f) in it.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let Some((o, c)) = f.body else {
+                continue;
+            };
+            let nested: Vec<(usize, usize)> =
+                it.fns.iter().filter_map(|g| g.body).filter(|&(go, gc)| go > o && gc < c).collect();
+            fn_refs.push(FnRef { file: fi, item_idx: k, nested });
+        }
+    }
+
+    // --- Pass 1: summaries without guard-helper knowledge -----------------
+    let scan_all = |tables: &Tables| -> Vec<FnSummary> {
+        fn_refs
+            .iter()
+            .map(|r| {
+                summary::scan(
+                    &codes[r.file],
+                    &files[r.file].rel,
+                    &items[r.file].fns[r.item_idx],
+                    &r.nested,
+                    tables,
+                )
+            })
+            .collect()
+    };
+    let pass1 = scan_all(&tables);
+    for (r, s) in fn_refs.iter().zip(&pass1) {
+        if let Some((lock, style)) = &s.guard_of {
+            let f = &items[r.file].fns[r.item_idx];
+            tables.guard_helpers.insert((f.owner.clone(), f.name.clone()), (lock.clone(), *style));
+        }
+    }
+
+    // --- Pass 2: full summaries, then the graph ---------------------------
+    let sums = if tables.guard_helpers.is_empty() { pass1 } else { scan_all(&tables) };
+    let nodes: Vec<FnNode> = fn_refs
+        .iter()
+        .zip(sums)
+        .map(|(r, sum)| FnNode {
+            file: files[r.file].rel.clone(),
+            krate: files[r.file].krate.clone(),
+            item: items[r.file].fns[r.item_idx].clone(),
+            sum,
+        })
+        .collect();
+    let g = graph::build(nodes, &ti);
+
+    // --- Rules -------------------------------------------------------------
+    let mut out: Vec<Finding> = Vec::new();
+    let mut seen: BTreeSet<(String, u32, String)> = BTreeSet::new();
+    let mut push = |out: &mut Vec<Finding>, rule: &str, file: &str, line: u32, msg: String| {
+        if seen.insert((file.to_string(), line, rule.to_string())) {
+            out.push(Finding {
+                file: file.to_string(),
+                line,
+                rule: rule.to_string(),
+                message: msg,
+            });
+        }
+    };
+
+    rule_lock_order(&g, &mut out, &mut push);
+    rule_condvar(&g, &mut out, &mut push);
+    let (n_roots, n_reach) = rule_reactor(&g, &mut out, &mut push);
+    rule_unwind(&g, &mut out, &mut push);
+
+    out.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+
+    let lock_nodes: BTreeSet<&LockId> = g
+        .lock_edges
+        .keys()
+        .flat_map(|(a, b)| [a, b])
+        .chain(g.fns.iter().flat_map(|n| n.sum.acquires.iter().map(|a| &a.lock)))
+        .collect();
+    let stats = Stats {
+        files: files.len(),
+        functions: g.fns.len(),
+        call_edges: g.call_edge_count,
+        lock_nodes: lock_nodes.len(),
+        lock_edges: g.lock_edges.len(),
+        lock_cycles: g.lock_cycles().len(),
+        reactor_roots: n_roots,
+        reactor_reachable: n_reach,
+        long_held_locks: g.long_held.len(),
+    };
+    (out, stats)
+}
+
+type Push<'a> = dyn FnMut(&mut Vec<Finding>, &str, &str, u32, String) + 'a;
+
+fn rule_lock_order(g: &Graph, out: &mut Vec<Finding>, push: &mut Push<'_>) {
+    for cyc in g.lock_cycles() {
+        // Collect the intra-cycle edges with their witnesses.
+        let set: BTreeSet<&LockId> = cyc.iter().collect();
+        let mut evidence = String::new();
+        let mut anchor: Option<(&str, u32)> = None;
+        for ((a, b), w) in &g.lock_edges {
+            if !(set.contains(a) && set.contains(b)) {
+                continue;
+            }
+            let holder = &g.fns[w.path[0].f];
+            if anchor.is_none() {
+                anchor = Some((&holder.file, w.held_line));
+            }
+            evidence.push_str(&format!(
+                "; edge {a} -> {b}: {a} acquired at {}:{}, then {}",
+                holder.file,
+                w.held_line,
+                g.render_path(&w.path)
+            ));
+        }
+        let names: Vec<String> = cyc.iter().map(|l| l.to_string()).collect();
+        let (file, line) = anchor.unwrap_or(("<unknown>", 0));
+        let shape = if cyc.len() == 1 {
+            format!("re-entrant acquisition of {}", names[0])
+        } else {
+            format!("lock-order cycle {{{}}}", names.join(", "))
+        };
+        push(out, "lock-order", file, line, format!("potential deadlock: {shape}{evidence}"));
+    }
+}
+
+fn rule_condvar(g: &Graph, out: &mut Vec<Finding>, push: &mut Push<'_>) {
+    // Pairing: condvar → mutexes whose guards were passed to its waits.
+    let mut paired: BTreeMap<String, BTreeSet<LockId>> = BTreeMap::new();
+    for n in &g.fns {
+        for w in &n.sum.waits {
+            if let Some(p) = &w.paired {
+                paired.entry(w.cv.to_string()).or_default().insert(p.clone());
+            }
+        }
+    }
+    for n in &g.fns {
+        for w in &n.sum.waits {
+            if !w.in_loop {
+                push(
+                    out,
+                    "condvar-discipline",
+                    &n.file,
+                    w.line,
+                    format!(
+                        "`Condvar::wait` on {} in {} is not inside a loop; waits must \
+                         re-check their predicate (spurious wakeups, lost notifies)",
+                        w.cv,
+                        n.qual()
+                    ),
+                );
+            }
+        }
+        for ev in &n.sum.notifies {
+            let mutexes = paired.get(&ev.cv.to_string());
+            let ok = match mutexes {
+                Some(m) => ev.held.iter().any(|h| m.contains(h)),
+                // No observed waits to pair against: any held lock passes.
+                None => !ev.held.is_empty(),
+            };
+            if !ok {
+                let expect = match mutexes {
+                    Some(m) => {
+                        let names: Vec<String> = m.iter().map(|l| l.to_string()).collect();
+                        format!("paired mutex {} (from its waits)", names.join(" / "))
+                    }
+                    None => "a mutex".to_string(),
+                };
+                push(
+                    out,
+                    "condvar-discipline",
+                    &n.file,
+                    ev.line,
+                    format!(
+                        "notify on {} in {} without holding {}; a waiter can check its \
+                         predicate, lose the race, and sleep through this notify",
+                        ev.cv,
+                        n.qual(),
+                        expect
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn rule_reactor(g: &Graph, out: &mut Vec<Finding>, push: &mut Push<'_>) -> (usize, usize) {
+    let (roots, paths) = g.reactor_reachable();
+    for (&i, root_path) in &paths {
+        let n = &g.fns[i];
+        let via = g.render_path(root_path);
+        for b in &n.sum.blocking {
+            push(
+                out,
+                "reactor-blocking",
+                &n.file,
+                b.line,
+                format!(
+                    "{} ({}) in {} is reachable from the reactor poll path [{}]; the \
+                     reactor must never block",
+                    b.kind.describe(),
+                    b.what,
+                    n.qual(),
+                    via
+                ),
+            );
+        }
+        for w in &n.sum.waits {
+            push(
+                out,
+                "reactor-blocking",
+                &n.file,
+                w.line,
+                format!(
+                    "`Condvar::wait` on {} in {} is reachable from the reactor poll \
+                     path [{}]",
+                    w.cv,
+                    n.qual(),
+                    via
+                ),
+            );
+        }
+        if let Some((line, what)) = &g.unresolved_blocking[i] {
+            push(
+                out,
+                "reactor-blocking",
+                &n.file,
+                *line,
+                format!("{what} in {} is reachable from the reactor poll path [{}]", n.qual(), via),
+            );
+        }
+        for a in &n.sum.acquires {
+            if let Some(w) = g.long_held.get(&a.lock) {
+                let holder = &g.fns[w.path[0].f];
+                push(
+                    out,
+                    "reactor-blocking",
+                    &n.file,
+                    a.line,
+                    format!(
+                        "{} acquires {} on the reactor poll path [{}], but {} holds that \
+                         lock across a blocking operation (acquired {}:{}, then {}); \
+                         the poll loop can stall on this acquisition",
+                        n.qual(),
+                        a.lock,
+                        via,
+                        holder.qual(),
+                        holder.file,
+                        w.held_line,
+                        g.render_path(&w.path)
+                    ),
+                );
+            }
+        }
+    }
+    (roots.len(), paths.len())
+}
+
+fn rule_unwind(g: &Graph, out: &mut Vec<Finding>, push: &mut Push<'_>) {
+    let reach = g.spawn_reachable();
+    for (&i, root_path) in &reach {
+        let n = &g.fns[i];
+        for cc in &n.sum.closure_calls {
+            if cc.held.is_empty() || cc.in_catch {
+                continue;
+            }
+            // A held lock is hazardous when acquired with panic-on-poison
+            // style (`.unwrap()`/`.expect(…)`): a panic inside the closure
+            // poisons it and every later unwrap cascades.
+            let hazard = cc.held.iter().find(|(lock, _)| {
+                let style = n
+                    .sum
+                    .acquires
+                    .iter()
+                    .find(|a| a.lock == *lock)
+                    .map(|a| a.style)
+                    .unwrap_or(AcqStyle::StdUnwrap);
+                style == AcqStyle::StdUnwrap
+            });
+            if let Some((lock, acq_line)) = hazard {
+                push(
+                    out,
+                    "unwind-safety",
+                    &n.file,
+                    cc.line,
+                    format!(
+                        "{} invokes caller-supplied closure `{}` while holding {} \
+                         (acquired at line {acq_line} with panicking unwrap, no \
+                         catch_unwind) on a worker-thread path [{}]; a payload panic \
+                         poisons the lock for the whole pool",
+                        n.qual(),
+                        cc.what,
+                        lock,
+                        g.render_path(root_path)
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! Workspace call graph + lock-acquisition graph.
+//!
+//! Consumes per-function summaries and the parsed symbol tables to:
+//!
+//! * resolve call events to workspace functions (receiver-typed calls to
+//!   the owning impl, trait-typed calls to every implementor, free calls
+//!   same-crate-first, and opaque-receiver calls ONLY through workspace
+//!   trait method names — never by bare std-colliding method names),
+//! * compute `AcqStar(f)` — every lock transitively acquirable from `f` —
+//!   as an insert-only monotone fixpoint carrying a witness call path,
+//! * likewise a may-block witness per function (sleep / file I/O /
+//!   condvar wait / unresolved `.recv()` / foreign `.wait()`),
+//! * build the global lock-order graph (held → acquired edges, direct and
+//!   call-mediated) and extract its cycles with both acquisition paths,
+//! * BFS reactor-reachability from `Mux::poll` and its callers, keeping
+//!   parent chains for evidence.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::parse::FnItem;
+use crate::summary::{qual_name, FnSummary, Hint, LockId};
+
+/// One analyzed function: identity + summary.
+pub struct FnNode {
+    pub file: String,
+    pub krate: String,
+    pub item: FnItem,
+    pub sum: FnSummary,
+}
+
+impl FnNode {
+    pub fn qual(&self) -> String {
+        qual_name(&self.item)
+    }
+}
+
+/// A resolved call edge.
+#[derive(Debug, Clone)]
+pub struct CallEdge {
+    pub callee: usize,
+    pub line: u32,
+    pub held: Vec<(LockId, u32)>,
+    pub in_catch: bool,
+}
+
+/// One step of an evidence chain: a call (or acquisition) at `line` in
+/// function `f`.
+#[derive(Debug, Clone)]
+pub struct Step {
+    pub f: usize,
+    pub line: u32,
+}
+
+/// Witness that a function may block, with the call chain to the site.
+#[derive(Debug, Clone)]
+pub struct BlockWitness {
+    pub what: String,
+    pub path: Vec<Step>,
+}
+
+/// Witness for one lock-order edge `from → to`: `from` was acquired at
+/// `held_line` in `path[0].f`, and `path` leads to the acquisition of `to`.
+#[derive(Debug, Clone)]
+pub struct EdgeWitness {
+    pub held_line: u32,
+    pub path: Vec<Step>,
+}
+
+/// Trait-declaration info aggregated across the workspace.
+#[derive(Debug, Default)]
+pub struct TraitInfo {
+    /// trait name → declared method names.
+    pub methods: BTreeMap<String, BTreeSet<String>>,
+    /// trait name → implementing type names.
+    pub impls: BTreeMap<String, Vec<String>>,
+}
+
+pub struct Graph {
+    pub fns: Vec<FnNode>,
+    /// Resolved call edges per function.
+    pub calls: Vec<Vec<CallEdge>>,
+    pub call_edge_count: usize,
+    /// May-block witness per function (first found).
+    pub blocks: Vec<Option<BlockWitness>>,
+    /// Transitively-acquirable locks per function, with witness paths.
+    pub acq_star: Vec<BTreeMap<LockId, Vec<Step>>>,
+    /// Lock-order graph: `(held, acquired) → first witness`.
+    pub lock_edges: BTreeMap<(LockId, LockId), EdgeWitness>,
+    /// Locks ever held across a blocking operation / wait / blocking call.
+    pub long_held: BTreeMap<LockId, EdgeWitness>,
+    /// First call per fn that resolved to nothing but is itself a blocking
+    /// primitive (`.recv()` on a foreign channel, …).
+    pub unresolved_blocking: Vec<Option<(u32, String)>>,
+}
+
+pub fn build(fns: Vec<FnNode>, ti: &TraitInfo) -> Graph {
+    let n = fns.len();
+
+    // --- Symbol indices ------------------------------------------------
+    let mut by_owner: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut trait_defaults: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+    let mut type_traits: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (tr, types) in &ti.impls {
+        for ty in types {
+            type_traits.entry(ty).or_default().push(tr);
+        }
+    }
+    for (i, node) in fns.iter().enumerate() {
+        if node.item.body.is_none() {
+            continue;
+        }
+        match &node.item.owner {
+            Some(o) => {
+                by_owner.entry((o, &node.item.name)).or_default().push(i);
+                if node.item.in_trait_decl {
+                    trait_defaults.insert((o, &node.item.name), i);
+                }
+            }
+            None => free.entry(&node.item.name).or_default().push(i),
+        }
+    }
+
+    // --- Call resolution -----------------------------------------------
+    let mut calls: Vec<Vec<CallEdge>> = vec![Vec::new(); n];
+    let mut call_edge_count = 0usize;
+    // First unresolved call that is itself a blocking primitive, per fn.
+    let mut unresolved_blocking: Vec<Option<(u32, String)>> = vec![None; n];
+    for (i, node) in fns.iter().enumerate() {
+        for c in &node.sum.calls {
+            let mut targets: Vec<usize> = Vec::new();
+            match &c.hint {
+                Hint::Type(t) => {
+                    if let Some(v) = by_owner.get(&(t.as_str(), c.name.as_str())) {
+                        targets.extend(v);
+                    }
+                    if targets.is_empty() {
+                        // `t` may itself be a trait object / generic bound.
+                        if ti.methods.get(t).is_some_and(|m| m.contains(&c.name)) {
+                            for ty in ti.impls.get(t).map(|v| v.as_slice()).unwrap_or(&[]) {
+                                if let Some(v) = by_owner.get(&(ty.as_str(), c.name.as_str())) {
+                                    targets.extend(v);
+                                }
+                            }
+                            if let Some(&d) = trait_defaults.get(&(t.as_str(), c.name.as_str())) {
+                                targets.push(d);
+                            }
+                        }
+                    }
+                    if targets.is_empty() {
+                        // Default method of a trait `t` implements.
+                        for tr in type_traits.get(t.as_str()).map(|v| v.as_slice()).unwrap_or(&[]) {
+                            if let Some(&d) = trait_defaults.get(&(tr, c.name.as_str())) {
+                                targets.push(d);
+                            }
+                        }
+                    }
+                }
+                Hint::Free => {
+                    if let Some(v) = free.get(c.name.as_str()) {
+                        let same: Vec<usize> =
+                            v.iter().copied().filter(|&j| fns[j].krate == node.krate).collect();
+                        targets.extend(if same.is_empty() { v.clone() } else { same });
+                    }
+                }
+                Hint::Opaque => {
+                    // Resolve only through workspace trait method names.
+                    for (tr, methods) in &ti.methods {
+                        if !methods.contains(&c.name) {
+                            continue;
+                        }
+                        for ty in ti.impls.get(tr).map(|v| v.as_slice()).unwrap_or(&[]) {
+                            if let Some(v) = by_owner.get(&(ty.as_str(), c.name.as_str())) {
+                                targets.extend(v);
+                            }
+                        }
+                        if let Some(&d) = trait_defaults.get(&(tr.as_str(), c.name.as_str())) {
+                            targets.push(d);
+                        }
+                    }
+                }
+            }
+            targets.sort_unstable();
+            targets.dedup();
+            targets.retain(|&j| j != i); // drop trivial self-recursion edges
+            if targets.is_empty() {
+                if let Some(k) = c.blocking_hint {
+                    if unresolved_blocking[i].is_none() {
+                        unresolved_blocking[i] =
+                            Some((c.line, format!("{} (`.{}()`)", k.describe(), c.name)));
+                    }
+                }
+                continue;
+            }
+            for t in targets {
+                calls[i].push(CallEdge {
+                    callee: t,
+                    line: c.line,
+                    held: c.held.clone(),
+                    in_catch: c.in_catch,
+                });
+                call_edge_count += 1;
+            }
+        }
+    }
+
+    // --- May-block fixpoint ---------------------------------------------
+    let mut blocks: Vec<Option<BlockWitness>> = (0..n)
+        .map(|i| {
+            let node = &fns[i];
+            if let Some(b) = node.sum.blocking.first() {
+                return Some(BlockWitness {
+                    what: format!("{} ({})", b.kind.describe(), b.what),
+                    path: vec![Step { f: i, line: b.line }],
+                });
+            }
+            if let Some(w) = node.sum.waits.first() {
+                return Some(BlockWitness {
+                    what: format!("`Condvar::wait` on {}", w.cv),
+                    path: vec![Step { f: i, line: w.line }],
+                });
+            }
+            if let Some((line, what)) = &unresolved_blocking[i] {
+                return Some(BlockWitness {
+                    what: what.clone(),
+                    path: vec![Step { f: i, line: *line }],
+                });
+            }
+            None
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if blocks[i].is_some() {
+                continue;
+            }
+            let hit = calls[i].iter().find_map(|e| {
+                blocks[e.callee].as_ref().map(|w| (e.line, w.what.clone(), w.path.clone()))
+            });
+            if let Some((line, what, mut path)) = hit {
+                let mut full = vec![Step { f: i, line }];
+                full.append(&mut path);
+                blocks[i] = Some(BlockWitness { what, path: full });
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- AcqStar fixpoint -----------------------------------------------
+    let mut acq_star: Vec<BTreeMap<LockId, Vec<Step>>> = (0..n)
+        .map(|i| {
+            let mut m = BTreeMap::new();
+            for a in &fns[i].sum.acquires {
+                m.entry(a.lock.clone()).or_insert_with(|| vec![Step { f: i, line: a.line }]);
+            }
+            m
+        })
+        .collect();
+    loop {
+        let mut adds: Vec<(usize, LockId, Vec<Step>)> = Vec::new();
+        for i in 0..n {
+            for e in &calls[i] {
+                for (lock, path) in &acq_star[e.callee] {
+                    if !acq_star[i].contains_key(lock)
+                        && !adds.iter().any(|(j, l, _)| *j == i && l == lock)
+                    {
+                        let mut full = vec![Step { f: i, line: e.line }];
+                        full.extend(path.iter().cloned());
+                        adds.push((i, lock.clone(), full));
+                    }
+                }
+            }
+        }
+        if adds.is_empty() {
+            break;
+        }
+        for (i, lock, path) in adds {
+            acq_star[i].entry(lock).or_insert(path);
+        }
+    }
+
+    // --- Lock-order edges + long-held locks ------------------------------
+    let mut lock_edges: BTreeMap<(LockId, LockId), EdgeWitness> = BTreeMap::new();
+    let mut long_held: BTreeMap<LockId, EdgeWitness> = BTreeMap::new();
+    for i in 0..n {
+        let node = &fns[i];
+        for a in &node.sum.acquires {
+            for (h, hl) in &a.held {
+                lock_edges.entry((h.clone(), a.lock.clone())).or_insert_with(|| EdgeWitness {
+                    held_line: *hl,
+                    path: vec![Step { f: i, line: a.line }],
+                });
+            }
+        }
+        for e in &calls[i] {
+            if e.held.is_empty() {
+                continue;
+            }
+            for (lock, path) in &acq_star[e.callee] {
+                for (h, hl) in &e.held {
+                    lock_edges.entry((h.clone(), lock.clone())).or_insert_with(|| {
+                        let mut full = vec![Step { f: i, line: e.line }];
+                        full.extend(path.iter().cloned());
+                        EdgeWitness { held_line: *hl, path: full }
+                    });
+                }
+            }
+            if let Some(w) = &blocks[e.callee] {
+                for (h, hl) in &e.held {
+                    long_held.entry(h.clone()).or_insert_with(|| {
+                        let mut full = vec![Step { f: i, line: e.line }];
+                        full.extend(w.path.iter().cloned());
+                        EdgeWitness { held_line: *hl, path: full }
+                    });
+                }
+            }
+        }
+        for b in &node.sum.blocking {
+            for (h, hl) in &b.held {
+                long_held.entry(h.clone()).or_insert_with(|| EdgeWitness {
+                    held_line: *hl,
+                    path: vec![Step { f: i, line: b.line }],
+                });
+            }
+        }
+        for w in &node.sum.waits {
+            for (h, hl) in &w.extra_held {
+                long_held.entry(h.clone()).or_insert_with(|| EdgeWitness {
+                    held_line: *hl,
+                    path: vec![Step { f: i, line: w.line }],
+                });
+            }
+        }
+    }
+
+    Graph {
+        fns,
+        calls,
+        call_edge_count,
+        blocks,
+        acq_star,
+        lock_edges,
+        long_held,
+        unresolved_blocking,
+    }
+}
+
+impl Graph {
+    /// Cycles in the lock-order graph: each is the node list of a
+    /// non-trivial SCC (or a self-loop), in a deterministic order.
+    pub fn lock_cycles(&self) -> Vec<Vec<LockId>> {
+        let nodes: BTreeSet<&LockId> = self.lock_edges.keys().flat_map(|(a, b)| [a, b]).collect();
+        let idx: BTreeMap<&LockId, usize> =
+            nodes.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+        let nodes: Vec<&LockId> = nodes.into_iter().collect();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        let mut self_loop = vec![false; nodes.len()];
+        for (a, b) in self.lock_edges.keys() {
+            let (ia, ib) = (idx[a], idx[b]);
+            if ia == ib {
+                self_loop[ia] = true;
+            } else {
+                succ[ia].push(ib);
+            }
+        }
+        let sccs = kosaraju(&succ);
+        let mut out = Vec::new();
+        for scc in sccs {
+            if scc.len() >= 2 {
+                let mut cyc: Vec<LockId> = scc.iter().map(|&i| nodes[i].clone()).collect();
+                cyc.sort();
+                out.push(cyc);
+            }
+        }
+        for (i, &sl) in self_loop.iter().enumerate() {
+            if sl {
+                out.push(vec![nodes[i].clone()]);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Forward reachability from the reactor roots (`Mux::poll`-shaped fns
+    /// and their non-test callers), with a root-to-fn evidence chain.
+    pub fn reactor_reachable(&self) -> (Vec<usize>, BTreeMap<usize, Vec<Step>>) {
+        let mut roots: BTreeSet<usize> = BTreeSet::new();
+        for (i, node) in self.fns.iter().enumerate() {
+            if node.item.is_test {
+                continue;
+            }
+            if node.item.name == "poll"
+                && node.item.owner.as_deref().is_some_and(|o| o.contains("Mux"))
+            {
+                roots.insert(i);
+            }
+        }
+        let polls: Vec<usize> = roots.iter().copied().collect();
+        for (i, edges) in self.calls.iter().enumerate() {
+            if self.fns[i].item.is_test {
+                continue;
+            }
+            if edges.iter().any(|e| polls.contains(&e.callee)) {
+                roots.insert(i);
+            }
+        }
+        let mut paths: BTreeMap<usize, Vec<Step>> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in &roots {
+            paths.insert(r, vec![Step { f: r, line: self.fns[r].item.line }]);
+            queue.push_back(r);
+        }
+        while let Some(i) = queue.pop_front() {
+            let base = paths[&i].clone();
+            for e in &self.calls[i] {
+                if paths.contains_key(&e.callee) {
+                    continue;
+                }
+                // Each non-final step carries the line (in its own file)
+                // where it calls the next; the final step its decl line.
+                let mut p = base.clone();
+                if let Some(last) = p.last_mut() {
+                    last.line = e.line;
+                }
+                p.push(Step { f: e.callee, line: self.fns[e.callee].item.line });
+                paths.insert(e.callee, p);
+                queue.push_back(e.callee);
+            }
+        }
+        (roots.into_iter().collect(), paths)
+    }
+
+    /// Forward reachability from thread-spawning functions (worker-closure
+    /// bodies live inline in them), for the unwind-safety rule.
+    pub fn spawn_reachable(&self) -> BTreeMap<usize, Vec<Step>> {
+        let mut paths: BTreeMap<usize, Vec<Step>> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for (i, node) in self.fns.iter().enumerate() {
+            if node.sum.has_spawn && !node.item.is_test {
+                paths.insert(i, vec![Step { f: i, line: node.item.line }]);
+                queue.push_back(i);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            let base = paths[&i].clone();
+            for e in &self.calls[i] {
+                if paths.contains_key(&e.callee) {
+                    continue;
+                }
+                let mut p = base.clone();
+                if let Some(last) = p.last_mut() {
+                    last.line = e.line;
+                }
+                p.push(Step { f: e.callee, line: self.fns[e.callee].item.line });
+                paths.insert(e.callee, p);
+                queue.push_back(e.callee);
+            }
+        }
+        paths
+    }
+
+    /// Render an evidence chain (`f1 file:l1 → f2 file:l2 → …`).
+    pub fn render_path(&self, path: &[Step]) -> String {
+        let mut out = String::new();
+        for (k, s) in path.iter().enumerate() {
+            if k > 0 {
+                out.push_str(" -> ");
+            }
+            let node = &self.fns[s.f];
+            out.push_str(&format!("{} ({}:{})", node.qual(), node.file, s.line));
+        }
+        out
+    }
+}
+
+/// Kosaraju SCC over an adjacency list; returns the components.
+fn kosaraju(succ: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = succ.len();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    // Iterative post-order DFS.
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(s, 0)];
+        seen[s] = true;
+        while let Some(&mut (v, ref mut k)) = stack.last_mut() {
+            if *k < succ[v].len() {
+                let w = succ[v][*k];
+                *k += 1;
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+    let mut pred: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (v, ws) in succ.iter().enumerate() {
+        for &w in ws {
+            pred[w].push(v);
+        }
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    for &s in order.iter().rev() {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let c = comps.len();
+        let mut members = vec![s];
+        comp[s] = c;
+        let mut stack = vec![s];
+        while let Some(v) = stack.pop() {
+            for &w in &pred[v] {
+                if comp[w] == usize::MAX {
+                    comp[w] = c;
+                    members.push(w);
+                    stack.push(w);
+                }
+            }
+        }
+        comps.push(members);
+    }
+    comps
+}

@@ -1,22 +1,33 @@
-//! `etalumis-lint`: std-only workspace linter enforcing the repo's
-//! determinism, panic-freedom, and unsafe-hygiene contracts.
+//! `etalumis-lint`: std-only workspace linter + static concurrency
+//! analyzer enforcing the repo's determinism, panic-freedom,
+//! unsafe-hygiene, and lock-discipline contracts.
 //!
 //! See DESIGN.md § "Enforced invariants" for the rule table, the allow
 //! directive grammar, and the ratchet policy. The binary (`src/main.rs`)
-//! walks the workspace, runs every rule on every production file, applies
-//! inline directives plus the committed `ci/lint_allow.toml` baseline, and
-//! exits nonzero on any unsuppressed finding — including *stale*
-//! suppressions, so the allowlist can only shrink.
+//! walks the workspace (file fan-out over scoped threads), runs every
+//! lexical rule on every production file, runs the `etalumis-analyze`
+//! concurrency rules (lock-order, condvar-discipline, reactor-blocking,
+//! unwind-safety) over the library crates, applies inline directives plus
+//! the committed `ci/lint_allow.toml` baseline, and exits nonzero on any
+//! unsuppressed finding — including *stale* suppressions, so the allowlist
+//! can only shrink.
 
 pub mod allow;
+pub mod analyze;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
+pub mod report;
 pub mod rules;
+pub mod summary;
 pub mod walk;
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
-use allow::{extract_directives, known_rule, parse_baseline};
+use allow::{extract_directives, known_rule, parse_baseline, Directive};
+use lexer::Token;
 use walk::FileKind;
 
 /// A diagnostic the tool will print and gate on.
@@ -25,8 +36,9 @@ pub struct Finding {
     /// Workspace-relative path with `/` separators.
     pub file: String,
     pub line: u32,
-    /// One of [`rules::RULES`], or the meta-rules `parse` (lexer failure)
-    /// and `allow` (bad/stale suppression). Meta-rules cannot be suppressed.
+    /// One of [`rules::RULES`] / [`analyze::ANALYZE_RULES`], or the
+    /// meta-rules `parse` (lexer failure) and `allow` (bad/stale
+    /// suppression). Meta-rules cannot be suppressed.
     pub rule: String,
     pub message: String,
 }
@@ -46,6 +58,12 @@ pub struct Report {
     pub files: usize,
     /// Findings silenced by an inline directive or baseline entry.
     pub suppressed: usize,
+    /// Raw (pre-suppression) finding counts per rule.
+    pub rule_raw: BTreeMap<String, usize>,
+    /// Suppressed finding counts per rule.
+    pub rule_suppressed: BTreeMap<String, usize>,
+    /// Concurrency-analyzer graph statistics (None with `--no-analyze`).
+    pub analysis: Option<analyze::Stats>,
 }
 
 impl Report {
@@ -54,61 +72,180 @@ impl Report {
     }
 }
 
+/// Engine options.
+pub struct Options {
+    /// Run the concurrency analyzer (default on).
+    pub analyze: bool,
+    /// Worker threads for the file walk; 0 = auto.
+    pub threads: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { analyze: true, threads: 0 }
+    }
+}
+
+/// Per-file output of the parallel phase.
+struct PerFile {
+    rel: String,
+    krate: Option<String>,
+    /// Retained for analyzable files only.
+    toks: Option<Vec<Token>>,
+    lex_raw: Vec<rules::Finding>,
+    directives: Vec<Directive>,
+    /// `parse` meta-findings (unreadable file / lexer error).
+    meta: Vec<Finding>,
+}
+
+fn analyzable(kind: FileKind, krate: Option<&str>) -> bool {
+    kind == FileKind::Lib && !krate.is_some_and(|k| k.starts_with("compat"))
+}
+
+fn process_file(sf: &walk::SourceFile) -> PerFile {
+    let mut pf = PerFile {
+        rel: sf.rel.clone(),
+        krate: sf.crate_name.clone(),
+        toks: None,
+        lex_raw: Vec::new(),
+        directives: Vec::new(),
+        meta: Vec::new(),
+    };
+    let src = match std::fs::read_to_string(&sf.path) {
+        Ok(s) => s,
+        Err(e) => {
+            pf.meta.push(Finding {
+                file: sf.rel.clone(),
+                line: 1,
+                rule: "parse".to_string(),
+                message: format!("unreadable file: {e}"),
+            });
+            return pf;
+        }
+    };
+    let toks = match lexer::lex(&src) {
+        Ok(t) => t,
+        Err(e) => {
+            pf.meta.push(Finding {
+                file: sf.rel.clone(),
+                line: e.line,
+                rule: "parse".to_string(),
+                message: format!("lexer error: {}", e.message),
+            });
+            return pf;
+        }
+    };
+    pf.lex_raw = rules::run(&sf.rel, sf.crate_name.as_deref(), sf.kind, &toks);
+    pf.directives = extract_directives(&toks);
+    if analyzable(sf.kind, sf.crate_name.as_deref()) {
+        pf.toks = Some(toks);
+    }
+    pf
+}
+
+/// Lint every `.rs` file under `root` with default options.
+pub fn lint_root(root: &Path, baseline: Option<(&str, &str)>) -> io::Result<Report> {
+    lint_root_opts(root, baseline, &Options::default())
+}
+
 /// Lint every `.rs` file under `root`. `baseline` is the parsed content of
 /// `ci/lint_allow.toml` (pass `None` to lint without a baseline).
-pub fn lint_root(root: &Path, baseline: Option<(&str, &str)>) -> io::Result<Report> {
+pub fn lint_root_opts(
+    root: &Path,
+    baseline: Option<(&str, &str)>,
+    opts: &Options,
+) -> io::Result<Report> {
     let files = walk::discover(root)?;
+    let active: Vec<&walk::SourceFile> =
+        files.iter().filter(|sf| sf.kind != FileKind::Exempt).collect();
+
+    // --- Phase 1: read + lex + lexical rules, fanned out over threads ----
+    let threads = if opts.threads > 0 {
+        opts.threads
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    }
+    .max(1)
+    .min(active.len().max(1));
+    let chunk = active.len().div_ceil(threads);
+    let mut per_file: Vec<PerFile> = Vec::with_capacity(active.len());
+    let mut worker_panic = false;
+    if threads <= 1 || chunk == 0 {
+        per_file.extend(active.iter().map(|sf| process_file(sf)));
+    } else {
+        let results: Vec<Result<Vec<PerFile>, ()>> = std::thread::scope(|s| {
+            let handles: Vec<_> = active
+                .chunks(chunk)
+                .map(|part| s.spawn(move || part.iter().map(|sf| process_file(sf)).collect()))
+                .collect();
+            handles.into_iter().map(|h| h.join().map_err(|_| ())).collect()
+        });
+        // Chunks are contiguous slices of the sorted file list, so the
+        // in-order merge keeps output deterministic.
+        for r in results {
+            match r {
+                Ok(v) => per_file.extend(v),
+                Err(()) => worker_panic = true,
+            }
+        }
+    }
+
+    // --- Phase 2: concurrency analyzer over the library crates -----------
+    let mut analysis = None;
+    let mut by_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    if opts.analyze {
+        let mut sources: Vec<analyze::SourceFile> = Vec::new();
+        for pf in per_file.iter_mut() {
+            if let Some(toks) = pf.toks.take() {
+                sources.push(analyze::SourceFile {
+                    rel: pf.rel.clone(),
+                    krate: pf.krate.clone().unwrap_or_else(|| "root".to_string()),
+                    toks,
+                });
+            }
+        }
+        let (afindings, stats) = analyze::analyze(&sources);
+        analysis = Some(stats);
+        for f in afindings {
+            by_file.entry(f.file.clone()).or_default().push(f);
+        }
+    }
+
+    // --- Phase 3: suppression + ratchets (serial, deterministic) ----------
     let mut findings: Vec<Finding> = Vec::new();
     let mut suppressed = 0usize;
+    let mut rule_raw: BTreeMap<String, usize> = BTreeMap::new();
+    let mut rule_suppressed: BTreeMap<String, usize> = BTreeMap::new();
+    if worker_panic {
+        findings.push(Finding {
+            file: "<engine>".to_string(),
+            line: 0,
+            rule: "parse".to_string(),
+            message: "internal error: a lint worker thread panicked; results incomplete"
+                .to_string(),
+        });
+    }
 
-    for sf in &files {
-        if sf.kind == FileKind::Exempt {
-            continue;
-        }
-        let src = match std::fs::read_to_string(&sf.path) {
-            Ok(s) => s,
-            Err(e) => {
-                findings.push(Finding {
-                    file: sf.rel.clone(),
-                    line: 1,
-                    rule: "parse".to_string(),
-                    message: format!("unreadable file: {e}"),
-                });
-                continue;
-            }
-        };
-        let toks = match lexer::lex(&src) {
-            Ok(t) => t,
-            Err(e) => {
-                findings.push(Finding {
-                    file: sf.rel.clone(),
-                    line: e.line,
-                    rule: "parse".to_string(),
-                    message: format!("lexer error: {}", e.message),
-                });
-                continue;
-            }
-        };
-
-        let raw = rules::run(&sf.rel, sf.crate_name.as_deref(), sf.kind, &toks);
-        let mut directives = extract_directives(&toks);
+    for pf in &mut per_file {
+        findings.append(&mut pf.meta);
 
         // Validate directives up front; malformed ones never suppress.
-        for d in &directives {
+        for d in &pf.directives {
             if !known_rule(&d.rule) {
                 findings.push(Finding {
-                    file: sf.rel.clone(),
+                    file: pf.rel.clone(),
                     line: d.line,
                     rule: "allow".to_string(),
                     message: format!(
-                        "allow directive names unknown rule `{}` (known: {})",
+                        "allow directive names unknown rule `{}` (known: {}, {})",
                         d.rule,
-                        rules::RULES.join(", ")
+                        rules::RULES.join(", "),
+                        analyze::ANALYZE_RULES.join(", ")
                     ),
                 });
             } else if d.reason.is_none() {
                 findings.push(Finding {
-                    file: sf.rel.clone(),
+                    file: pf.rel.clone(),
                     line: d.line,
                     rule: "allow".to_string(),
                     message: format!(
@@ -120,29 +257,42 @@ pub fn lint_root(root: &Path, baseline: Option<(&str, &str)>) -> io::Result<Repo
             }
         }
 
+        // Merge lexical + analyzer raw findings for this file.
+        let mut raw: Vec<Finding> = pf
+            .lex_raw
+            .drain(..)
+            .map(|f| Finding {
+                file: pf.rel.clone(),
+                line: f.line,
+                rule: f.rule.to_string(),
+                message: f.message,
+            })
+            .collect();
+        if let Some(af) = by_file.remove(&pf.rel) {
+            raw.extend(af);
+        }
+
         for f in raw {
-            let hit = directives
+            *rule_raw.entry(f.rule.clone()).or_default() += 1;
+            let hit = pf
+                .directives
                 .iter_mut()
                 .find(|d| d.rule == f.rule && d.reason.is_some() && d.target_line == f.line);
             match hit {
                 Some(d) => {
                     d.used = true;
                     suppressed += 1;
+                    *rule_suppressed.entry(f.rule.clone()).or_default() += 1;
                 }
-                None => findings.push(Finding {
-                    file: sf.rel.clone(),
-                    line: f.line,
-                    rule: f.rule.to_string(),
-                    message: f.message,
-                }),
+                None => findings.push(f),
             }
         }
 
         // Ratchet: a directive that suppresses nothing is itself an error.
-        for d in &directives {
+        for d in &pf.directives {
             if !d.used && known_rule(&d.rule) && d.reason.is_some() {
                 findings.push(Finding {
-                    file: sf.rel.clone(),
+                    file: pf.rel.clone(),
                     line: d.line,
                     rule: "allow".to_string(),
                     message: format!(
@@ -151,6 +301,14 @@ pub fn lint_root(root: &Path, baseline: Option<(&str, &str)>) -> io::Result<Repo
                     ),
                 });
             }
+        }
+    }
+    // Analyzer findings for files that produced no PerFile entry cannot
+    // happen (sources came from per_file), but never drop one silently.
+    for (_, fs) in by_file {
+        for f in fs {
+            *rule_raw.entry(f.rule.clone()).or_default() += 1;
+            findings.push(f);
         }
     }
 
@@ -178,6 +336,7 @@ pub fn lint_root(root: &Path, baseline: Option<(&str, &str)>) -> io::Result<Repo
                 Some(e) => {
                     e.hits += 1;
                     suppressed += 1;
+                    *rule_suppressed.entry(f.rule.clone()).or_default() += 1;
                     false
                 }
                 None => true,
@@ -202,5 +361,5 @@ pub fn lint_root(root: &Path, baseline: Option<(&str, &str)>) -> io::Result<Repo
     findings.sort_by(|a, b| {
         (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
     });
-    Ok(Report { findings, files: files.len(), suppressed })
+    Ok(Report { findings, files: files.len(), suppressed, rule_raw, rule_suppressed, analysis })
 }

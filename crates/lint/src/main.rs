@@ -1,16 +1,23 @@
 //! CLI for `etalumis-lint`.
 //!
-//! Usage: `etalumis-lint [ROOT] [--allow PATH | --no-baseline]`
+//! Usage: `etalumis-lint [ROOT] [--allow PATH | --no-baseline]
+//!                       [--no-analyze] [--report PATH] [--max-seconds N]
+//!                       [--threads N]`
 //!
-//! Exits 0 when the tree is clean, 1 on findings, 2 on usage/IO errors.
+//! Exits 0 when the tree is clean, 1 on findings (or a blown time budget),
+//! 2 on usage/IO errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut allow_path: Option<PathBuf> = None;
     let mut no_baseline = false;
+    let mut opts = etalumis_lint::Options::default();
+    let mut report_path: Option<PathBuf> = None;
+    let mut max_seconds: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -23,8 +30,33 @@ fn main() -> ExitCode {
                 }
             },
             "--no-baseline" => no_baseline = true,
+            "--no-analyze" => opts.analyze = false,
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("etalumis-lint: --report requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--max-seconds" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => max_seconds = Some(n),
+                None => {
+                    eprintln!("etalumis-lint: --max-seconds requires an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => opts.threads = n,
+                None => {
+                    eprintln!("etalumis-lint: --threads requires an integer");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: etalumis-lint [ROOT] [--allow PATH | --no-baseline]");
+                println!(
+                    "usage: etalumis-lint [ROOT] [--allow PATH | --no-baseline] \
+                     [--no-analyze] [--report PATH] [--max-seconds N] [--threads N]"
+                );
                 return ExitCode::SUCCESS;
             }
             other if !other.starts_with('-') => root = PathBuf::from(other),
@@ -60,9 +92,11 @@ fn main() -> ExitCode {
         .map(|p| p.strip_prefix(&root).unwrap_or(p).to_string_lossy().replace('\\', "/"))
         .unwrap_or_default();
 
-    let report = match etalumis_lint::lint_root(
+    let started = Instant::now();
+    let report = match etalumis_lint::lint_root_opts(
         &root,
         baseline_src.as_deref().map(|s| (baseline_rel.as_str(), s)),
+        &opts,
     ) {
         Ok(r) => r,
         Err(e) => {
@@ -70,23 +104,59 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let elapsed = started.elapsed();
 
     for f in &report.findings {
         println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
     }
-    if report.clean() {
+    if let Some(path) = &report_path {
+        let json = etalumis_lint::report::to_json(&report, elapsed.as_millis());
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("etalumis-lint: cannot write report {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(a) = &report.analysis {
         println!(
-            "etalumis-lint: clean ({} files scanned, {} suppression(s) in use)",
-            report.files, report.suppressed
+            "etalumis-analyze: {} fns, {} call edges, lock graph {} nodes / {} edges / \
+             {} cycle(s), reactor {} root(s) -> {} reachable fn(s), {} long-held lock(s)",
+            a.functions,
+            a.call_edges,
+            a.lock_nodes,
+            a.lock_edges,
+            a.lock_cycles,
+            a.reactor_roots,
+            a.reactor_reachable,
+            a.long_held_locks
+        );
+    }
+
+    let mut ok = report.clean();
+    if let Some(budget) = max_seconds {
+        if elapsed.as_secs_f64() > budget as f64 {
+            println!(
+                "etalumis-lint: PERF BUDGET EXCEEDED: {:.2}s > {budget}s",
+                elapsed.as_secs_f64()
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!(
+            "etalumis-lint: clean ({} files scanned, {} suppression(s) in use, {:.2}s)",
+            report.files,
+            report.suppressed,
+            elapsed.as_secs_f64()
         );
         ExitCode::SUCCESS
     } else {
         println!(
             "etalumis-lint: {} violation(s) across {} files scanned \
-             ({} suppression(s) in use)",
+             ({} suppression(s) in use, {:.2}s)",
             report.findings.len(),
             report.files,
-            report.suppressed
+            report.suppressed,
+            elapsed.as_secs_f64()
         );
         ExitCode::FAILURE
     }

@@ -1,0 +1,538 @@
+//! Item-level parser for the concurrency analyzer.
+//!
+//! Recovers just enough structure from the lexed token stream to build a
+//! symbol table: functions (with body token ranges, impl/trait context,
+//! parameter names+types, and whether the return type is a `MutexGuard`),
+//! struct fields (classified as `Mutex`/`Condvar`/other with a best-effort
+//! payload type), trait declarations (method-name sets drive conservative
+//! call resolution), `impl Trait for Type` relations, and `static` items.
+//!
+//! This is deliberately not a Rust parser: it is a single linear walk with
+//! brace/angle matching that recognizes item keywords and skips everything
+//! else. Macro-generated items are invisible (this workspace defines none
+//! with concurrency inside), and exotic type syntax degrades to "unknown
+//! type", which downstream resolution treats conservatively.
+
+use crate::lexer::{TokKind, Token};
+use crate::rules::Code;
+
+/// One parsed function (or trait method declaration).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Impl type for methods, trait name for trait-declared methods,
+    /// `None` for free functions.
+    pub owner: Option<String>,
+    /// `Some(trait)` when declared in `impl Trait for Type`.
+    pub trait_name: Option<String>,
+    /// Declared inside a `trait { … }` block (default method or bodyless).
+    pub in_trait_decl: bool,
+    pub line: u32,
+    /// Token index range of the body in `Code::ts`, inclusive of both
+    /// braces; `None` for bodyless trait method declarations.
+    pub body: Option<(usize, usize)>,
+    pub params: Vec<Param>,
+    pub is_test: bool,
+    /// Return type mentions `MutexGuard` — the fn hands its caller a held
+    /// lock (guard-returning helper pattern).
+    pub returns_guard: bool,
+}
+
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    /// Type is `Fn`/`FnMut`/`FnOnce`/`fn(...)` — calling it is a call into
+    /// caller-supplied (potentially non-workspace) code.
+    pub fn_like: bool,
+    /// Best-effort payload type (wrappers like `&`/`Arc`/`Vec` stripped).
+    pub ty: Option<String>,
+}
+
+/// How a struct field participates in concurrency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldKind {
+    /// `Mutex<…>`; `inner` is the first type identifier inside the angle
+    /// brackets (the guarded payload, when simple enough to recover).
+    Mutex {
+        inner: Option<String>,
+    },
+    Condvar,
+    /// Anything else; `ty` is the first non-wrapper type identifier.
+    Other {
+        ty: Option<String>,
+    },
+}
+
+#[derive(Debug, Clone)]
+pub struct Field {
+    pub owner: String,
+    pub name: String,
+    pub kind: FieldKind,
+}
+
+#[derive(Debug, Clone)]
+pub struct TraitDecl {
+    pub name: String,
+    pub methods: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+pub struct StaticItem {
+    pub name: String,
+    pub is_mutex: bool,
+}
+
+/// Everything the parser recovered from one file.
+#[derive(Debug, Default)]
+pub struct Items {
+    pub fns: Vec<FnItem>,
+    pub fields: Vec<Field>,
+    pub traits: Vec<TraitDecl>,
+    /// `(trait, type)` pairs from `impl Trait for Type`.
+    pub impls: Vec<(String, String)>,
+    pub statics: Vec<StaticItem>,
+}
+
+/// Type names treated as transparent containers when recovering a payload
+/// type: `Arc<Shared>` is a `Shared`, `Vec<MuxConn<E>>` element-types as
+/// `MuxConn`. `Mutex`/`Condvar` are matched before this list applies.
+const WRAPPERS: [&str; 12] = [
+    "Arc", "Rc", "Box", "Weak", "RefCell", "Cell", "Option", "Vec", "VecDeque", "dyn", "mut",
+    "impl",
+]; // `&` and lifetimes are punct/lifetime tokens, skipped structurally.
+
+pub(crate) fn parse(code: &Code<'_>) -> Items {
+    let mut items = Items::default();
+    let n = code.ts.len();
+    parse_range(code, 0, n, &Ctx::default(), &mut items);
+    items
+}
+
+#[derive(Default, Clone)]
+struct Ctx {
+    /// Current `impl` type (or trait name inside a `trait` block).
+    owner: Option<String>,
+    /// Current `impl Trait for Type` trait.
+    trait_name: Option<String>,
+    in_trait_decl: bool,
+}
+
+/// Index of the `}` matching the `{` at `open` (or `n-1` on imbalance).
+pub(crate) fn match_brace(ts: &[&Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < ts.len() {
+        if ts[j].is_punct('{') {
+            depth += 1;
+        } else if ts[j].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    ts.len().saturating_sub(1)
+}
+
+/// Index of the `)` matching the `(` at `open`.
+pub(crate) fn match_paren(ts: &[&Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < ts.len() {
+        if ts[j].is_punct('(') {
+            depth += 1;
+        } else if ts[j].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    ts.len().saturating_sub(1)
+}
+
+/// Skip a `<…>` generic-argument list starting at `open`; returns the index
+/// just past the closing `>`. Handles nesting; `->` inside would terminate
+/// early but cannot appear in the positions we call this from.
+fn skip_angles(ts: &[&Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < ts.len() {
+        if ts[j].is_punct('<') {
+            depth += 1;
+        } else if ts[j].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        } else if ts[j].is_punct(';') || ts[j].is_punct('{') {
+            // Defensive: never run past an item boundary.
+            return j;
+        }
+        j += 1;
+    }
+    ts.len()
+}
+
+/// Parse a type path at `i`: `[&]['a][dyn|mut] seg(::seg)*[<…>]`; returns
+/// the final segment name and the index just past the type head.
+fn parse_type_name(ts: &[&Token], mut i: usize) -> (Option<String>, usize) {
+    let n = ts.len();
+    while i < n
+        && (ts[i].is_punct('&')
+            || ts[i].kind == TokKind::Lifetime
+            || ts[i].is_ident("dyn")
+            || ts[i].is_ident("mut"))
+    {
+        i += 1;
+    }
+    let mut name = None;
+    while i < n && ts[i].kind == TokKind::Ident {
+        name = Some(ts[i].text.clone());
+        i += 1;
+        if i + 1 < n && ts[i].is_punct(':') && ts[i + 1].is_punct(':') {
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    if i < n && ts[i].is_punct('<') {
+        i = skip_angles(ts, i);
+    }
+    (name, i)
+}
+
+/// First identifier in `toks` that is not a known wrapper (payload type of
+/// a field or parameter).
+fn payload_type(toks: &[&Token]) -> Option<String> {
+    toks.iter()
+        .find(|t| t.kind == TokKind::Ident && !WRAPPERS.contains(&t.text.as_str()))
+        .map(|t| t.text.clone())
+}
+
+/// Classify a field/static type from its token span.
+fn classify_type(toks: &[&Token]) -> FieldKind {
+    if let Some(m) = toks.iter().position(|t| t.is_ident("Mutex")) {
+        // Payload = first type identifier after `Mutex<`.
+        let inner = toks[m + 1..].iter().find(|t| t.kind == TokKind::Ident).map(|t| t.text.clone());
+        return FieldKind::Mutex { inner };
+    }
+    if toks.iter().any(|t| t.is_ident("Condvar")) {
+        return FieldKind::Condvar;
+    }
+    FieldKind::Other { ty: payload_type(toks) }
+}
+
+fn is_fn_like(toks: &[&Token]) -> bool {
+    toks.iter().enumerate().any(|(k, t)| {
+        t.is_ident("Fn")
+            || t.is_ident("FnMut")
+            || t.is_ident("FnOnce")
+            || (t.is_ident("fn") && toks.get(k + 1).is_some_and(|t| t.is_punct('(')))
+    })
+}
+
+fn parse_range(code: &Code<'_>, start: usize, end: usize, ctx: &Ctx, items: &mut Items) {
+    let ts = &code.ts;
+    let mut i = start;
+    while i < end {
+        let t = ts[i];
+        if t.kind != TokKind::Ident {
+            if t.is_punct('{') {
+                // Stray block at item level (e.g. `extern "C" { … }` tail):
+                // recurse so nested items are still found.
+                let close = match_brace(ts, i);
+                parse_range(code, i + 1, close, ctx, items);
+                i = close + 1;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match t.text.as_str() {
+            "mod" if ts.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) => {
+                match ts.get(i + 2) {
+                    Some(t) if t.is_punct('{') => {
+                        let close = match_brace(ts, i + 2);
+                        parse_range(code, i + 3, close, ctx, items);
+                        i = close + 1;
+                    }
+                    _ => i += 2, // `mod name;`
+                }
+            }
+            "impl" => i = parse_impl(code, i, end, items),
+            "trait" => i = parse_trait(code, i, end, items),
+            "struct" => i = parse_struct(code, i, end, ctx, items),
+            "static" => i = parse_static(ts, i, end, items),
+            "fn" => {
+                // `fn(` is a fn-pointer type, not a definition.
+                if ts.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+                    i = parse_fn(code, i, end, ctx, items);
+                } else {
+                    i += 1;
+                }
+            }
+            "enum" | "union" => {
+                // `enum Name … { … }` — skip the body wholesale.
+                let mut j = i + 1;
+                while j < end && !ts[j].is_punct('{') && !ts[j].is_punct(';') {
+                    j += 1;
+                }
+                i = if j < end && ts[j].is_punct('{') { match_brace(ts, j) + 1 } else { j + 1 };
+            }
+            "macro_rules" => {
+                let mut j = i + 1;
+                while j < end && !ts[j].is_punct('{') {
+                    j += 1;
+                }
+                i = if j < end { match_brace(ts, j) + 1 } else { end };
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// `impl[<…>] [Trait for] Type[<…>] [where …] { … }`
+fn parse_impl(code: &Code<'_>, at: usize, end: usize, items: &mut Items) -> usize {
+    let ts = &code.ts;
+    let mut i = at + 1;
+    if i < end && ts[i].is_punct('<') {
+        i = skip_angles(ts, i);
+    }
+    let (first, after) = parse_type_name(ts, i);
+    i = after;
+    let (owner, trait_name) = if i < end && ts[i].is_ident("for") {
+        let (second, after) = parse_type_name(ts, i + 1);
+        i = after;
+        (second, first)
+    } else {
+        (first, None)
+    };
+    // Skip `where` clauses up to the body.
+    while i < end && !ts[i].is_punct('{') && !ts[i].is_punct(';') {
+        i += 1;
+    }
+    if i >= end || !ts[i].is_punct('{') {
+        return i + 1;
+    }
+    let close = match_brace(ts, i);
+    if let (Some(tr), Some(ty)) = (&trait_name, &owner) {
+        items.impls.push((tr.clone(), ty.clone()));
+    }
+    let ctx = Ctx { owner, trait_name, in_trait_decl: false };
+    parse_range(code, i + 1, close, &ctx, items);
+    close + 1
+}
+
+/// `trait Name[<…>] [: Super] [where …] { … }`
+fn parse_trait(code: &Code<'_>, at: usize, end: usize, items: &mut Items) -> usize {
+    let ts = &code.ts;
+    let Some(name) = ts.get(at + 1).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone())
+    else {
+        return at + 1;
+    };
+    let mut i = at + 2;
+    while i < end && !ts[i].is_punct('{') && !ts[i].is_punct(';') {
+        i += 1;
+    }
+    if i >= end || !ts[i].is_punct('{') {
+        return i + 1;
+    }
+    let close = match_brace(ts, i);
+    let fns_before = items.fns.len();
+    let ctx = Ctx { owner: Some(name.clone()), trait_name: None, in_trait_decl: true };
+    parse_range(code, i + 1, close, &ctx, items);
+    let methods = items.fns[fns_before..].iter().map(|f| f.name.clone()).collect();
+    items.traits.push(TraitDecl { name, methods });
+    close + 1
+}
+
+/// `struct Name[<…>] { field: Type, … }` — tuple and unit structs carry no
+/// named fields and are skipped.
+fn parse_struct(code: &Code<'_>, at: usize, end: usize, _ctx: &Ctx, items: &mut Items) -> usize {
+    let ts = &code.ts;
+    let Some(name) = ts.get(at + 1).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone())
+    else {
+        return at + 1;
+    };
+    let mut i = at + 2;
+    while i < end && !ts[i].is_punct('{') && !ts[i].is_punct(';') && !ts[i].is_punct('(') {
+        i += 1;
+    }
+    if i >= end {
+        return end;
+    }
+    if ts[i].is_punct('(') {
+        return match_paren(ts, i) + 1; // tuple struct; `;` consumed by caller loop
+    }
+    if ts[i].is_punct(';') {
+        return i + 1;
+    }
+    let close = match_brace(ts, i);
+    // Fields: `name : type-tokens (, | })` at depth 1.
+    let mut j = i + 1;
+    while j < close {
+        if ts[j].kind == TokKind::Ident && ts.get(j + 1).is_some_and(|t| t.is_punct(':')) {
+            let fname = ts[j].text.clone();
+            let ty_start = j + 2;
+            // Scan the type span to the `,`/`}` at this depth.
+            let mut depth = 0isize;
+            let mut k = ty_start;
+            while k < close {
+                let t = ts[k];
+                if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_punct(',') && depth <= 0 {
+                    break;
+                }
+                k += 1;
+            }
+            let kind = classify_type(&ts[ty_start..k]);
+            items.fields.push(Field { owner: name.clone(), name: fname, kind });
+            j = k + 1;
+        } else {
+            j += 1;
+        }
+    }
+    close + 1
+}
+
+/// `static NAME: Type = …;`
+fn parse_static(ts: &[&Token], at: usize, end: usize, items: &mut Items) -> usize {
+    let Some(name) = ts
+        .get(at + 1)
+        .filter(|t| t.kind == TokKind::Ident && !t.is_ident("mut"))
+        .or_else(|| ts.get(at + 2).filter(|t| t.kind == TokKind::Ident))
+        .map(|t| t.text.clone())
+    else {
+        return at + 1;
+    };
+    let mut j = at + 1;
+    let mut ty_start = None;
+    while j < end && !ts[j].is_punct('=') && !ts[j].is_punct(';') {
+        if ts[j].is_punct(':')
+            && ty_start.is_none()
+            && !ts.get(j + 1).is_some_and(|t| t.is_punct(':'))
+        {
+            ty_start = Some(j + 1);
+        }
+        j += 1;
+    }
+    let is_mutex = ty_start.map(|s| ts[s..j].iter().any(|t| t.is_ident("Mutex"))).unwrap_or(false);
+    items.statics.push(StaticItem { name, is_mutex });
+    // Caller's loop resumes after the `=`; initializer tokens are inert.
+    j + 1
+}
+
+/// `fn name[<…>](params) [-> Ret] [where …] ({ … } | ;)`
+fn parse_fn(code: &Code<'_>, at: usize, end: usize, ctx: &Ctx, items: &mut Items) -> usize {
+    let ts = &code.ts;
+    let name = ts[at + 1].text.clone();
+    let line = ts[at].line;
+    let mut i = at + 2;
+    if i < end && ts[i].is_punct('<') {
+        i = skip_angles(ts, i);
+    }
+    if i >= end || !ts[i].is_punct('(') {
+        return at + 2;
+    }
+    let params_close = match_paren(ts, i);
+    let params = parse_params(ts, i + 1, params_close);
+    // Return type span: between `->` and the body/`;`/`where`.
+    let mut j = params_close + 1;
+    let mut returns_guard = false;
+    while j < end && !ts[j].is_punct('{') && !ts[j].is_punct(';') {
+        if ts[j].is_ident("MutexGuard") {
+            returns_guard = true;
+        }
+        if ts[j].is_ident("where") {
+            // `where` clauses can mention guards without returning one.
+            while j < end && !ts[j].is_punct('{') && !ts[j].is_punct(';') {
+                j += 1;
+            }
+            break;
+        }
+        j += 1;
+    }
+    let (body, next) = if j < end && ts[j].is_punct('{') {
+        let close = match_brace(ts, j);
+        (Some((j, close)), close + 1)
+    } else {
+        (None, j + 1)
+    };
+    items.fns.push(FnItem {
+        name,
+        owner: ctx.owner.clone(),
+        trait_name: ctx.trait_name.clone(),
+        in_trait_decl: ctx.in_trait_decl,
+        line,
+        body,
+        params,
+        is_test: code.test.get(at).copied().unwrap_or(false),
+        returns_guard,
+    });
+    // Recurse into the body so nested `fn` items are found too; other
+    // item kinds inside bodies are rare and harmless to pick up.
+    if let Some((open, close)) = body {
+        let inner = Ctx::default();
+        parse_fn_bodies_only(code, open + 1, close, &inner, items);
+    }
+    next
+}
+
+/// Inside fn bodies, only nested `fn` definitions are items; everything
+/// else (locals shadowing item keywords, struct expressions) is skipped.
+fn parse_fn_bodies_only(code: &Code<'_>, start: usize, end: usize, ctx: &Ctx, items: &mut Items) {
+    let ts = &code.ts;
+    let mut i = start;
+    while i < end {
+        if ts[i].is_ident("fn") && ts.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            i = parse_fn(code, i, end, ctx, items);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Split `params` on top-level commas; recover `name: Type` pairs.
+fn parse_params(ts: &[&Token], start: usize, end: usize) -> Vec<Param> {
+    let mut out = Vec::new();
+    let mut depth = 0isize;
+    let mut field_start = start;
+    let mut j = start;
+    loop {
+        let at_end = j >= end;
+        if at_end || (depth == 0 && ts[j].is_punct(',')) {
+            let span = &ts[field_start..j.min(end)];
+            if let Some(colon) = span.iter().position(|t| t.is_punct(':')) {
+                // A `::` here means the "name" was a path — not a param pattern.
+                let is_path_sep = span.get(colon + 1).is_some_and(|t| t.is_punct(':'));
+                if !is_path_sep && colon >= 1 && span[colon - 1].kind == TokKind::Ident {
+                    let name = span[colon - 1].text.clone();
+                    let ty = &span[colon + 1..];
+                    out.push(Param { name, fn_like: is_fn_like(ty), ty: payload_type(ty) });
+                }
+            }
+            field_start = j + 1;
+            if at_end {
+                break;
+            }
+        } else {
+            match () {
+                _ if ts[j].is_punct('(') || ts[j].is_punct('[') || ts[j].is_punct('<') => {
+                    depth += 1
+                }
+                _ if ts[j].is_punct(')') || ts[j].is_punct(']') || ts[j].is_punct('>') => {
+                    depth -= 1
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    out
+}

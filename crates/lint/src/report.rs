@@ -1,0 +1,81 @@
+//! `LINT_REPORT.json` writer (hand-rolled, std-only).
+//!
+//! Emits the per-rule raw/suppressed counts, suppression totals, and the
+//! analyzer's graph statistics so the ratchet trend is visible as a CI
+//! artifact across PRs.
+
+use crate::Report;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the full report as pretty-printed JSON.
+pub fn to_json(r: &Report, elapsed_ms: u128) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"files\": {},\n", r.files));
+    s.push_str(&format!("  \"elapsed_ms\": {elapsed_ms},\n"));
+    s.push_str(&format!("  \"findings\": {},\n", r.findings.len()));
+    s.push_str(&format!("  \"suppressed\": {},\n", r.suppressed));
+
+    s.push_str("  \"rules\": {\n");
+    // Union of rules seen raw or suppressed, in sorted order.
+    let mut names: Vec<&String> = r.rule_raw.keys().chain(r.rule_suppressed.keys()).collect();
+    names.sort();
+    names.dedup();
+    for (i, name) in names.iter().enumerate() {
+        let raw = r.rule_raw.get(*name).copied().unwrap_or(0);
+        let sup = r.rule_suppressed.get(*name).copied().unwrap_or(0);
+        s.push_str(&format!(
+            "    \"{}\": {{\"raw\": {raw}, \"suppressed\": {sup}, \"open\": {}}}{}\n",
+            esc(name),
+            raw.saturating_sub(sup),
+            if i + 1 < names.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  },\n");
+
+    match &r.analysis {
+        Some(a) => {
+            s.push_str("  \"analysis\": {\n");
+            s.push_str(&format!("    \"files\": {},\n", a.files));
+            s.push_str(&format!("    \"functions\": {},\n", a.functions));
+            s.push_str(&format!("    \"call_edges\": {},\n", a.call_edges));
+            s.push_str(&format!("    \"lock_nodes\": {},\n", a.lock_nodes));
+            s.push_str(&format!("    \"lock_edges\": {},\n", a.lock_edges));
+            s.push_str(&format!("    \"lock_cycles\": {},\n", a.lock_cycles));
+            s.push_str(&format!("    \"reactor_roots\": {},\n", a.reactor_roots));
+            s.push_str(&format!("    \"reactor_reachable\": {},\n", a.reactor_reachable));
+            s.push_str(&format!("    \"long_held_locks\": {}\n", a.long_held_locks));
+            s.push_str("  },\n");
+        }
+        None => s.push_str("  \"analysis\": null,\n"),
+    }
+
+    s.push_str("  \"open_findings\": [\n");
+    for (i, f) in r.findings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+            esc(&f.file),
+            f.line,
+            esc(&f.rule),
+            esc(&f.message),
+            if i + 1 < r.findings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

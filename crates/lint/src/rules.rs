@@ -54,11 +54,12 @@ impl Lines {
     }
 }
 
-/// Token-stream view: `ts[k]` is the k-th non-comment token.
-struct Code<'a> {
-    ts: Vec<&'a Token>,
+/// Token-stream view: `ts[k]` is the k-th non-comment token. Shared with
+/// the analyzer (`parse`/`summary`), which reuses the test-region mask.
+pub(crate) struct Code<'a> {
+    pub(crate) ts: Vec<&'a Token>,
     /// Parallel to `ts`: true when the token sits inside test code.
-    test: Vec<bool>,
+    pub(crate) test: Vec<bool>,
     lines: Lines,
 }
 
@@ -91,7 +92,7 @@ fn close_bracket(ts: &[&Token], open: usize) -> usize {
     ts.len() - 1
 }
 
-fn build(toks: &[Token]) -> Code<'_> {
+pub(crate) fn build(toks: &[Token]) -> Code<'_> {
     let ts: Vec<&Token> = toks.iter().filter(|t| !t.is_comment()).collect();
     let n = ts.len();
 

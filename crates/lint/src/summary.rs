@@ -1,0 +1,1248 @@
+//! Per-function concurrency summaries.
+//!
+//! One linear walk over a function body recovers, with lexically-tracked
+//! guard lifetimes: every lock acquisition (with the set of locks already
+//! held), condvar waits (loop context, paired mutex, extra locks held),
+//! condvar notifies (locks held), calls made (with receiver-type hints for
+//! resolution and the held-lock set at the call site), calls into
+//! caller-supplied closures, and directly-blocking operations (sleep, file
+//! I/O, unresolved `.recv()`/`.wait()`).
+//!
+//! Guard lifetime model (2021-edition temporary scopes, approximated):
+//! `let g = x.lock()` is held to the end of the enclosing block or an
+//! explicit `drop(g)`; a guard temporary is held to the end of its
+//! statement — except in `if let`/`while let`/`match`/`for` heads, where it
+//! lives through the construct's first block, and plain `if`/`while`
+//! conditions, where it is dropped at the `{`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::lexer::{TokKind, Token};
+use crate::parse::{match_brace, match_paren, FieldKind, FnItem};
+use crate::rules::Code;
+
+/// Identity of a mutex, recovered lexically.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockId {
+    /// `Type.field` — a `Mutex<…>` struct field.
+    Field { owner: String, field: String },
+    /// A `static NAME: Mutex<…>`.
+    Static { name: String },
+    /// A `let`-bound local mutex, scoped to its defining function.
+    Local { scope: String, name: String },
+    /// Unresolvable receiver: one unique node per site so unrelated locks
+    /// are never merged into false cycles.
+    Site { loc: String },
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockId::Field { owner, field } => write!(f, "{owner}.{field}"),
+            LockId::Static { name } => write!(f, "static {name}"),
+            LockId::Local { scope, name } => write!(f, "{scope}::{name}"),
+            LockId::Site { loc } => write!(f, "?lock@{loc}"),
+        }
+    }
+}
+
+/// Identity of a condvar.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CvId {
+    Field { owner: String, field: String },
+    Local { scope: String, name: String },
+}
+
+impl fmt::Display for CvId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CvId::Field { owner, field } => write!(f, "{owner}.{field}"),
+            CvId::Local { scope, name } => write!(f, "{scope}::{name}"),
+        }
+    }
+}
+
+/// How an acquisition handles poisoning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AcqStyle {
+    /// `.lock().unwrap_or_else(|e| e.into_inner())` — poison-recovering.
+    PoisonRecover,
+    /// `.lock().unwrap()` / `.expect(…)` — panics on poison.
+    StdUnwrap,
+    /// Bare `.lock()` guard (parking_lot-style shim; non-poisoning).
+    Shim,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BlockKind {
+    Sleep,
+    FileIo,
+    Recv,
+    /// `.wait()` whose receiver is not a recognized condvar (barriers,
+    /// foreign sync primitives).
+    OtherWait,
+}
+
+impl BlockKind {
+    pub fn describe(self) -> &'static str {
+        match self {
+            BlockKind::Sleep => "thread sleep",
+            BlockKind::FileIo => "file I/O",
+            BlockKind::Recv => "blocking `.recv()`",
+            BlockKind::OtherWait => "blocking `.wait()` on a non-condvar primitive",
+        }
+    }
+}
+
+/// Receiver-type hint attached to a call for later resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hint {
+    /// Receiver (or path) resolved to this type (or trait) name.
+    Type(String),
+    /// Free function (optionally module-qualified).
+    Free,
+    /// Unknown receiver: resolved only through workspace trait-method
+    /// names, never by bare name, to avoid std-method collisions.
+    Opaque,
+}
+
+#[derive(Debug, Clone)]
+pub struct AcquireEv {
+    pub lock: LockId,
+    pub style: AcqStyle,
+    pub line: u32,
+    /// Locks already held (with their acquisition lines).
+    pub held: Vec<(LockId, u32)>,
+}
+
+#[derive(Debug, Clone)]
+pub struct WaitEv {
+    pub cv: CvId,
+    /// Mutex whose guard was passed to `wait` (condvar pairing).
+    pub paired: Option<LockId>,
+    pub line: u32,
+    pub in_loop: bool,
+    /// Locks held across the wait *besides* the paired guard (the paired
+    /// mutex is released while parked; these are not).
+    pub extra_held: Vec<(LockId, u32)>,
+}
+
+#[derive(Debug, Clone)]
+pub struct NotifyEv {
+    pub cv: CvId,
+    pub line: u32,
+    pub held: Vec<LockId>,
+}
+
+#[derive(Debug, Clone)]
+pub struct CallEv {
+    pub name: String,
+    pub hint: Hint,
+    pub line: u32,
+    pub held: Vec<(LockId, u32)>,
+    pub in_catch: bool,
+    /// The call is itself a blocking primitive if it resolves to no
+    /// workspace function (e.g. `.recv()` on a foreign channel).
+    pub blocking_hint: Option<BlockKind>,
+}
+
+#[derive(Debug, Clone)]
+pub struct ClosureCallEv {
+    /// Parameter or field name being invoked.
+    pub what: String,
+    pub line: u32,
+    pub held: Vec<(LockId, u32)>,
+    pub in_catch: bool,
+}
+
+#[derive(Debug, Clone)]
+pub struct BlockEv {
+    pub kind: BlockKind,
+    pub line: u32,
+    pub what: String,
+    pub held: Vec<(LockId, u32)>,
+}
+
+/// Everything the analyzer knows about one function body.
+#[derive(Debug, Default, Clone)]
+pub struct FnSummary {
+    pub acquires: Vec<AcquireEv>,
+    pub waits: Vec<WaitEv>,
+    pub notifies: Vec<NotifyEv>,
+    pub calls: Vec<CallEv>,
+    pub closure_calls: Vec<ClosureCallEv>,
+    pub blocking: Vec<BlockEv>,
+    /// Set when the fn returns a `MutexGuard` over exactly one lock it
+    /// acquires — callers treat a call to it as acquiring that lock.
+    pub guard_of: Option<(LockId, AcqStyle)>,
+    /// Body contains a `spawn(…)` call: thread roots for unwind-safety.
+    pub has_spawn: bool,
+}
+
+/// Workspace-wide symbol tables consumed by the scan.
+#[derive(Debug, Default)]
+pub struct Tables {
+    /// `(owner, field) -> kind` for every struct field.
+    pub fields: BTreeMap<(String, String), FieldKind>,
+    /// `field name -> owners declaring a Mutex field of that name`.
+    pub mutex_field_owners: BTreeMap<String, Vec<String>>,
+    /// `field name -> owners declaring a Condvar field of that name`.
+    pub cv_field_owners: BTreeMap<String, Vec<String>>,
+    /// Names of `static … : Mutex<…>` items.
+    pub mutex_statics: BTreeSet<String>,
+    /// `(owner, method)` pairs for every owned fn in the workspace.
+    pub methods: BTreeSet<(String, String)>,
+    /// Guard-returning helpers: `(owner, name) -> (lock, style)`.
+    pub guard_helpers: BTreeMap<(Option<String>, String), (LockId, AcqStyle)>,
+}
+
+impl Tables {
+    fn field(&self, owner: &str, name: &str) -> Option<&FieldKind> {
+        self.fields.get(&(owner.to_string(), name.to_string()))
+    }
+}
+
+const TRANSPARENT_CALLS: [&str; 6] =
+    ["clone", "as_ref", "as_mut", "borrow", "borrow_mut", "to_owned"];
+
+const KEYWORDS: [&str; 30] = [
+    "if", "while", "for", "match", "loop", "return", "move", "in", "as", "let", "else", "break",
+    "continue", "unsafe", "ref", "await", "fn", "impl", "self", "Self", "super", "crate", "where",
+    "pub", "use", "mod", "const", "static", "mut", "dyn",
+];
+
+const FILE_IO_METHODS: [&str; 5] =
+    ["write_all", "sync_all", "read_exact", "read_to_string", "set_len"];
+
+/// One element of a postfix receiver chain, left-to-right.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Elem {
+    /// `self`, a local, or a field segment.
+    Name(String),
+    /// A chained method call `.m(…)`.
+    Call(String),
+    /// `Type::assoc(…)` as the chain base.
+    Assoc(String, String),
+}
+
+/// A currently-held guard.
+struct Held {
+    lock: LockId,
+    binding: Option<String>,
+    acq_line: u32,
+    /// First token index at which the guard is no longer held.
+    release_at: usize,
+}
+
+/// Scan one function body. `nested` are token ranges of nested fn bodies
+/// (summarized separately) to skip.
+pub(crate) fn scan(
+    code: &Code<'_>,
+    file_rel: &str,
+    f: &FnItem,
+    nested: &[(usize, usize)],
+    tables: &Tables,
+) -> FnSummary {
+    let mut s = FnSummary::default();
+    let Some((open, close)) = f.body else {
+        return s;
+    };
+    let ts = &code.ts;
+    let scope = qual_name(f);
+
+    // --- Prepass: local bindings -------------------------------------
+    let mut local_mutexes: BTreeSet<String> = BTreeSet::new();
+    let mut local_cvs: BTreeSet<String> = BTreeSet::new();
+    let mut local_types: BTreeMap<String, String> = BTreeMap::new();
+    for p in &f.params {
+        if let Some(ty) = &p.ty {
+            local_types.insert(p.name.clone(), ty.clone());
+        }
+    }
+    collect_locals(
+        ts,
+        open + 1,
+        close,
+        nested,
+        &mut local_mutexes,
+        &mut local_cvs,
+        &mut local_types,
+    );
+
+    // --- Main walk ----------------------------------------------------
+    let mut held: Vec<Held> = Vec::new();
+    // Brace stack entries: (token index of `{`, is_loop).
+    let mut braces: Vec<(usize, bool)> = Vec::new();
+    // Active `catch_unwind(` regions: index just past the matching `)`.
+    let mut catches: Vec<usize> = Vec::new();
+    // (line, kind) pairs already recorded, to avoid duplicate BlockEvs.
+    let mut seen_blocks: BTreeSet<(u32, BlockKind)> = BTreeSet::new();
+
+    let mut j = open + 1;
+    while j < close {
+        if let Some(&(_, e)) = nested.iter().find(|&&(s0, _)| s0 == j) {
+            j = e + 1;
+            continue;
+        }
+        held.retain(|h| j < h.release_at);
+        catches.retain(|&e| j < e);
+        let t = ts[j];
+        if t.is_punct('{') {
+            braces.push((j, block_is_loop(ts, j, open)));
+            j += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            braces.pop();
+            j += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            // `(self.f)(…)` field-closure invocation.
+            if t.is_punct('(')
+                && j >= 1
+                && ts[j - 1].is_punct(')')
+                && j >= 5
+                && ts[j - 5].is_punct('(')
+                && ts[j - 4].is_ident("self")
+                && ts[j - 3].is_punct('.')
+                && ts[j - 2].kind == TokKind::Ident
+            {
+                s.closure_calls.push(ClosureCallEv {
+                    what: format!("self.{}", ts[j - 2].text),
+                    line: t.line,
+                    held: held_snapshot(&held),
+                    in_catch: !catches.is_empty(),
+                });
+            }
+            j += 1;
+            continue;
+        }
+        let name = t.text.as_str();
+        let next_open_paren = ts.get(j + 1).is_some_and(|t| t.is_punct('('));
+        let is_macro = ts.get(j + 1).is_some_and(|t| t.is_punct('!'));
+        let prev_dot = j >= 1 && ts[j - 1].is_punct('.');
+
+        if name == "catch_unwind" && next_open_paren {
+            catches.push(match_paren(ts, j + 1) + 1);
+            j += 1;
+            continue;
+        }
+        if name == "spawn" && next_open_paren {
+            s.has_spawn = true;
+        }
+
+        if prev_dot && next_open_paren {
+            match name {
+                "lock" if ts.get(j + 2).is_some_and(|t| t.is_punct(')')) => {
+                    j = handle_lock(
+                        LockCtx {
+                            code,
+                            file_rel,
+                            f,
+                            scope: &scope,
+                            tables,
+                            local_mutexes: &local_mutexes,
+                            local_types: &local_types,
+                            body: (open, close),
+                        },
+                        j,
+                        &mut held,
+                        &mut s,
+                        &catches,
+                    );
+                    continue;
+                }
+                "wait" | "wait_timeout" | "wait_while" => {
+                    handle_wait(
+                        ts,
+                        j,
+                        &scope,
+                        f,
+                        tables,
+                        &local_cvs,
+                        &local_types,
+                        &held,
+                        &braces,
+                        &mut s,
+                        &mut seen_blocks,
+                    );
+                    j += 1;
+                    continue;
+                }
+                "notify_one" | "notify_all" => {
+                    if let Some(cv) = resolve_cv(ts, j, &scope, f, tables, &local_cvs, &local_types)
+                    {
+                        s.notifies.push(NotifyEv {
+                            cv,
+                            line: t.line,
+                            held: held.iter().map(|h| h.lock.clone()).collect(),
+                        });
+                    }
+                    j += 1;
+                    continue;
+                }
+                _ => {
+                    if FILE_IO_METHODS.contains(&name)
+                        && seen_blocks.insert((t.line, BlockKind::FileIo))
+                    {
+                        s.blocking.push(BlockEv {
+                            kind: BlockKind::FileIo,
+                            line: t.line,
+                            what: format!("`.{name}()`"),
+                            held: held_snapshot(&held),
+                        });
+                    }
+                    let hint = method_hint(ts, j, f, tables, &local_types, &held);
+                    record_call(
+                        CallEv {
+                            name: name.to_string(),
+                            hint,
+                            line: t.line,
+                            held: held_snapshot(&held),
+                            in_catch: !catches.is_empty(),
+                            blocking_hint: match name {
+                                "recv" | "recv_timeout" => Some(BlockKind::Recv),
+                                _ => None,
+                            },
+                        },
+                        LockCtx {
+                            code,
+                            file_rel,
+                            f,
+                            scope: &scope,
+                            tables,
+                            local_mutexes: &local_mutexes,
+                            local_types: &local_types,
+                            body: (open, close),
+                        },
+                        j,
+                        &mut held,
+                        &mut s,
+                    );
+                    j += 1;
+                    continue;
+                }
+            }
+        }
+
+        if next_open_paren && !prev_dot && !is_macro && !KEYWORDS.contains(&name) {
+            // Closure-parameter invocation.
+            if f.params.iter().any(|p| p.fn_like && p.name == name) {
+                s.closure_calls.push(ClosureCallEv {
+                    what: name.to_string(),
+                    line: t.line,
+                    held: held_snapshot(&held),
+                    in_catch: !catches.is_empty(),
+                });
+                j += 1;
+                continue;
+            }
+            if name == "sleep" {
+                if seen_blocks.insert((t.line, BlockKind::Sleep)) {
+                    s.blocking.push(BlockEv {
+                        kind: BlockKind::Sleep,
+                        line: t.line,
+                        what: "`thread::sleep`".to_string(),
+                        held: held_snapshot(&held),
+                    });
+                }
+                j += 1;
+                continue;
+            }
+            if name == "drop" {
+                j += 1;
+                continue;
+            }
+            // Path-qualified call? `seg :: name (`.
+            let hint = if j >= 3
+                && ts[j - 1].is_punct(':')
+                && ts[j - 2].is_punct(':')
+                && ts[j - 3].kind == TokKind::Ident
+            {
+                let seg = ts[j - 3].text.as_str();
+                if seg == "fs" || seg == "File" {
+                    if seen_blocks.insert((t.line, BlockKind::FileIo)) {
+                        s.blocking.push(BlockEv {
+                            kind: BlockKind::FileIo,
+                            line: t.line,
+                            what: format!("`{seg}::{name}`"),
+                            held: held_snapshot(&held),
+                        });
+                    }
+                }
+                if seg.starts_with(char::is_uppercase) {
+                    Hint::Type(normalize_self(seg, f))
+                } else {
+                    Hint::Free
+                }
+            } else {
+                Hint::Free
+            };
+            record_call(
+                CallEv {
+                    name: name.to_string(),
+                    hint,
+                    line: t.line,
+                    held: held_snapshot(&held),
+                    in_catch: !catches.is_empty(),
+                    blocking_hint: None,
+                },
+                LockCtx {
+                    code,
+                    file_rel,
+                    f,
+                    scope: &scope,
+                    tables,
+                    local_mutexes: &local_mutexes,
+                    local_types: &local_types,
+                    body: (open, close),
+                },
+                j,
+                &mut held,
+                &mut s,
+            );
+            j += 1;
+            continue;
+        }
+
+        if name == "OpenOptions" && seen_blocks.insert((t.line, BlockKind::FileIo)) {
+            s.blocking.push(BlockEv {
+                kind: BlockKind::FileIo,
+                line: t.line,
+                what: "`OpenOptions`".to_string(),
+                held: held_snapshot(&held),
+            });
+        }
+        j += 1;
+    }
+
+    // guard_of: the fn returns a MutexGuard over exactly one distinct lock.
+    if f.returns_guard {
+        let distinct: BTreeSet<&LockId> = s.acquires.iter().map(|a| &a.lock).collect();
+        if distinct.len() == 1 {
+            let a = &s.acquires[0];
+            s.guard_of = Some((a.lock.clone(), a.style));
+        }
+    }
+    s
+}
+
+/// `Type::name` or bare `name` for diagnostics.
+pub fn qual_name(f: &FnItem) -> String {
+    match &f.owner {
+        Some(o) => format!("{o}::{}", f.name),
+        None => f.name.clone(),
+    }
+}
+
+fn held_snapshot(held: &[Held]) -> Vec<(LockId, u32)> {
+    held.iter().map(|h| (h.lock.clone(), h.acq_line)).collect()
+}
+
+fn normalize_self(seg: &str, f: &FnItem) -> String {
+    if seg == "Self" {
+        f.owner.clone().unwrap_or_else(|| seg.to_string())
+    } else {
+        seg.to_string()
+    }
+}
+
+/// Bundled immutable context for lock/call handling.
+struct LockCtx<'a, 'b> {
+    code: &'a Code<'b>,
+    file_rel: &'a str,
+    f: &'a FnItem,
+    scope: &'a str,
+    tables: &'a Tables,
+    local_mutexes: &'a BTreeSet<String>,
+    local_types: &'a BTreeMap<String, String>,
+    body: (usize, usize),
+}
+
+/// Handle `recv.lock()` at token `j` (the `lock` ident). Returns the next
+/// scan index.
+fn handle_lock(
+    cx: LockCtx<'_, '_>,
+    j: usize,
+    held: &mut Vec<Held>,
+    s: &mut FnSummary,
+    catches: &[usize],
+) -> usize {
+    let ts = &cx.code.ts;
+    let line = ts[j].line;
+    let chain = if j >= 2 { walk_chain(ts, j - 2) } else { None };
+    // `self.lock()` where the impl type defines a `lock` helper: a call,
+    // not a field acquisition.
+    if let Some(elems) = &chain {
+        if elems.len() == 1 && elems[0] == Elem::Name("self".to_string()) {
+            if let Some(owner) = &cx.f.owner {
+                if cx.tables.methods.contains(&(owner.clone(), "lock".to_string())) {
+                    record_call(
+                        CallEv {
+                            name: "lock".to_string(),
+                            hint: Hint::Type(owner.clone()),
+                            line,
+                            held: held_snapshot(held),
+                            in_catch: !catches.is_empty(),
+                            blocking_hint: None,
+                        },
+                        cx,
+                        j,
+                        held,
+                        s,
+                    );
+                    return j + 1;
+                }
+            }
+        }
+    }
+    let lock = chain
+        .as_deref()
+        .and_then(|e| resolve_lock_chain(e, &cx))
+        .unwrap_or_else(|| LockId::Site { loc: format!("{}:{line}", cx.file_rel) });
+    let call_end = j + 2; // the `)`
+    acquire(cx, lock, line, call_end, j, held, s);
+    call_end + 1
+}
+
+/// Record an acquisition (direct `.lock()` or a guard-helper call): style,
+/// binding, release point, and the `AcquireEv`.
+fn acquire(
+    cx: LockCtx<'_, '_>,
+    lock: LockId,
+    line: u32,
+    call_end: usize,
+    recv_tok: usize,
+    held: &mut Vec<Held>,
+    s: &mut FnSummary,
+) {
+    let ts = &cx.code.ts;
+    let (style, tail_end) = acq_style(ts, call_end);
+    s.acquires.push(AcquireEv { lock: lock.clone(), style, line, held: held_snapshot(held) });
+
+    let (_, body_close) = cx.body;
+    let stmt = stmt_start(ts, recv_tok, cx.body.0 + 1);
+    let binding = guard_binding(ts, stmt, tail_end);
+    let release_at = match &binding {
+        Some(b) => {
+            let block_end = enclosing_block_end(ts, tail_end, body_close);
+            find_drop(ts, tail_end, block_end, b).unwrap_or(block_end)
+        }
+        None => temp_release(ts, stmt, tail_end, body_close),
+    };
+    // Record the guard payload type so `binding.field` chains resolve.
+    // (Done by caller via local_types prepass for ascribed lets only; the
+    // held-list binding is what wait-pairing needs.)
+    held.push(Held { lock, binding, acq_line: line, release_at });
+}
+
+/// Record a call; guard-returning helpers double as acquisitions.
+fn record_call(ev: CallEv, cx: LockCtx<'_, '_>, j: usize, held: &mut Vec<Held>, s: &mut FnSummary) {
+    let key_owner = match &ev.hint {
+        Hint::Type(t) => Some(t.clone()),
+        Hint::Free => None,
+        Hint::Opaque => {
+            s.calls.push(ev);
+            return;
+        }
+    };
+    if let Some((lock, _style)) = cx.tables.guard_helpers.get(&(key_owner, ev.name.clone())) {
+        let ts = &cx.code.ts;
+        let call_open = j + 1;
+        let call_end = match_paren(ts, call_open);
+        let lock = lock.clone();
+        let line = ev.line;
+        s.calls.push(ev);
+        acquire(cx, lock, line, call_end, j, held, s);
+        return;
+    }
+    s.calls.push(ev);
+}
+
+/// Classify the poison-handling tail after a lock call's `)` and return
+/// `(style, last token index of the full lock expression)`.
+fn acq_style(ts: &[&Token], call_end: usize) -> (AcqStyle, usize) {
+    if ts.get(call_end + 1).is_some_and(|t| t.is_punct('.'))
+        && ts.get(call_end + 3).is_some_and(|t| t.is_punct('('))
+    {
+        if let Some(m) = ts.get(call_end + 2) {
+            if m.is_ident("unwrap_or_else") {
+                let e = match_paren(ts, call_end + 3);
+                let recovers = ts[call_end + 3..=e].iter().any(|t| t.is_ident("into_inner"));
+                return (if recovers { AcqStyle::PoisonRecover } else { AcqStyle::StdUnwrap }, e);
+            }
+            if m.is_ident("unwrap") || m.is_ident("expect") {
+                return (AcqStyle::StdUnwrap, match_paren(ts, call_end + 3));
+            }
+        }
+    }
+    (AcqStyle::Shim, call_end)
+}
+
+/// First token index of the statement containing `j`.
+fn stmt_start(ts: &[&Token], j: usize, lo: usize) -> usize {
+    let mut k = j;
+    while k > lo {
+        let p = ts[k - 1];
+        if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') || p.is_punct(',') {
+            break;
+        }
+        k -= 1;
+    }
+    k
+}
+
+/// `let [mut] name = <lock-expr> ;` — the binding holds the guard.
+fn guard_binding(ts: &[&Token], stmt: usize, tail_end: usize) -> Option<String> {
+    if !ts.get(stmt).is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    if !ts.get(tail_end + 1).is_some_and(|t| t.is_punct(';')) {
+        return None;
+    }
+    let mut k = stmt + 1;
+    if ts.get(k).is_some_and(|t| t.is_ident("mut")) {
+        k += 1;
+    }
+    let name = ts.get(k).filter(|t| t.kind == TokKind::Ident)?;
+    // Reject pattern bindings (`let (a, b) = …`, `let Some(x) = …`).
+    if !ts.get(k + 1).is_some_and(|t| t.is_punct('=') || t.is_punct(':')) {
+        return None;
+    }
+    Some(name.text.clone())
+}
+
+/// Token index of the `}` closing the innermost block containing `from`.
+fn enclosing_block_end(ts: &[&Token], from: usize, hi: usize) -> usize {
+    let mut depth = 0isize;
+    let mut j = from + 1;
+    while j < hi {
+        if ts[j].is_punct('{') {
+            depth += 1;
+        } else if ts[j].is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    hi
+}
+
+/// Scan for `drop ( binding )` between `from` and `to`.
+fn find_drop(ts: &[&Token], from: usize, to: usize, binding: &str) -> Option<usize> {
+    let mut j = from;
+    while j + 3 <= to {
+        if ts[j].is_ident("drop")
+            && ts[j + 1].is_punct('(')
+            && ts[j + 2].is_ident(binding)
+            && ts[j + 3].is_punct(')')
+        {
+            return Some(j);
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Release point for a guard temporary, per the statement kind.
+fn temp_release(ts: &[&Token], stmt: usize, from: usize, hi: usize) -> usize {
+    #[derive(PartialEq)]
+    enum Kind {
+        BlockScoped, // if let / while let / match / for: through the block
+        CondScoped,  // plain if / while: dropped at the `{`
+        Stmt,        // end of statement
+    }
+    let kind = match ts.get(stmt).map(|t| t.text.as_str()) {
+        Some("match") | Some("for") => Kind::BlockScoped,
+        Some("if") | Some("while") => {
+            if ts.get(stmt + 1).is_some_and(|t| t.is_ident("let")) {
+                Kind::BlockScoped
+            } else {
+                Kind::CondScoped
+            }
+        }
+        _ => Kind::Stmt,
+    };
+    let mut depth = 0isize;
+    let mut j = from + 1;
+    while j < hi {
+        let t = ts[j];
+        if t.is_punct('{') {
+            if depth == 0 {
+                match kind {
+                    Kind::CondScoped => return j,
+                    Kind::BlockScoped => return match_brace_bounded(ts, j, hi),
+                    Kind::Stmt => {}
+                }
+            }
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return j;
+            }
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct(',')) {
+            return j;
+        }
+        j += 1;
+    }
+    hi
+}
+
+fn match_brace_bounded(ts: &[&Token], open: usize, hi: usize) -> usize {
+    let e = match_brace(ts, open);
+    e.min(hi)
+}
+
+/// Is the block opened at `open_brace` a loop body (`while`/`loop`/`for`
+/// statement header)?
+fn block_is_loop(ts: &[&Token], open_brace: usize, lo: usize) -> bool {
+    let stmt = stmt_start(ts, open_brace, lo + 1);
+    matches!(ts.get(stmt).map(|t| t.text.as_str()), Some("while") | Some("loop") | Some("for"))
+}
+
+/// Handle a `.wait(…)`-family call: a condvar wait when the receiver
+/// resolves to a condvar, otherwise an opaque blocking wait.
+#[allow(clippy::too_many_arguments)]
+fn handle_wait(
+    ts: &[&Token],
+    j: usize,
+    scope: &str,
+    f: &FnItem,
+    tables: &Tables,
+    local_cvs: &BTreeSet<String>,
+    local_types: &BTreeMap<String, String>,
+    held: &[Held],
+    braces: &[(usize, bool)],
+    s: &mut FnSummary,
+    seen_blocks: &mut BTreeSet<(u32, BlockKind)>,
+) {
+    let line = ts[j].line;
+    match resolve_cv(ts, j, scope, f, tables, local_cvs, local_types) {
+        Some(cv) => {
+            // Paired guard: first argument, skipping `&`/`mut`.
+            let mut a = j + 2;
+            while ts.get(a).is_some_and(|t| t.is_punct('&') || t.is_ident("mut")) {
+                a += 1;
+            }
+            let paired_binding = ts.get(a).filter(|t| t.kind == TokKind::Ident);
+            let paired_held = paired_binding
+                .and_then(|b| held.iter().find(|h| h.binding.as_deref() == Some(&b.text)));
+            let paired = paired_held.map(|h| h.lock.clone());
+            let extra_held = held
+                .iter()
+                .filter(|h| match (&paired, &h.lock) {
+                    (Some(p), l) => p != l,
+                    (None, _) => true,
+                })
+                .map(|h| (h.lock.clone(), h.acq_line))
+                .collect();
+            s.waits.push(WaitEv {
+                cv,
+                paired,
+                line,
+                in_loop: braces.iter().any(|&(_, l)| l),
+                extra_held,
+            });
+        }
+        None => {
+            if seen_blocks.insert((line, BlockKind::OtherWait)) {
+                s.blocking.push(BlockEv {
+                    kind: BlockKind::OtherWait,
+                    line,
+                    what: "`.wait()` on an unrecognized receiver".to_string(),
+                    held: held.iter().map(|h| (h.lock.clone(), h.acq_line)).collect(),
+                });
+            }
+        }
+    }
+}
+
+/// Resolve the receiver of a `.wait`/`.notify_*` at token `j` to a condvar.
+fn resolve_cv(
+    ts: &[&Token],
+    j: usize,
+    scope: &str,
+    f: &FnItem,
+    tables: &Tables,
+    local_cvs: &BTreeSet<String>,
+    local_types: &BTreeMap<String, String>,
+) -> Option<CvId> {
+    let elems = if j >= 2 { walk_chain(ts, j - 2)? } else { return None };
+    let names: Vec<&String> = elems
+        .iter()
+        .map(|e| match e {
+            Elem::Name(n) => Some(n),
+            _ => None,
+        })
+        .collect::<Option<Vec<_>>>()?;
+    match names.as_slice() {
+        [one] => {
+            if local_cvs.contains(*one) {
+                return Some(CvId::Local { scope: scope.to_string(), name: (*one).clone() });
+            }
+            unique_owner(&tables.cv_field_owners, one)
+                .map(|o| CvId::Field { owner: o, field: (*one).clone() })
+        }
+        names => {
+            let last = names[names.len() - 1];
+            if let Some(owner) = chain_owner_type(names, f, tables, local_types) {
+                if matches!(tables.field(&owner, last), Some(FieldKind::Condvar)) {
+                    return Some(CvId::Field { owner, field: last.clone() });
+                }
+            }
+            unique_owner(&tables.cv_field_owners, last)
+                .map(|o| CvId::Field { owner: o, field: last.clone() })
+        }
+    }
+}
+
+/// Resolve a `.lock()` receiver chain to a mutex identity.
+fn resolve_lock_chain(elems: &[Elem], cx: &LockCtx<'_, '_>) -> Option<LockId> {
+    let names: Vec<&String> = elems
+        .iter()
+        .map(|e| match e {
+            Elem::Name(n) => Some(n),
+            Elem::Call(c) if TRANSPARENT_CALLS.contains(&c.as_str()) => None,
+            _ => None,
+        })
+        .collect::<Option<Vec<_>>>()
+        .or_else(|| {
+            // Tolerate transparent calls by filtering them out.
+            let filtered: Vec<&String> = elems
+                .iter()
+                .filter_map(|e| match e {
+                    Elem::Name(n) => Some(Some(n)),
+                    Elem::Call(c) if TRANSPARENT_CALLS.contains(&c.as_str()) => None,
+                    _ => Some(None),
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Some(filtered)
+        })?;
+    match names.as_slice() {
+        [] => None,
+        [one] => {
+            if cx.local_mutexes.contains(*one) {
+                return Some(LockId::Local { scope: cx.scope.to_string(), name: (*one).clone() });
+            }
+            if cx.tables.mutex_statics.contains(*one) {
+                return Some(LockId::Static { name: (*one).clone() });
+            }
+            unique_owner(&cx.tables.mutex_field_owners, one)
+                .map(|o| LockId::Field { owner: o, field: (*one).clone() })
+        }
+        names => {
+            let last = names[names.len() - 1];
+            if let Some(owner) = chain_owner_type(names, cx.f, cx.tables, cx.local_types) {
+                if matches!(cx.tables.field(&owner, last), Some(FieldKind::Mutex { .. })) {
+                    return Some(LockId::Field { owner, field: last.clone() });
+                }
+            }
+            unique_owner(&cx.tables.mutex_field_owners, last)
+                .map(|o| LockId::Field { owner: o, field: last.clone() })
+        }
+    }
+}
+
+/// The type owning the FINAL field segment of `names`, walked through the
+/// field tables from `self`/a typed local.
+fn chain_owner_type(
+    names: &[&String],
+    f: &FnItem,
+    tables: &Tables,
+    local_types: &BTreeMap<String, String>,
+) -> Option<String> {
+    let mut cur: String = if names[0] == "self" {
+        f.owner.clone()?
+    } else {
+        local_types.get(names[0].as_str())?.clone()
+    };
+    for seg in &names[1..names.len() - 1] {
+        match tables.field(&cur, seg) {
+            Some(FieldKind::Other { ty: Some(t) }) => cur = t.clone(),
+            _ => return None,
+        }
+    }
+    Some(cur)
+}
+
+fn unique_owner(owners: &BTreeMap<String, Vec<String>>, field: &str) -> Option<String> {
+    match owners.get(field).map(|v| v.as_slice()) {
+        Some([one]) => Some(one.clone()),
+        _ => None,
+    }
+}
+
+/// Receiver-type hint for a method call at token `j` (the method name).
+fn method_hint(
+    ts: &[&Token],
+    j: usize,
+    f: &FnItem,
+    tables: &Tables,
+    local_types: &BTreeMap<String, String>,
+    held: &[Held],
+) -> Hint {
+    let Some(elems) = (if j >= 2 { walk_chain(ts, j - 2) } else { None }) else {
+        return Hint::Opaque;
+    };
+    let mut cur: Option<String> = None;
+    for (k, e) in elems.iter().enumerate() {
+        match e {
+            Elem::Name(n) if k == 0 => {
+                cur = if n == "self" {
+                    f.owner.clone()
+                } else if let Some(h) = held.iter().find(|h| h.binding.as_deref() == Some(n)) {
+                    // A guard binding: its payload type, when recoverable.
+                    guard_payload(&h.lock, tables)
+                } else {
+                    local_types.get(n.as_str()).cloned()
+                };
+            }
+            Elem::Assoc(t, m) if k == 0 => {
+                // `Type::new(…)` constructor convention.
+                cur = if m == "new" { Some(normalize_self(t, f)) } else { None };
+            }
+            Elem::Name(n) => {
+                cur = match cur.as_deref().and_then(|c| tables.field(c, n)) {
+                    Some(FieldKind::Other { ty }) => ty.clone(),
+                    Some(FieldKind::Mutex { .. }) | Some(FieldKind::Condvar) => None,
+                    None => None,
+                };
+            }
+            Elem::Call(c) if c == "lock" => {
+                // `.field.lock().m()` — payload type of the mutex field.
+                // `cur` was reset to None on the Mutex field above; recover
+                // via the previous Name element.
+                cur = prev_mutex_payload(&elems[..k], f, tables, local_types);
+            }
+            Elem::Call(c) if TRANSPARENT_CALLS.contains(&c.as_str()) => {}
+            _ => cur = None,
+        }
+        if cur.is_none() && k + 1 < elems.len() {
+            // Keep walking only for transparent calls; otherwise opaque.
+        }
+    }
+    match cur {
+        Some(t) => Hint::Type(t),
+        None => Hint::Opaque,
+    }
+}
+
+/// Payload type of the mutex ending the `Name…` prefix of a chain.
+fn prev_mutex_payload(
+    prefix: &[Elem],
+    f: &FnItem,
+    tables: &Tables,
+    local_types: &BTreeMap<String, String>,
+) -> Option<String> {
+    let names: Vec<&String> = prefix
+        .iter()
+        .filter_map(|e| match e {
+            Elem::Name(n) => Some(n),
+            _ => None,
+        })
+        .collect();
+    if names.is_empty() {
+        return None;
+    }
+    let last = names[names.len() - 1];
+    let owner = if names.len() == 1 {
+        unique_owner(&tables.mutex_field_owners, last)?
+    } else {
+        chain_owner_type(&names, f, tables, local_types)?
+    };
+    match tables.field(&owner, last) {
+        Some(FieldKind::Mutex { inner }) => inner.clone(),
+        _ => None,
+    }
+}
+
+/// Payload type of a guard over `lock`.
+fn guard_payload(lock: &LockId, tables: &Tables) -> Option<String> {
+    match lock {
+        LockId::Field { owner, field } => match tables.field(owner, field) {
+            Some(FieldKind::Mutex { inner }) => inner.clone(),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Parse the postfix receiver chain ending at token `pos` (the last token
+/// of the receiver expression), right-to-left.
+fn walk_chain(ts: &[&Token], mut pos: usize) -> Option<Vec<Elem>> {
+    let mut elems = Vec::new();
+    loop {
+        let t = ts.get(pos)?;
+        if t.is_punct('?') {
+            if pos == 0 {
+                return None;
+            }
+            pos -= 1;
+            continue;
+        }
+        if t.is_punct(']') {
+            let open = match_back(ts, pos, '[', ']')?;
+            if open == 0 {
+                return None;
+            }
+            pos = open - 1;
+            continue;
+        }
+        if t.is_punct(')') {
+            let open = match_back(ts, pos, '(', ')')?;
+            if open == 0 {
+                return None;
+            }
+            let before = open - 1;
+            if ts[before].kind != TokKind::Ident {
+                return None;
+            }
+            let mname = ts[before].text.clone();
+            if before >= 2 && ts[before - 1].is_punct('.') {
+                elems.push(Elem::Call(mname));
+                pos = before - 2;
+                continue;
+            }
+            if before >= 3
+                && ts[before - 1].is_punct(':')
+                && ts[before - 2].is_punct(':')
+                && ts[before - 3].kind == TokKind::Ident
+            {
+                elems.push(Elem::Assoc(ts[before - 3].text.clone(), mname));
+            } else {
+                elems.push(Elem::Call(mname)); // free-call base; opaque type
+            }
+            elems.reverse();
+            return Some(elems);
+        }
+        if t.kind == TokKind::Ident {
+            elems.push(Elem::Name(t.text.clone()));
+            if pos >= 2 && ts[pos - 1].is_punct('.') {
+                pos -= 2;
+                continue;
+            }
+            elems.reverse();
+            return Some(elems);
+        }
+        return None;
+    }
+}
+
+/// Backward bracket matching: index of the `open_c` matching the `close_c`
+/// at `close`.
+fn match_back(ts: &[&Token], close: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = close;
+    loop {
+        if ts[j].is_punct(close_c) {
+            depth += 1;
+        } else if ts[j].is_punct(open_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+}
+
+/// Prepass: `let [mut] name [: Type] [= init];` bindings that are mutexes,
+/// condvars, or typed locals.
+fn collect_locals(
+    ts: &[&Token],
+    start: usize,
+    end: usize,
+    nested: &[(usize, usize)],
+    mutexes: &mut BTreeSet<String>,
+    cvs: &mut BTreeSet<String>,
+    types: &mut BTreeMap<String, String>,
+) {
+    let mut j = start;
+    while j < end {
+        if let Some(&(_, e)) = nested.iter().find(|&&(s0, _)| s0 == j) {
+            j = e + 1;
+            continue;
+        }
+        if !ts[j].is_ident("let") {
+            j += 1;
+            continue;
+        }
+        let mut k = j + 1;
+        if ts.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        let Some(name) = ts.get(k).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone())
+        else {
+            j += 1;
+            continue;
+        };
+        // Span to the `;` at relative depth 0.
+        let mut depth = 0isize;
+        let mut m = k + 1;
+        while m < end {
+            let t = ts[m];
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            } else if t.is_punct(';') && depth == 0 {
+                break;
+            }
+            m += 1;
+        }
+        let span = &ts[k + 1..m.min(end)];
+        if span.iter().any(|t| t.is_ident("Mutex")) {
+            mutexes.insert(name.clone());
+        } else if span.iter().any(|t| t.is_ident("Condvar")) {
+            cvs.insert(name.clone());
+        }
+        // Type recovery: ascription wins, else `= Type::new` / `= Type {`.
+        if ts.get(k + 1).is_some_and(|t| t.is_punct(':'))
+            && !ts.get(k + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            let ty_end =
+                span.iter().position(|t| t.is_punct('=')).map(|p| k + 1 + p).unwrap_or(m.min(end));
+            let ty_span = &ts[k + 2..ty_end];
+            if let Some(ty) = ty_span
+                .iter()
+                .find(|t| {
+                    t.kind == TokKind::Ident
+                        && !matches!(
+                            t.text.as_str(),
+                            "Arc" | "Rc" | "Box" | "Option" | "Vec" | "VecDeque" | "dyn" | "mut"
+                        )
+                })
+                .map(|t| t.text.clone())
+            {
+                types.entry(name.clone()).or_insert(ty);
+            }
+        } else if ts.get(k + 1).is_some_and(|t| t.is_punct('=')) {
+            let init = &ts[k + 2..m.min(end)];
+            let ctor = match init {
+                [a, b, c, ..]
+                    if a.kind == TokKind::Ident
+                        && a.text.starts_with(char::is_uppercase)
+                        && ((b.is_punct(':') && c.is_punct(':')) || b.is_punct('{')) =>
+                {
+                    Some(a.text.clone())
+                }
+                _ => None,
+            };
+            if let Some(ty) = ctor {
+                types.entry(name.clone()).or_insert(ty);
+            }
+        }
+        j = m + 1;
+    }
+}

@@ -1,0 +1,169 @@
+//! Fixture corpus for the `etalumis-analyze` concurrency rules: each rule
+//! has a seeded-violation tree and a clean twin. Every tree is linted via
+//! the real `lint_root` entry point (walk → lex → summaries → graph →
+//! rules → suppression), so these tests cover the whole analyzer stack —
+//! including the acceptance criterion that a seeded lock-order inversion
+//! fails the gate with full call-path evidence.
+
+use std::path::PathBuf;
+
+use etalumis_lint::{lint_root, Report};
+
+fn run(tree: &str) -> Report {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/analyze").join(tree);
+    lint_root(&root, None).unwrap_or_else(|e| panic!("lint fixture tree `{tree}`: {e}"))
+}
+
+fn rendered(r: &Report) -> String {
+    r.findings
+        .iter()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Findings of `rule`, asserting no OTHER rule fired (fixtures must stay
+/// focused: one rule per tree, nothing incidental).
+fn only(r: &Report, rule: &str) -> Vec<String> {
+    let (hits, other): (Vec<_>, Vec<_>) = r.findings.iter().partition(|f| f.rule == rule);
+    assert!(other.is_empty(), "fixture tripped rules other than `{rule}`:\n{}", rendered(r));
+    hits.iter().map(|f| f.message.clone()).collect()
+}
+
+fn assert_clean(tree: &str) {
+    let r = run(tree);
+    assert!(r.clean(), "clean twin `{tree}` produced findings:\n{}", rendered(&r));
+}
+
+// --- lock-order -----------------------------------------------------------
+
+#[test]
+fn lock_order_bad_reports_three_lock_cycle_with_both_paths() {
+    let r = run("lock_order_bad");
+    assert!(!r.clean(), "seeded inversion must fail the gate");
+    let msgs = only(&r, "lock-order");
+    assert_eq!(msgs.len(), 1, "expected exactly one cycle finding:\n{}", rendered(&r));
+    let m = &msgs[0];
+    assert!(m.contains("potential deadlock"), "missing verdict: {m}");
+    assert!(m.contains("lock-order cycle"), "missing cycle shape: {m}");
+    for lock in ["Hub.a", "Hub.b", "Hub.c"] {
+        assert!(m.contains(lock), "cycle must name {lock}: {m}");
+    }
+    // Evidence must carry acquisition paths from BOTH files of the cycle.
+    assert!(m.contains("a.rs"), "evidence must cite a.rs: {m}");
+    assert!(m.contains("b.rs"), "evidence must cite b.rs: {m}");
+    assert!(m.contains("Hub::transfer_ca"), "evidence must cite the inverting fn: {m}");
+    let stats = r.analysis.expect("analyzer ran");
+    assert_eq!(stats.lock_cycles, 1);
+    assert_eq!(stats.lock_edges, 3, "edges a->b, b->c, c->a");
+}
+
+#[test]
+fn lock_order_ok_is_clean() {
+    let r = run("lock_order_ok");
+    assert!(r.clean(), "consistent order flagged:\n{}", rendered(&r));
+    let stats = r.analysis.expect("analyzer ran");
+    assert_eq!(stats.lock_cycles, 0);
+    assert_eq!(stats.lock_edges, 3, "edges a->b, b->c, a->c — acyclic");
+}
+
+// --- condvar-discipline ---------------------------------------------------
+
+#[test]
+fn condvar_bad_reports_if_wait_and_unlocked_notify() {
+    let r = run("condvar_bad");
+    let msgs = only(&r, "condvar-discipline");
+    assert_eq!(msgs.len(), 2, "expected wait + notify findings:\n{}", rendered(&r));
+    assert!(
+        msgs.iter().any(|m| m.contains("not inside a loop")),
+        "missing if-wait finding:\n{}",
+        rendered(&r)
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("without holding paired mutex Gate.open")),
+        "notify finding must name the paired mutex recovered from the waits:\n{}",
+        rendered(&r)
+    );
+}
+
+#[test]
+fn condvar_ok_is_clean() {
+    assert_clean("condvar_ok");
+}
+
+// --- reactor-blocking -----------------------------------------------------
+
+#[test]
+fn reactor_bad_reports_transitive_sleep_with_evidence_chain() {
+    let r = run("reactor_bad");
+    let msgs = only(&r, "reactor-blocking");
+    assert_eq!(msgs.len(), 1, "expected one sleep finding:\n{}", rendered(&r));
+    let m = &msgs[0];
+    assert!(m.contains("thread sleep"), "missing blocking kind: {m}");
+    // The evidence chain must walk root -> offender.
+    assert!(m.contains("DemoMux::poll"), "chain must start at the poll root: {m}");
+    assert!(m.contains("DemoMux::service"), "chain must end at the sleeper: {m}");
+    let stats = r.analysis.expect("analyzer ran");
+    assert_eq!(stats.reactor_roots, 1);
+    assert_eq!(stats.reactor_reachable, 2, "poll + service");
+}
+
+#[test]
+fn reactor_ok_is_clean() {
+    let r = run("reactor_ok");
+    assert!(r.clean(), "unreachable blocking flagged:\n{}", rendered(&r));
+    let stats = r.analysis.expect("analyzer ran");
+    assert_eq!(stats.reactor_roots, 1, "poll root still detected");
+}
+
+// --- unwind-safety --------------------------------------------------------
+
+#[test]
+fn unwind_bad_reports_closure_call_under_panicking_lock() {
+    let r = run("unwind_bad");
+    let msgs = only(&r, "unwind-safety");
+    assert_eq!(msgs.len(), 1, "expected one hazard:\n{}", rendered(&r));
+    let m = &msgs[0];
+    assert!(m.contains("caller-supplied closure `f`"), "must name the closure: {m}");
+    assert!(m.contains("Pool.slot"), "must name the held lock: {m}");
+    assert!(m.contains("panicking unwrap"), "must explain the hazard: {m}");
+    assert!(m.contains("Pool::start"), "evidence must start at the spawn root: {m}");
+}
+
+#[test]
+fn unwind_ok_is_clean() {
+    assert_clean("unwind_ok");
+}
+
+// --- suppression integration ---------------------------------------------
+
+#[test]
+fn analyzer_findings_obey_the_shared_allow_machinery() {
+    // The seeded cycle is suppressible through the same baseline format the
+    // workspace gate uses — and a stale entry still trips the ratchet.
+    let root =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/analyze/lock_order_bad");
+    let baseline = r#"
+[[allow]]
+rule = "lock-order"
+file = "a.rs"
+contains = "lock-order cycle"
+reason = "fixture: seeded inversion, suppressed to prove the plumbing"
+"#;
+    let r = lint_root(&root, Some(("lint_allow.toml", baseline))).expect("lint fixture");
+    assert!(r.clean(), "baseline failed to suppress:\n{}", rendered(&r));
+    assert_eq!(r.rule_suppressed.get("lock-order"), Some(&1));
+
+    let stale = r#"
+[[allow]]
+rule = "lock-order"
+file = "nonexistent.rs"
+reason = "stale on purpose"
+"#;
+    let r = lint_root(&root, Some(("lint_allow.toml", stale))).expect("lint fixture");
+    assert!(
+        r.findings.iter().any(|f| f.rule == "allow" && f.message.contains("stale")),
+        "stale baseline entry must trip the ratchet:\n{}",
+        rendered(&r)
+    );
+}

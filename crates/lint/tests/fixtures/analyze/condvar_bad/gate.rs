@@ -1,0 +1,28 @@
+//! Two condvar-discipline violations: a wait guarded by `if` instead of a
+//! loop (spurious wakeups break it), and a notify issued after the paired
+//! mutex has been released (a waiter can lose the race and sleep forever).
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    pub fn pass(&self) {
+        let mut g = self.open.lock().unwrap_or_else(|e| e.into_inner());
+        if !*g {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        *g = false;
+    }
+
+    pub fn release(&self) {
+        {
+            let mut g = self.open.lock().unwrap_or_else(|e| e.into_inner());
+            *g = true;
+        }
+        self.cv.notify_all();
+    }
+}

@@ -1,0 +1,26 @@
+//! Disciplined condvar use: the wait re-checks its predicate in a loop,
+//! and the notify runs while the paired mutex is still held.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    pub fn pass(&self) {
+        let mut g = self.open.lock().unwrap_or_else(|e| e.into_inner());
+        while !*g {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        *g = false;
+    }
+
+    pub fn release(&self) {
+        let mut g = self.open.lock().unwrap_or_else(|e| e.into_inner());
+        *g = true;
+        self.cv.notify_all();
+        drop(g);
+    }
+}

@@ -1,0 +1,27 @@
+//! Seeded lock-order inversion, part 1: this file establishes the
+//! `Hub.a -> Hub.b` and `Hub.b -> Hub.c` acquisition edges; `b.rs` closes
+//! the three-lock cycle with `Hub.c -> Hub.a`.
+
+use std::sync::Mutex;
+
+pub struct Hub {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    c: Mutex<u64>,
+}
+
+impl Hub {
+    pub fn transfer_ab(&self) {
+        let mut ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let mut gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        *gb += *ga;
+        *ga = 0;
+    }
+
+    pub fn transfer_bc(&self) {
+        let mut gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        let mut gc = self.c.lock().unwrap_or_else(|e| e.into_inner());
+        *gc += *gb;
+        *gb = 0;
+    }
+}

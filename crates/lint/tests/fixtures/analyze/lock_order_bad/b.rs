@@ -1,0 +1,11 @@
+//! Seeded lock-order inversion, part 2: acquires `Hub.c` then `Hub.a`,
+//! closing the cycle opened in `a.rs` (`a -> b -> c -> a`).
+
+impl Hub {
+    pub fn transfer_ca(&self) {
+        let mut gc = self.c.lock().unwrap_or_else(|e| e.into_inner());
+        let mut ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        *ga += *gc;
+        *gc = 0;
+    }
+}

@@ -1,0 +1,26 @@
+//! Consistent global lock order: every multi-lock path acquires in the
+//! fixed order `a`, then `b`, then `c` — the graph is acyclic.
+
+use std::sync::Mutex;
+
+pub struct Hub {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    c: Mutex<u64>,
+}
+
+impl Hub {
+    pub fn transfer_ab(&self) {
+        let mut ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let mut gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        *gb += *ga;
+        *ga = 0;
+    }
+
+    pub fn transfer_bc(&self) {
+        let mut gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        let mut gc = self.c.lock().unwrap_or_else(|e| e.into_inner());
+        *gc += *gb;
+        *gb = 0;
+    }
+}

@@ -1,0 +1,11 @@
+//! Same cross-file shape as the bad twin, but respecting the global
+//! order: `a` before `c`, so no cycle forms.
+
+impl Hub {
+    pub fn transfer_ac(&self) {
+        let mut ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let mut gc = self.c.lock().unwrap_or_else(|e| e.into_inner());
+        *gc += *ga;
+        *ga = 0;
+    }
+}

@@ -1,0 +1,21 @@
+//! A reactor poll path that transitively blocks: `DemoMux::poll` calls
+//! `service`, which sleeps — the analyzer must surface the sleep with the
+//! full `poll -> service` evidence chain.
+
+use std::time::Duration;
+
+pub struct DemoMux {
+    pending: Vec<u8>,
+}
+
+impl DemoMux {
+    pub fn poll(&mut self) -> bool {
+        self.service()
+    }
+
+    fn service(&mut self) -> bool {
+        std::thread::sleep(Duration::from_millis(1));
+        self.pending.clear();
+        true
+    }
+}

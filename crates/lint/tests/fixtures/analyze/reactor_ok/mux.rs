@@ -1,0 +1,22 @@
+//! A clean reactor: the poll path only shuffles memory. Blocking work
+//! exists in the file (`maintenance`) but is never reachable from `poll`,
+//! so the analyzer must stay silent.
+
+use std::time::Duration;
+
+pub struct DemoMux {
+    pending: Vec<u8>,
+}
+
+impl DemoMux {
+    pub fn poll(&mut self) -> bool {
+        let had = !self.pending.is_empty();
+        self.pending.clear();
+        had
+    }
+
+    pub fn maintenance(&mut self) {
+        std::thread::sleep(Duration::from_millis(1));
+        self.pending.shrink_to_fit();
+    }
+}

@@ -1,0 +1,25 @@
+//! Unwind hazard: a worker-thread path invokes a caller-supplied closure
+//! while holding a lock acquired with panicking unwrap — a payload panic
+//! poisons the slot for the whole pool.
+
+use std::sync::Mutex;
+
+pub struct Pool {
+    slot: Mutex<u64>,
+}
+
+fn bump(v: &mut u64) {
+    *v += 1;
+}
+
+impl Pool {
+    pub fn start(&self) {
+        std::thread::spawn(|| ());
+        self.drive(&bump);
+    }
+
+    fn drive(&self, f: &dyn Fn(&mut u64)) {
+        let mut g = self.slot.lock().unwrap(); // etalumis: allow(panic-freedom, reason = "fixture exercises the panic-on-poison acquisition style")
+        f(&mut g);
+    }
+}

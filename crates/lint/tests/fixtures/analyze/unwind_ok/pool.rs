@@ -1,0 +1,25 @@
+//! Unwind-safe twin: the same worker path invokes the caller-supplied
+//! closure under a poison-recovering acquisition, so a payload panic
+//! cannot cascade into every later lock of the slot.
+
+use std::sync::Mutex;
+
+pub struct Pool {
+    slot: Mutex<u64>,
+}
+
+fn bump(v: &mut u64) {
+    *v += 1;
+}
+
+impl Pool {
+    pub fn start(&self) {
+        std::thread::spawn(|| ());
+        self.drive(&bump);
+    }
+
+    fn drive(&self, f: &dyn Fn(&mut u64)) {
+        let mut g = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut g);
+    }
+}

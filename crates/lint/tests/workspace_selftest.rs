@@ -50,6 +50,17 @@ fn workspace_is_clean_under_committed_baseline() {
         .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
         .collect();
     assert!(report.clean(), "workspace lint not clean:\n{}", rendered.join("\n"));
+    // The concurrency analyzer ran over the real tree: the lock graph must
+    // be cycle-free and the reactor roots must have been found (a zero
+    // there would mean reachability silently collapsed, masking findings).
+    let stats = report.analysis.expect("analyzer enabled by default");
+    assert_eq!(stats.lock_cycles, 0, "lock-order cycle in the production tree");
+    assert!(stats.reactor_roots > 0, "no reactor roots detected — reachability is dead");
+    assert!(
+        stats.reactor_reachable > stats.reactor_roots,
+        "reactor reachability never left its roots"
+    );
+    assert!(stats.functions > 500, "suspiciously few functions: {}", stats.functions);
 }
 
 #[test]

@@ -123,7 +123,7 @@ impl MuxSimulatorPool {
                 }
             }
             if !progress {
-                std::thread::sleep(IDLE_BACKOFF);
+                std::thread::sleep(IDLE_BACKOFF); // etalumis: allow(reactor-blocking, reason = "bounded idle backoff during connect; no session can make progress this iteration")
             }
         }
         Ok(Self {
@@ -736,7 +736,7 @@ impl Reactor<'_> {
                 break;
             }
             if !progress {
-                std::thread::sleep(IDLE_BACKOFF);
+                std::thread::sleep(IDLE_BACKOFF); // etalumis: allow(reactor-blocking, reason = "the reactor's own bounded idle backoff: nothing to poll, nothing to service")
             }
         }
 

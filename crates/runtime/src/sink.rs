@@ -172,6 +172,7 @@ impl TraceSink for ShardedTraceSink {
     fn accept(&self, _index: usize, trace: Trace) {
         let rec = TraceRecord::from_trace(&trace, self.pruned);
         let p = Self::partition_of(rec.trace_type, self.partitions.len());
+        // etalumis: allow(reactor-blocking, reason = "partition lock held across the shard push is the sink's durable-write contract; contention is per-trace-type")
         if let Err(e) = self.partitions[p].lock().push(rec) {
             self.error.lock().get_or_insert(e);
         }

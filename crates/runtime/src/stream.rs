@@ -104,7 +104,7 @@ impl<'a> StreamSink<'a> {
     fn deliver(&self, index: usize, rec: Option<TraceRecord>) {
         let mut waits = 0usize;
         loop {
-            let mut st = self.state.lock();
+            let mut st = self.state.lock(); // etalumis: allow(reactor-blocking, reason = "reorder-window lock held across the channel hand-off preserves index order; the park below is MAX_WAITS-capped")
             if index <= st.next + self.window || waits >= MAX_WAITS || self.channel.is_closed() {
                 st.pending.insert(index, rec);
                 while let Some(entry) = {
@@ -123,6 +123,7 @@ impl<'a> StreamSink<'a> {
             }
             drop(st);
             waits += 1;
+            // etalumis: allow(reactor-blocking, reason = "bounded backpressure park (MAX_WAITS-capped) while the reorder window is full")
             std::thread::sleep(std::time::Duration::from_micros(WAIT_STEP_MICROS));
         }
     }

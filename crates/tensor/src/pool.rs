@@ -182,8 +182,10 @@ impl Pool {
             let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
             slot.seq += 1;
             slot.job = Some(Arc::clone(&job));
+            // Notify while the slot lock is held: a worker that just saw a
+            // stale seq cannot slip between our publish and this wakeup.
+            self.shared.work_cv.notify_all();
         }
-        self.shared.work_cv.notify_all();
         // Caller participates; stragglers may still be finishing when its
         // cursor drains, so wait for the completion count.
         job.drain();
@@ -215,8 +217,10 @@ impl Drop for Pool {
         {
             let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
             slot.shutdown = true;
+            // Notify under the lock so a worker mid-predicate-check cannot
+            // miss the shutdown flag and park forever.
+            self.shared.work_cv.notify_all();
         }
-        self.shared.work_cv.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }

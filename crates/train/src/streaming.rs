@@ -267,13 +267,21 @@ impl ReleaseFeed {
     }
 
     fn push(&self, release: Vec<TraceRecord>) {
-        self.lock().releases.push(Some(release));
+        let mut st = self.lock();
+        st.releases.push(Some(release));
+        // Notify while the state lock is held: a rank that just failed its
+        // predicate cannot slip between this publish and the wakeup.
         self.cond.notify_all();
+        drop(st);
     }
 
     fn finish(&self) {
-        self.lock().done = true;
+        let mut st = self.lock();
+        st.done = true;
+        // Notify under the lock so a rank mid-predicate-check cannot miss
+        // the done flag and park forever.
         self.cond.notify_all();
+        drop(st);
     }
 
     /// Take global release `i`, blocking until it exists; `None` once the
